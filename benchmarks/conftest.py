@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark uses ``benchmark.pedantic(run, rounds=1)`` so that the
+deterministic simulation executes exactly once per pytest-benchmark
+session; the wall-clock number pytest-benchmark reports is the cost of
+simulating the experiment, while the *experiment results* (virtual-time
+latencies, message counts, hit rates) are printed as tables and
+asserted as shapes.  Run with ``pytest benchmarks/ --benchmark-only``;
+add ``-s`` to see the tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Execute ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture form of :func:`run_once`."""
+
+    def runner(fn):
+        return run_once(benchmark, fn)
+
+    return runner

@@ -1,0 +1,87 @@
+"""Experiment C4 — availability vs replica count (paper Section 3.5).
+
+Claim: "Khazana allows clients to specify a minimum number of primary
+replicas that should be maintained for each page in a Khazana region.
+This functionality further enhances availability, at a cost of
+resource consumption."
+
+We create many regions at each replication level on an 8-node
+cluster, crash two non-bootstrap nodes, and measure the fraction of
+regions still readable.  Expected shape: availability climbs steeply
+with the replica count (replicas=1 loses whatever the dead nodes
+homed; replicas>=3 survives any two failures), while resource cost
+(pages stored cluster-wide) grows linearly.
+"""
+
+from repro.api import create_cluster
+from repro.bench.metrics import Table
+from repro.core.attributes import RegionAttributes
+from repro.core.errors import KhazanaError
+
+REGIONS_PER_LEVEL = 12
+LEVELS = (1, 2, 3, 4)
+KILL = (1, 2)   # two non-bootstrap nodes
+
+
+def _run_level(replicas):
+    cluster = create_cluster(num_nodes=8)
+    regions = []
+    # Spread creators over the nodes we will kill and some survivors,
+    # so replicas=1 actually has something to lose.
+    creators = [1, 2, 3, 4]
+    for i in range(REGIONS_PER_LEVEL):
+        session = cluster.client(node=creators[i % len(creators)])
+        desc = session.reserve(
+            4096, RegionAttributes(min_replicas=replicas)
+        )
+        session.allocate(desc.rid)
+        session.write_at(desc.rid, f"region-{i}".encode())
+        regions.append(desc)
+    cluster.run(3.0)   # replica write-back + maintenance settle
+
+    stored_copies = sum(
+        1
+        for node in cluster.node_ids()
+        for desc in regions
+        if cluster.daemon(node).storage.contains(desc.rid)
+    )
+
+    for node in KILL:
+        cluster.crash(node)
+    cluster.run(12.0)   # detection + promotion
+
+    reader = cluster.client(node=6)
+    available = 0
+    for i, desc in enumerate(regions):
+        try:
+            data = reader.read_at(desc.rid, len(f"region-{i}"))
+            if data == f"region-{i}".encode():
+                available += 1
+        except KhazanaError:
+            pass
+    return available / len(regions), stored_copies / len(regions)
+
+
+def test_availability_vs_replica_count(once):
+    def run():
+        return {level: _run_level(level) for level in LEVELS}
+
+    results = once(run)
+
+    table = Table(
+        f"C4: availability after killing nodes {list(KILL)} of 8",
+        ["min_replicas", "available", "copies/region (cost)"],
+    )
+    for level, (availability, copies) in results.items():
+        table.add(level, f"{availability:.0%}", copies)
+    table.show()
+
+    # Shape 1: availability is monotone non-decreasing in replicas.
+    values = [results[level][0] for level in LEVELS]
+    assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+    # Shape 2: replicas=1 actually lost data; 3+ replicas lost none.
+    assert values[0] < 1.0
+    assert values[2] == 1.0 and values[3] == 1.0
+    # Shape 3: the cost side — stored copies grow with the level.
+    costs = [results[level][1] for level in LEVELS]
+    assert costs[-1] > costs[0] * 2

@@ -1,0 +1,101 @@
+"""Experiment C3 — selectable consistency protocols (paper Section 3.3).
+
+Claim: applications choose their consistency level per region, and
+relaxed protocols buy performance — "a weaker (and thus higher
+performance) consistency protocol" (Section 1), with release
+consistency for metadata and an even weaker model for web-cache-like
+consumers "for which release consistency is overkill".
+
+Same workload — two nodes sharing one region, 85% reads — run under
+CREW, release, and eventual consistency, on a LAN and on a WAN.  The
+paper's expected shape: the weaker the protocol, the cheaper the
+reads (fewer synchronous remote hops), with the gap exploding on WAN
+latencies.
+"""
+
+from repro.api import create_cluster
+from repro.bench.metrics import Table
+from repro.core.attributes import ConsistencyLevel, RegionAttributes
+
+OPS = 120
+READ_FRACTION = 0.85
+
+
+def _run(level, topology):
+    cluster = create_cluster(num_nodes=4, topology=topology)
+    owner = cluster.client(node=1)
+    region = owner.reserve(
+        4096, RegionAttributes(consistency_level=level)
+    )
+    owner.allocate(region.rid)
+    owner.write_at(region.rid, b"seed")
+    other = cluster.client(node=3)
+    other.read_at(region.rid, 4)   # both nodes warm
+
+    sessions = [owner, other]
+    start = cluster.now
+    before = cluster.stats.snapshot()
+    read_time = 0.0
+    reads = writes = 0
+    for i in range(OPS):
+        session = sessions[i % 2]
+        if (i % 20) / 20 < READ_FRACTION:
+            t0 = cluster.now
+            session.read_at(region.rid, 4)
+            read_time += cluster.now - t0
+            reads += 1
+        else:
+            session.write_at(region.rid, f"w{i:03d}".encode())
+            writes += 1
+    delta = cluster.stats.delta_since(before)
+    elapsed = cluster.now - start
+    # Exclude background housekeeping (failure-detector pings, free
+    # space reports) whose count scales with elapsed virtual time, not
+    # with the workload.
+    background = sum(
+        delta.by_type.get(t, 0)
+        for t in ("ping", "pong", "free_space_report")
+    )
+    return {
+        "mean_ms": 1000 * elapsed / OPS,
+        "read_ms": 1000 * read_time / reads,
+        "msgs_per_op": (delta.messages_sent - background) / OPS,
+    }
+
+
+def test_consistency_protocol_cost(once):
+    def run():
+        results = {}
+        for topo in ("lan", "wan"):
+            for level in ConsistencyLevel:
+                results[(topo, level.value)] = _run(level, topo)
+        return results
+
+    results = once(run)
+
+    table = Table(
+        f"C3: protocol cost, 2 sharers, {OPS} ops, "
+        f"{int(READ_FRACTION * 100)}% reads",
+        ["network", "protocol", "mean ms/op", "mean read ms", "msgs/op"],
+    )
+    for (topo, level), r in results.items():
+        table.add(topo, level, r["mean_ms"], r["read_ms"], r["msgs_per_op"])
+    table.show()
+
+    for topo in ("lan", "wan"):
+        crew = results[(topo, "strict")]
+        release = results[(topo, "release")]
+        eventual = results[(topo, "eventual")]
+        # Shape 1: reads get cheaper as consistency weakens.
+        assert eventual["read_ms"] <= release["read_ms"] + 1e-9
+        assert release["read_ms"] <= crew["read_ms"] + 1e-9
+        # Shape 2: eventual sends the least traffic.
+        assert eventual["msgs_per_op"] <= crew["msgs_per_op"]
+
+    # Shape 3: the strict-vs-eventual gap explodes on the WAN —
+    # that is exactly why clients get to pick (Section 1's example).
+    lan_gap = results[("lan", "strict")]["mean_ms"] - results[
+        ("lan", "eventual")]["mean_ms"]
+    wan_gap = results[("wan", "strict")]["mean_ms"] - results[
+        ("wan", "eventual")]["mean_ms"]
+    assert wan_gap > lan_gap * 10

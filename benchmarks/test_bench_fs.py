@@ -1,0 +1,109 @@
+"""Experiment C6 — the KFS file system (paper Section 4.1).
+
+Claims: "The same filesystem can be run on a stand-alone machine or
+in a distributed environment without the system being aware of the
+change in environment", and file operations decompose entirely into
+Khazana operations (reserve/allocate/lock/read/write).
+
+One identical file workload — create, write, read, readdir, unlink —
+runs on clusters of 1, 4, and 8 nodes.  On multi-node clusters the
+clients are spread across nodes.  Expected shape: identical results
+everywhere; single-node runs cost no messages at all; distributing
+clients adds coherence traffic but everything still works.
+"""
+
+from repro.api import create_cluster
+from repro.bench.metrics import Table
+from repro.fs import KhazanaFileSystem
+
+FILES = 6
+FILE_SIZE = 6000   # two blocks
+
+
+def _run(num_nodes):
+    cluster = create_cluster(num_nodes=num_nodes)
+    creator = cluster.client(node=min(1, num_nodes - 1))
+    fs = KhazanaFileSystem.format(creator)
+    mounts = [
+        KhazanaFileSystem.mount(cluster.client(node=n), fs.superblock_addr)
+        for n in range(num_nodes)
+    ]
+
+    ops_before = dict(cluster.daemon(creator.node_id).stats.ops)
+    before = cluster.stats.snapshot()
+    start = cluster.now
+    fs.mkdir("/data")
+    checks = 0
+    for i in range(FILES):
+        body = bytes((i + j) % 256 for j in range(FILE_SIZE))
+        with fs.create(f"/data/file-{i}") as f:
+            f.write(body)
+        # A different node reads it back.
+        m = mounts[(i + 1) % num_nodes]
+        with m.open(f"/data/file-{i}") as f:
+            assert f.read() == body
+            checks += 1
+    listing = mounts[-1].listdir("/data")
+    fs.unlink("/data/file-0")
+    listing_after = mounts[-1].listdir("/data")
+    elapsed = cluster.now - start
+    delta = cluster.stats.delta_since(before)
+    background = sum(
+        delta.by_type.get(t, 0)
+        for t in ("ping", "pong", "free_space_report")
+    )
+    ops_after = cluster.daemon(creator.node_id).stats.ops
+    khazana_ops = {
+        k: ops_after.get(k, 0) - ops_before.get(k, 0)
+        for k in ("reserve", "allocate", "lock", "read", "write")
+    }
+    return {
+        "files_ok": checks,
+        "listing": len(listing),
+        "after_unlink": len(listing_after),
+        "elapsed_ms": elapsed * 1000,
+        "msgs": delta.messages_sent - background,
+        "khazana_ops": khazana_ops,
+    }
+
+
+def test_fs_same_code_any_cluster_size(once):
+    def run():
+        return {n: _run(n) for n in (1, 4, 8)}
+
+    results = once(run)
+
+    table = Table(
+        f"C6: identical KFS workload ({FILES} x {FILE_SIZE}B files) "
+        "vs cluster size",
+        ["nodes", "files verified", "readdir", "after unlink",
+         "virtual ms", "messages"],
+    )
+    for n, r in results.items():
+        table.add(n, r["files_ok"], r["listing"], r["after_unlink"],
+                  r["elapsed_ms"], r["msgs"])
+    table.show()
+
+    decomposition = Table(
+        "C6b: creator-node Khazana ops behind the 4-node run "
+        "(file ops decompose into the Section 2 API)",
+        ["khazana op", "count"],
+    )
+    for op, count in results[4]["khazana_ops"].items():
+        decomposition.add(op, count)
+    decomposition.show()
+
+    # Shape 1: identical functional results at every size.
+    for r in results.values():
+        assert r["files_ok"] == FILES
+        assert r["listing"] == FILES
+        assert r["after_unlink"] == FILES - 1
+    # Shape 2: stand-alone operation needs no network at all.
+    assert results[1]["msgs"] == 0
+    # Shape 3: distribution costs messages, not correctness.
+    assert results[4]["msgs"] > 0
+    assert results[8]["msgs"] > 0
+    # Shape 4: the file ops really decompose into Khazana ops.
+    ops = results[4]["khazana_ops"]
+    assert ops["reserve"] >= FILES          # inode + block regions
+    assert ops["lock"] > ops["reserve"]     # every access locks

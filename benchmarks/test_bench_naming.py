@@ -1,0 +1,93 @@
+"""Experiment C9 — the directory-service consumer (paper Section 1).
+
+The paper's opening motivation lists "distributed directory services
+(Novell's NDS, Microsoft's Active Directory)" among the systems that
+reduce to shared-state management.  `repro.naming` is that consumer;
+this experiment measures the consistency trade it exists to make: a
+WAN-distributed registry served from eventual-consistency replicas vs
+the same registry on strict consistency.
+
+Workload: one site publishes 12 entries; a remote site performs 60
+lookups (Zipf-skewed) plus 3 updates arrive mid-stream.  Expected
+shape: eventual lookups cost ~0 after the first touch of each context
+(local replicas), while strict lookups keep paying WAN round trips
+whenever writes invalidate the context pages; the price of eventual is
+bounded staleness, observed directly.
+"""
+
+from repro.api import create_cluster
+from repro.bench.metrics import Table
+from repro.bench.workloads import ZipfGenerator
+from repro.core.attributes import ConsistencyLevel
+from repro.naming import NameService
+
+ENTRIES = 12
+LOOKUPS = 60
+
+
+def _run(consistency):
+    cluster = create_cluster(num_nodes=6, topology="two_cluster")
+    publisher = NameService.create(
+        cluster.client(node=1), consistency=consistency
+    )
+    names = [f"/svc/entry-{i:02d}" for i in range(ENTRIES)]
+    for i, name in enumerate(names):
+        publisher.bind(name, {"generation": 0, "index": i})
+
+    remote = NameService.attach(cluster.client(node=4), publisher.root_addr)
+    zipf = ZipfGenerator(ENTRIES, skew=1.1, seed=17)
+    before = cluster.stats.snapshot()
+    start = cluster.now
+    lookup_time = 0.0
+    stale_reads = 0
+    for step in range(LOOKUPS):
+        if step in (20, 35, 50):
+            # Updates land at the publisher mid-stream.
+            publisher.rebind(names[0], {"generation": step, "index": 0})
+        t0 = cluster.now
+        got = remote.lookup(names[zipf.next()])
+        lookup_time += cluster.now - t0
+        if got["index"] == 0:
+            current = publisher.lookup(names[0])["generation"]
+            if got["generation"] != current:
+                stale_reads += 1
+    elapsed = cluster.now - start
+    delta = cluster.stats.delta_since(before)
+    background = sum(
+        delta.by_type.get(t, 0)
+        for t in ("ping", "pong", "free_space_report")
+    )
+    return {
+        "ms_per_lookup": 1000 * lookup_time / LOOKUPS,
+        "msgs_per_lookup": (delta.messages_sent - background) / LOOKUPS,
+        "stale_reads": stale_reads,
+        "total_ms": elapsed * 1000,
+    }
+
+
+def test_directory_service_consistency_tradeoff(once):
+    def run():
+        return {
+            "eventual": _run(ConsistencyLevel.EVENTUAL),
+            "strict": _run(ConsistencyLevel.STRICT),
+        }
+
+    results = once(run)
+
+    table = Table(
+        f"C9: WAN directory service, {LOOKUPS} remote lookups with "
+        "concurrent updates",
+        ["consistency", "ms/lookup", "msgs/lookup", "stale reads"],
+    )
+    for name, r in results.items():
+        table.add(name, r["ms_per_lookup"], r["msgs_per_lookup"],
+                  r["stale_reads"])
+    table.show()
+
+    eventual, strict = results["eventual"], results["strict"]
+    # Shape 1: eventual lookups are much cheaper on the WAN.
+    assert eventual["ms_per_lookup"] < strict["ms_per_lookup"] / 2
+    assert eventual["msgs_per_lookup"] < strict["msgs_per_lookup"]
+    # Shape 2: strict never serves stale data; eventual may (that is
+    # the contract being bought).
+    assert strict["stale_reads"] == 0

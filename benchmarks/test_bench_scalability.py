@@ -1,0 +1,98 @@
+"""Experiment C2 — scalability (paper Section 2, "Scalability").
+
+Claim: "Performance should scale as nodes are added if the new nodes
+do not contend for access to the same regions as existing nodes.
+Data should be cached near where it is used."
+
+We grow the cluster from 2 to 16 nodes under two workloads with the
+same per-node operation count:
+
+- **disjoint**: each node works on its own regions.  Per-operation
+  cost must stay flat as nodes are added (perfect scaling).
+- **contended**: every node hammers one shared region with 30%%
+  writes.  Coherence traffic grows with the sharer count, so
+  per-operation cost rises — the paper's stated limit of scaling.
+"""
+
+from repro.api import create_cluster
+from repro.bench.metrics import Table
+from repro.bench.workloads import make_regions
+from repro.core.attributes import RegionAttributes
+
+OPS_PER_NODE = 30
+NODE_COUNTS = (2, 4, 8, 16)
+
+
+def _disjoint(num_nodes):
+    cluster = create_cluster(num_nodes=num_nodes)
+    sessions = [cluster.client(node=n) for n in range(num_nodes)]
+    regions = {s.node_id: make_regions(s, 2) for s in sessions}
+    start = cluster.now
+    before = cluster.stats.snapshot()
+    for i in range(OPS_PER_NODE):
+        for session in sessions:
+            mine = regions[session.node_id]
+            region = mine[i % len(mine)]
+            if i % 3 == 0:
+                session.write_at(region.rid, b"local-update")
+            else:
+                session.read_at(region.rid, 12)
+    ops = OPS_PER_NODE * num_nodes
+    delta = cluster.stats.delta_since(before)
+    elapsed = cluster.now - start
+    return elapsed / ops, delta.messages_sent / ops
+
+
+def _contended(num_nodes):
+    cluster = create_cluster(num_nodes=num_nodes)
+    owner = cluster.client(node=1)
+    shared = owner.reserve(4096, RegionAttributes())
+    owner.allocate(shared.rid)
+    owner.write_at(shared.rid, b"contended")
+    sessions = [cluster.client(node=n) for n in range(num_nodes)]
+    start = cluster.now
+    before = cluster.stats.snapshot()
+    for i in range(OPS_PER_NODE):
+        for j, session in enumerate(sessions):
+            if (i + j) % 10 < 3:
+                session.write_at(shared.rid, b"contended-write")
+            else:
+                session.read_at(shared.rid, 9)
+    ops = OPS_PER_NODE * num_nodes
+    delta = cluster.stats.delta_since(before)
+    elapsed = cluster.now - start
+    return elapsed / ops, delta.messages_sent / ops
+
+
+def test_scalability_disjoint_vs_contended(once):
+    def run():
+        rows = []
+        for n in NODE_COUNTS:
+            d_lat, d_msgs = _disjoint(n)
+            c_lat, c_msgs = _contended(n)
+            rows.append((n, d_lat, d_msgs, c_lat, c_msgs))
+        return rows
+
+    rows = once(run)
+
+    table = Table(
+        f"C2: per-op cost vs cluster size ({OPS_PER_NODE} ops/node)",
+        ["nodes", "disjoint ms/op", "disjoint msgs/op",
+         "contended ms/op", "contended msgs/op"],
+    )
+    for n, d_lat, d_msgs, c_lat, c_msgs in rows:
+        table.add(n, d_lat * 1000, d_msgs, c_lat * 1000, c_msgs)
+    table.show()
+
+    # Shape 1: disjoint per-op cost is flat — growing the cluster 8x
+    # changes it by well under 2x.
+    d_small = rows[0][1]
+    d_large = rows[-1][1]
+    assert d_large < max(d_small, 1e-9) * 2 + 1e-4
+
+    # Shape 2: contention costs more than independence at every size.
+    for n, d_lat, d_msgs, c_lat, c_msgs in rows:
+        assert c_msgs > d_msgs
+
+    # Shape 3: contended coherence traffic grows with sharers.
+    assert rows[-1][4] > rows[0][4]

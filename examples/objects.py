@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Distributed objects over Khazana (paper Section 4.2).
+
+A tiny banking service: `Account` objects live in global memory; any
+node can invoke methods on them through proxies.  The invocation
+policy decides per call whether to pull a replica and run locally or
+RPC to the node where the object already lives — using location
+information exported from Khazana.
+
+Run:  python examples/objects.py
+"""
+
+from repro import api
+from repro.objects import (
+    InvocationPolicy,
+    KhazanaObject,
+    ObjectRuntime,
+    readonly,
+    register_class,
+)
+
+
+@register_class
+class Account(KhazanaObject):
+    """State lives in Khazana; only behaviour is defined here."""
+
+    @staticmethod
+    def initial_state():
+        return {"owner": "", "balance": 0}
+
+    def open(self, state, owner, opening_balance=0):
+        state["owner"] = owner
+        state["balance"] = opening_balance
+        return state["owner"]
+
+    def deposit(self, state, amount):
+        state["balance"] += amount
+        return state["balance"]
+
+    def transfer_out(self, state, amount):
+        if amount > state["balance"]:
+            raise ValueError(f"{state['owner']} has only {state['balance']}")
+        state["balance"] -= amount
+        return amount
+
+    @readonly
+    def balance(self, state):
+        return state["balance"]
+
+
+def main() -> None:
+    cluster = api.create_cluster(num_nodes=4)
+    branch_a = ObjectRuntime(cluster.client(node=1))
+    branch_b = ObjectRuntime(cluster.client(node=2))
+    auditor = ObjectRuntime(cluster.client(node=3))
+
+    # Branch A creates two accounts in global memory.
+    alice_ref = branch_a.export(Account)
+    bob_ref = branch_a.export(Account)
+    alice = branch_a.proxy(alice_ref)
+    alice.open("alice", 100)
+    branch_a.proxy(bob_ref).open("bob", 20)
+
+    # Branch B operates on the same objects with no knowledge of where
+    # they live — a transfer touches both.
+    alice_at_b = branch_b.proxy(alice_ref)
+    bob_at_b = branch_b.proxy(bob_ref)
+    moved = alice_at_b.transfer_out(30)
+    bob_at_b.deposit(moved)
+    print(f"transferred {moved} from alice to bob at branch B")
+
+    # The auditor reads via REMOTE policy (method ships to the data)
+    # and via LOCAL policy (data ships to the method); same answers.
+    remote_alice = auditor.proxy(alice_ref, policy=InvocationPolicy.REMOTE)
+    local_bob = auditor.proxy(bob_ref, policy=InvocationPolicy.LOCAL)
+    print("alice balance (remote invocation):", remote_alice.balance())
+    print("bob balance (local replica):     ", local_bob.balance())
+
+    total = remote_alice.balance() + local_bob.balance()
+    assert total == 120, total
+    print("audit total:", total)
+
+    print("\nper-runtime invocation stats:")
+    for name, rt in [("branch A", branch_a), ("branch B", branch_b),
+                     ("auditor ", auditor)]:
+        print(f"  {name}: {rt.stats}")
+
+    # Reference counting: releasing the last reference reclaims the
+    # object's region.
+    branch_a.release(bob_ref)
+    print("\nbob's account released; region reclaimed in background")
+    cluster.run(2.0)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""repro — a reproduction of Khazana (Carter, Ranganathan, Susarla;
+ICDCS 1998): middleware exporting a distributed, persistent, globally
+shared storage space for building distributed services.
+
+Public entry points:
+
+- :func:`repro.api.create_cluster` / :class:`repro.api.Cluster` —
+  build a simulated Khazana deployment.
+- :class:`repro.core.client.KhazanaSession` — the client library
+  (reserve/allocate/lock/read/write/unlock/attributes).
+- :mod:`repro.fs` — the wide-area distributed file system of paper
+  Section 4.1.
+- :mod:`repro.objects` — the distributed object runtime of Section 4.2.
+"""
+
+from repro.api import Cluster, create_cluster
+from repro.core import (
+    ConsistencyLevel,
+    KhazanaError,
+    LockMode,
+    RegionAttributes,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "ConsistencyLevel",
+    "KhazanaError",
+    "LockMode",
+    "RegionAttributes",
+    "create_cluster",
+    "__version__",
+]

@@ -1,0 +1,27 @@
+"""Benchmark support: workload generators, metrics, result tables.
+
+The paper has no quantitative evaluation (Section 5 admits the
+prototype "performs poorly" and un-tuned); the experiments in
+``benchmarks/`` therefore measure the *claims* of Sections 1-4 using
+the workload machinery here.  Everything is seeded and runs in virtual
+time, so results are deterministic.
+"""
+
+from repro.bench.metrics import LatencyRecorder, Table
+from repro.bench.workloads import (
+    AccessPattern,
+    WorkloadSpec,
+    ZipfGenerator,
+    make_regions,
+    run_access_workload,
+)
+
+__all__ = [
+    "AccessPattern",
+    "LatencyRecorder",
+    "Table",
+    "WorkloadSpec",
+    "ZipfGenerator",
+    "make_regions",
+    "run_access_workload",
+]

@@ -1,0 +1,103 @@
+"""Measurement helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Sequence
+
+
+class LatencyRecorder:
+    """Collects per-operation virtual-time latencies."""
+
+    def __init__(self) -> None:
+        self.samples: List[float] = []
+
+    def record(self, latency: float) -> None:
+        self.samples.append(latency)
+
+    def count(self) -> int:
+        return len(self.samples)
+
+    def mean(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(self.samples) / len(self.samples)
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile, p in [0, 100]."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+    def total(self) -> float:
+        return sum(self.samples)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count()),
+            "mean_ms": self.mean() * 1000,
+            "p50_ms": self.percentile(50) * 1000,
+            "p99_ms": self.percentile(99) * 1000,
+        }
+
+
+class Table:
+    """Accumulates result rows and prints an aligned text table.
+
+    Every benchmark prints one of these so the shape of each paper
+    claim is visible directly in ``pytest benchmarks/`` output.
+    """
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values for {len(self.columns)} columns"
+            )
+        self.rows.append([_fmt(v) for v in values])
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title, "=" * len(self.title)]
+        lines.append("  ".join(c.ljust(widths[i])
+                               for i, c in enumerate(self.columns)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(cell.ljust(widths[i])
+                                   for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print()
+        print(self.render())
+
+    def cell(self, row: int, column: str) -> str:
+        return self.rows[row][self.columns.index(column)]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def speedup(baseline: float, measured: float) -> Optional[float]:
+    """baseline / measured, or None when measured is zero."""
+    if measured == 0:
+        return None
+    return baseline / measured

@@ -1,0 +1,45 @@
+"""Consistency managers.
+
+Paper Section 3.3: "Program modules called Consistency Managers (CMs)
+run at each of the replica sites and cooperate to implement the
+required level of consistency among the replicas ... Given this
+consistency management framework, a variety of consistency protocols
+can be implemented for use by the Khazana to suit various application
+needs."
+
+Three protocols ship, mirroring the paper:
+
+- ``crew`` — Concurrent Read Exclusive Write, the strict protocol the
+  prototype supports (Section 5), giving Lamport sequential
+  consistency.
+- ``release`` — release consistency, used for the address-map tree
+  nodes (Section 3.3) and available to applications.
+- ``eventual`` — the relaxed, bounded-staleness protocol the paper
+  plans for web caches and query engines ("can tolerate data that is
+  temporarily out-of-date (i.e., one or two versions old)").
+
+New protocols plug in by registering with
+:func:`repro.consistency.manager.register_protocol` — "plugging in new
+protocols or consistency managers is only a matter of registering them
+with Khazana" (Section 5).
+"""
+
+from repro.consistency.manager import (
+    ConsistencyManager,
+    available_protocols,
+    create_manager,
+    register_protocol,
+)
+
+# Importing the protocol modules registers them.
+from repro.consistency import crew as _crew          # noqa: F401
+from repro.consistency import release as _release    # noqa: F401
+from repro.consistency import eventual as _eventual  # noqa: F401
+from repro.consistency import mobile as _mobile      # noqa: F401
+
+__all__ = [
+    "ConsistencyManager",
+    "available_protocols",
+    "create_manager",
+    "register_protocol",
+]

@@ -1,0 +1,590 @@
+"""CREW: the Concurrent Read Exclusive Write protocol.
+
+"The only consistency model we currently support is a Concurrent Read
+Exclusive Write (CREW) protocol [Lamport 1979]" (paper Section 5).
+This is the strict protocol behind ``ConsistencyLevel.STRICT``: many
+nodes may cache a page for reading; a writer invalidates every cached
+copy and becomes the page's exclusive owner, giving sequentially
+consistent data.
+
+The directory lives at the page's *home node* (the region's primary
+home): its page-directory entry authoritatively records the current
+owner and copyset, exactly as "each region has a home node that ...
+keeps track of all the nodes maintaining copies of the region's data"
+(Section 3.1).  Requesters with a cached owner hint may contact the
+owner directly (the fast path of Figure 2); otherwise the home node
+mediates.
+
+Durability addition: because Khazana is a *persistent* store, dirty
+pages are written back to every home node at lock release, so a
+region with ``min_replicas`` > 1 home nodes survives the loss of any
+owner or home (Section 3.5's availability goal).  Between writes and
+release, data newer than the home copies exists only at the owner —
+the same window the paper's prototype has.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.consistency.manager import (
+    ConsistencyManager,
+    KeyedMutex,
+    LocalPageState,
+    ProtocolGen,
+    _typed_denial,
+    register_protocol,
+)
+from repro.core.errors import (
+    KhazanaError,
+    LockDenied,
+    NotAllocated,
+)
+from repro.core.locks import LockContext, LockMode
+from repro.core.region import RegionDescriptor
+from repro.net.message import Message, MessageType
+from repro.net.rpc import RemoteError, RetryPolicy, RpcTimeout
+from repro.net.tasks import Future, gather_settled
+
+#: Directory transactions can stall on a peer's open lock context, so
+#: their constituent RPCs tolerate long waits before retransmitting.
+TRANSACTION_POLICY = RetryPolicy(timeout=10.0, retries=2, backoff=1.5)
+
+
+@register_protocol
+class CrewManager(ConsistencyManager):
+    """Consistency manager implementing CREW."""
+
+    protocol_name = "crew"
+
+    def __init__(self, daemon: Any) -> None:
+        super().__init__(daemon)
+        #: Serialises home-side directory transactions per page.
+        self._mutex = KeyedMutex()
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+
+    def acquire(
+        self,
+        desc: RegionDescriptor,
+        page_addr: int,
+        mode: LockMode,
+        ctx: LockContext,
+    ) -> ProtocolGen:
+        if mode is LockMode.WRITE_SHARED:
+            raise LockDenied(
+                "CREW does not support write-shared intentions; "
+                "use the release or eventual protocol"
+            )
+        state = self.page_state.get(page_addr, LocalPageState.INVALID)
+        resident = self.daemon.storage.contains(page_addr)
+
+        if mode is LockMode.READ:
+            if state is not LocalPageState.INVALID and resident:
+                return  # cached copy is valid for reading
+            yield from self._acquire_read(desc, page_addr, ctx.principal)
+            return
+
+        # WRITE path
+        entry = self.daemon.page_directory.get(page_addr)
+        if (
+            state is LocalPageState.EXCLUSIVE
+            and resident
+            and entry is not None
+            and entry.owner == self.daemon.node_id
+        ):
+            return  # already the exclusive owner
+        yield from self._acquire_write(desc, page_addr, ctx.principal)
+
+    def _acquire_read(self, desc: RegionDescriptor, page_addr: int,
+                      principal: str) -> ProtocolGen:
+        me = self.daemon.node_id
+        if me in desc.home_nodes and me == desc.primary_home:
+            data = yield from self._home_grant(desc, page_addr, LockMode.READ, me)
+            if data is not None:
+                yield from self.daemon.store_local_page(
+                    desc, page_addr, data, dirty=False
+                )
+            self.page_state[page_addr] = LocalPageState.SHARED
+            return
+
+        # Fast path (Figure 2): a page-directory hint names the owner;
+        # ask it directly for a read copy.
+        hint = self.daemon.page_directory.get(page_addr)
+        owner_hint = hint.owner if hint is not None else None
+        if owner_hint is not None and owner_hint not in (me, desc.primary_home):
+            try:
+                reply = yield self.daemon.rpc.request(
+                    owner_hint,
+                    MessageType.LOCK_REQUEST,
+                    {"rid": desc.rid, "page": page_addr,
+                     "mode": LockMode.READ.value, "direct": True,
+                     "principal": principal},
+                    policy=TRANSACTION_POLICY,
+                )
+            except (RpcTimeout, RemoteError):
+                reply = None   # stale hint; fall back to the home node
+            if reply is not None:
+                yield from self._install_read_copy(desc, page_addr, reply)
+                return
+
+        reply = yield from self._request_home(
+            desc, page_addr, LockMode.READ, principal
+        )
+        yield from self._install_read_copy(desc, page_addr, reply)
+
+    def _install_read_copy(
+        self, desc: RegionDescriptor, page_addr: int, reply: Message
+    ) -> ProtocolGen:
+        data = reply.payload.get("data")
+        if data is not None:
+            yield from self.daemon.store_local_page(
+                desc, page_addr, data, dirty=False
+            )
+        entry = self.daemon.page_directory.ensure(
+            page_addr, desc.rid, homed=False
+        )
+        owner = reply.payload.get("owner")
+        if owner is not None:
+            entry.owner = owner
+        entry.allocated = True
+        self.page_state[page_addr] = LocalPageState.SHARED
+
+    def _acquire_write(self, desc: RegionDescriptor, page_addr: int,
+                       principal: str) -> ProtocolGen:
+        me = self.daemon.node_id
+        if me == desc.primary_home:
+            data = yield from self._home_grant(desc, page_addr, LockMode.WRITE, me)
+            if data is not None:
+                yield from self.daemon.store_local_page(
+                    desc, page_addr, data, dirty=True
+                )
+            self.page_state[page_addr] = LocalPageState.EXCLUSIVE
+            return
+        reply = yield from self._request_home(desc, page_addr,
+                                              LockMode.WRITE, principal)
+        data = reply.payload.get("data")
+        if data is not None:
+            yield from self.daemon.store_local_page(
+                desc, page_addr, data, dirty=True
+            )
+        elif not self.daemon.storage.contains(page_addr):
+            raise KhazanaError(
+                f"write grant for page {page_addr:#x} carried no data and "
+                "no local copy exists"
+            )
+        entry = self.daemon.page_directory.ensure(
+            page_addr, desc.rid, homed=False
+        )
+        entry.owner = me
+        entry.allocated = True
+        self.page_state[page_addr] = LocalPageState.EXCLUSIVE
+
+    def _request_home(
+        self, desc: RegionDescriptor, page_addr: int, mode: LockMode,
+        principal: str,
+    ) -> ProtocolGen:
+        """Ask the region's home nodes (in order) for a lock grant."""
+        last_error: Optional[Exception] = None
+        for home in desc.home_nodes:
+            if home == self.daemon.node_id:
+                continue
+            try:
+                reply = yield self.daemon.rpc.request(
+                    home,
+                    MessageType.LOCK_REQUEST,
+                    {"rid": desc.rid, "page": page_addr, "mode": mode.value,
+                     "principal": principal},
+                    policy=TRANSACTION_POLICY,
+                )
+                return reply
+            except RpcTimeout as error:
+                last_error = error   # try the next home (Section 3.5)
+            except RemoteError as error:
+                raise _typed_denial(error) from error
+        raise LockDenied(
+            f"no home node of region {desc.rid:#x} granted the lock: "
+            f"{last_error}"
+        )
+
+    def release(
+        self,
+        desc: RegionDescriptor,
+        page_addr: int,
+        ctx: LockContext,
+    ) -> ProtocolGen:
+        """Write dirty data back to every home node at unlock.
+
+        CREW itself moves data only on demand; the write-back provides
+        the persistence/availability the paper requires of Khazana's
+        storage (home copies stay current so a crashed owner loses at
+        most the current lock generation's writes).
+        """
+        if page_addr not in ctx.dirty_pages:
+            return
+        page = self.daemon.storage.peek(page_addr)
+        if page is None:
+            return
+        pushes = []
+        for home in desc.home_nodes:
+            if home == self.daemon.node_id:
+                continue
+            pushes.append(
+                self.daemon.rpc.request(
+                    home,
+                    MessageType.UPDATE_PUSH,
+                    {
+                        "rid": desc.rid,
+                        "page": page_addr,
+                        "data": page.data,
+                        "release_token": False,
+                    },
+                    policy=TRANSACTION_POLICY,
+                )
+            )
+        if pushes:
+            # Best effort: unreachable homes are repaired by the
+            # replica maintenance loop, not by failing the unlock
+            # (release-type errors never surface to clients, 3.5).
+            yield gather_settled(pushes, label="crew-writeback")
+        if self.daemon.node_id == desc.primary_home:
+            self.daemon.storage.mark_clean(page_addr)
+
+    # ------------------------------------------------------------------
+    # Home side
+    # ------------------------------------------------------------------
+
+    def _home_grant(
+        self,
+        desc: RegionDescriptor,
+        page_addr: int,
+        mode: LockMode,
+        requester: int,
+    ) -> ProtocolGen:
+        """Run a directory transaction at the home node.
+
+        Returns the page bytes the requester needs (None when the
+        requester already holds a current copy).
+        """
+        yield self._mutex.acquire(page_addr)
+        try:
+            result = yield from self._home_grant_locked(
+                desc, page_addr, mode, requester
+            )
+            return result
+        finally:
+            self._mutex.release(page_addr)
+
+    def _home_grant_locked(
+        self,
+        desc: RegionDescriptor,
+        page_addr: int,
+        mode: LockMode,
+        requester: int,
+    ) -> ProtocolGen:
+        me = self.daemon.node_id
+        entry = self.daemon.page_directory.ensure(page_addr, desc.rid, homed=True)
+        if not entry.allocated:
+            raise NotAllocated(
+                f"page {page_addr:#x} of region {desc.rid:#x} has no "
+                "allocated storage"
+            )
+        if entry.owner is None:
+            entry.owner = me
+            entry.record_sharer(me)
+
+        if mode is LockMode.READ:
+            data = yield from self._current_data_for_read(desc, entry)
+            entry.record_sharer(requester)
+            if requester != me and self.page_state.get(page_addr) is (
+                LocalPageState.EXCLUSIVE
+            ):
+                # Handing out a read copy ends our exclusivity; a later
+                # local write must invalidate the new sharer.
+                self.page_state[page_addr] = LocalPageState.SHARED
+            return data
+
+        # WRITE: invalidate every cached copy except the requester's,
+        # then move ownership (and data, if needed) to the requester.
+        data: Optional[bytes] = None
+        victims = [
+            node for node in sorted(entry.sharers)
+            if node not in (requester, entry.owner)
+        ]
+        yield from self._invalidate_nodes(desc, entry, page_addr, victims)
+
+        owner = entry.owner
+        if owner == requester:
+            pass   # upgrade: requester's copy is already current
+        elif owner == me:
+            data = yield from self._take_local_copy(desc, page_addr,
+                                                    invalidate=requester != me)
+        else:
+            data = yield from self._revoke_owner(desc, entry, page_addr, owner)
+            if data is None:
+                # Owner unreachable: fall back to the home's write-back
+                # copy (paper 3.5: operations retried on known nodes,
+                # availability preferred).
+                data = yield from self._take_local_copy(
+                    desc, page_addr, invalidate=requester != me
+                )
+        entry.owner = requester
+        entry.sharers = {requester}
+        if requester == me:
+            entry.record_sharer(me)
+        return data
+
+    def _current_data_for_read(
+        self, desc: RegionDescriptor, entry: Any
+    ) -> ProtocolGen:
+        """Bytes of the page, fetching from a remote owner if the home
+        copy is stale (owner holds it EXCLUSIVE)."""
+        me = self.daemon.node_id
+        page_addr = entry.address
+        if entry.owner == me or me in entry.sharers:
+            # A local write context is mid-modification; the CM
+            # "delays granting the locks until the conflict is
+            # resolved" (3.3) for remote readers too.
+            yield from self._wait_local_unlocked(page_addr, LockMode.READ)
+            data = yield from self.daemon.local_page_bytes(desc, page_addr)
+            if data is not None:
+                return data
+        if entry.owner is not None and entry.owner != me:
+            try:
+                reply = yield self.daemon.rpc.request(
+                    entry.owner,
+                    MessageType.PAGE_FETCH,
+                    {"rid": desc.rid, "page": page_addr, "demote": True},
+                    policy=TRANSACTION_POLICY,
+                )
+                data = reply.payload["data"]
+                yield from self.daemon.store_local_page(
+                    desc, page_addr, data, dirty=False
+                )
+                entry.record_sharer(me)
+                self.page_state[page_addr] = LocalPageState.SHARED
+                return data
+            except (RpcTimeout, RemoteError):
+                entry.forget_sharer(entry.owner)
+        # Fall back to whatever the home has (zero-filled if untouched).
+        data = yield from self.daemon.local_page_bytes(desc, page_addr)
+        if data is None:
+            raise KhazanaError(
+                f"home node lost page {page_addr:#x} and owner is gone"
+            )
+        entry.owner = me
+        entry.record_sharer(me)
+        return data
+
+    def _take_local_copy(
+        self, desc: RegionDescriptor, page_addr: int, invalidate: bool
+    ) -> ProtocolGen:
+        """Home surrenders its own copy (waiting out local locks)."""
+        yield from self._wait_local_unlocked(page_addr, LockMode.WRITE)
+        data = yield from self.daemon.local_page_bytes(desc, page_addr)
+        if data is None:
+            raise KhazanaError(f"home has no copy of page {page_addr:#x}")
+        if invalidate:
+            self.daemon.drop_local_page(page_addr)
+            self.page_state[page_addr] = LocalPageState.INVALID
+        return data
+
+    def _revoke_owner(
+        self, desc: RegionDescriptor, entry: Any, page_addr: int, owner: int
+    ) -> ProtocolGen:
+        try:
+            reply = yield self.daemon.rpc.request(
+                owner,
+                MessageType.PAGE_FETCH,
+                {"rid": desc.rid, "page": page_addr, "revoke": True},
+                policy=TRANSACTION_POLICY,
+            )
+            return reply.payload["data"]
+        except (RpcTimeout, RemoteError):
+            entry.forget_sharer(owner)
+            return None
+
+    def _invalidate_nodes(
+        self, desc: RegionDescriptor, entry: Any, page_addr: int,
+        victims: List[int],
+    ) -> ProtocolGen:
+        me = self.daemon.node_id
+        requests = []
+        for node in victims:
+            if node == me:
+                yield from self._wait_local_unlocked(page_addr, LockMode.WRITE)
+                self.daemon.drop_local_page(page_addr)
+                self.page_state[page_addr] = LocalPageState.INVALID
+                entry.forget_sharer(me)
+                continue
+            requests.append(
+                (node, self.daemon.rpc.request(
+                    node,
+                    MessageType.INVALIDATE,
+                    {"rid": desc.rid, "page": page_addr},
+                    policy=TRANSACTION_POLICY,
+                ))
+            )
+        if requests:
+            outcomes = yield gather_settled(
+                [future for _node, future in requests], label="invalidate"
+            )
+            for (node, _future), (ok, _value) in zip(requests, outcomes):
+                # Whether acked or unreachable, the node no longer
+                # counts as a sharer; a crashed node's copy dies with it.
+                entry.forget_sharer(node)
+
+    def _wait_local_unlocked(self, page_addr: int, mode: LockMode) -> ProtocolGen:
+        """Suspend until no local context conflicts with ``mode``."""
+        while self.daemon.lock_table.conflicts(page_addr, mode):
+            gate = Future(label=f"local-unlock:{page_addr:#x}")
+            self.defer_until_unlocked(page_addr, lambda: gate.set_result(None))
+            yield gate
+
+    # ------------------------------------------------------------------
+    # Message handlers
+    # ------------------------------------------------------------------
+
+    def handle_lock_request(self, desc: RegionDescriptor, msg: Message) -> None:
+        mode = LockMode(msg.payload["mode"])
+        page_addr = msg.payload["page"]
+        if not self.check_remote_access(desc, msg, mode):
+            return
+        if msg.payload.get("direct"):
+            self._handle_direct_read(desc, msg, page_addr)
+            return
+        if self.daemon.node_id != desc.primary_home:
+            self.daemon.reply_error(msg, "not_responsible",
+                                    f"node {self.daemon.node_id} is not the "
+                                    f"primary home of region {desc.rid:#x}")
+            return
+
+        def transaction() -> ProtocolGen:
+            data = yield from self._home_grant(desc, page_addr, mode, msg.src)
+            entry = self.daemon.page_directory.get(page_addr)
+            owner = entry.owner if entry is not None else None
+            self.daemon.reply_request(
+                msg, MessageType.LOCK_REPLY,
+                {"data": data, "owner": owner},
+            )
+
+        self.daemon.spawn_handler(msg, transaction(), label="crew-grant")
+
+    def _handle_direct_read(
+        self, desc: RegionDescriptor, msg: Message, page_addr: int
+    ) -> None:
+        """Fast-path read served straight from the owner (Figure 2)."""
+        entry = self.daemon.page_directory.get(page_addr)
+        state = self.page_state.get(page_addr, LocalPageState.INVALID)
+        if (
+            entry is None
+            or entry.owner != self.daemon.node_id
+            or state is LocalPageState.INVALID
+        ):
+            self.daemon.reply_error(msg, "not_responsible",
+                                    "stale owner hint")
+            return
+
+        def serve() -> ProtocolGen:
+            yield from self._wait_local_unlocked(page_addr, LockMode.READ)
+            data = yield from self.daemon.local_page_bytes(desc, page_addr)
+            if data is None:
+                self.daemon.reply_error(msg, "not_responsible",
+                                        "owner copy evicted")
+                return
+            # Register the requester in the home's copyset *before*
+            # handing out the copy (steps 7-9 of Figure 2): if the
+            # registration raced a later write's invalidation round,
+            # the requester could keep a stale copy forever.
+            home = desc.primary_home
+            if home != self.daemon.node_id:
+                try:
+                    yield self.daemon.rpc.request(
+                        home, MessageType.SHARER_REGISTER,
+                        {"rid": desc.rid, "page": page_addr,
+                         "sharer": msg.src},
+                        policy=TRANSACTION_POLICY,
+                    )
+                except (RpcTimeout, RemoteError):
+                    self.daemon.reply_error(
+                        msg, "not_responsible",
+                        "could not register the new sharer with the home"
+                    )
+                    return
+            # Demote to shared, then grant.
+            self.page_state[page_addr] = LocalPageState.SHARED
+            self.daemon.reply_request(
+                msg, MessageType.LOCK_REPLY,
+                {"data": data, "owner": self.daemon.node_id},
+            )
+
+        self.daemon.spawn_handler(msg, serve(), label="crew-direct-read")
+
+    def handle_page_fetch(self, desc: RegionDescriptor, msg: Message) -> None:
+        page_addr = msg.payload["page"]
+        revoke = bool(msg.payload.get("revoke"))
+        demote = bool(msg.payload.get("demote"))
+
+        def serve() -> ProtocolGen:
+            wait_mode = LockMode.WRITE if revoke else LockMode.READ
+            yield from self._wait_local_unlocked(page_addr, wait_mode)
+            data = yield from self.daemon.local_page_bytes(desc, page_addr)
+            if data is None:
+                self.daemon.reply_error(msg, "not_responsible",
+                                        "no local copy")
+                return
+            if revoke:
+                self.daemon.drop_local_page(page_addr)
+                self.page_state[page_addr] = LocalPageState.INVALID
+            elif demote:
+                self.page_state[page_addr] = LocalPageState.SHARED
+                self.daemon.storage.mark_clean(page_addr)
+            self.daemon.reply_request(
+                msg, MessageType.PAGE_DATA, {"data": data}
+            )
+
+        self.daemon.spawn_handler(msg, serve(), label="crew-fetch")
+
+    def handle_invalidate(self, desc: RegionDescriptor, msg: Message) -> None:
+        page_addr = msg.payload["page"]
+
+        def apply() -> None:
+            self.daemon.drop_local_page(page_addr)
+            self.page_state[page_addr] = LocalPageState.INVALID
+            self.daemon.reply_request(msg, MessageType.INVALIDATE_ACK, {})
+
+        # Paper 3.3: the CM "delays granting" conflicting operations;
+        # symmetrically, an invalidation waits for local readers to
+        # finish before the copy is destroyed.
+        if self.daemon.lock_table.page_locked(page_addr):
+            self.defer_until_unlocked(page_addr, apply)
+        else:
+            apply()
+
+    def handle_update(self, desc: RegionDescriptor, msg: Message) -> None:
+        """Write-back from an owner at lock release (home side)."""
+        page_addr = msg.payload["page"]
+        data = msg.payload["data"]
+
+        def apply() -> ProtocolGen:
+            yield from self.daemon.store_local_page(
+                desc, page_addr, data, dirty=self.daemon.node_id != desc.primary_home
+            )
+            entry = self.daemon.page_directory.ensure(
+                page_addr, desc.rid, homed=self.daemon.node_id in desc.home_nodes
+            )
+            entry.allocated = True
+            if self.page_state.get(page_addr) in (None, LocalPageState.INVALID):
+                # This is a durability write-back, not a coherent cached
+                # copy: the owner may keep writing without telling us, so
+                # we must not appear in the copyset.
+                self.page_state[page_addr] = LocalPageState.INVALID
+                entry.sharers.discard(self.daemon.node_id)
+            self.daemon.reply_request(msg, MessageType.UPDATE_ACK, {})
+
+        self.daemon.spawn_handler(msg, apply(), label="crew-writeback")
+
+    def on_node_failure(self, node_id: int) -> None:
+        self.daemon.page_directory.forget_node(node_id)

@@ -1,0 +1,305 @@
+"""Bounded-staleness ("eventual") consistency.
+
+The paper plans this protocol for consumers beyond the prototype's
+CREW: "We plan to experiment with even more relaxed models for
+applications such as web caches and some database query engines for
+which release consistency is overkill.  Such applications typically
+can tolerate data that is temporarily out-of-date (i.e., one or two
+versions old) as long as they get fast response." (Section 3.3)
+
+Semantics:
+
+- Reads are always served from the local replica when it is within the
+  staleness bound (age in virtual seconds, and version lag at the time
+  of last contact); otherwise the replica is refreshed from the home
+  node — but if the home is unreachable the stale copy is served
+  anyway, trading freshness for availability.
+- Writes never take tokens; they apply locally and are pushed to the
+  home at release, where last-writer-wins ordering by (version,
+  writer id) resolves conflicts.
+- The home batches fan-out: replicas receive updates on the CM's
+  anti-entropy tick rather than per write, so bursts of writes cost
+  one propagation round.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Set, Tuple
+
+from repro.consistency.manager import (
+    ConsistencyManager,
+    LocalPageState,
+    ProtocolGen,
+    register_protocol,
+)
+from repro.core.errors import KhazanaError, LockDenied
+from repro.core.locks import LockContext, LockMode
+from repro.core.region import RegionDescriptor
+from repro.net.message import Message, MessageType
+from repro.net.rpc import RemoteError, RetryPolicy, RpcTimeout
+
+#: Maximum age (virtual seconds) a local replica may have before a
+#: read acquire refreshes it from the home node.
+DEFAULT_STALENESS_BOUND = 2.0
+
+#: How often the home pushes batched updates to replica sites.
+ANTI_ENTROPY_PERIOD = 0.5
+
+FETCH_POLICY = RetryPolicy(timeout=2.0, retries=1, backoff=2.0)
+
+
+@register_protocol
+class EventualManager(ConsistencyManager):
+    """Consistency manager implementing bounded-staleness replication."""
+
+    protocol_name = "eventual"
+
+    def __init__(self, daemon: Any,
+                 staleness_bound: float = DEFAULT_STALENESS_BOUND) -> None:
+        super().__init__(daemon)
+        self.staleness_bound = staleness_bound
+        self._versions: Dict[int, Tuple[int, int]] = {}  # page -> (ver, writer)
+        self._refreshed_at: Dict[int, float] = {}        # page -> virtual time
+        self._dirty_fanout: Set[int] = set()             # home: pages to push
+        self._rids: Dict[int, int] = {}                  # page -> region id
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+
+    def acquire(
+        self,
+        desc: RegionDescriptor,
+        page_addr: int,
+        mode: LockMode,
+        ctx: LockContext,
+    ) -> ProtocolGen:
+        me = self.daemon.node_id
+        self._rids[page_addr] = desc.rid
+        if me == desc.primary_home:
+            data = yield from self.daemon.local_page_bytes(desc, page_addr)
+            if data is None:
+                raise KhazanaError(f"home lost page {page_addr:#x}")
+            return
+
+        have_copy = self.daemon.storage.contains(page_addr)
+        age = self.daemon.scheduler.now - self._refreshed_at.get(
+            page_addr, float("-inf")
+        )
+        if have_copy and age <= self.staleness_bound:
+            return   # fresh enough; fast response (the whole point)
+        try:
+            yield from self._refresh(desc, page_addr, ctx.principal)
+        except LockDenied:
+            if not have_copy:
+                raise
+            # Home unreachable: serve the stale copy rather than fail
+            # (availability over freshness for this protocol).
+
+    def _refresh(self, desc: RegionDescriptor, page_addr: int,
+                 principal: str = "_khazana") -> ProtocolGen:
+        last_error: Optional[Exception] = None
+        for home in desc.home_nodes:
+            if home == self.daemon.node_id:
+                continue
+            try:
+                reply = yield self.daemon.rpc.request(
+                    home,
+                    MessageType.PAGE_FETCH,
+                    {"rid": desc.rid, "page": page_addr, "register": True,
+                     "principal": principal},
+                    policy=FETCH_POLICY,
+                )
+            except (RpcTimeout, RemoteError) as error:
+                last_error = error
+                continue
+            data = reply.payload["data"]
+            yield from self.daemon.store_local_page(
+                desc, page_addr, data, dirty=False
+            )
+            self._versions[page_addr] = (
+                reply.payload.get("version", 0),
+                reply.payload.get("writer", 0),
+            )
+            self._refreshed_at[page_addr] = self.daemon.scheduler.now
+            self.page_state[page_addr] = LocalPageState.SHARED
+            entry = self.daemon.page_directory.ensure(
+                page_addr, desc.rid, homed=False
+            )
+            entry.allocated = True
+            return
+        raise LockDenied(
+            f"no home of region {desc.rid:#x} reachable: {last_error}"
+        )
+
+    def release(
+        self,
+        desc: RegionDescriptor,
+        page_addr: int,
+        ctx: LockContext,
+    ) -> ProtocolGen:
+        if page_addr not in ctx.dirty_pages:
+            return
+        me = self.daemon.node_id
+        page = self.daemon.storage.peek(page_addr)
+        if page is None:
+            return
+        version, _writer = self._versions.get(page_addr, (0, 0))
+        version += 1
+        self._versions[page_addr] = (version, me)
+        self._refreshed_at[page_addr] = self.daemon.scheduler.now
+        if me == desc.primary_home:
+            self._record_home_write(desc, page_addr, version, me)
+            return
+        payload = {
+            "rid": desc.rid,
+            "page": page_addr,
+            "data": page.data,
+            "version": version,
+            "writer": me,
+            "release_token": False,
+        }
+        try:
+            yield self.daemon.rpc.request(
+                desc.primary_home, MessageType.UPDATE_PUSH, payload,
+                policy=FETCH_POLICY,
+            )
+            self.daemon.storage.mark_clean(page_addr)
+        except (RpcTimeout, RemoteError):
+            # Release-type failure: hand to the background retry queue
+            # (paper 3.5); the local copy stays dirty meanwhile.
+            self.daemon.retry_queue.enqueue(
+                lambda: self._retry_push(desc, payload),
+                label=f"eventual-push:{page_addr:#x}",
+            )
+
+    def _retry_push(self, desc: RegionDescriptor, payload: Dict[str, Any]) -> ProtocolGen:
+        yield self.daemon.rpc.request(
+            desc.primary_home, MessageType.UPDATE_PUSH, payload,
+            policy=FETCH_POLICY,
+        )
+        self.daemon.storage.mark_clean(payload["page"])
+
+    def _record_home_write(self, desc: RegionDescriptor, page_addr: int,
+                           version: int, writer: int) -> None:
+        entry = self.daemon.page_directory.ensure(page_addr, desc.rid, homed=True)
+        entry.allocated = True
+        entry.version = version
+        self._dirty_fanout.add(page_addr)
+
+    # ------------------------------------------------------------------
+    # Home side
+    # ------------------------------------------------------------------
+
+    def handle_page_fetch(self, desc: RegionDescriptor, msg: Message) -> None:
+        from repro.core.locks import LockMode as _LM
+
+        if not self.check_remote_access(desc, msg, _LM.READ):
+            return
+        page_addr = msg.payload["page"]
+
+        def serve() -> ProtocolGen:
+            data = yield from self.daemon.local_page_bytes(desc, page_addr)
+            if data is None:
+                self.daemon.reply_error(msg, "not_allocated",
+                                        f"page {page_addr:#x} has no storage")
+                return
+            if msg.payload.get("register"):
+                entry = self.daemon.page_directory.ensure(
+                    page_addr, desc.rid, homed=True
+                )
+                entry.record_sharer(msg.src)
+            version, writer = self._versions.get(page_addr, (0, 0))
+            self.daemon.reply_request(
+                msg, MessageType.PAGE_DATA,
+                {"data": data, "version": version, "writer": writer},
+            )
+
+        self.daemon.spawn_handler(msg, serve(), label="eventual-fetch")
+
+    def handle_update(self, desc: RegionDescriptor, msg: Message) -> None:
+        page_addr = msg.payload["page"]
+        if self.daemon.node_id == desc.primary_home:
+            self._apply_at_home(desc, msg)
+            return
+        self._apply_replica_update(desc, msg)
+
+    def _apply_at_home(self, desc: RegionDescriptor, msg: Message) -> None:
+        page_addr = msg.payload["page"]
+        incoming = (msg.payload.get("version", 0), msg.payload.get("writer", 0))
+        current = self._versions.get(page_addr, (0, -1))
+
+        def apply() -> ProtocolGen:
+            # Last-writer-wins by (version, writer id): concurrent
+            # writers converge on a single winner everywhere.
+            if incoming > current:
+                yield from self.daemon.store_local_page(
+                    desc, page_addr, msg.payload["data"], dirty=False
+                )
+                self._versions[page_addr] = incoming
+                self._record_home_write(
+                    desc, page_addr, incoming[0], incoming[1]
+                )
+            self._rids[page_addr] = desc.rid
+            self.daemon.reply_request(msg, MessageType.UPDATE_ACK, {})
+
+        self.daemon.spawn_handler(msg, apply(), label="eventual-apply")
+
+    def _apply_replica_update(self, desc: RegionDescriptor, msg: Message) -> None:
+        page_addr = msg.payload["page"]
+        incoming = (msg.payload.get("version", 0), msg.payload.get("writer", 0))
+
+        def apply() -> None:
+            if incoming <= self._versions.get(page_addr, (0, -1)):
+                return
+            if not self.daemon.storage.contains(page_addr):
+                return
+            self._versions[page_addr] = incoming
+            self._refreshed_at[page_addr] = self.daemon.scheduler.now
+
+            def store() -> ProtocolGen:
+                yield from self.daemon.store_local_page(
+                    desc, page_addr, msg.payload["data"], dirty=False
+                )
+
+            self.daemon.spawn(store(), label="eventual-replica-store")
+
+        if self.daemon.lock_table.page_locked(page_addr):
+            self.defer_until_unlocked(page_addr, apply)
+        else:
+            apply()
+
+    # ------------------------------------------------------------------
+    # Anti-entropy
+    # ------------------------------------------------------------------
+
+    def tick(self) -> None:
+        """Push batched updates from the home to replica sites."""
+        if not self._dirty_fanout:
+            return
+        pages, self._dirty_fanout = self._dirty_fanout, set()
+        for page_addr in sorted(pages):
+            page = self.daemon.storage.peek(page_addr)
+            entry = self.daemon.page_directory.get(page_addr)
+            if page is None or entry is None:
+                continue
+            version, writer = self._versions.get(page_addr, (0, 0))
+            for sharer in entry.copyset_excluding(self.daemon.node_id):
+                self.daemon.rpc.send(
+                    Message(
+                        msg_type=MessageType.UPDATE_PUSH,
+                        src=self.daemon.node_id,
+                        dst=sharer,
+                        payload={
+                            "rid": entry.rid,
+                            "page": page_addr,
+                            "data": page.data,
+                            "version": version,
+                            "writer": writer,
+                            "fanout": True,
+                        },
+                    )
+                )
+
+    def on_node_failure(self, node_id: int) -> None:
+        self.daemon.page_directory.forget_node(node_id)

@@ -1,0 +1,294 @@
+"""Consistency manager framework and protocol registry.
+
+The CM sits between the daemon's lock machinery and its peers: "A
+Khazana node treats lock requests on an object as indications of
+intent to access the object in the specified mode ... It obtains the
+local consistency manager's permission before granting such requests.
+The CM, in response to such requests, checks if they conflict with
+ongoing operations.  If necessary, it delays granting the locks until
+the conflict is resolved." (paper Section 3.3)
+
+A CM instance exists per (daemon, protocol).  All methods that may
+need remote communication are protocol generators (they yield
+Futures and are driven by the daemon's task runner).
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Generator, List, Type
+
+from repro.core.errors import ProtocolUnknown
+from repro.core.locks import LockContext, LockMode
+from repro.core.region import RegionDescriptor
+from repro.net.message import Message
+from repro.net.tasks import Future
+
+ProtocolGen = Generator[Future, Any, Any]
+
+
+def _typed_denial(error: "Any") -> Exception:
+    """Turn a peer's NAK into the most specific client-facing error.
+
+    Known Khazana codes (access_denied, not_allocated, ...) surface as
+    their typed exceptions; anything else becomes LockDenied.
+    """
+    from repro.core.errors import ERROR_CODES, LockDenied, error_from_code
+
+    if getattr(error, "code", None) in ERROR_CODES:
+        return error_from_code(error.code, error.detail)
+    return LockDenied(str(error))
+
+
+class LocalPageState(enum.Enum):
+    """Validity of this node's local copy of a page (MSI-style)."""
+
+    INVALID = "invalid"
+    SHARED = "shared"
+    EXCLUSIVE = "exclusive"
+
+
+class KeyedMutex:
+    """Per-key FIFO mutex for serialising directory transactions.
+
+    Home nodes must not interleave two ownership transfers for the
+    same page; each transaction acquires the page's mutex first.
+    """
+
+    def __init__(self) -> None:
+        self._waiting: Dict[Any, Deque[Future]] = {}
+        self._held: Dict[Any, bool] = {}
+
+    def acquire(self, key: Any) -> Future:
+        """Future resolving when the caller holds the mutex for key."""
+        future = Future(label=f"mutex:{key}")
+        if not self._held.get(key):
+            self._held[key] = True
+            future.set_result(None)
+        else:
+            self._waiting.setdefault(key, deque()).append(future)
+        return future
+
+    def release(self, key: Any) -> None:
+        queue = self._waiting.get(key)
+        if queue:
+            next_holder = queue.popleft()
+            if not queue:
+                del self._waiting[key]
+            # Resolve last: the next holder's callbacks run
+            # synchronously and may re-enter release() for this key.
+            next_holder.set_result(None)
+        else:
+            self._held.pop(key, None)
+
+    def locked(self, key: Any) -> bool:
+        return bool(self._held.get(key))
+
+
+class ConsistencyManager(abc.ABC):
+    """Base class for consistency protocols.
+
+    ``daemon`` is the hosting :class:`~repro.core.daemon.KhazanaDaemon`;
+    the CM uses its RPC endpoint, page directory, lock table, and
+    storage hierarchy.  Subclasses implement the client-side
+    ``acquire``/``release``/``evict`` path and the home/replica-side
+    message handlers.
+    """
+
+    #: Registry name; subclasses must override.
+    protocol_name = ""
+
+    def __init__(self, daemon: "Any") -> None:
+        self.daemon = daemon
+        #: Local validity of cached pages under this protocol.
+        self.page_state: Dict[int, LocalPageState] = {}
+        #: Remote invalidations deferred because a local lock context
+        #: still covers the page; drained by :meth:`notify_unlocked`.
+        self._deferred: Dict[int, List[Callable[[], None]]] = {}
+
+    # --- Client-side path (called by the daemon's lock machinery) ---------
+
+    @abc.abstractmethod
+    def acquire(
+        self,
+        desc: RegionDescriptor,
+        page_addr: int,
+        mode: LockMode,
+        ctx: LockContext,
+    ) -> ProtocolGen:
+        """Make the local copy of ``page_addr`` usable in ``mode``.
+
+        Runs after local lock-table conflicts have cleared.  On return
+        the page must be resident locally with sufficient rights.
+        """
+
+    @abc.abstractmethod
+    def release(
+        self,
+        desc: RegionDescriptor,
+        page_addr: int,
+        ctx: LockContext,
+    ) -> ProtocolGen:
+        """Protocol work at unlock time (push updates, drop tokens)."""
+
+    def evict(
+        self, desc: RegionDescriptor, page_addr: int, data: bytes, dirty: bool
+    ) -> ProtocolGen:
+        """Before the local copy leaves this node entirely: push dirty
+        contents home and unregister from the copyset.  Default: write
+        back to the home node and send a sharer-unregister."""
+        yield from self._default_evict(desc, page_addr, data, dirty)
+
+    def _default_evict(
+        self, desc: RegionDescriptor, page_addr: int, data: bytes, dirty: bool
+    ) -> ProtocolGen:
+        from repro.net.message import MessageType  # local import: no cycle
+
+        home = desc.primary_home
+        if home == self.daemon.node_id:
+            return
+        if dirty:
+            yield self.daemon.rpc.request(
+                home,
+                MessageType.UPDATE_PUSH,
+                {
+                    "rid": desc.rid,
+                    "page": page_addr,
+                    "data": data,
+                    "release_token": False,
+                },
+            )
+        self.daemon.rpc.send(
+            Message(
+                msg_type=MessageType.SHARER_UNREGISTER,
+                src=self.daemon.node_id,
+                dst=home,
+                payload={"rid": desc.rid, "page": page_addr},
+            )
+        )
+        self.page_state.pop(page_addr, None)
+
+    # --- Deferred-conflict machinery ---------------------------------------
+
+    def defer_until_unlocked(self, page_addr: int,
+                             action: Callable[[], None]) -> None:
+        """Queue ``action`` to run once no local context covers the page
+        ("it delays granting the locks until the conflict is
+        resolved")."""
+        self._deferred.setdefault(page_addr, []).append(action)
+
+    def notify_unlocked(self, page_addr: int) -> None:
+        """Called by the daemon whenever a lock context covering
+        ``page_addr`` is released; drains deferred actions if the page
+        is now free of conflicting contexts."""
+        if self.daemon.lock_table.page_locked(page_addr):
+            return
+        actions = self._deferred.pop(page_addr, None)
+        if not actions:
+            return
+        for action in actions:
+            action()
+
+    def has_deferred(self, page_addr: int) -> bool:
+        return bool(self._deferred.get(page_addr))
+
+    # --- Access control -------------------------------------------------------
+
+    def check_remote_access(self, desc: RegionDescriptor, msg: Message,
+                            mode: LockMode) -> bool:
+        """Home-side ACL enforcement for remote lock/fetch requests.
+
+        The requesting daemon already checked its (possibly stale)
+        cached descriptor; the home re-checks against the
+        authoritative one — "Khazana checks the region's access
+        permissions" (paper 3.2).  NAKs and returns False on denial.
+        Requests without a principal (inter-daemon maintenance
+        traffic) pass as the system principal.
+        """
+        from repro.core.security import Right, SYSTEM_PRINCIPAL
+
+        principal = msg.payload.get("principal", SYSTEM_PRINCIPAL)
+        needed = Right.WRITE if mode.is_write else Right.READ
+        if desc.attrs.acl.allows(principal, needed):
+            return True
+        self.daemon.reply_error(
+            msg, "access_denied",
+            f"principal {principal!r} lacks {needed} on region "
+            f"{desc.rid:#x}",
+        )
+        return False
+
+    # --- Home/replica-side message handlers --------------------------------
+    # Default implementations NAK; protocols override what they use.
+
+    def handle_lock_request(self, desc: RegionDescriptor, msg: Message) -> None:
+        self.daemon.rpc.reply_error(msg, "unhandled", "lock_request")
+
+    def handle_page_fetch(self, desc: RegionDescriptor, msg: Message) -> None:
+        self.daemon.rpc.reply_error(msg, "unhandled", "page_fetch")
+
+    def handle_invalidate(self, desc: RegionDescriptor, msg: Message) -> None:
+        self.daemon.rpc.reply_error(msg, "unhandled", "invalidate")
+
+    def handle_update(self, desc: RegionDescriptor, msg: Message) -> None:
+        self.daemon.rpc.reply_error(msg, "unhandled", "update_push")
+
+    def handle_sharer_register(self, desc: RegionDescriptor, msg: Message) -> None:
+        entry = self.daemon.page_directory.ensure(
+            msg.payload["page"], desc.rid, homed=True
+        )
+        # An owner serving a direct read registers the *requester* as
+        # the new sharer (Figure 2 steps 7-9); without an explicit
+        # field, the sender registers itself.
+        entry.record_sharer(int(msg.payload.get("sharer", msg.src)))
+        if msg.request_id is not None:
+            from repro.net.message import MessageType
+
+            self.daemon.reply_request(msg, MessageType.UPDATE_ACK, {})
+
+    def handle_sharer_unregister(self, desc: RegionDescriptor, msg: Message) -> None:
+        entry = self.daemon.page_directory.get(msg.payload["page"])
+        if entry is not None:
+            entry.forget_sharer(msg.src)
+
+    def on_node_failure(self, node_id: int) -> None:
+        """A peer was declared dead; drop protocol state involving it."""
+
+    # --- Periodic work --------------------------------------------------------
+
+    def tick(self) -> None:
+        """Called on the daemon's housekeeping timer (anti-entropy etc.)."""
+
+
+# --- Protocol registry -----------------------------------------------------
+
+_REGISTRY: Dict[str, Type[ConsistencyManager]] = {}
+
+
+def register_protocol(cls: Type[ConsistencyManager]) -> Type[ConsistencyManager]:
+    """Register a CM class under its ``protocol_name``.
+
+    Usable as a class decorator.  Re-registration under the same name
+    replaces the previous class (handy for tests plugging variants).
+    """
+    if not cls.protocol_name:
+        raise ValueError(f"{cls.__name__} must define protocol_name")
+    _REGISTRY[cls.protocol_name] = cls
+    return cls
+
+
+def create_manager(name: str, daemon: Any) -> ConsistencyManager:
+    """Instantiate the CM registered under ``name`` for ``daemon``."""
+    cls = _REGISTRY.get(name)
+    if cls is None:
+        raise ProtocolUnknown(
+            f"no consistency protocol registered under {name!r}; "
+            f"known: {sorted(_REGISTRY)}"
+        )
+    return cls(daemon)
+
+
+def available_protocols() -> List[str]:
+    return sorted(_REGISTRY)

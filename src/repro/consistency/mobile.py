@@ -1,0 +1,283 @@
+"""Mobile / disconnected-operation consistency, after Bayou.
+
+Paper Section 7: "Bayou is a system designed to support data sharing
+among mobile users ... It is most useful for disconnected operations
+and uses a very specialized weak consistency protocol.  In the current
+implementation, Khazana does not support disconnected operations or
+such a protocol, although we are considering adding a coherence
+protocol similar to Bayou's for mobile data."
+
+This module adds that protocol.  Semantics:
+
+- **Writes always succeed locally**, even while the writer is
+  partitioned from every other replica — the defining property of
+  disconnected operation.  Each committed write gets a Lamport-style
+  stamp ``(counter, node_id)``.
+- **Reads serve the local replica** (read-your-writes holds trivially);
+  a node with no replica fetches one from the home or any known
+  sharer, and only fails if it is completely disconnected.
+- **Epidemic anti-entropy**: on every CM tick, replicas push their
+  newest version of each mobile page to peers drawn from the copyset;
+  a receiver holding something *newer* pushes back, so reconciliation
+  is bidirectional and convergence needs only transitive connectivity
+  — no home involvement (unlike the ``eventual`` protocol, whose
+  propagation is home-centred).
+- **Conflicts** resolve last-writer-wins by stamp, Bayou's default
+  when no application merge procedure is supplied.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.consistency.manager import (
+    ConsistencyManager,
+    LocalPageState,
+    ProtocolGen,
+    register_protocol,
+)
+from repro.core.errors import LockDenied
+from repro.core.locks import LockContext, LockMode
+from repro.core.region import RegionDescriptor
+from repro.net.message import Message, MessageType
+from repro.net.rpc import RemoteError, RetryPolicy, RpcTimeout
+
+Stamp = Tuple[int, int]   # (lamport counter, writer node id)
+
+FETCH_POLICY = RetryPolicy(timeout=1.0, retries=1, backoff=2.0)
+
+#: How many peers each replica gossips with per anti-entropy round.
+GOSSIP_FANOUT = 2
+
+
+@register_protocol
+class MobileManager(ConsistencyManager):
+    """Consistency manager for disconnected (mobile) data."""
+
+    protocol_name = "mobile"
+
+    def __init__(self, daemon: Any) -> None:
+        super().__init__(daemon)
+        self._stamps: Dict[int, Stamp] = {}      # page -> newest stamp held
+        self._rids: Dict[int, int] = {}          # page -> region id
+        self._descs: Dict[int, RegionDescriptor] = {}
+        self._gossip_cursor = 0
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+
+    def acquire(
+        self,
+        desc: RegionDescriptor,
+        page_addr: int,
+        mode: LockMode,
+        ctx: LockContext,
+    ) -> ProtocolGen:
+        self._rids[page_addr] = desc.rid
+        self._descs[desc.rid] = desc
+        if self.daemon.storage.contains(page_addr):
+            return   # disconnected or not, the local replica serves
+        if self.daemon.node_id in desc.home_nodes:
+            data = yield from self.daemon.local_page_bytes(desc, page_addr)
+            if data is not None:
+                return
+        fetched = yield from self._fetch_from_anyone(desc, page_addr)
+        if fetched:
+            return
+        if mode.is_write:
+            # Fully disconnected first touch: start from zeroes; the
+            # write will be reconciled by stamp when connectivity
+            # returns (Bayou's tentative-write spirit).
+            yield from self.daemon.store_local_page(
+                desc, page_addr, b"\x00" * desc.page_size, dirty=False
+            )
+            self.page_state[page_addr] = LocalPageState.SHARED
+            return
+        raise LockDenied(
+            f"page {page_addr:#x}: no local replica and no reachable peer"
+        )
+
+    def _fetch_from_anyone(self, desc: RegionDescriptor,
+                           page_addr: int) -> ProtocolGen:
+        """Try the home nodes, then any hinted sharer."""
+        entry = self.daemon.page_directory.get(page_addr)
+        candidates: List[int] = [
+            n for n in desc.home_nodes if n != self.daemon.node_id
+        ]
+        if entry is not None:
+            candidates.extend(
+                n for n in sorted(entry.sharers)
+                if n not in candidates and n != self.daemon.node_id
+            )
+        for peer in candidates:
+            try:
+                reply = yield self.daemon.rpc.request(
+                    peer, MessageType.PAGE_FETCH,
+                    {"rid": desc.rid, "page": page_addr, "register": True},
+                    policy=FETCH_POLICY,
+                )
+            except (RpcTimeout, RemoteError):
+                continue
+            data = reply.payload["data"]
+            yield from self.daemon.store_local_page(
+                desc, page_addr, data, dirty=False
+            )
+            stamp = reply.payload.get("stamp")
+            if stamp:
+                self._stamps[page_addr] = (int(stamp[0]), int(stamp[1]))
+            self.page_state[page_addr] = LocalPageState.SHARED
+            pd = self.daemon.page_directory.ensure(
+                page_addr, desc.rid, homed=False
+            )
+            pd.record_sharer(peer)
+            pd.allocated = True
+            return True
+        return False
+
+    def release(
+        self,
+        desc: RegionDescriptor,
+        page_addr: int,
+        ctx: LockContext,
+    ) -> ProtocolGen:
+        if page_addr not in ctx.dirty_pages:
+            return
+        counter, _node = self._stamps.get(page_addr, (0, 0))
+        stamp = (counter + 1, self.daemon.node_id)
+        self._stamps[page_addr] = stamp
+        # Eager best-effort gossip; unreachable peers catch up via the
+        # anti-entropy tick once connectivity returns.
+        self._gossip_page(desc, page_addr)
+        return
+        yield  # pragma: no cover - generator form required
+
+    # ------------------------------------------------------------------
+    # Gossip
+    # ------------------------------------------------------------------
+
+    def _peers_for(self, desc: RegionDescriptor, page_addr: int) -> List[int]:
+        me = self.daemon.node_id
+        peers = [n for n in desc.home_nodes if n != me]
+        entry = self.daemon.page_directory.get(page_addr)
+        if entry is not None:
+            peers.extend(
+                n for n in sorted(entry.sharers)
+                if n != me and n not in peers
+            )
+        return peers
+
+    def _gossip_page(self, desc: RegionDescriptor, page_addr: int,
+                     targets: Optional[List[int]] = None) -> None:
+        page = self.daemon.storage.peek(page_addr)
+        stamp = self._stamps.get(page_addr)
+        if page is None or stamp is None:
+            return
+        peers = targets if targets is not None else self._peers_for(
+            desc, page_addr
+        )
+        for peer in peers:
+            self.daemon.rpc.send(
+                Message(
+                    msg_type=MessageType.UPDATE_PUSH,
+                    src=self.daemon.node_id,
+                    dst=peer,
+                    payload={
+                        "rid": desc.rid,
+                        "page": page_addr,
+                        "data": page.data,
+                        "stamp": list(stamp),
+                        "gossip": True,
+                    },
+                )
+            )
+
+    def tick(self) -> None:
+        """One anti-entropy round: rotate gossip across known pages."""
+        for page_addr, stamp in list(self._stamps.items()):
+            rid = self._rids.get(page_addr)
+            desc = self._descs.get(rid) if rid is not None else None
+            if desc is None:
+                continue
+            peers = self._peers_for(desc, page_addr)
+            if not peers:
+                continue
+            self._gossip_cursor += 1
+            chosen = [
+                peers[(self._gossip_cursor + i) % len(peers)]
+                for i in range(min(GOSSIP_FANOUT, len(peers)))
+            ]
+            self._gossip_page(desc, page_addr, targets=sorted(set(chosen)))
+
+    # ------------------------------------------------------------------
+    # Message handlers
+    # ------------------------------------------------------------------
+
+    def handle_page_fetch(self, desc: RegionDescriptor, msg: Message) -> None:
+        page_addr = msg.payload["page"]
+
+        def serve() -> ProtocolGen:
+            data = yield from self.daemon.local_page_bytes(desc, page_addr)
+            if data is None:
+                self.daemon.reply_error(msg, "not_allocated",
+                                        f"no replica of {page_addr:#x}")
+                return
+            if msg.payload.get("register"):
+                entry = self.daemon.page_directory.ensure(
+                    page_addr, desc.rid,
+                    homed=self.daemon.node_id in desc.home_nodes,
+                )
+                entry.record_sharer(msg.src)
+            stamp = self._stamps.get(page_addr, (0, 0))
+            self.daemon.reply_request(
+                msg, MessageType.PAGE_DATA,
+                {"data": data, "stamp": list(stamp)},
+            )
+
+        self.daemon.spawn_handler(msg, serve(), label="mobile-fetch")
+
+    def handle_update(self, desc: RegionDescriptor, msg: Message) -> None:
+        page_addr = msg.payload["page"]
+        incoming: Stamp = tuple(int(x) for x in msg.payload["stamp"])
+        self._rids[page_addr] = desc.rid
+        self._descs[desc.rid] = desc
+        entry = self.daemon.page_directory.ensure(
+            page_addr, desc.rid,
+            homed=self.daemon.node_id in desc.home_nodes,
+        )
+        entry.record_sharer(msg.src)
+        entry.allocated = True
+        local = self._stamps.get(page_addr, (0, -1))
+
+        if incoming <= local:
+            if incoming < local:
+                # Anti-entropy runs both ways: teach the sender.
+                self._gossip_page(desc, page_addr, targets=[msg.src])
+            if msg.request_id is not None:
+                self.daemon.reply_request(msg, MessageType.UPDATE_ACK, {})
+            return
+
+        def apply() -> None:
+            if incoming <= self._stamps.get(page_addr, (0, -1)):
+                return
+            self._stamps[page_addr] = incoming
+
+            def store() -> ProtocolGen:
+                yield from self.daemon.store_local_page(
+                    desc, page_addr, msg.payload["data"], dirty=False
+                )
+                self.page_state[page_addr] = LocalPageState.SHARED
+
+            self.daemon.spawn(store(), label="mobile-apply")
+
+        if self.daemon.lock_table.page_locked(page_addr):
+            self.defer_until_unlocked(page_addr, apply)
+        else:
+            apply()
+        if msg.request_id is not None:
+            self.daemon.reply_request(msg, MessageType.UPDATE_ACK, {})
+
+    def on_node_failure(self, node_id: int) -> None:
+        # Mobile replicas expect peers to vanish and return; keep the
+        # copyset hints so gossip resumes after recovery.
+        pass

@@ -1,0 +1,409 @@
+"""Release consistency.
+
+"For example, for the address map tree nodes, we use a release
+consistent protocol" (paper Section 3.3, citing Gharachorloo et al.).
+
+Semantics implemented here, in the DSM tradition the authors come
+from (Munin/TreadMarks):
+
+- A *read* lock is satisfied from any local replica, however stale;
+  a node with no replica fetches one from the home node.
+- A *write* lock acquires a per-page write token from the home node,
+  which also supplies the latest page contents — so writers are
+  serialised and always start from the newest version.
+- A *write-shared* lock takes no token: concurrent writers keep a twin
+  of the page and push byte-range diffs at release, which the home
+  merges — non-overlapping concurrent writes both survive.
+- At *release*, dirty data goes to the home node, which bumps the page
+  version and propagates the update to every registered replica site
+  ("Eventually, the other CMs notify their Khazana daemon of the
+  change, causing it to update its replica", Section 3.3).
+
+Updates arriving at a replica while a local context covers the page
+are deferred until that context is released, so a reader never sees a
+page change underneath an open lock.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.consistency.manager import (
+    ConsistencyManager,
+    KeyedMutex,
+    LocalPageState,
+    ProtocolGen,
+    _typed_denial,
+    register_protocol,
+)
+from repro.core.errors import KhazanaError, LockDenied
+from repro.core.locks import LockContext, LockMode
+from repro.core.region import RegionDescriptor
+from repro.net.message import Message, MessageType
+from repro.net.rpc import RemoteError, RetryPolicy, RpcTimeout
+
+TOKEN_POLICY = RetryPolicy(timeout=10.0, retries=2, backoff=1.5)
+
+
+def compute_diff(twin: bytes, current: bytes) -> List[Tuple[int, bytes]]:
+    """Byte ranges of ``current`` that differ from ``twin``.
+
+    Returns maximal runs as ``(offset, data)`` pairs — the classic
+    twin/diff mechanism used by write-shared protocols.
+    """
+    if len(twin) != len(current):
+        return [(0, current)]
+    runs: List[Tuple[int, bytes]] = []
+    start: Optional[int] = None
+    for i in range(len(current)):
+        if twin[i] != current[i]:
+            if start is None:
+                start = i
+        elif start is not None:
+            runs.append((start, current[start:i]))
+            start = None
+    if start is not None:
+        runs.append((start, current[start:]))
+    return runs
+
+
+def apply_diff(base: bytes, diff: List[Tuple[int, bytes]]) -> bytes:
+    """Apply ``(offset, data)`` runs to ``base``."""
+    page = bytearray(base)
+    for offset, data in diff:
+        end = offset + len(data)
+        if end > len(page):
+            page.extend(b"\x00" * (end - len(page)))
+        page[offset:end] = data
+    return bytes(page)
+
+
+@register_protocol
+class ReleaseManager(ConsistencyManager):
+    """Consistency manager implementing release consistency."""
+
+    protocol_name = "release"
+
+    def __init__(self, daemon: Any) -> None:
+        super().__init__(daemon)
+        self._tokens = KeyedMutex()        # home-side write tokens
+        self._versions: Dict[int, int] = {}   # page -> version (home: authoritative)
+        self._twins: Dict[Tuple[int, int], bytes] = {}  # (ctx, page) -> twin
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+
+    def acquire(
+        self,
+        desc: RegionDescriptor,
+        page_addr: int,
+        mode: LockMode,
+        ctx: LockContext,
+    ) -> ProtocolGen:
+        me = self.daemon.node_id
+        home = desc.primary_home
+
+        if mode is LockMode.READ:
+            if self.daemon.storage.contains(page_addr):
+                return  # any replica satisfies a read acquire
+            if me == home:
+                data = yield from self.daemon.local_page_bytes(desc, page_addr)
+                if data is None:
+                    raise KhazanaError(
+                        f"home lost page {page_addr:#x} of region {desc.rid:#x}"
+                    )
+                return
+            yield from self._fetch_replica(desc, page_addr, ctx.principal)
+            return
+
+        if mode is LockMode.WRITE:
+            yield from self._acquire_token(desc, page_addr, ctx.principal)
+            return
+
+        # WRITE_SHARED: no token; remember a twin for diffing.
+        data = yield from self._ensure_local_copy(desc, page_addr)
+        self._twins[(ctx.ctx_id, page_addr)] = data
+
+    def _fetch_replica(self, desc: RegionDescriptor, page_addr: int,
+                       principal: str = "_khazana") -> ProtocolGen:
+        reply = yield from self._home_request(
+            desc, MessageType.PAGE_FETCH,
+            {"rid": desc.rid, "page": page_addr, "register": True,
+             "principal": principal},
+        )
+        data = reply.payload["data"]
+        yield from self.daemon.store_local_page(desc, page_addr, data, dirty=False)
+        self._versions[page_addr] = reply.payload.get("version", 0)
+        self.page_state[page_addr] = LocalPageState.SHARED
+        entry = self.daemon.page_directory.ensure(page_addr, desc.rid, homed=False)
+        entry.allocated = True
+
+    def _ensure_local_copy(self, desc: RegionDescriptor, page_addr: int) -> ProtocolGen:
+        if not self.daemon.storage.contains(page_addr):
+            if self.daemon.node_id == desc.primary_home:
+                data = yield from self.daemon.local_page_bytes(desc, page_addr)
+                if data is None:
+                    raise KhazanaError(f"home lost page {page_addr:#x}")
+                return data
+            yield from self._fetch_replica(desc, page_addr)
+        data = yield from self.daemon.local_page_bytes(desc, page_addr)
+        return data
+
+    def _acquire_token(self, desc: RegionDescriptor, page_addr: int,
+                       principal: str = "_khazana") -> ProtocolGen:
+        me = self.daemon.node_id
+        if me == desc.primary_home:
+            yield self._tokens.acquire(page_addr)
+            data = yield from self.daemon.local_page_bytes(desc, page_addr)
+            if data is None:
+                raise KhazanaError(f"home lost page {page_addr:#x}")
+            self.page_state[page_addr] = LocalPageState.EXCLUSIVE
+            return
+        reply = yield from self._home_request(
+            desc, MessageType.LOCK_REQUEST,
+            {"rid": desc.rid, "page": page_addr,
+             "mode": LockMode.WRITE.value, "principal": principal},
+        )
+        data = reply.payload["data"]
+        yield from self.daemon.store_local_page(desc, page_addr, data, dirty=False)
+        self._versions[page_addr] = reply.payload.get("version", 0)
+        self.page_state[page_addr] = LocalPageState.EXCLUSIVE
+        entry = self.daemon.page_directory.ensure(page_addr, desc.rid, homed=False)
+        entry.allocated = True
+
+    def _home_request(self, desc: RegionDescriptor, msg_type: MessageType,
+                      payload: Dict[str, Any]) -> ProtocolGen:
+        last_error: Optional[Exception] = None
+        for home in desc.home_nodes:
+            if home == self.daemon.node_id:
+                continue
+            try:
+                reply = yield self.daemon.rpc.request(
+                    home, msg_type, payload, policy=TOKEN_POLICY
+                )
+                return reply
+            except RpcTimeout as error:
+                last_error = error
+            except RemoteError as error:
+                raise _typed_denial(error) from error
+        raise LockDenied(
+            f"no home node of region {desc.rid:#x} answered: {last_error}"
+        )
+
+    def release(
+        self,
+        desc: RegionDescriptor,
+        page_addr: int,
+        ctx: LockContext,
+    ) -> ProtocolGen:
+        me = self.daemon.node_id
+        twin_key = (ctx.ctx_id, page_addr)
+        twin = self._twins.pop(twin_key, None)
+
+        if ctx.mode is LockMode.WRITE_SHARED:
+            if twin is None:
+                return
+            page = self.daemon.storage.peek(page_addr)
+            if page is None:
+                return
+            diff = compute_diff(twin, page.data)
+            if not diff:
+                return
+            if me == desc.primary_home:
+                yield from self._apply_update_at_home(
+                    desc, page_addr, diff=diff, data=None, writer=me
+                )
+            else:
+                yield from self._push_home(
+                    desc, page_addr,
+                    {"rid": desc.rid, "page": page_addr, "diff": diff,
+                     "release_token": False},
+                )
+            return
+
+        if ctx.mode is not LockMode.WRITE:
+            return
+
+        dirty = page_addr in ctx.dirty_pages
+        if me == desc.primary_home:
+            if dirty:
+                page = self.daemon.storage.peek(page_addr)
+                if page is not None:
+                    yield from self._apply_update_at_home(
+                        desc, page_addr, diff=None, data=page.data, writer=me
+                    )
+            self._tokens.release(page_addr)
+            return
+
+        page = self.daemon.storage.peek(page_addr) if dirty else None
+        payload: Dict[str, Any] = {
+            "rid": desc.rid,
+            "page": page_addr,
+            "release_token": True,
+        }
+        if page is not None:
+            payload["data"] = page.data
+        try:
+            yield from self._push_home(desc, page_addr, payload)
+            self.daemon.storage.mark_clean(page_addr)
+        except LockDenied:
+            # Token release must not be lost; hand it to the
+            # background retry queue (paper 3.5: release-type errors
+            # are retried until they succeed, never surfaced).
+            self.daemon.retry_queue.enqueue(
+                lambda: self._push_home(desc, page_addr, payload),
+                label=f"release-token:{page_addr:#x}",
+            )
+
+    def _push_home(self, desc: RegionDescriptor, page_addr: int,
+                   payload: Dict[str, Any]) -> ProtocolGen:
+        yield from self._home_request(desc, MessageType.UPDATE_PUSH, payload)
+
+    # ------------------------------------------------------------------
+    # Home side
+    # ------------------------------------------------------------------
+
+    def handle_lock_request(self, desc: RegionDescriptor, msg: Message) -> None:
+        if self.daemon.node_id != desc.primary_home:
+            self.daemon.reply_error(msg, "not_responsible", "not primary home")
+            return
+        if not self.check_remote_access(desc, msg, LockMode.WRITE):
+            return
+        page_addr = msg.payload["page"]
+
+        def grant() -> ProtocolGen:
+            yield self._tokens.acquire(page_addr)
+            try:
+                data = yield from self.daemon.local_page_bytes(desc, page_addr)
+            except Exception:
+                self._tokens.release(page_addr)
+                raise
+            if data is None:
+                self._tokens.release(page_addr)
+                self.daemon.reply_error(msg, "not_allocated",
+                                        f"page {page_addr:#x} has no storage")
+                return
+            entry = self.daemon.page_directory.ensure(
+                page_addr, desc.rid, homed=True
+            )
+            entry.record_sharer(msg.src)
+            self.daemon.reply_request(
+                msg, MessageType.LOCK_REPLY,
+                {"data": data, "version": self._versions.get(page_addr, 0)},
+            )
+            # Token now belongs to msg.src until its UPDATE_PUSH with
+            # release_token=True arrives.
+
+        self.daemon.spawn_handler(msg, grant(), label="release-token-grant")
+
+    def handle_page_fetch(self, desc: RegionDescriptor, msg: Message) -> None:
+        if not self.check_remote_access(desc, msg, LockMode.READ):
+            return
+        page_addr = msg.payload["page"]
+
+        def serve() -> ProtocolGen:
+            data = yield from self.daemon.local_page_bytes(desc, page_addr)
+            if data is None:
+                self.daemon.reply_error(msg, "not_allocated",
+                                        f"page {page_addr:#x} has no storage")
+                return
+            if msg.payload.get("register"):
+                entry = self.daemon.page_directory.ensure(
+                    page_addr, desc.rid, homed=True
+                )
+                entry.record_sharer(msg.src)
+            self.daemon.reply_request(
+                msg, MessageType.PAGE_DATA,
+                {"data": data, "version": self._versions.get(page_addr, 0)},
+            )
+
+        self.daemon.spawn_handler(msg, serve(), label="release-fetch")
+
+    def handle_update(self, desc: RegionDescriptor, msg: Message) -> None:
+        page_addr = msg.payload["page"]
+        if self.daemon.node_id == desc.primary_home:
+            def apply() -> ProtocolGen:
+                yield from self._apply_update_at_home(
+                    desc,
+                    page_addr,
+                    diff=msg.payload.get("diff"),
+                    data=msg.payload.get("data"),
+                    writer=msg.src,
+                )
+                if msg.payload.get("release_token"):
+                    self._tokens.release(page_addr)
+                self.daemon.reply_request(msg, MessageType.UPDATE_ACK, {})
+
+            self.daemon.spawn_handler(msg, apply(), label="release-apply")
+            return
+        # Replica side: a propagated update from the home node.
+        self._apply_replica_update(desc, msg)
+
+    def _apply_update_at_home(
+        self,
+        desc: RegionDescriptor,
+        page_addr: int,
+        diff: Optional[List[Tuple[int, bytes]]],
+        data: Optional[bytes],
+        writer: int,
+    ) -> ProtocolGen:
+        if data is None and diff is not None:
+            base = yield from self.daemon.local_page_bytes(desc, page_addr)
+            if base is None:
+                base = b"\x00" * desc.page_size
+            data = apply_diff(base, [(int(o), bytes(d)) for o, d in diff])
+        if data is None:
+            return
+        yield from self.daemon.store_local_page(desc, page_addr, data, dirty=False)
+        version = self._versions.get(page_addr, 0) + 1
+        self._versions[page_addr] = version
+        entry = self.daemon.page_directory.ensure(page_addr, desc.rid, homed=True)
+        entry.allocated = True
+        entry.version = version
+        # Propagate to every replica site except the writer (one-way;
+        # replicas that miss an update catch up at their next fetch).
+        for sharer in entry.copyset_excluding(self.daemon.node_id):
+            if sharer == writer:
+                continue
+            self.daemon.rpc.send(
+                Message(
+                    msg_type=MessageType.UPDATE_PUSH,
+                    src=self.daemon.node_id,
+                    dst=sharer,
+                    payload={"rid": desc.rid, "page": page_addr,
+                             "data": data, "version": version,
+                             "fanout": True},
+                )
+            )
+
+    def _apply_replica_update(self, desc: RegionDescriptor, msg: Message) -> None:
+        page_addr = msg.payload["page"]
+        data = msg.payload.get("data")
+        version = msg.payload.get("version", 0)
+        if data is None:
+            return
+
+        def apply() -> None:
+            if version <= self._versions.get(page_addr, -1):
+                return  # stale fanout, already newer locally
+            if not self.daemon.storage.contains(page_addr):
+                # We no longer replicate this page; ignore.
+                return
+            self._versions[page_addr] = version
+
+            def store() -> ProtocolGen:
+                yield from self.daemon.store_local_page(
+                    desc, page_addr, data, dirty=False
+                )
+
+            self.daemon.spawn(store(), label="release-replica-store")
+
+        if self.daemon.lock_table.page_locked(page_addr):
+            # Never change a page under an open local context.
+            self.defer_until_unlocked(page_addr, apply)
+        else:
+            apply()
+
+    def on_node_failure(self, node_id: int) -> None:
+        self.daemon.page_directory.forget_node(node_id)

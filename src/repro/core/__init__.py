@@ -1,0 +1,64 @@
+"""Khazana core: the paper's primary contribution.
+
+This package implements the global shared storage abstraction of
+Sections 2 and 3 of the paper: the 128-bit global address space,
+regions and pages, the distributed address map, per-node region and
+page directories, lock contexts, cluster managers, and the per-node
+daemon that ties them together.
+"""
+
+from repro.core.addressing import (
+    ADDRESS_BITS,
+    DEFAULT_PAGE_SIZE,
+    MAX_ADDRESS,
+    AddressRange,
+    format_address,
+)
+from repro.core.attributes import ConsistencyLevel, RegionAttributes
+from repro.core.errors import (
+    AccessDenied,
+    AddressSpaceExhausted,
+    AllocationFailed,
+    BadPageSize,
+    InvalidLockContext,
+    InvalidRange,
+    KhazanaError,
+    KhazanaTimeout,
+    LockDenied,
+    NodeUnavailable,
+    NotAllocated,
+    NotReserved,
+    ProtocolUnknown,
+    RegionNotFound,
+    StorageExhausted,
+)
+from repro.core.locks import LockContext, LockMode
+from repro.core.region import RegionDescriptor
+
+__all__ = [
+    "ADDRESS_BITS",
+    "AccessDenied",
+    "AddressRange",
+    "AddressSpaceExhausted",
+    "AllocationFailed",
+    "BadPageSize",
+    "ConsistencyLevel",
+    "DEFAULT_PAGE_SIZE",
+    "InvalidLockContext",
+    "InvalidRange",
+    "KhazanaError",
+    "KhazanaTimeout",
+    "LockContext",
+    "LockDenied",
+    "LockMode",
+    "MAX_ADDRESS",
+    "NodeUnavailable",
+    "NotAllocated",
+    "NotReserved",
+    "ProtocolUnknown",
+    "RegionAttributes",
+    "RegionDescriptor",
+    "RegionNotFound",
+    "StorageExhausted",
+    "format_address",
+]

@@ -1,0 +1,597 @@
+"""The distributed address map tree.
+
+Paper Section 3.1: "Khazana maintains a globally distributed data
+structure called the address map ... used to keep track of reserved
+and free regions within the global address space [and] to locate the
+home nodes of regions ... The address map is implemented as a
+distributed tree where each subtree describes a range of global
+address space in finer detail.  Each tree node is of fixed size and
+contains a set of entries describing disjoint global memory regions,
+each of which contains either a non-exhaustive list of home nodes for
+a reserved region or points to the root node of a subtree describing
+the region in finer detail.  The address map itself resides in
+Khazana.  A well-known region beginning at address 0 stores the root
+node of the address map tree."
+
+This module is faithful to that design: tree nodes are fixed-size
+pages inside the *system region* at address 0, read and written
+through the ordinary Khazana lock/read/write path (so the map is
+replicated and kept release-consistent like any other region).  The
+tree logic is written as generators over the narrow :class:`MapIO`
+protocol; the daemon supplies the I/O.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+import json
+from dataclasses import dataclass
+from typing import Any, Generator, List, Optional, Tuple
+
+from repro.core.addressing import (
+    DEFAULT_PAGE_SIZE,
+    MAX_ADDRESS,
+    AddressRange,
+)
+from repro.core.errors import (
+    AddressSpaceExhausted,
+    AlreadyReserved,
+    InvalidRange,
+    KhazanaError,
+    NotReserved,
+)
+from repro.core.locks import LockMode
+
+#: The well-known system region holding the address-map tree: the
+#: first 16 MiB of the global address space (4096 tree pages).
+SYSTEM_REGION_START = 0
+SYSTEM_REGION_SIZE = 16 * 1024 * 1024
+SYSTEM_REGION = AddressRange(SYSTEM_REGION_START, SYSTEM_REGION_SIZE)
+
+#: The root tree node lives in the very first page.
+ROOT_PAGE = 0
+
+#: Fixed tree-node fanout.  With JSON encoding, 32 entries fit a
+#: 4 KiB page with room to spare.
+MAX_ENTRIES = 32
+
+ProtocolGen = Generator[Any, Any, Any]
+
+
+class EntryState(str, enum.Enum):
+    """What an address-map entry says about its range."""
+
+    FREE = "free"              # unreserved global address space
+    RESERVED = "reserved"      # a live region; data = home node list
+    DELEGATED = "delegated"    # chunk handed to a node to manage locally
+    SUBTREE = "subtree"        # described in finer detail by a child page
+
+
+@dataclass(frozen=True)
+class MapEntry:
+    """One entry of a tree node, covering a disjoint address range.
+
+    ``data`` is state-dependent: the (non-exhaustive) home-node list
+    for RESERVED, the managing node id for DELEGATED, the child page
+    address for SUBTREE, and empty for FREE.
+    """
+
+    range: AddressRange
+    state: EntryState
+    data: Tuple[int, ...] = ()
+
+    @property
+    def home_nodes(self) -> Tuple[int, ...]:
+        if self.state is not EntryState.RESERVED:
+            raise ValueError(f"{self.state.value} entry has no home nodes")
+        return self.data
+
+    @property
+    def manager_node(self) -> int:
+        if self.state is not EntryState.DELEGATED:
+            raise ValueError(f"{self.state.value} entry has no manager")
+        return self.data[0]
+
+    @property
+    def child_page(self) -> int:
+        if self.state is not EntryState.SUBTREE:
+            raise ValueError(f"{self.state.value} entry has no child page")
+        return self.data[0]
+
+    def to_wire(self) -> List[Any]:
+        return [self.range.start, self.range.length, self.state.value,
+                list(self.data)]
+
+    @classmethod
+    def from_wire(cls, raw: List[Any]) -> "MapEntry":
+        return cls(
+            range=AddressRange(int(raw[0]), int(raw[1])),
+            state=EntryState(raw[2]),
+            data=tuple(int(x) for x in raw[3]),
+        )
+
+
+class MapNode:
+    """In-memory form of one fixed-size tree page."""
+
+    def __init__(self, entries: List[MapEntry],
+                 next_free_page: Optional[int] = None) -> None:
+        #: Entries sorted by range start, jointly partitioning the
+        #: node's covered range.
+        self.entries = sorted(entries, key=lambda e: e.range.start)
+        #: Only meaningful on the root node: bump allocator for new
+        #: tree pages within the system region.
+        self.next_free_page = next_free_page
+
+    def encode(self, page_size: int) -> bytes:
+        doc = {"entries": [e.to_wire() for e in self.entries]}
+        if self.next_free_page is not None:
+            doc["next_free_page"] = self.next_free_page
+        blob = json.dumps(doc, separators=(",", ":")).encode("ascii")
+        if len(blob) > page_size:
+            raise KhazanaError(
+                f"address-map node overflow: {len(blob)} > {page_size} bytes"
+            )
+        return blob + b"\x00" * (page_size - len(blob))
+
+    @classmethod
+    def decode(cls, data: bytes) -> "MapNode":
+        blob = data.rstrip(b"\x00")
+        if not blob:
+            return cls(entries=[])
+        doc = json.loads(blob.decode("ascii"))
+        return cls(
+            entries=[MapEntry.from_wire(raw) for raw in doc.get("entries", [])],
+            next_free_page=doc.get("next_free_page"),
+        )
+
+    def entry_covering(self, address: int) -> Optional[MapEntry]:
+        for entry in self.entries:
+            if entry.range.contains(address):
+                return entry
+        return None
+
+    def replace_entry(self, old: MapEntry, new: List[MapEntry]) -> None:
+        self.entries.remove(old)
+        self.entries.extend(new)
+        self.entries.sort(key=lambda e: e.range.start)
+
+    def coalesce_free(self) -> None:
+        """Merge adjacent FREE entries (within this node only; the
+        paper explicitly skips cross-node defragmentation)."""
+        merged: List[MapEntry] = []
+        for entry in self.entries:
+            if (
+                merged
+                and merged[-1].state is EntryState.FREE
+                and entry.state is EntryState.FREE
+                and merged[-1].range.end == entry.range.start
+            ):
+                merged[-1] = MapEntry(
+                    range=merged[-1].range.union(entry.range),
+                    state=EntryState.FREE,
+                )
+            else:
+                merged.append(entry)
+        self.entries = merged
+
+
+class MapIO(abc.ABC):
+    """Page access the address map needs from its host daemon.
+
+    All methods are protocol generators (they may yield Futures); the
+    address map composes them with ``yield from``.
+    """
+
+    page_size: int = DEFAULT_PAGE_SIZE
+
+    @abc.abstractmethod
+    def lock_page(self, page_addr: int, mode: LockMode) -> ProtocolGen:
+        """Acquire a lock context on one system-region page."""
+
+    @abc.abstractmethod
+    def read_page(self, ctx: Any, page_addr: int) -> ProtocolGen:
+        """Read the page's bytes under ``ctx``."""
+
+    @abc.abstractmethod
+    def write_page(self, ctx: Any, page_addr: int, data: bytes) -> ProtocolGen:
+        """Write the page's bytes under ``ctx``."""
+
+    @abc.abstractmethod
+    def unlock_page(self, ctx: Any) -> ProtocolGen:
+        """Release a context (release-type: must not raise to caller)."""
+
+
+def initial_root_node() -> MapNode:
+    """Tree contents at cluster bootstrap.
+
+    The system region itself is the first reservation (homed at the
+    bootstrap node, node 0); everything else is one huge FREE entry.
+    """
+    free_start = SYSTEM_REGION.end
+    return MapNode(
+        entries=[
+            MapEntry(SYSTEM_REGION, EntryState.RESERVED, (0,)),
+            MapEntry(
+                AddressRange.from_bounds(free_start, MAX_ADDRESS + 1),
+                EntryState.FREE,
+            ),
+        ],
+        next_free_page=ROOT_PAGE + DEFAULT_PAGE_SIZE,
+    )
+
+
+class AddressMap:
+    """Generator-based operations on the distributed tree.
+
+    Mutating operations take a write lock on the root page first; the
+    root write token therefore serialises all map mutations, while
+    lookups run against (possibly stale) local replicas under read
+    locks — exactly the relaxed-consistency posture of Section 3.1.
+    """
+
+    def __init__(self, io: MapIO) -> None:
+        self.io = io
+
+    # --- Read path --------------------------------------------------------
+
+    def lookup(self, address: int) -> ProtocolGen:
+        """Find the entry covering ``address``.
+
+        Returns the :class:`MapEntry` (never a SUBTREE entry; descends
+        through them).  The result may be stale; callers fall back to
+        the cluster walk when acting on it fails (Section 3.1).
+        """
+        page_addr = ROOT_PAGE
+        for _depth in range(64):   # tree depth bound; guards cycles
+            node = yield from self._read_node(page_addr, LockMode.READ)
+            entry = node.entry_covering(address)
+            if entry is None:
+                raise NotReserved(
+                    f"address {address:#x} not described by the address map"
+                )
+            if entry.state is not EntryState.SUBTREE:
+                return entry
+            page_addr = entry.child_page
+        raise KhazanaError("address-map descent exceeded depth bound")
+
+    def enumerate_reserved(self) -> ProtocolGen:
+        """All RESERVED entries (for diagnostics and fsck-style tools)."""
+        found: List[MapEntry] = []
+        yield from self._collect(ROOT_PAGE, EntryState.RESERVED, found)
+        return found
+
+    def _collect(self, page_addr: int, state: EntryState,
+                 out: List[MapEntry]) -> ProtocolGen:
+        node = yield from self._read_node(page_addr, LockMode.READ)
+        for entry in node.entries:
+            if entry.state is EntryState.SUBTREE:
+                yield from self._collect(entry.child_page, state, out)
+            elif entry.state is state:
+                out.append(entry)
+
+    # --- Mutations -----------------------------------------------------------
+
+    def find_free(self, size: int, alignment: int) -> ProtocolGen:
+        """First-fit search for a FREE range of at least ``size`` bytes
+        aligned to ``alignment``.  Read-only; the caller then calls a
+        mutation with the returned range."""
+        result = yield from self._find_free_in(ROOT_PAGE, size, alignment)
+        if result is None:
+            raise AddressSpaceExhausted(
+                f"no free extent of {size} bytes found"
+            )
+        return result
+
+    def _find_free_in(self, page_addr: int, size: int,
+                      alignment: int) -> ProtocolGen:
+        node = yield from self._read_node(page_addr, LockMode.READ)
+        for entry in node.entries:
+            if entry.state is EntryState.SUBTREE:
+                found = yield from self._find_free_in(
+                    entry.child_page, size, alignment
+                )
+                if found is not None:
+                    return found
+            elif entry.state is EntryState.FREE:
+                start = -(-entry.range.start // alignment) * alignment
+                if start + size <= entry.range.end:
+                    return AddressRange(start, size)
+        return None
+
+    def reserve(self, target: AddressRange,
+                home_nodes: Tuple[int, ...]) -> ProtocolGen:
+        """Mark ``target`` RESERVED with the given home nodes.
+
+        The range must lie entirely within a single FREE or DELEGATED
+        entry (reservations are carved from free space or from a chunk
+        delegated to the reserving node)."""
+        yield from self._carve(
+            target,
+            acceptable=(EntryState.FREE, EntryState.DELEGATED),
+            new_state=EntryState.RESERVED,
+            new_data=tuple(home_nodes),
+        )
+
+    def delegate(self, target: AddressRange, node_id: int) -> ProtocolGen:
+        """Hand a chunk of FREE space to ``node_id`` to manage locally
+        (the cluster manager calls this to satisfy SPACE_REQUESTs)."""
+        yield from self._carve(
+            target,
+            acceptable=(EntryState.FREE,),
+            new_state=EntryState.DELEGATED,
+            new_data=(node_id,),
+        )
+
+    def release(self, target: AddressRange) -> ProtocolGen:
+        """Return a RESERVED range to FREE (unreserve)."""
+        yield from self._carve(
+            target,
+            acceptable=(EntryState.RESERVED,),
+            new_state=EntryState.FREE,
+            new_data=(),
+        )
+
+    def extend(self, target: AddressRange, new_length: int,
+               requester: Optional[int] = None) -> ProtocolGen:
+        """Grow a RESERVED range in place to ``new_length`` bytes.
+
+        Supports Section 4.1's alternative file layout ("resize the
+        region whenever the file size changes").  The extension space
+        immediately following the region must be FREE or DELEGATED and
+        described by the same tree node — growing across map-node
+        boundaries raises ``AddressSpaceExhausted`` and the caller
+        falls back to copying into a fresh reservation.
+        """
+        if new_length <= target.length:
+            raise InvalidRange(
+                f"extend needs a larger size, got {new_length} <= "
+                f"{target.length}"
+            )
+        grown = AddressRange(target.start, new_length)
+        root_ctx = yield from self.io.lock_page(ROOT_PAGE, LockMode.WRITE)
+        try:
+            raw = yield from self.io.read_page(root_ctx, ROOT_PAGE)
+            root = MapNode.decode(raw)
+            yield from self._extend_in(ROOT_PAGE, root, target, grown,
+                                       requester)
+            yield from self.io.write_page(
+                root_ctx, ROOT_PAGE, root.encode(self.io.page_size)
+            )
+        finally:
+            yield from self.io.unlock_page(root_ctx)
+
+    def _extend_in(self, page_addr: int, node: MapNode,
+                   target: AddressRange, grown: AddressRange,
+                   requester: Optional[int]) -> ProtocolGen:
+        entry = node.entry_covering(target.start)
+        if entry is None:
+            raise NotReserved(f"range {target} not in the address map")
+        if entry.state is EntryState.SUBTREE:
+            child_addr = entry.child_page
+            child_ctx = yield from self.io.lock_page(
+                child_addr, LockMode.WRITE
+            )
+            try:
+                raw = yield from self.io.read_page(child_ctx, child_addr)
+                child_node = MapNode.decode(raw)
+                yield from self._extend_in(
+                    child_addr, child_node, target, grown, requester
+                )
+                yield from self.io.write_page(
+                    child_ctx, child_addr,
+                    child_node.encode(self.io.page_size),
+                )
+            finally:
+                yield from self.io.unlock_page(child_ctx)
+            return
+        if entry.state is not EntryState.RESERVED or entry.range != target:
+            raise NotReserved(
+                f"extend target {target} does not match map entry "
+                f"{entry.range} ({entry.state.value})"
+            )
+        # Collect the run of FREE/DELEGATED entries after the region
+        # until the grown range is covered.
+        consumed: List[MapEntry] = []
+        position = target.end
+        while position < grown.end:
+            tail = node.entry_covering(position)
+            if tail is None or tail.state not in (
+                EntryState.FREE, EntryState.DELEGATED
+            ):
+                raise AddressSpaceExhausted(
+                    f"space after {target} is not free at {position:#x} "
+                    f"(found {tail.state.value if tail else 'a map-node boundary'})"
+                )
+            if (
+                tail.state is EntryState.DELEGATED
+                and requester is not None
+                and tail.manager_node != requester
+            ):
+                # Never steal space from another node's local pool —
+                # its daemon would later hand out the same addresses.
+                raise AddressSpaceExhausted(
+                    f"space after {target} is delegated to node "
+                    f"{tail.manager_node}, not the requester"
+                )
+            consumed.append(tail)
+            position = tail.range.end
+
+        node.replace_entry(
+            entry, [MapEntry(grown, EntryState.RESERVED, entry.data)]
+        )
+        for tail in consumed:
+            remainder = tail.range.subtract(
+                AddressRange.from_bounds(target.end, grown.end)
+            )
+            node.replace_entry(
+                tail,
+                [MapEntry(r, tail.state, tail.data) for r in remainder],
+            )
+        node.coalesce_free()
+
+    def update_homes(self, target: AddressRange,
+                     home_nodes: Tuple[int, ...]) -> ProtocolGen:
+        """Refresh the home-node list of an existing reservation."""
+        yield from self._carve(
+            target,
+            acceptable=(EntryState.RESERVED,),
+            new_state=EntryState.RESERVED,
+            new_data=tuple(home_nodes),
+        )
+
+    # --- Internals ------------------------------------------------------------
+
+    def _read_node(self, page_addr: int, mode: LockMode) -> ProtocolGen:
+        ctx = yield from self.io.lock_page(page_addr, mode)
+        try:
+            raw = yield from self.io.read_page(ctx, page_addr)
+        finally:
+            yield from self.io.unlock_page(ctx)
+        return MapNode.decode(raw)
+
+    def _carve(
+        self,
+        target: AddressRange,
+        acceptable: Tuple[EntryState, ...],
+        new_state: EntryState,
+        new_data: Tuple[int, ...],
+    ) -> ProtocolGen:
+        """Rewrite the entry containing ``target``, splitting as needed.
+
+        Holds a write lock on the root page for the duration (the map
+        mutation mutex) plus a write lock on the leaf node touched.
+        """
+        root_ctx = yield from self.io.lock_page(ROOT_PAGE, LockMode.WRITE)
+        try:
+            raw = yield from self.io.read_page(root_ctx, ROOT_PAGE)
+            root = MapNode.decode(raw)
+            yield from self._carve_in(
+                ROOT_PAGE, root, root, target,
+                acceptable, new_state, new_data,
+            )
+            # Persist the root: its entries may have changed, and tree
+            # splits anywhere below bump its next_free_page counter.
+            yield from self.io.write_page(
+                root_ctx, ROOT_PAGE, root.encode(self.io.page_size)
+            )
+        finally:
+            yield from self.io.unlock_page(root_ctx)
+
+    def _carve_in(
+        self,
+        page_addr: int,
+        node: MapNode,
+        root: MapNode,
+        target: AddressRange,
+        acceptable: Tuple[EntryState, ...],
+        new_state: EntryState,
+        new_data: Tuple[int, ...],
+    ) -> ProtocolGen:
+        entry = node.entry_covering(target.start)
+        if entry is None:
+            raise NotReserved(
+                f"range {target} not described by the address map"
+            )
+        if entry.state is EntryState.SUBTREE:
+            child_addr = entry.child_page
+            child_ctx = yield from self.io.lock_page(
+                child_addr, LockMode.WRITE
+            )
+            try:
+                raw = yield from self.io.read_page(child_ctx, child_addr)
+                child_node = MapNode.decode(raw)
+                yield from self._carve_in(
+                    child_addr, child_node, root, target,
+                    acceptable, new_state, new_data,
+                )
+                yield from self.io.write_page(
+                    child_ctx, child_addr, child_node.encode(self.io.page_size)
+                )
+            finally:
+                yield from self.io.unlock_page(child_ctx)
+            return
+
+        if not entry.range.contains_range(target):
+            raise InvalidRange(
+                f"range {target} straddles address-map entries "
+                f"(entry is {entry.range})"
+            )
+        if entry.state not in acceptable:
+            if new_state is EntryState.RESERVED:
+                raise AlreadyReserved(
+                    f"range {target} is {entry.state.value}, not free"
+                )
+            raise NotReserved(
+                f"range {target} is {entry.state.value}; expected one of "
+                f"{[s.value for s in acceptable]}"
+            )
+
+        pieces: List[MapEntry] = []
+        if entry.range.start < target.start:
+            pieces.append(
+                MapEntry(
+                    AddressRange.from_bounds(entry.range.start, target.start),
+                    entry.state, entry.data,
+                )
+            )
+        pieces.append(MapEntry(target, new_state, new_data))
+        if target.end < entry.range.end:
+            pieces.append(
+                MapEntry(
+                    AddressRange.from_bounds(target.end, entry.range.end),
+                    entry.state, entry.data,
+                )
+            )
+        node.replace_entry(entry, pieces)
+        node.coalesce_free()
+
+        if len(node.entries) > MAX_ENTRIES:
+            yield from self._split(page_addr, node, root)
+        # The caller persists this node (the root in _carve, a child in
+        # the SUBTREE branch above).
+
+    def _split(self, page_addr: int, node: MapNode, root: MapNode) -> ProtocolGen:
+        """Replace an overflowing node's entries with two SUBTREE
+        children, allocating child pages from the root's bump counter."""
+        mid = len(node.entries) // 2
+        left_entries = node.entries[:mid]
+        right_entries = node.entries[mid:]
+        left_addr = self._alloc_tree_page(root)
+        right_addr = self._alloc_tree_page(root)
+
+        for child_addr, child_entries in (
+            (left_addr, left_entries),
+            (right_addr, right_entries),
+        ):
+            child = MapNode(entries=child_entries)
+            ctx = yield from self.io.lock_page(child_addr, LockMode.WRITE)
+            try:
+                yield from self.io.write_page(
+                    ctx, child_addr, child.encode(self.io.page_size)
+                )
+            finally:
+                yield from self.io.unlock_page(ctx)
+
+        left_range = AddressRange.from_bounds(
+            left_entries[0].range.start, left_entries[-1].range.end
+        )
+        right_range = AddressRange.from_bounds(
+            right_entries[0].range.start, right_entries[-1].range.end
+        )
+        node.entries = [
+            MapEntry(left_range, EntryState.SUBTREE, (left_addr,)),
+            MapEntry(right_range, EntryState.SUBTREE, (right_addr,)),
+        ]
+
+    def _alloc_tree_page(self, root: MapNode) -> int:
+        if root.next_free_page is None:
+            raise KhazanaError("root node lost its tree-page allocator")
+        page_addr = root.next_free_page
+        if page_addr + self.io.page_size > SYSTEM_REGION.end:
+            raise AddressSpaceExhausted(
+                "system region out of address-map tree pages"
+            )
+        root.next_free_page = page_addr + self.io.page_size
+        return page_addr

@@ -1,0 +1,152 @@
+"""The 128-bit global address space.
+
+Khazana regions are "addressed using 128-bit identifiers, and there is
+no direct correspondence between Khazana addresses and an application's
+virtual addresses" (paper Section 2).  Addresses are modelled as plain
+Python integers in ``[0, 2**128)``; :class:`AddressRange` provides the
+interval arithmetic every other subsystem builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+ADDRESS_BITS = 128
+MAX_ADDRESS = (1 << ADDRESS_BITS) - 1
+
+#: Default page size: "By default, regions are made up of 4-kilobyte
+#: pages to match the most common machine virtual memory page size."
+DEFAULT_PAGE_SIZE = 4096
+
+#: Larger page sizes clients may request at reserve time (powers of two).
+VALID_PAGE_SIZES = tuple(DEFAULT_PAGE_SIZE << i for i in range(8))
+
+
+def check_address(address: int) -> int:
+    """Validate that ``address`` lies within the global address space."""
+    if not isinstance(address, int) or isinstance(address, bool):
+        raise TypeError(f"address must be int, got {type(address).__name__}")
+    if address < 0 or address > MAX_ADDRESS:
+        raise ValueError(f"address {address:#x} outside 128-bit space")
+    return address
+
+
+def format_address(address: int) -> str:
+    """Render a 128-bit address as grouped hex, e.g. ``0000:...:1000``.
+
+    Only used for human-facing messages; Khazana itself never parses
+    these strings.
+    """
+    check_address(address)
+    digits = f"{address:032x}"
+    return ":".join(digits[i : i + 8] for i in range(0, 32, 8))
+
+
+def is_valid_page_size(page_size: int) -> bool:
+    """True when ``page_size`` is 4 KiB or a larger supported power of two."""
+    return page_size in VALID_PAGE_SIZES
+
+
+@dataclass(frozen=True, order=True)
+class AddressRange:
+    """A half-open interval ``[start, start + length)`` of global space."""
+
+    start: int
+    length: int
+
+    def __post_init__(self) -> None:
+        check_address(self.start)
+        if self.length <= 0:
+            raise ValueError(f"range length must be positive, got {self.length}")
+        if self.start + self.length - 1 > MAX_ADDRESS:
+            raise ValueError("range extends beyond the 128-bit address space")
+
+    @classmethod
+    def from_bounds(cls, start: int, end: int) -> "AddressRange":
+        """Range covering ``[start, end)``."""
+        return cls(start, end - start)
+
+    @property
+    def end(self) -> int:
+        """One past the last address in the range."""
+        return self.start + self.length
+
+    @property
+    def last(self) -> int:
+        """The last address contained in the range."""
+        return self.start + self.length - 1
+
+    def contains(self, address: int) -> bool:
+        return self.start <= address < self.end
+
+    def contains_range(self, other: "AddressRange") -> bool:
+        return self.start <= other.start and other.end <= self.end
+
+    def overlaps(self, other: "AddressRange") -> bool:
+        return self.start < other.end and other.start < self.end
+
+    def intersection(self, other: "AddressRange") -> Optional["AddressRange"]:
+        start = max(self.start, other.start)
+        end = min(self.end, other.end)
+        if start >= end:
+            return None
+        return AddressRange.from_bounds(start, end)
+
+    def adjacent_to(self, other: "AddressRange") -> bool:
+        """True when the two ranges abut without overlapping."""
+        return self.end == other.start or other.end == self.start
+
+    def union(self, other: "AddressRange") -> "AddressRange":
+        """Union of overlapping or adjacent ranges."""
+        if not (self.overlaps(other) or self.adjacent_to(other)):
+            raise ValueError(f"{self} and {other} are disjoint; cannot union")
+        start = min(self.start, other.start)
+        end = max(self.end, other.end)
+        return AddressRange.from_bounds(start, end)
+
+    def subtract(self, other: "AddressRange") -> List["AddressRange"]:
+        """Pieces of ``self`` not covered by ``other`` (0, 1 or 2 ranges)."""
+        if not self.overlaps(other):
+            return [self]
+        pieces: List[AddressRange] = []
+        if self.start < other.start:
+            pieces.append(AddressRange.from_bounds(self.start, other.start))
+        if other.end < self.end:
+            pieces.append(AddressRange.from_bounds(other.end, self.end))
+        return pieces
+
+    def split_at(self, address: int) -> Tuple["AddressRange", "AddressRange"]:
+        """Split into ``[start, address)`` and ``[address, end)``."""
+        if not (self.start < address < self.end):
+            raise ValueError(
+                f"split point {address:#x} not strictly inside {self}"
+            )
+        return (
+            AddressRange.from_bounds(self.start, address),
+            AddressRange.from_bounds(address, self.end),
+        )
+
+    # --- Page arithmetic ---------------------------------------------------
+
+    def page_aligned(self, page_size: int) -> bool:
+        return self.start % page_size == 0 and self.length % page_size == 0
+
+    def align_to_pages(self, page_size: int) -> "AddressRange":
+        """Smallest page-aligned range covering ``self``."""
+        start = (self.start // page_size) * page_size
+        end = -(-self.end // page_size) * page_size
+        return AddressRange.from_bounds(start, end)
+
+    def pages(self, page_size: int) -> Iterator[int]:
+        """Base addresses of every page overlapping this range."""
+        aligned = self.align_to_pages(page_size)
+        for base in range(aligned.start, aligned.end, page_size):
+            yield base
+
+    def page_count(self, page_size: int) -> int:
+        aligned = self.align_to_pages(page_size)
+        return aligned.length // page_size
+
+    def __str__(self) -> str:
+        return f"[{format_address(self.start)} +{self.length:#x})"

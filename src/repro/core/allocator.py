@@ -1,0 +1,101 @@
+"""Local address-space pools.
+
+Paper Section 3.1: "Khazana daemon processes maintain a pool of
+locally reserved, but unused, address space.  In response to a client
+request to reserve a new region of memory, the contacted Khazana
+daemon first attempts to find enough space in unreserved regions that
+it is managing locally.  If it has insufficient local unreserved
+space, the node contacts its local cluster manager, requesting a large
+(e.g., one gigabyte) region of unreserved space that it will then
+locally manage."
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.addressing import AddressRange
+
+#: Size of the chunk a daemon requests from its cluster manager when
+#: its local pool runs dry (the paper's example value).
+DEFAULT_CHUNK_SIZE = 1 << 30   # one gigabyte
+
+
+class LocalSpacePool:
+    """Free address space delegated to one daemon.
+
+    Ranges in the pool are disjoint and sorted.  Carving is first-fit
+    with alignment; freed reservations are *not* returned to the pool
+    (the paper: "For simplicity, we do not defragment ... We do not
+    expect this to cause address space fragmentation problems, as we
+    have a huge (128-bit) address space at our disposal").
+    """
+
+    def __init__(self) -> None:
+        self._free: List[AddressRange] = []
+
+    def add(self, chunk: AddressRange) -> None:
+        """Add a delegated chunk to the pool, merging where adjacent."""
+        merged = chunk
+        keep: List[AddressRange] = []
+        for existing in self._free:
+            if existing.overlaps(merged):
+                raise ValueError(
+                    f"chunk {chunk} overlaps pooled range {existing}"
+                )
+            if existing.adjacent_to(merged):
+                merged = merged.union(existing)
+            else:
+                keep.append(existing)
+        keep.append(merged)
+        keep.sort(key=lambda r: r.start)
+        self._free = keep
+
+    def carve(self, size: int, alignment: int = 1) -> Optional[AddressRange]:
+        """Remove and return an aligned range of ``size`` bytes, or
+        None when no pooled range fits."""
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        if alignment <= 0:
+            raise ValueError(f"alignment must be positive, got {alignment}")
+        for index, candidate in enumerate(self._free):
+            start = -(-candidate.start // alignment) * alignment
+            if start + size > candidate.end:
+                continue
+            carved = AddressRange(start, size)
+            remainder: List[AddressRange] = candidate.subtract(carved)
+            self._free[index : index + 1] = remainder
+            return carved
+        return None
+
+    def remove_overlap(self, claimed: AddressRange) -> int:
+        """Remove any pooled space overlapping ``claimed``.
+
+        Used when a region extension consumes part of this node's
+        delegated space directly through the address map; the pool
+        must stop offering those addresses.  Returns bytes removed.
+        """
+        removed = 0
+        updated: List[AddressRange] = []
+        for existing in self._free:
+            if not existing.overlaps(claimed):
+                updated.append(existing)
+                continue
+            overlap = existing.intersection(claimed)
+            removed += overlap.length if overlap else 0
+            updated.extend(existing.subtract(claimed))
+        updated.sort(key=lambda r: r.start)
+        self._free = updated
+        return removed
+
+    def total_free(self) -> int:
+        return sum(r.length for r in self._free)
+
+    def max_contiguous(self) -> int:
+        return max((r.length for r in self._free), default=0)
+
+    def ranges(self) -> List[AddressRange]:
+        return list(self._free)
+
+    def __len__(self) -> int:
+        return len(self._free)

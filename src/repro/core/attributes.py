@@ -1,0 +1,106 @@
+"""Per-region attributes.
+
+Paper Section 2: "Currently, a region's attributes include: desired
+consistency level, consistency protocol, access control information,
+minimum number of replicas."  Page size is fixed at reserve time.
+Applications tune these per region — e.g. a clustered file server asks
+for N replicas and strong consistency, while a web cache accepts a
+weaker, faster protocol (Section 1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from repro.core.addressing import DEFAULT_PAGE_SIZE, is_valid_page_size
+from repro.core.errors import BadPageSize
+from repro.core.security import AccessControlList
+
+
+class ConsistencyLevel(str, enum.Enum):
+    """Client-facing statement of how fresh reads must be.
+
+    The *level* expresses intent; the *protocol* (a string naming a
+    registered consistency manager) is the mechanism.  ``default_protocol``
+    maps each level to the protocol the prototype would pick.
+    """
+
+    STRICT = "strict"        # sequentially consistent (Lamport); CREW
+    RELEASE = "release"      # updates visible at lock release boundaries
+    EVENTUAL = "eventual"    # bounded staleness, "one or two versions old"
+
+    def default_protocol(self) -> str:
+        return _LEVEL_TO_PROTOCOL[self]
+
+
+_LEVEL_TO_PROTOCOL = {
+    ConsistencyLevel.STRICT: "crew",
+    ConsistencyLevel.RELEASE: "release",
+    ConsistencyLevel.EVENTUAL: "eventual",
+}
+
+
+@dataclass(frozen=True)
+class RegionAttributes:
+    """Attributes attached to a region at reserve time.
+
+    ``consistency_protocol`` of ``None`` means "use the default for the
+    consistency level".  ``min_replicas`` of N asks Khazana to keep at
+    least N physical copies of every allocated page, for N-1 redundancy
+    (paper Sections 1 and 3.5).
+    """
+
+    consistency_level: ConsistencyLevel = ConsistencyLevel.STRICT
+    consistency_protocol: Optional[str] = None
+    min_replicas: int = 1
+    page_size: int = DEFAULT_PAGE_SIZE
+    acl: AccessControlList = field(default_factory=AccessControlList.open_access)
+
+    def __post_init__(self) -> None:
+        if not is_valid_page_size(self.page_size):
+            raise BadPageSize(
+                f"page size {self.page_size} is not 4 KiB or a supported "
+                "larger power of two"
+            )
+        if self.min_replicas < 1:
+            raise ValueError(
+                f"min_replicas must be >= 1, got {self.min_replicas}"
+            )
+
+    @property
+    def protocol(self) -> str:
+        """The effective consistency protocol name."""
+        if self.consistency_protocol is not None:
+            return self.consistency_protocol
+        return self.consistency_level.default_protocol()
+
+    def with_acl(self, acl: AccessControlList) -> "RegionAttributes":
+        return replace(self, acl=acl)
+
+    def with_replicas(self, min_replicas: int) -> "RegionAttributes":
+        return replace(self, min_replicas=min_replicas)
+
+    # --- Wire form -----------------------------------------------------------
+
+    def to_wire(self) -> Dict[str, object]:
+        return {
+            "consistency_level": self.consistency_level.value,
+            "consistency_protocol": self.consistency_protocol,
+            "min_replicas": self.min_replicas,
+            "page_size": self.page_size,
+            "acl": self.acl.to_wire(),
+        }
+
+    @classmethod
+    def from_wire(cls, data: Dict[str, object]) -> "RegionAttributes":
+        return cls(
+            consistency_level=ConsistencyLevel(
+                data.get("consistency_level", ConsistencyLevel.STRICT.value)
+            ),
+            consistency_protocol=data.get("consistency_protocol"),
+            min_replicas=int(data.get("min_replicas", 1)),
+            page_size=int(data.get("page_size", DEFAULT_PAGE_SIZE)),
+            acl=AccessControlList.from_wire(data.get("acl", {})),
+        )

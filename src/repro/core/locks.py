@@ -1,0 +1,171 @@
+"""Lock modes, lock contexts, and the per-node lock table.
+
+Paper Section 2: clients "lock and unlock parts of regions in a
+specified mode (e.g., read-only, read-write etc).  The lock operation
+returns a lock context, which must be used during subsequent read and
+write operations to the region.  Lock operations indicate the caller's
+intention to access a portion of a region.  These operations do not
+themselves enforce any concurrency control policy ... The consistency
+protocol ultimately decides the concurrency control policy based on
+these stated intentions."
+
+Accordingly, :class:`LockTable` only *records* which contexts exist on
+which pages; whether a new lock may be granted, delayed, or refused is
+decided by the region's consistency manager, which consults the table.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.core.addressing import AddressRange
+from repro.core.errors import InvalidLockContext
+
+_context_counter = itertools.count(1)
+
+
+class LockMode(str, enum.Enum):
+    """The caller's declared intention for a locked range."""
+
+    READ = "read"                  # read-only access
+    WRITE = "write"                # read-write, exclusive intention
+    WRITE_SHARED = "write_shared"  # concurrent writers, merged at release
+                                   # (meaningful under release consistency)
+
+    @property
+    def is_write(self) -> bool:
+        return self in (LockMode.WRITE, LockMode.WRITE_SHARED)
+
+    def conflicts_with(self, other: "LockMode") -> bool:
+        """Default (CREW-style) conflict relation between two intentions.
+
+        Individual consistency managers may override this — e.g. the
+        eventual protocol never treats intentions as conflicting, and
+        release consistency lets WRITE_SHARED contexts coexist.
+        """
+        if self is LockMode.READ and other is LockMode.READ:
+            return False
+        if self is LockMode.WRITE_SHARED and other is LockMode.WRITE_SHARED:
+            return False
+        return True
+
+
+@dataclass
+class LockContext:
+    """Handle returned by ``lock`` and presented to ``read``/``write``.
+
+    A context covers a specific sub-range of one region in one mode on
+    one node.  It is single-use in the sense that after ``unlock`` any
+    further use raises :class:`InvalidLockContext`.
+    """
+
+    rid: int
+    range: AddressRange
+    mode: LockMode
+    node_id: int
+    principal: str
+    ctx_id: int = field(default_factory=lambda: next(_context_counter))
+    closed: bool = False
+    #: Pages this context dirtied; consulted by release-style protocols
+    #: to know what to propagate at unlock time.
+    dirty_pages: Set[int] = field(default_factory=set)
+
+    def check_open(self) -> None:
+        if self.closed:
+            raise InvalidLockContext(
+                f"lock context {self.ctx_id} was already unlocked"
+            )
+
+    def check_covers(self, subrange: AddressRange, for_write: bool) -> None:
+        """Validate a read/write against this context."""
+        self.check_open()
+        if not self.range.contains_range(subrange):
+            raise InvalidLockContext(
+                f"context {self.ctx_id} covers {self.range}, "
+                f"not {subrange}"
+            )
+        if for_write and not self.mode.is_write:
+            raise InvalidLockContext(
+                f"context {self.ctx_id} holds {self.mode.value}; "
+                "write requires a write-capable mode"
+            )
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "open"
+        return (
+            f"<LockContext {self.ctx_id} {self.mode.value} {self.range} "
+            f"node={self.node_id} {state}>"
+        )
+
+
+class LockTable:
+    """Per-daemon registry of live lock contexts, indexed by page.
+
+    The table answers the consistency manager's two questions: "which
+    contexts currently cover page P?" and "does a new intention on P
+    conflict with any of them?".  It also tracks contexts by id so
+    read/write calls can validate the context they present.
+    """
+
+    def __init__(self) -> None:
+        self._by_page: Dict[int, List[LockContext]] = {}
+        self._by_id: Dict[int, LockContext] = {}
+
+    def register(self, ctx: LockContext, pages: List[int]) -> None:
+        """Record a newly granted context covering ``pages``."""
+        self._by_id[ctx.ctx_id] = ctx
+        for page in pages:
+            self._by_page.setdefault(page, []).append(ctx)
+
+    def release(self, ctx: LockContext, pages: List[int]) -> None:
+        """Remove a context; marks it closed."""
+        if ctx.ctx_id not in self._by_id:
+            raise InvalidLockContext(
+                f"lock context {ctx.ctx_id} is not registered on this node"
+            )
+        del self._by_id[ctx.ctx_id]
+        ctx.closed = True
+        for page in pages:
+            holders = self._by_page.get(page)
+            if holders is None:
+                continue
+            holders[:] = [c for c in holders if c.ctx_id != ctx.ctx_id]
+            if not holders:
+                del self._by_page[page]
+
+    def lookup(self, ctx_id: int) -> LockContext:
+        ctx = self._by_id.get(ctx_id)
+        if ctx is None:
+            raise InvalidLockContext(
+                f"unknown or closed lock context {ctx_id}"
+            )
+        return ctx
+
+    def holders(self, page: int) -> List[LockContext]:
+        """Live contexts covering ``page`` (copy; safe to iterate)."""
+        return list(self._by_page.get(page, ()))
+
+    def conflicts(
+        self, page: int, mode: LockMode, ignore: Optional[LockContext] = None
+    ) -> bool:
+        """Would an intention of ``mode`` on ``page`` conflict locally?"""
+        for holder in self._by_page.get(page, ()):
+            if ignore is not None and holder.ctx_id == ignore.ctx_id:
+                continue
+            if mode.conflicts_with(holder.mode):
+                return True
+        return False
+
+    def page_locked(self, page: int) -> bool:
+        """True when any live context covers ``page``; such pages are
+        pinned and may not be victimized by local storage."""
+        return bool(self._by_page.get(page))
+
+    def live_contexts(self) -> Iterator[LockContext]:
+        return iter(list(self._by_id.values()))
+
+    def __len__(self) -> int:
+        return len(self._by_id)

@@ -1,0 +1,111 @@
+"""The per-node region directory: a cache of region descriptors.
+
+Paper Section 3.2: "To avoid expensive remote lookups, Khazana
+maintains a cache of recently used region descriptors called the
+region directory.  The region directory is not kept globally
+consistent, and thus may contain stale data, but this is not a
+problem ... the use of a stale home pointer will simply result in a
+message being sent to a node that no longer is home to the object."
+
+Entries for well-known bootstrap regions (the address-map region at
+address 0) are *pinned* and never evicted, which is what keeps the
+lookup chain grounded (Section 3.1: "A well-known region beginning at
+address 0 stores the root node of the address map tree").
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator, List, Optional
+
+from repro.core.region import RegionDescriptor
+
+DEFAULT_CAPACITY = 1024
+
+
+class RegionDirectory:
+    """Bounded LRU cache mapping region id -> descriptor."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._cache: "OrderedDict[int, RegionDescriptor]" = OrderedDict()
+        self._pinned: "OrderedDict[int, RegionDescriptor]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def pin(self, descriptor: RegionDescriptor) -> None:
+        """Install a never-evicted entry (bootstrap/system regions)."""
+        self._pinned[descriptor.rid] = descriptor
+        self._cache.pop(descriptor.rid, None)
+
+    def insert(self, descriptor: RegionDescriptor) -> None:
+        """Cache a descriptor, keeping only the newest version seen."""
+        rid = descriptor.rid
+        if rid in self._pinned:
+            if descriptor.version >= self._pinned[rid].version:
+                self._pinned[rid] = descriptor
+            return
+        existing = self._cache.get(rid)
+        if existing is not None and existing.version > descriptor.version:
+            self._cache.move_to_end(rid)
+            return
+        self._cache[rid] = descriptor
+        self._cache.move_to_end(rid)
+        while len(self._cache) > self.capacity:
+            self._cache.popitem(last=False)
+
+    def get(self, rid: int) -> Optional[RegionDescriptor]:
+        """Exact lookup by region id."""
+        descriptor = self._pinned.get(rid)
+        if descriptor is not None:
+            self.hits += 1
+            return descriptor
+        descriptor = self._cache.get(rid)
+        if descriptor is not None:
+            self._cache.move_to_end(rid)
+            self.hits += 1
+            return descriptor
+        self.misses += 1
+        return None
+
+    def find_covering(self, address: int) -> Optional[RegionDescriptor]:
+        """Descriptor of the cached region containing ``address``.
+
+        Linear in the cache size; the cache is small (its whole point
+        is to hold the hot set) and this avoids maintaining a second
+        index that the original prototype did not have either.
+        """
+        for descriptor in self._pinned.values():
+            if descriptor.range.contains(address):
+                self.hits += 1
+                return descriptor
+        for rid, descriptor in self._cache.items():
+            if descriptor.range.contains(address):
+                self._cache.move_to_end(rid)
+                self.hits += 1
+                return descriptor
+        self.misses += 1
+        return None
+
+    def invalidate(self, rid: int) -> None:
+        """Drop a cached entry proven stale (home NAKed a request)."""
+        self._cache.pop(rid, None)
+
+    def entries(self) -> List[RegionDescriptor]:
+        return list(self._pinned.values()) + list(self._cache.values())
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._cache) + len(self._pinned)
+
+    def __iter__(self) -> Iterator[RegionDescriptor]:
+        return iter(self.entries())

@@ -1,0 +1,113 @@
+"""Access control for regions.
+
+The paper lists "access control information" among the per-region
+attributes (Section 2) and access-permission checks in the lookup path
+(Section 3.2: "Khazana checks the region's access permissions").  This
+module provides the principal/ACL model those checks use.  It is
+deliberately simple — the paper defers "flexible security and
+authentication mechanisms" to future work — but it is enforced on
+every lock acquisition.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Tuple
+
+#: The distinguished principal that always passes ACL checks; used by
+#: Khazana's own metadata traffic (address-map maintenance, replica
+#: repair) and by single-user deployments.
+SYSTEM_PRINCIPAL = "_khazana"
+
+#: Wildcard principal granting rights to everyone.
+ANYONE = "*"
+
+
+class Right(enum.Flag):
+    """Access rights a principal may hold on a region."""
+
+    NONE = 0
+    READ = enum.auto()
+    WRITE = enum.auto()
+    ADMIN = enum.auto()   # change attributes / ACL, unreserve
+
+    @classmethod
+    def all_rights(cls) -> "Right":
+        return cls.READ | cls.WRITE | cls.ADMIN
+
+
+@dataclass(frozen=True)
+class AccessControlList:
+    """Immutable mapping of principal -> rights.
+
+    The region creator receives full rights implicitly; additional
+    grants are listed explicitly.  ACLs travel inside region
+    descriptors and are enforced by the home node and by every CM
+    before granting a lock.
+    """
+
+    owner: str = SYSTEM_PRINCIPAL
+    grants: Tuple[Tuple[str, int], ...] = field(default_factory=tuple)
+
+    @classmethod
+    def open_access(cls, owner: str = SYSTEM_PRINCIPAL) -> "AccessControlList":
+        """World-readable/writable ACL — the default for new regions."""
+        return cls(owner=owner, grants=((ANYONE, Right.all_rights().value),))
+
+    @classmethod
+    def private(cls, owner: str) -> "AccessControlList":
+        """Only the owner (and the system principal) may touch the region."""
+        return cls(owner=owner, grants=())
+
+    @classmethod
+    def build(
+        cls, owner: str, grants: Dict[str, Right]
+    ) -> "AccessControlList":
+        return cls(
+            owner=owner,
+            grants=tuple(sorted((p, r.value) for p, r in grants.items())),
+        )
+
+    def rights_for(self, principal: str) -> Right:
+        if principal == SYSTEM_PRINCIPAL or principal == self.owner:
+            return Right.all_rights()
+        rights = Right.NONE
+        for granted_to, value in self.grants:
+            if granted_to == principal or granted_to == ANYONE:
+                rights |= Right(value)
+        return rights
+
+    def allows(self, principal: str, needed: Right) -> bool:
+        return (self.rights_for(principal) & needed) == needed
+
+    def granting(self, principal: str, rights: Right) -> "AccessControlList":
+        """A new ACL with ``rights`` added for ``principal``."""
+        merged: Dict[str, int] = dict(self.grants)
+        merged[principal] = merged.get(principal, 0) | rights.value
+        return AccessControlList(
+            owner=self.owner, grants=tuple(sorted(merged.items()))
+        )
+
+    def revoking(self, principal: str) -> "AccessControlList":
+        """A new ACL with every explicit grant to ``principal`` removed."""
+        remaining = tuple(
+            (p, r) for p, r in self.grants if p != principal
+        )
+        return AccessControlList(owner=self.owner, grants=remaining)
+
+    def principals(self) -> FrozenSet[str]:
+        return frozenset({self.owner, *(p for p, _ in self.grants)})
+
+    # --- Wire form -----------------------------------------------------------
+
+    def to_wire(self) -> Dict[str, object]:
+        return {"owner": self.owner, "grants": list(self.grants)}
+
+    @classmethod
+    def from_wire(cls, data: Dict[str, object]) -> "AccessControlList":
+        grants: Iterable = data.get("grants", ())
+        return cls(
+            owner=str(data.get("owner", SYSTEM_PRINCIPAL)),
+            grants=tuple((str(p), int(r)) for p, r in grants),
+        )

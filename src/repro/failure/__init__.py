@@ -1,0 +1,16 @@
+"""Failure handling.
+
+Paper Section 3.5: "Khazana is designed to cope with node and network
+failures.  Khazana operations are repeatedly tried on all known
+Khazana nodes until they succeed or timeout.  All errors encountered
+while acquiring resources ... are reflected back to the original
+client, while errors encountered while releasing resources ... are
+not.  Instead, the Khazana system keeps trying the operation in the
+background until it succeeds."
+"""
+
+from repro.failure.detector import FailureDetector
+from repro.failure.replicas import ReplicaMaintainer
+from repro.failure.retry import RetryQueue
+
+__all__ = ["FailureDetector", "ReplicaMaintainer", "RetryQueue"]

@@ -1,0 +1,176 @@
+"""Replica maintenance and home-node failover.
+
+"Khazana allows clients to specify a minimum number of primary
+replicas that should be maintained for each page in a Khazana region.
+This functionality further enhances availability, at a cost of
+resource consumption." (paper Section 3.5)
+
+A region with ``min_replicas = N`` is reserved with N home nodes; the
+consistency protocols keep all home copies current at lock release.
+This module repairs the invariant after failures:
+
+- **Promotion** — when a region's primary home dies, the first alive
+  home in the descriptor's home list takes over as acting primary and
+  publishes a descriptor that lists itself first.
+- **Recruitment** — when fewer than N homes are alive, the acting
+  primary recruits replacement nodes, pushes every allocated page to
+  them (REPLICA_CREATE), and publishes an updated descriptor and
+  address-map entry.
+
+Stale cached descriptors elsewhere still name the dead primary first;
+requesters simply fail over down the home list (every protocol's
+``_home_request`` loop), then pick up the fresh descriptor on their
+next lookup — the paper's "stale hints are harmless" posture.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Set
+
+from repro.net.message import Message, MessageType
+from repro.net.rpc import RetryPolicy
+from repro.net.tasks import Future, gather_settled
+
+ProtocolGen = Generator[Future, Any, Any]
+
+PUSH_POLICY = RetryPolicy(timeout=2.0, retries=1, backoff=2.0)
+
+#: How often each daemon checks its homed regions, in virtual seconds.
+DEFAULT_PERIOD = 2.0
+
+
+class ReplicaMaintainer:
+    """Keeps every homed region at its minimum replica count."""
+
+    def __init__(self, daemon: Any, period: float = DEFAULT_PERIOD) -> None:
+        self.daemon = daemon
+        self.period = period
+        self._repairing: Set[int] = set()
+        self._running = False
+        self.repairs_completed = 0
+        self.promotions = 0
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._schedule()
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _schedule(self) -> None:
+        if not self._running:
+            return
+        self.daemon.scheduler.call_later(self.period, self._tick)
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        for desc in list(self.daemon.homed_regions.values()):
+            self._check_region(desc)
+        self._schedule()
+
+    # ------------------------------------------------------------------
+
+    def _check_region(self, desc: Any) -> None:
+        me = self.daemon.node_id
+        detector = self.daemon.detector
+        alive_homes = [
+            home for home in desc.home_nodes if detector.is_alive(home)
+        ]
+        if not alive_homes or alive_homes[0] != me:
+            return   # a better-placed home is (or will be) acting primary
+        needs_promotion = desc.primary_home != me
+        short = max(0, desc.attrs.min_replicas - len(alive_homes))
+        if not needs_promotion and short == 0:
+            return
+        if desc.rid in self._repairing:
+            return
+        self._repairing.add(desc.rid)
+        task = self._repair(desc, alive_homes, short)
+        outcome = self.daemon.spawn(task, label=f"repair:{desc.rid:#x}")
+        outcome.add_callback(
+            lambda _f: self._repairing.discard(desc.rid)
+        )
+
+    def _repair(self, desc: Any, alive_homes: List[int], short: int) -> ProtocolGen:
+        me = self.daemon.node_id
+        recruits: List[int] = []
+        if short > 0:
+            candidates = [
+                node for node in self.daemon.detector.alive_peers()
+                if node not in alive_homes
+            ]
+            recruits = candidates[:short]
+            for recruit in recruits:
+                yield from self._push_region_to(desc, recruit)
+
+        new_homes = tuple(
+            [me]
+            + [h for h in alive_homes if h != me]
+            + recruits
+        )
+        if new_homes == desc.home_nodes and not recruits:
+            return
+        if desc.primary_home != me:
+            self.promotions += 1
+        new_desc = desc.with_homes(new_homes)
+        self.daemon.adopt_descriptor(new_desc)
+        self.repairs_completed += 1
+
+        # Publish: peers' directories and the address map learn the new
+        # home list.  Both are hint layers — failure here only delays
+        # rediscovery — so errors are swallowed by the retry queue.
+        for node in new_homes:
+            if node == me:
+                continue
+            self.daemon.rpc.send(
+                Message(
+                    msg_type=MessageType.DESCRIPTOR_UPDATE,
+                    src=me,
+                    dst=node,
+                    payload={"descriptor": new_desc.to_wire()},
+                )
+            )
+        manager = self.daemon.cluster_manager_node
+        if manager is not None and manager != me:
+            self.daemon.rpc.send(
+                Message(
+                    msg_type=MessageType.DESCRIPTOR_UPDATE,
+                    src=me,
+                    dst=manager,
+                    payload={"descriptor": new_desc.to_wire()},
+                )
+            )
+        self.daemon.retry_queue.enqueue(
+            lambda: self.daemon.address_map.update_homes(
+                new_desc.range, new_homes
+            ),
+            label=f"map-homes:{desc.rid:#x}",
+        )
+
+    def _push_region_to(self, desc: Any, recruit: int) -> ProtocolGen:
+        """Copy every allocated page of ``desc`` to ``recruit``."""
+        pushes = []
+        for entry in self.daemon.page_directory.entries_for_region(desc.rid):
+            if not entry.allocated:
+                continue
+            data = yield from self.daemon.local_page_bytes(desc, entry.address)
+            if data is None:
+                continue
+            pushes.append(
+                self.daemon.rpc.request(
+                    recruit,
+                    MessageType.REPLICA_CREATE,
+                    {
+                        "rid": desc.rid,
+                        "page": entry.address,
+                        "data": data,
+                        "descriptor": desc.to_wire(),
+                    },
+                    policy=PUSH_POLICY,
+                )
+            )
+        if pushes:
+            yield gather_settled(pushes, label="replica-push")

@@ -1,0 +1,28 @@
+"""KFS: the wide-area distributed file system of paper Section 4.1.
+
+"The filesystem treats the entire Khazana space as a single disk ...
+At the time of file system creation, the creator allocates a
+superblock and an inode for the root of the filesystem.  Mounting this
+filesystem only requires the Khazana address of the superblock.
+Creating a file involves the creation of an inode and directory entry
+for the file.  Each inode is allocated as a region of its own ...
+In the current implementation, each block of the filesystem is
+allocated into a separate 4-kilobyte region."
+
+KFS is written **entirely against the public Khazana client API** —
+it never touches daemons, networks, or consistency internals.  The
+same code runs on a 1-node cluster or a 32-node one; that location
+obliviousness is the claim experiment C6 measures.
+"""
+
+from repro.fs.filesystem import FileSystemError, KhazanaFileSystem
+from repro.fs.file import KFile
+from repro.fs.inode import FileType, Inode
+
+__all__ = [
+    "FileSystemError",
+    "FileType",
+    "Inode",
+    "KFile",
+    "KhazanaFileSystem",
+]

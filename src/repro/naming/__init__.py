@@ -1,0 +1,24 @@
+"""A distributed directory service built on Khazana.
+
+The paper's opening list of systems that "boil down to the problem of
+managing distributed shared state" leads with distributed file systems
+and *distributed directory services* (Novell's NDS, Microsoft's Active
+Directory).  Section 4 builds the file system; this package builds the
+directory service, making the paper's point a third time: the service
+itself contains no distribution code, just Khazana reads and writes.
+
+Design notes (and how they differ from KFS):
+
+- Entries are hierarchical names bound to small attribute dictionaries
+  (a user record, a printer's address, ...), not byte streams.
+- Directory services are read-dominated and latency-sensitive, so the
+  default consistency is the *eventual* protocol — a lookup served
+  from a slightly stale replica is fine (the paper: such applications
+  "can tolerate data that is temporarily out-of-date ... as long as
+  they get fast response").  ``ConsistencyLevel.STRICT`` can be chosen
+  at creation for registries that need it.
+"""
+
+from repro.naming.service import NameNotFound, NameService, NamingError
+
+__all__ = ["NameNotFound", "NameService", "NamingError"]

@@ -1,0 +1,33 @@
+"""Messaging substrate for Khazana.
+
+The paper (Section 5) notes that only the messaging layer of Khazana is
+system dependent.  This package is that layer: an abstract transport, a
+message vocabulary, a request/response (RPC) layer with timeouts and
+retries, and a deterministic discrete-event network simulator that
+stands in for the Unix socket layer the original prototype used.
+
+The simulator gives every experiment in ``benchmarks/`` a reproducible
+virtual clock, configurable LAN/WAN latency, message loss, and network
+partitions, while keeping all protocol logic identical to what a real
+socket transport would exercise.
+"""
+
+from repro.net.clock import EventScheduler, VirtualClock
+from repro.net.message import Message, MessageType
+from repro.net.sim import LinkSpec, NetworkStats, SimNetwork, Topology
+from repro.net.tasks import Future, TaskRunner
+from repro.net.transport import Transport
+
+__all__ = [
+    "EventScheduler",
+    "Future",
+    "LinkSpec",
+    "Message",
+    "MessageType",
+    "NetworkStats",
+    "SimNetwork",
+    "TaskRunner",
+    "Topology",
+    "Transport",
+    "VirtualClock",
+]

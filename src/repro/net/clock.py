@@ -1,0 +1,183 @@
+"""Virtual time and event scheduling for the simulated network.
+
+Khazana's original prototype ran as Unix daemon processes exchanging
+messages over sockets.  For a deterministic, laptop-scale reproduction
+we replace wall-clock time with a virtual clock and drive every daemon
+from a single discrete-event scheduler.  All latencies in the system
+(network links, disk seeks, timeouts) are expressed in virtual seconds.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional
+
+
+class VirtualClock:
+    """A monotonically advancing virtual clock measured in seconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance_to(self, when: float) -> None:
+        """Move the clock forward to ``when``.
+
+        Raises ``ValueError`` if ``when`` is in the past; virtual time
+        never runs backwards.
+        """
+        if when < self._now:
+            raise ValueError(
+                f"cannot move clock backwards: {when} < {self._now}"
+            )
+        self._now = when
+
+
+class _Event:
+    """A scheduled callback; orderable by (time, sequence number)."""
+
+    __slots__ = ("when", "seq", "callback", "cancelled")
+
+    def __init__(self, when: float, seq: int, callback: Callable[[], None]):
+        self.when = when
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def __lt__(self, other: "_Event") -> bool:
+        return (self.when, self.seq) < (other.when, other.seq)
+
+
+class EventHandle:
+    """Handle returned by ``EventScheduler.call_at``; supports cancel()."""
+
+    def __init__(self, event: _Event) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the callback from running if it has not fired yet."""
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def when(self) -> float:
+        return self._event.when
+
+
+class EventScheduler:
+    """Discrete-event scheduler driving the whole simulation.
+
+    Events fire in (time, insertion-order) order, which makes every run
+    of the simulator fully deterministic for a given seed and workload.
+    """
+
+    def __init__(self, clock: Optional[VirtualClock] = None) -> None:
+        self.clock = clock if clock is not None else VirtualClock()
+        self._queue: List[_Event] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of callbacks executed so far."""
+        return self._events_processed
+
+    def call_at(self, when: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` to run at absolute virtual time ``when``."""
+        if when < self.clock.now:
+            raise ValueError(
+                f"cannot schedule event in the past: {when} < {self.clock.now}"
+            )
+        event = _Event(when, next(self._seq), callback)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def call_later(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` virtual seconds from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.call_at(self.clock.now + delay, callback)
+
+    def call_soon(self, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at the current virtual time (after
+        already-queued same-time events)."""
+        return self.call_at(self.clock.now, callback)
+
+    def _pop_next(self) -> Optional[_Event]:
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if not event.cancelled:
+                return event
+        return None
+
+    def step(self) -> bool:
+        """Run the next pending event.  Returns False when idle."""
+        event = self._pop_next()
+        if event is None:
+            return False
+        self.clock.advance_to(event.when)
+        self._events_processed += 1
+        event.callback()
+        return True
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> int:
+        """Run events until none remain.  Returns events executed.
+
+        ``max_events`` guards against protocol livelock in tests; a run
+        that exceeds it raises ``RuntimeError`` rather than spinning.
+        """
+        executed = 0
+        while self.step():
+            executed += 1
+            if executed > max_events:
+                raise RuntimeError(
+                    f"scheduler exceeded {max_events} events; "
+                    "likely livelock in a protocol"
+                )
+        return executed
+
+    def run_until(self, deadline: float, max_events: int = 10_000_000) -> int:
+        """Run events with time <= deadline, then advance clock to it."""
+        executed = 0
+        while self._queue:
+            upcoming = self._peek_time()
+            if upcoming is None or upcoming > deadline:
+                break
+            if not self.step():
+                break
+            executed += 1
+            if executed > max_events:
+                raise RuntimeError(
+                    f"scheduler exceeded {max_events} events before {deadline}"
+                )
+        if deadline > self.clock.now:
+            self.clock.advance_to(deadline)
+        return executed
+
+    def run_for(self, duration: float, max_events: int = 10_000_000) -> int:
+        """Run events for ``duration`` virtual seconds from now."""
+        return self.run_until(self.clock.now + duration, max_events=max_events)
+
+    def _peek_time(self) -> Optional[float]:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        if not self._queue:
+            return None
+        return self._queue[0].when
+
+    @property
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for e in self._queue if not e.cancelled)

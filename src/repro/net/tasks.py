@@ -1,0 +1,229 @@
+"""Futures and generator-based tasklets for protocol code.
+
+Khazana daemons are peers that service multi-step protocols (Figure 2
+of the paper shows a 13-step lock-and-fetch exchange).  Writing such
+protocols as explicit state machines obscures them; instead, daemon
+operations are written as plain Python generators that ``yield``
+:class:`Future` objects wherever the original daemon would block on a
+remote reply.  :class:`TaskRunner` resumes a generator when the future
+it is waiting on resolves, so protocol code reads sequentially while
+executing event-driven under the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional
+
+ProtocolTask = Generator["Future", Any, Any]
+
+
+class FutureError(Exception):
+    """Misuse of a Future (double-resolve, premature result access)."""
+
+
+class Future:
+    """A one-shot container for a result or an exception.
+
+    Unlike asyncio futures these are scheduler-agnostic: callbacks run
+    synchronously when the future resolves, which keeps the simulation
+    deterministic.
+    """
+
+    __slots__ = ("_done", "_result", "_exception", "_callbacks", "label")
+
+    def __init__(self, label: str = "") -> None:
+        self._done = False
+        self._result: Any = None
+        self._exception: Optional[BaseException] = None
+        self._callbacks: List[Callable[["Future"], None]] = []
+        self.label = label
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def failed(self) -> bool:
+        return self._done and self._exception is not None
+
+    def set_result(self, result: Any = None) -> None:
+        if self._done:
+            raise FutureError(f"future {self.label!r} already resolved")
+        self._done = True
+        self._result = result
+        self._fire()
+
+    def set_exception(self, exc: BaseException) -> None:
+        if self._done:
+            raise FutureError(f"future {self.label!r} already resolved")
+        self._done = True
+        self._exception = exc
+        self._fire()
+
+    def result(self) -> Any:
+        if not self._done:
+            raise FutureError(f"future {self.label!r} not resolved yet")
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+    def exception(self) -> Optional[BaseException]:
+        if not self._done:
+            raise FutureError(f"future {self.label!r} not resolved yet")
+        return self._exception
+
+    def add_callback(self, callback: Callable[["Future"], None]) -> None:
+        """Run ``callback(self)`` when resolved (immediately if already)."""
+        if self._done:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def _fire(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:
+        state = "pending"
+        if self._done:
+            state = "failed" if self._exception is not None else "done"
+        return f"<Future {self.label!r} {state}>"
+
+
+def resolved(value: Any = None, label: str = "") -> Future:
+    """A future already resolved with ``value``."""
+    future = Future(label)
+    future.set_result(value)
+    return future
+
+
+def failed(exc: BaseException, label: str = "") -> Future:
+    """A future already resolved with exception ``exc``."""
+    future = Future(label)
+    future.set_exception(exc)
+    return future
+
+
+def gather(futures: List[Future], label: str = "gather") -> Future:
+    """A future resolving to the list of results of ``futures``.
+
+    Fails with the first exception encountered (remaining results are
+    discarded), matching the all-or-nothing semantics Khazana uses when
+    it must contact every replica of a page.
+    """
+    combined = Future(label)
+    remaining = len(futures)
+    if remaining == 0:
+        combined.set_result([])
+        return combined
+    results: List[Any] = [None] * remaining
+
+    def on_done(index: int, future: Future) -> None:
+        nonlocal remaining
+        if combined.done:
+            return
+        exc = future.exception()
+        if exc is not None:
+            combined.set_exception(exc)
+            return
+        results[index] = future.result()
+        remaining -= 1
+        if remaining == 0:
+            combined.set_result(results)
+
+    for i, future in enumerate(futures):
+        future.add_callback(lambda f, i=i: on_done(i, f))
+    return combined
+
+
+def gather_settled(futures: List[Future], label: str = "settled") -> Future:
+    """A future resolving to [(ok, value-or-exc), ...] — never fails.
+
+    Used where Khazana tolerates partial failure, e.g. pushing updates
+    to replicas where unreachable nodes are simply retried later.
+    """
+    combined = Future(label)
+    remaining = len(futures)
+    if remaining == 0:
+        combined.set_result([])
+        return combined
+    results: List[Any] = [None] * remaining
+
+    def on_done(index: int, future: Future) -> None:
+        nonlocal remaining
+        exc = future.exception()
+        results[index] = (False, exc) if exc is not None else (True, future.result())
+        remaining -= 1
+        if remaining == 0:
+            combined.set_result(results)
+
+    for i, future in enumerate(futures):
+        future.add_callback(lambda f, i=i: on_done(i, f))
+    return combined
+
+
+class TaskRunner:
+    """Drives protocol generators to completion.
+
+    ``spawn`` starts a generator-based task.  Whenever the task yields
+    a :class:`Future`, it is suspended until that future resolves; the
+    future's result is sent back into the generator (or the exception
+    thrown into it, so protocol code can use ordinary try/except).
+    The value a task ``return``s resolves the future ``spawn`` handed
+    back.
+    """
+
+    def __init__(self) -> None:
+        self._active = 0
+
+    @property
+    def active(self) -> int:
+        """Number of tasks currently suspended or running."""
+        return self._active
+
+    def spawn(self, task: ProtocolTask, label: str = "task") -> Future:
+        outcome = Future(label)
+        self._active += 1
+        self._step(task, outcome, first=True, value=None, exc=None)
+        return outcome
+
+    def _step(
+        self,
+        task: ProtocolTask,
+        outcome: Future,
+        first: bool,
+        value: Any,
+        exc: Optional[BaseException],
+    ) -> None:
+        try:
+            if first:
+                waited = next(task)
+            elif exc is not None:
+                waited = task.throw(exc)
+            else:
+                waited = task.send(value)
+        except StopIteration as stop:
+            self._active -= 1
+            outcome.set_result(stop.value)
+            return
+        except BaseException as error:  # noqa: BLE001 - propagate via future
+            self._active -= 1
+            outcome.set_exception(error)
+            return
+        if not isinstance(waited, Future):
+            self._active -= 1
+            outcome.set_exception(
+                TypeError(
+                    f"task {outcome.label!r} yielded {type(waited).__name__}, "
+                    "expected Future"
+                )
+            )
+            return
+        waited.add_callback(
+            lambda f: self._step(
+                task, outcome, first=False,
+                value=None if f.exception() is not None else f.result(),
+                exc=f.exception(),
+            )
+        )

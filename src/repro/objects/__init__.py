@@ -1,0 +1,52 @@
+"""Distributed object runtime: paper Section 4.2.
+
+"To build a distributed object runtime system on top of Khazana, we
+plan to use Khazana as the repository for object data and for
+maintaining location information related to each object.  The object
+runtime layer is responsible for determining the degree of consistency
+needed for each object, ensuring that the appropriate locking and data
+access operations are inserted (transparently) into the object code,
+and determining when to create a local replica of an object rather
+than using RPC to invoke a remote instance of the object."
+
+This package implements that veneer:
+
+- object state lives in a Khazana region, serialized by the runtime
+  (Khazana itself never interprets it);
+- method calls on a :class:`~repro.objects.proxy.Proxy` transparently
+  perform lock/read/invoke/write/unlock;
+- an invocation *policy* chooses, per call, between executing on a
+  local replica and RPC-ing to a node where the object is already
+  physically instantiated, using location information exported from
+  Khazana;
+- the runtime layers reference counting on top (the paper: "the
+  object veneer would implement the more powerful semantics expected
+  by users of distributed object systems, such as reference
+  counting").
+
+Substitution note (see DESIGN.md): the paper "downloads the code to be
+executed along with the object instance".  Shipping Python bytecode
+adds nothing to the systems questions, so classes are resolved by name
+through a registry shared by all runtimes — the state still travels
+through Khazana exactly as in the paper.
+"""
+
+from repro.objects.model import KhazanaObject, ObjectError, readonly
+from repro.objects.proxy import Proxy
+from repro.objects.registry import register_class, resolve_class
+from repro.objects.runtime import InvocationPolicy, ObjectRef, ObjectRuntime
+from repro.objects.transactions import TransactionView, atomically
+
+__all__ = [
+    "InvocationPolicy",
+    "KhazanaObject",
+    "ObjectError",
+    "ObjectRef",
+    "ObjectRuntime",
+    "Proxy",
+    "TransactionView",
+    "atomically",
+    "readonly",
+    "register_class",
+    "resolve_class",
+]

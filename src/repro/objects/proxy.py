@@ -1,0 +1,66 @@
+"""Client-side proxies.
+
+A proxy makes a remote/replicated object look like a plain Python
+object: attribute access yields bound callables whose invocation is
+routed through the runtime's policy.  "All methods associated with the
+object need to be translated to the Khazana interface of reads and
+writes to the data contained within the object." (Section 4.2)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.objects.model import ObjectError
+from repro.objects.registry import resolve_class
+from repro.objects.runtime import InvocationPolicy, ObjectRef, ObjectRuntime
+
+
+class Proxy:
+    """Method-call gateway for one object reference."""
+
+    def __init__(self, runtime: ObjectRuntime, ref: ObjectRef,
+                 policy: InvocationPolicy) -> None:
+        # Set via __dict__ so __getattr__ stays clean.
+        self.__dict__["_runtime"] = runtime
+        self.__dict__["_ref"] = ref
+        self.__dict__["_policy"] = policy
+
+    @property
+    def ref(self) -> ObjectRef:
+        return self.__dict__["_ref"]
+
+    @property
+    def address(self) -> int:
+        return self.ref.address
+
+    def __getattr__(self, name: str) -> Callable[..., Any]:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        ref: ObjectRef = self.__dict__["_ref"]
+        cls = resolve_class(ref.class_name)
+        if not callable(getattr(cls, name, None)):
+            raise ObjectError(
+                f"{ref.class_name} has no method {name!r}"
+            )
+        runtime: ObjectRuntime = self.__dict__["_runtime"]
+        policy: InvocationPolicy = self.__dict__["_policy"]
+
+        def call(*args: Any, **kwargs: Any) -> Any:
+            return runtime.invoke(ref, name, args, kwargs, policy=policy)
+
+        call.__name__ = name
+        return call
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise ObjectError(
+            "distributed objects expose behaviour, not attributes; "
+            f"cannot set {name!r} on a proxy"
+        )
+
+    def __repr__(self) -> str:
+        ref = self.ref
+        return (
+            f"<Proxy {ref.class_name}@{ref.address:#x} "
+            f"policy={self.__dict__['_policy'].value}>"
+        )

@@ -1,0 +1,65 @@
+"""Class registry: the stand-in for code downloading.
+
+Paper Section 4.2: "Methods are invoked by downloading the code to be
+executed along with the object instance, and invoking the code
+locally."  In this reproduction classes register under a stable name
+and every runtime resolves them locally; the object *state* still
+travels through Khazana (the part with systems content), while the
+*code* is assumed present everywhere — the same assumption a CORBA
+deployment makes about stubs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.objects.model import KhazanaObject, ObjectError
+
+_CLASSES: Dict[str, Type[KhazanaObject]] = {}
+
+
+def register_class(cls: Type[KhazanaObject],
+                   name: str = "") -> Type[KhazanaObject]:
+    """Register an object class (usable as a decorator).
+
+    Re-registering the same name with a different class raises, which
+    catches accidental collisions between applications.
+    """
+    key = name or cls.__name__
+    existing = _CLASSES.get(key)
+    if existing is not None and existing is not cls:
+        raise ObjectError(
+            f"class name {key!r} already registered by "
+            f"{existing.__module__}.{existing.__qualname__}"
+        )
+    _CLASSES[key] = cls
+    cls._khazana_class_name = key
+    return cls
+
+
+def resolve_class(name: str) -> Type[KhazanaObject]:
+    cls = _CLASSES.get(name)
+    if cls is None:
+        raise ObjectError(
+            f"object class {name!r} is not registered on this node"
+        )
+    return cls
+
+
+def class_name_of(cls: Type[KhazanaObject]) -> str:
+    name = getattr(cls, "_khazana_class_name", None)
+    if name is None:
+        raise ObjectError(
+            f"{cls.__qualname__} is not registered; decorate it with "
+            "@register_class"
+        )
+    return name
+
+
+def registered_classes() -> List[str]:
+    return sorted(_CLASSES)
+
+
+def clear_registry() -> None:
+    """Test hook: forget every registered class."""
+    _CLASSES.clear()

@@ -1,0 +1,120 @@
+"""Atomic multi-object operations for the object veneer.
+
+Paper Section 4.2: "The object veneer would implement the more
+powerful semantics expected by users of distributed object systems,
+such as reference counting (or garbage collection) and transactional
+behavior.  Khazana provides the hooks needed to support these higher
+level semantics, but does not implement them directly."
+
+This module is that veneer's transactional layer, built purely on the
+hooks Khazana already provides:
+
+- **strict two-phase locking** — every object touched by the
+  transaction has its region write-locked up front;
+- **deadlock avoidance by ordered acquisition** — regions lock in
+  global-address order, so two transactions over the same object set
+  can never wait on each other in a cycle;
+- **atomicity** — all mutated states write back under the held locks,
+  then everything unlocks; a body that raises writes back nothing.
+
+Since the locked regions are CREW-consistent, the transaction is
+serializable with every other lock-mediated access in the system.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Sequence
+
+from repro.core.locks import LockMode
+from repro.objects.model import ObjectError, decode_state, encode_state
+from repro.objects.registry import resolve_class
+from repro.objects.runtime import ObjectRef, ObjectRuntime
+
+
+class TransactionView:
+    """What the transaction body sees: live state dicts per object.
+
+    Mutations to the dicts are written back atomically when the body
+    returns; ``instance(ref)`` gives a behaviour object for calling
+    methods against the in-transaction state.
+    """
+
+    def __init__(self, states: Dict[int, Dict[str, Any]],
+                 refs: Dict[int, ObjectRef]) -> None:
+        self._states = states
+        self._refs = refs
+
+    def state(self, ref: ObjectRef) -> Dict[str, Any]:
+        """The (mutable) state dict of one enlisted object."""
+        try:
+            return self._states[ref.address]
+        except KeyError:
+            raise ObjectError(
+                f"object {ref.address:#x} is not enlisted in this "
+                "transaction"
+            ) from None
+
+    def call(self, ref: ObjectRef, method_name: str, *args: Any,
+             **kwargs: Any) -> Any:
+        """Invoke a method against the in-transaction state."""
+        cls = resolve_class(ref.class_name)
+        method = getattr(cls, method_name, None)
+        if method is None or method_name.startswith("_"):
+            raise ObjectError(
+                f"{ref.class_name} has no invocable method {method_name!r}"
+            )
+        return method(cls(), self.state(ref), *args, **kwargs)
+
+
+def atomically(
+    runtime: ObjectRuntime,
+    refs: Sequence[ObjectRef],
+    body: Callable[[TransactionView], Any],
+) -> Any:
+    """Run ``body`` atomically over the given objects.
+
+    All object regions are write-locked (in address order), their
+    states materialised, ``body(view)`` executed, and every state
+    written back before any lock releases.  If ``body`` raises, no
+    write-back happens and the exception propagates after the locks
+    are released.
+
+    Returns whatever ``body`` returns.
+    """
+    if not refs:
+        raise ObjectError("a transaction needs at least one object")
+    by_addr: Dict[int, ObjectRef] = {}
+    for ref in refs:
+        by_addr[ref.address] = ref
+    ordered = [by_addr[a] for a in sorted(by_addr)]
+
+    session = runtime.session
+    contexts = []
+    try:
+        # Growing phase: ordered write locks on every region.
+        for ref in ordered:
+            ctx = session.lock(ref.address, ref.region_size, LockMode.WRITE)
+            contexts.append((ref, ctx))
+
+        docs: Dict[int, Dict[str, Any]] = {}
+        states: Dict[int, Dict[str, Any]] = {}
+        for ref, ctx in contexts:
+            raw = session.read(ctx, ref.address, ref.region_size)
+            doc = decode_state(raw)
+            docs[ref.address] = doc
+            states[ref.address] = doc.setdefault("state", {})
+
+        view = TransactionView(states, by_addr)
+        result = body(view)
+
+        # Commit: write every state back while all locks are held.
+        for ref, ctx in contexts:
+            session.write(
+                ctx, ref.address,
+                encode_state(docs[ref.address], ref.region_size),
+            )
+        return result
+    finally:
+        # Shrinking phase: release everything (unlock never raises).
+        for _ref, ctx in contexts:
+            session.unlock(ctx)

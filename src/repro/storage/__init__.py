@@ -1,0 +1,28 @@
+"""Local storage hierarchy.
+
+Paper Section 3.4: "Node-local storage is treated as a cache of global
+data indexed by global addresses. ... There may be different kinds of
+local storage - main memory, disk, local filesystem, tape, etc.,
+organized into a storage hierarchy based on access speed, as in xFS.
+... In the prototype implementation, there are two levels of local
+storage: main memory and on-disk.  When memory is full, the local
+storage system can victimize pages from RAM to disk.  When the disk
+cache wants to victimize a page, it must invoke the consistency
+protocol associated with the page."
+"""
+
+from repro.storage.disk import DiskStore, FileBackedDiskStore
+from repro.storage.hierarchy import EvictionCallback, StorageHierarchy, StorageStats
+from repro.storage.memory import MemoryStore
+from repro.storage.store import PageStore, StoredPage
+
+__all__ = [
+    "DiskStore",
+    "EvictionCallback",
+    "FileBackedDiskStore",
+    "MemoryStore",
+    "PageStore",
+    "StorageHierarchy",
+    "StorageStats",
+    "StoredPage",
+]

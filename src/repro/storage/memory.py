@@ -1,0 +1,71 @@
+"""RAM level of the storage hierarchy: a bounded LRU page cache."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional
+
+from repro.core.errors import StorageExhausted
+from repro.storage.store import PageStore, StoredPage
+
+
+class MemoryStore(PageStore):
+    """Fixed-capacity in-memory page store with LRU ordering.
+
+    Eviction decisions are made by the hierarchy (which must honour
+    pins and invoke consistency actions); this store only *reports* its
+    LRU order via :meth:`lru_candidates` and refuses writes beyond
+    capacity.
+    """
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_bytes}")
+        self._capacity = capacity_bytes
+        self._pages: "OrderedDict[int, StoredPage]" = OrderedDict()
+        self._used = 0
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self._capacity
+
+    def used_bytes(self) -> int:
+        return self._used
+
+    def get(self, address: int) -> Optional[StoredPage]:
+        page = self._pages.get(address)
+        if page is not None:
+            self._pages.move_to_end(address)   # mark most recently used
+        return page
+
+    def peek(self, address: int) -> Optional[StoredPage]:
+        """Like :meth:`get` but does not refresh LRU position."""
+        return self._pages.get(address)
+
+    def put(self, page: StoredPage) -> None:
+        existing = self._pages.get(page.address)
+        delta = page.size - (existing.size if existing is not None else 0)
+        if self._used + delta > self._capacity:
+            raise StorageExhausted(
+                f"memory store full: need {delta} bytes, "
+                f"{self.free_bytes()} free"
+            )
+        self._pages[page.address] = page
+        self._pages.move_to_end(page.address)
+        self._used += delta
+
+    def remove(self, address: int) -> Optional[StoredPage]:
+        page = self._pages.pop(address, None)
+        if page is not None:
+            self._used -= page.size
+        return page
+
+    def contains(self, address: int) -> bool:
+        return address in self._pages
+
+    def addresses(self) -> List[int]:
+        return list(self._pages.keys())
+
+    def lru_candidates(self) -> List[int]:
+        """Page addresses from least to most recently used."""
+        return list(self._pages.keys())

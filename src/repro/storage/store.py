@@ -1,0 +1,73 @@
+"""Page store interface shared by every level of the hierarchy.
+
+The local storage system "provides raw storage for pages without
+knowledge of global memory region boundaries or their semantics"
+(paper Section 3.4): a store maps a global page base address to bytes
+plus a dirty bit, nothing more.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+
+@dataclass
+class StoredPage:
+    """One page held by a store level."""
+
+    address: int       # global base address of the page
+    data: bytes
+    dirty: bool = False
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+
+class PageStore(abc.ABC):
+    """A single level of the local storage hierarchy (RAM, disk, ...)."""
+
+    @abc.abstractmethod
+    def get(self, address: int) -> Optional[StoredPage]:
+        """Return the page at ``address`` or None if not resident."""
+
+    @abc.abstractmethod
+    def put(self, page: StoredPage) -> None:
+        """Insert or replace a page.  Raises ``StorageExhausted`` when
+        the level is full and nothing can be displaced (capacity
+        management is the hierarchy's job; stores refuse overflow)."""
+
+    @abc.abstractmethod
+    def remove(self, address: int) -> Optional[StoredPage]:
+        """Remove and return the page, or None if absent."""
+
+    @abc.abstractmethod
+    def contains(self, address: int) -> bool:
+        """True when a page is resident at this level."""
+
+    @abc.abstractmethod
+    def addresses(self) -> List[int]:
+        """Base addresses of all resident pages (unordered)."""
+
+    @abc.abstractmethod
+    def used_bytes(self) -> int:
+        """Bytes of page data currently resident."""
+
+    @property
+    @abc.abstractmethod
+    def capacity_bytes(self) -> int:
+        """Maximum bytes this level may hold."""
+
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes()
+
+    def has_room_for(self, size: int) -> bool:
+        return self.free_bytes() >= size
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.addresses())
+
+    def __len__(self) -> int:
+        return len(self.addresses())

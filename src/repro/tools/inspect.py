@@ -1,0 +1,99 @@
+"""Cluster inspection helpers.
+
+Read-only summaries of a running cluster: which regions exist and
+where they live, how full each node's storage hierarchy is, and what
+the network has been doing.  Used by operators (and the examples) to
+see Khazana's placement decisions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.core.daemon import SYSTEM_RID
+
+
+def cluster_summary(cluster) -> Dict[str, Any]:
+    """One dict describing the whole deployment."""
+    regions: Dict[int, Dict[str, Any]] = {}
+    for node in cluster.node_ids():
+        daemon = cluster.daemon(node)
+        for rid, desc in daemon.homed_regions.items():
+            if rid == SYSTEM_RID:
+                continue
+            info = regions.setdefault(
+                rid,
+                {
+                    "rid": rid,
+                    "length": desc.range.length,
+                    "protocol": desc.attrs.protocol,
+                    "min_replicas": desc.attrs.min_replicas,
+                    "primary_home": desc.primary_home,
+                    "homes": list(desc.home_nodes),
+                    "cached_on": [],
+                },
+            )
+            if desc.version >= info.get("_version", -1):
+                info["_version"] = desc.version
+                info["primary_home"] = desc.primary_home
+                info["homes"] = list(desc.home_nodes)
+    for node in cluster.node_ids():
+        daemon = cluster.daemon(node)
+        for rid, info in regions.items():
+            if daemon.storage.contains(rid):
+                info["cached_on"].append(node)
+    for info in regions.values():
+        info.pop("_version", None)
+    stats = cluster.stats
+    return {
+        "nodes": len(cluster.node_ids()),
+        "virtual_time": cluster.now,
+        "regions": sorted(regions.values(), key=lambda r: r["rid"]),
+        "messages_sent": stats.messages_sent,
+        "bytes_sent": stats.bytes_sent,
+    }
+
+
+def region_report(cluster, rid: int) -> Dict[str, Any]:
+    """Everything the cluster knows about one region."""
+    report: Dict[str, Any] = {"rid": rid, "homes": {}, "cached_on": [],
+                              "pages": {}}
+    for node in cluster.node_ids():
+        daemon = cluster.daemon(node)
+        desc = daemon.homed_regions.get(rid)
+        if desc is not None:
+            report["homes"][node] = {
+                "version": desc.version,
+                "home_nodes": list(desc.home_nodes),
+                "allocated": desc.allocated,
+            }
+            for entry in daemon.page_directory.entries_for_region(rid):
+                if entry.homed:
+                    report["pages"].setdefault(entry.address, {})[node] = {
+                        "owner": entry.owner,
+                        "sharers": sorted(entry.sharers),
+                    }
+        if daemon.storage.contains(rid):
+            report["cached_on"].append(node)
+    return report
+
+
+def storage_report(cluster) -> List[Dict[str, Any]]:
+    """Per-node storage-hierarchy utilisation."""
+    rows = []
+    for node in cluster.node_ids():
+        daemon = cluster.daemon(node)
+        s = daemon.storage
+        rows.append(
+            {
+                "node": node,
+                "ram_used": s.memory.used_bytes(),
+                "ram_capacity": s.memory.capacity_bytes,
+                "disk_used": s.disk.used_bytes(),
+                "disk_capacity": s.disk.capacity_bytes,
+                "ram_hit_rate": s.stats.ram_hit_rate(),
+                "victimized": s.stats.victimized_to_disk,
+                "dirty_pages": len(s.dirty_addresses()),
+            }
+        )
+    return rows

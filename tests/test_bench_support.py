@@ -1,0 +1,101 @@
+"""Tests for the benchmark support package."""
+
+import pytest
+
+from repro.bench.metrics import LatencyRecorder, Table, speedup
+from repro.bench.workloads import (
+    AccessPattern,
+    WorkloadSpec,
+    ZipfGenerator,
+    make_regions,
+    run_access_workload,
+)
+
+
+class TestZipf:
+    def test_deterministic_for_seed(self):
+        a = ZipfGenerator(100, seed=5).sample(50)
+        b = ZipfGenerator(100, seed=5).sample(50)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert ZipfGenerator(100, seed=1).sample(50) != ZipfGenerator(
+            100, seed=2
+        ).sample(50)
+
+    def test_skew_concentrates_mass(self):
+        samples = ZipfGenerator(100, skew=1.2, seed=0).sample(2000)
+        head = sum(1 for s in samples if s < 10)
+        assert head > 1000   # top 10% of items get most accesses
+
+    def test_zero_skew_roughly_uniform(self):
+        samples = ZipfGenerator(10, skew=0.0, seed=0).sample(5000)
+        counts = [samples.count(i) for i in range(10)]
+        assert min(counts) > 300
+
+    def test_indices_in_range(self):
+        gen = ZipfGenerator(7, seed=3)
+        assert all(0 <= s < 7 for s in gen.sample(500))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ZipfGenerator(0)
+
+
+class TestLatencyRecorder:
+    def test_statistics(self):
+        rec = LatencyRecorder()
+        for v in [0.01, 0.02, 0.03, 0.04]:
+            rec.record(v)
+        assert rec.count() == 4
+        assert rec.mean() == pytest.approx(0.025)
+        assert rec.percentile(50) == 0.02
+        assert rec.percentile(99) == 0.04
+
+    def test_empty_safe(self):
+        rec = LatencyRecorder()
+        assert rec.mean() == 0.0
+        assert rec.percentile(99) == 0.0
+
+
+class TestTable:
+    def test_render_and_cell(self):
+        table = Table("T", ["name", "value"])
+        table.add("alpha", 1.5)
+        table.add("beta", 12345.0)
+        text = table.render()
+        assert "alpha" in text and "1.50" in text and "12345" in text
+        assert table.cell(0, "value") == "1.50"
+
+    def test_wrong_arity_rejected(self):
+        table = Table("T", ["a"])
+        with pytest.raises(ValueError):
+            table.add(1, 2)
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == 5.0
+        assert speedup(1.0, 0.0) is None
+
+
+class TestWorkloadRunner:
+    def test_counts_and_latencies(self, cluster):
+        kz = cluster.client(node=1)
+        regions = make_regions(kz, 4)
+        spec = WorkloadSpec(operations=40, write_fraction=0.25, seed=1)
+        result = run_access_workload(cluster, kz, regions, spec)
+        assert result.operations == 40
+        assert result.errors == 0
+        assert result.writes > 0 and result.reads > 0
+        assert result.latency.count() == 40
+
+    def test_sequential_pattern_touches_all_regions(self, cluster):
+        kz = cluster.client(node=1)
+        regions = make_regions(kz, 5)
+        spec = WorkloadSpec(
+            operations=10, write_fraction=1.0,
+            pattern=AccessPattern.SEQUENTIAL, seed=2,
+        )
+        result = run_access_workload(cluster, kz, regions, spec)
+        assert result.writes == 10
+        for region in regions:
+            assert cluster.daemon(1).storage.contains(region.rid)

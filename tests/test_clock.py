@@ -1,0 +1,127 @@
+"""Tests for the virtual clock and event scheduler."""
+
+import pytest
+
+from repro.net.clock import EventScheduler, VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_advance(self):
+        clock = VirtualClock()
+        clock.advance_to(5.0)
+        assert clock.now == 5.0
+
+    def test_never_backwards(self):
+        clock = VirtualClock(10.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(9.0)
+
+
+class TestScheduler:
+    def test_events_fire_in_time_order(self):
+        sched = EventScheduler()
+        fired = []
+        sched.call_at(3.0, lambda: fired.append("c"))
+        sched.call_at(1.0, lambda: fired.append("a"))
+        sched.call_at(2.0, lambda: fired.append("b"))
+        sched.run_until_idle()
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_fifo(self):
+        sched = EventScheduler()
+        fired = []
+        for tag in "abcd":
+            sched.call_at(1.0, lambda t=tag: fired.append(t))
+        sched.run_until_idle()
+        assert fired == list("abcd")
+
+    def test_clock_tracks_events(self):
+        sched = EventScheduler()
+        seen = []
+        sched.call_at(2.5, lambda: seen.append(sched.now))
+        sched.run_until_idle()
+        assert seen == [2.5]
+        assert sched.now == 2.5
+
+    def test_call_later_relative(self):
+        sched = EventScheduler()
+        sched.call_at(5.0, lambda: sched.call_later(1.0, lambda: None))
+        sched.run_until_idle()
+        assert sched.now == 6.0
+
+    def test_negative_delay_rejected(self):
+        sched = EventScheduler()
+        with pytest.raises(ValueError):
+            sched.call_later(-1.0, lambda: None)
+
+    def test_past_schedule_rejected(self):
+        sched = EventScheduler()
+        sched.call_at(5.0, lambda: None)
+        sched.run_until_idle()
+        with pytest.raises(ValueError):
+            sched.call_at(1.0, lambda: None)
+
+    def test_cancel(self):
+        sched = EventScheduler()
+        fired = []
+        handle = sched.call_at(1.0, lambda: fired.append("x"))
+        handle.cancel()
+        assert sched.run_until_idle() == 0
+        assert fired == []
+
+    def test_cancelled_not_counted_in_pending(self):
+        sched = EventScheduler()
+        keep = sched.call_at(1.0, lambda: None)
+        drop = sched.call_at(2.0, lambda: None)
+        drop.cancel()
+        assert sched.pending == 1
+        assert not keep.cancelled
+
+    def test_run_until_stops_at_deadline(self):
+        sched = EventScheduler()
+        fired = []
+        sched.call_at(1.0, lambda: fired.append(1))
+        sched.call_at(5.0, lambda: fired.append(5))
+        sched.run_until(2.0)
+        assert fired == [1]
+        assert sched.now == 2.0
+        sched.run_until_idle()
+        assert fired == [1, 5]
+
+    def test_run_for_advances_clock_even_when_idle(self):
+        sched = EventScheduler()
+        sched.run_for(3.0)
+        assert sched.now == 3.0
+
+    def test_events_scheduled_during_run(self):
+        sched = EventScheduler()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                sched.call_later(1.0, lambda: chain(n + 1))
+
+        sched.call_soon(lambda: chain(0))
+        sched.run_until_idle()
+        assert fired == [0, 1, 2, 3]
+
+    def test_livelock_guard(self):
+        sched = EventScheduler()
+
+        def forever():
+            sched.call_soon(forever)
+
+        sched.call_soon(forever)
+        with pytest.raises(RuntimeError):
+            sched.run_until_idle(max_events=100)
+
+    def test_events_processed_counter(self):
+        sched = EventScheduler()
+        for _ in range(5):
+            sched.call_soon(lambda: None)
+        sched.run_until_idle()
+        assert sched.events_processed == 5

@@ -1,0 +1,111 @@
+"""Tests for the cluster-manager role (paper Section 3.1)."""
+
+import pytest
+
+from repro.core.addressing import AddressRange
+from repro.core.allocator import DEFAULT_CHUNK_SIZE
+from repro.net.message import MessageType
+
+
+class TestSpaceGrants:
+    def test_reserve_triggers_chunk_grant(self, cluster):
+        kz = cluster.client(node=2)
+        kz.reserve(4096)
+        pool = cluster.daemon(2).space_pool
+        # The daemon got a ~1 GiB chunk and carved one page from it.
+        assert pool.total_free() == DEFAULT_CHUNK_SIZE - 4096
+        assert cluster.daemon(0).cluster_role.space_requests_served == 1
+
+    def test_second_reserve_uses_pool_without_manager(self, cluster):
+        kz = cluster.client(node=2)
+        kz.reserve(4096)
+        before = cluster.stats.snapshot()
+        kz.reserve(4096)
+        delta = cluster.stats.delta_since(before)
+        assert delta.count(MessageType.SPACE_REQUEST) == 0
+
+    def test_manager_carves_from_own_pool_path(self, cluster):
+        kz0 = cluster.client(node=0)   # the manager itself
+        desc = kz0.reserve(4096)
+        assert desc.home_nodes == (0,)
+        assert cluster.daemon(0).space_pool.total_free() > 0
+
+    def test_grants_are_disjoint_across_nodes(self, cluster):
+        for node in range(1, 4):
+            cluster.client(node=node).reserve(4096)
+        pools = [cluster.daemon(n).space_pool.ranges() for n in range(1, 4)]
+        flat = [r for ranges in pools for r in ranges]
+        for i, a in enumerate(flat):
+            for b in flat[i + 1:]:
+                assert not a.overlaps(b)
+
+    def test_huge_reserve_gets_oversized_chunk(self, cluster):
+        kz = cluster.client(node=1)
+        big = 3 * DEFAULT_CHUNK_SIZE
+        desc = kz.reserve(big)
+        assert desc.range.length == big
+
+
+class TestHints:
+    def test_hint_update_recorded(self, cluster):
+        kz1 = cluster.client(node=1)
+        desc = kz1.reserve(4096)
+        cluster.run(1.0)
+        role = cluster.daemon(0).cluster_role
+        hint = role.lookup_hint(desc.rid)
+        assert hint is not None
+        found, nodes = hint
+        assert found.rid == desc.rid
+        assert 1 in nodes
+
+    def test_hint_query_counts(self, cluster):
+        kz1 = cluster.client(node=1)
+        desc = kz1.reserve(4096)
+        kz1.allocate(desc.rid)
+        kz1.write_at(desc.rid, b"x")
+        cluster.run(1.0)
+        role = cluster.daemon(0).cluster_role
+        before_q, before_h = role.hint_queries, role.hint_hits
+        cluster.client(node=3).read_at(desc.rid, 1)
+        assert role.hint_queries == before_q + 1
+        assert role.hint_hits == before_h + 1
+
+    def test_dropped_hint_removed(self, cluster):
+        role = cluster.daemon(0).cluster_role
+        kz1 = cluster.client(node=1)
+        desc = kz1.reserve(4096)
+        cluster.run(1.0)
+        assert role.lookup_hint(desc.rid) is not None
+        role.note_region_dropped(desc.rid, 1)
+        assert role.lookup_hint(desc.rid) is None
+
+    def test_forget_node_scrubs_hints(self, cluster):
+        role = cluster.daemon(0).cluster_role
+        kz1 = cluster.client(node=1)
+        desc = kz1.reserve(4096)
+        cluster.run(1.0)
+        role.forget_node(1)
+        assert role.lookup_hint(desc.rid) is None
+
+    def test_newer_descriptor_version_kept(self, cluster):
+        role = cluster.daemon(0).cluster_role
+        kz1 = cluster.client(node=1)
+        desc = kz1.reserve(4096)
+        newer = desc.with_allocated(True)
+        role.note_region_cached(newer, 2)
+        role.note_region_cached(desc, 3)   # stale version arrives late
+        found, nodes = role.lookup_hint(desc.rid)
+        assert found.version == newer.version
+        assert nodes >= {2, 3}
+
+
+class TestFreeSpaceReports:
+    def test_reports_arrive_with_housekeeping(self, cluster):
+        kz = cluster.client(node=2)
+        kz.reserve(4096)   # gives node 2 a pool worth reporting
+        cluster.run(3.0)
+        role = cluster.daemon(0).cluster_role
+        hints = {h.node_id: h for h in role.free_space_hints()}
+        assert 2 in hints
+        assert hints[2].total_free == DEFAULT_CHUNK_SIZE - 4096
+        assert hints[2].max_contiguous <= DEFAULT_CHUNK_SIZE - 4096

@@ -1,0 +1,134 @@
+"""Tests for release consistency (paper Section 3.3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.consistency.release import apply_diff, compute_diff
+from repro.core.attributes import ConsistencyLevel, RegionAttributes
+from repro.core.locks import LockMode
+
+
+def make_region(cluster, node=1, size=4096, **kwargs):
+    kz = cluster.client(node=node)
+    attrs = RegionAttributes(
+        consistency_level=ConsistencyLevel.RELEASE, **kwargs
+    )
+    desc = kz.reserve(size, attrs)
+    kz.allocate(desc.rid)
+    return kz, desc
+
+
+class TestDiffs:
+    def test_identical_pages_empty_diff(self):
+        page = b"a" * 100
+        assert compute_diff(page, page) == []
+
+    def test_single_run(self):
+        twin = b"aaaaaaaa"
+        cur = b"aaXXaaaa"
+        assert compute_diff(twin, cur) == [(2, b"XX")]
+
+    def test_multiple_runs(self):
+        twin = b"aaaaaaaa"
+        cur = b"Xaaa aaY"
+        diff = compute_diff(twin, cur)
+        assert apply_diff(twin, diff) == cur
+        assert len(diff) == 3
+
+    def test_length_change_degenerates_to_full_page(self):
+        assert compute_diff(b"aa", b"aaa") == [(0, b"aaa")]
+
+    def test_apply_extends_short_base(self):
+        assert apply_diff(b"ab", [(4, b"z")]) == b"ab\x00\x00z"
+
+    @given(st.binary(min_size=1, max_size=200), st.binary(max_size=200))
+    @settings(max_examples=200)
+    def test_diff_apply_roundtrip(self, twin, tail):
+        current = (tail + twin)[: len(twin)]
+        diff = compute_diff(twin, current)
+        assert apply_diff(twin, diff) == current
+
+    @given(
+        st.binary(min_size=32, max_size=64),
+        st.lists(
+            st.tuples(st.integers(0, 31), st.binary(min_size=1, max_size=8)),
+            max_size=5,
+        ),
+    )
+    @settings(max_examples=100)
+    def test_non_overlapping_merge(self, base, edits):
+        """Two writers editing disjoint ranges both survive the merge."""
+        current = bytearray(base)
+        for offset, data in edits:
+            current[offset : offset + len(data)] = data
+        current = bytes(current[: len(base)])
+        diff = compute_diff(base, current)
+        assert apply_diff(base, diff) == current
+
+
+class TestReleaseProtocol:
+    def test_write_then_read_roundtrip(self, cluster):
+        kz, desc = make_region(cluster)
+        kz.write_at(desc.rid, b"released")
+        assert kz.read_at(desc.rid, 8) == b"released"
+
+    def test_update_propagates_to_replicas(self, cluster):
+        kz1, desc = make_region(cluster)
+        kz1.write_at(desc.rid, b"v1")
+        kz3 = cluster.client(node=3)
+        assert kz3.read_at(desc.rid, 2) == b"v1"   # node 3 replicates
+        kz1.write_at(desc.rid, b"v2")
+        cluster.run(1.0)   # let the home's fanout arrive
+        assert kz3.read_at(desc.rid, 2) == b"v2"
+
+    def test_read_never_blocks_on_writer(self, cluster):
+        """Under release consistency a reader sees its replica even
+        while a remote writer holds the token."""
+        kz1, desc = make_region(cluster)
+        kz1.write_at(desc.rid, b"old")
+        kz3 = cluster.client(node=3)
+        kz3.read_at(desc.rid, 3)
+        ctx = kz1.lock(desc.rid, 4096, LockMode.WRITE)
+        kz1.write(ctx, desc.rid, b"mid")
+        # Reader is NOT blocked and sees the pre-release value.
+        assert kz3.read_at(desc.rid, 3) == b"old"
+        kz1.unlock(ctx)
+        cluster.run(1.0)
+        assert kz3.read_at(desc.rid, 3) == b"mid"
+
+    def test_write_tokens_serialise_writers(self, cluster):
+        kz1, desc = make_region(cluster, node=1)
+        kz2 = cluster.client(node=2)
+        ctx1 = kz1.lock(desc.rid, 4096, LockMode.WRITE)
+        lock2 = kz2.lock_async(desc.rid, 4096, LockMode.WRITE)
+        cluster.run(1.0)
+        assert not lock2.done   # token held by node 1
+        kz1.write(ctx1, desc.rid, b"first")
+        kz1.unlock(ctx1)
+        cluster.run(1.0)
+        assert lock2.done
+        ctx2 = lock2.result()
+        # Writer 2 starts from writer 1's released data.
+        assert kz2.read(ctx2, desc.rid, 5) == b"first"
+        kz2.unlock(ctx2)
+
+    def test_write_shared_merges_disjoint_writes(self, cluster):
+        kz1, desc = make_region(cluster, node=1)
+        kz1.write_at(desc.rid, b"................")
+        kz2 = cluster.client(node=2)
+        c1 = kz1.lock(desc.rid, 4096, LockMode.WRITE_SHARED)
+        c2 = kz2.lock(desc.rid, 4096, LockMode.WRITE_SHARED)
+        kz1.write(c1, desc.rid, b"AA")
+        kz2.write(c2, desc.rid + 8, b"BB")
+        kz1.unlock(c1)
+        kz2.unlock(c2)
+        cluster.run(1.0)
+        merged = cluster.client(node=3).read_at(desc.rid, 16)
+        assert merged[0:2] == b"AA"
+        assert merged[8:10] == b"BB"
+
+    def test_multi_replica_home_failover(self, cluster):
+        kz1, desc = make_region(cluster, node=1, min_replicas=2)
+        kz1.write_at(desc.rid, b"resilient")
+        assert cluster.client(node=3).read_at(desc.rid, 9) == b"resilient"

@@ -1,0 +1,327 @@
+"""Integration tests for the Khazana client API (paper Section 2).
+
+Exercises the full operation set — reserve/unreserve, allocate/free,
+lock/unlock, read/write, get/set attributes — through real daemons on
+the simulated network.
+"""
+
+import pytest
+
+from repro.core.attributes import ConsistencyLevel, RegionAttributes
+from repro.core.errors import (
+    AccessDenied,
+    InvalidLockContext,
+    InvalidRange,
+    NotAllocated,
+    RegionInUse,
+    RegionNotFound,
+)
+from repro.core.locks import LockMode
+from repro.core.security import AccessControlList, Right
+
+
+class TestReserve:
+    def test_reserve_returns_page_aligned_region(self, cluster):
+        kz = cluster.client(node=1)
+        desc = kz.reserve(10_000)   # rounds up to 3 pages
+        assert desc.range.length == 12_288
+        assert desc.range.start % 4096 == 0
+        assert desc.home_nodes == (1,)
+
+    def test_regions_do_not_overlap(self, cluster):
+        kz = cluster.client(node=1)
+        descs = [kz.reserve(4096) for _ in range(20)]
+        for i, a in enumerate(descs):
+            for b in descs[i + 1:]:
+                assert not a.range.overlaps(b.range)
+
+    def test_reserves_from_different_nodes_disjoint(self, cluster):
+        descs = []
+        for node in range(4):
+            kz = cluster.client(node=node)
+            descs.extend(kz.reserve(8192) for _ in range(5))
+        for i, a in enumerate(descs):
+            for b in descs[i + 1:]:
+                assert not a.range.overlaps(b.range)
+
+    def test_min_replicas_picks_multiple_homes(self, cluster):
+        kz = cluster.client(node=1)
+        desc = kz.reserve(4096, RegionAttributes(min_replicas=3))
+        assert len(desc.home_nodes) == 3
+        assert desc.home_nodes[0] == 1
+
+    def test_larger_page_size(self, cluster):
+        kz = cluster.client(node=1)
+        desc = kz.reserve(100_000, RegionAttributes(page_size=65536))
+        assert desc.range.length == 131072
+        assert desc.range.start % 65536 == 0
+
+    def test_rejects_nonpositive_size(self, cluster):
+        kz = cluster.client(node=1)
+        with pytest.raises(InvalidRange):
+            kz.reserve(0)
+
+
+class TestAccess:
+    def test_lock_before_allocate_fails(self, cluster):
+        kz = cluster.client(node=1)
+        desc = kz.reserve(4096)
+        with pytest.raises(NotAllocated):
+            kz.lock(desc.rid, 4096, LockMode.READ)
+
+    def test_write_then_read_same_node(self, cluster):
+        kz = cluster.client(node=1)
+        desc = kz.reserve(4096)
+        kz.allocate(desc.rid)
+        kz.write_at(desc.rid, b"payload")
+        assert kz.read_at(desc.rid, 7) == b"payload"
+
+    def test_fresh_pages_read_as_zero(self, cluster):
+        kz = cluster.client(node=1)
+        desc = kz.reserve(4096)
+        kz.allocate(desc.rid)
+        assert kz.read_at(desc.rid, 16) == b"\x00" * 16
+
+    def test_cross_node_read(self, cluster):
+        writer = cluster.client(node=1)
+        desc = writer.reserve(4096)
+        writer.allocate(desc.rid)
+        writer.write_at(desc.rid, b"shared-state")
+        reader = cluster.client(node=3)
+        assert reader.read_at(desc.rid, 12) == b"shared-state"
+
+    def test_multi_page_write_and_read(self, cluster):
+        kz = cluster.client(node=2)
+        desc = kz.reserve(4 * 4096)
+        kz.allocate(desc.rid)
+        blob = bytes(i % 256 for i in range(3 * 4096 + 100))
+        kz.write_at(desc.rid + 2000, blob)
+        assert kz.read_at(desc.rid + 2000, len(blob)) == blob
+
+    def test_unaligned_offsets(self, cluster):
+        kz = cluster.client(node=1)
+        desc = kz.reserve(2 * 4096)
+        kz.allocate(desc.rid)
+        kz.write_at(desc.rid + 4090, b"spans-a-page-boundary")
+        assert kz.read_at(desc.rid + 4090, 21) == b"spans-a-page-boundary"
+
+    def test_mapped_view(self, cluster):
+        kz = cluster.client(node=1)
+        desc = kz.reserve(4096)
+        kz.allocate(desc.rid)
+        with kz.map(desc.rid, 4096, LockMode.WRITE) as view:
+            view.write(100, b"mapped")
+            assert view.read(100, 6) == b"mapped"
+        assert kz.read_at(desc.rid + 100, 6) == b"mapped"
+
+    def test_unknown_address_fails(self, cluster):
+        kz = cluster.client(node=1)
+        with pytest.raises(RegionNotFound):
+            kz.read_at(0x500000000000, 4)
+
+    def test_lock_across_region_boundary_rejected(self, cluster):
+        kz = cluster.client(node=1)
+        desc = kz.reserve(4096)
+        kz.allocate(desc.rid)
+        with pytest.raises((InvalidRange, RegionNotFound)):
+            kz.lock(desc.rid + 2048, 4096, LockMode.READ)
+
+
+class TestLockContexts:
+    def test_read_context_rejects_write(self, cluster):
+        kz = cluster.client(node=1)
+        desc = kz.reserve(4096)
+        kz.allocate(desc.rid)
+        ctx = kz.lock(desc.rid, 4096, LockMode.READ)
+        with pytest.raises(InvalidLockContext):
+            kz.write(ctx, desc.rid, b"nope")
+        kz.unlock(ctx)
+
+    def test_context_unusable_after_unlock(self, cluster):
+        kz = cluster.client(node=1)
+        desc = kz.reserve(4096)
+        kz.allocate(desc.rid)
+        ctx = kz.lock(desc.rid, 4096, LockMode.READ)
+        kz.unlock(ctx)
+        with pytest.raises(InvalidLockContext):
+            kz.read(ctx, desc.rid, 4)
+
+    def test_context_covers_only_locked_range(self, cluster):
+        kz = cluster.client(node=1)
+        desc = kz.reserve(2 * 4096)
+        kz.allocate(desc.rid)
+        ctx = kz.lock(desc.rid, 4096, LockMode.WRITE)
+        with pytest.raises(InvalidLockContext):
+            kz.read(ctx, desc.rid + 4096, 4)
+        kz.unlock(ctx)
+
+    def test_double_unlock_is_idempotent(self, cluster):
+        kz = cluster.client(node=1)
+        desc = kz.reserve(4096)
+        kz.allocate(desc.rid)
+        ctx = kz.lock(desc.rid, 4096, LockMode.READ)
+        kz.unlock(ctx)
+        kz.unlock(ctx)   # must not raise: release errors never surface
+
+    def test_concurrent_read_locks(self, cluster):
+        kz1 = cluster.client(node=1)
+        kz2 = cluster.client(node=2)
+        desc = kz1.reserve(4096)
+        kz1.allocate(desc.rid)
+        kz1.write_at(desc.rid, b"r")
+        c1 = kz1.lock(desc.rid, 4096, LockMode.READ)
+        c2 = kz2.lock(desc.rid, 4096, LockMode.READ)
+        assert kz1.read(c1, desc.rid, 1) == b"r"
+        assert kz2.read(c2, desc.rid, 1) == b"r"
+        kz1.unlock(c1)
+        kz2.unlock(c2)
+
+
+class TestAttributesOps:
+    def test_get_attributes(self, cluster):
+        kz = cluster.client(node=1)
+        desc = kz.reserve(
+            4096, RegionAttributes(consistency_level=ConsistencyLevel.RELEASE)
+        )
+        attrs = cluster.client(node=3).get_attributes(desc.rid)
+        assert attrs.consistency_level is ConsistencyLevel.RELEASE
+
+    def test_set_attributes_updates_version(self, cluster):
+        kz = cluster.client(node=1, principal="alice")
+        desc = kz.reserve(4096)
+        new_attrs = desc.attrs.with_replicas(2)
+        updated = kz.set_attributes(desc.rid, new_attrs)
+        assert updated.version > desc.version
+        assert kz.get_attributes(desc.rid).min_replicas == 2
+
+    def test_page_size_immutable(self, cluster):
+        kz = cluster.client(node=1)
+        desc = kz.reserve(4096)
+        with pytest.raises(InvalidRange):
+            kz.set_attributes(
+                desc.rid, RegionAttributes(page_size=8192)
+            )
+
+
+class TestAccessControl:
+    def test_private_region_blocks_stranger(self, cluster):
+        alice = cluster.client(node=1, principal="alice")
+        desc = alice.reserve(
+            4096,
+            RegionAttributes(acl=AccessControlList.private("alice")),
+        )
+        alice.allocate(desc.rid)
+        alice.write_at(desc.rid, b"secret")
+        bob = cluster.client(node=2, principal="bob")
+        with pytest.raises(AccessDenied):
+            bob.read_at(desc.rid, 6)
+
+    def test_read_only_grant(self, cluster):
+        alice = cluster.client(node=1, principal="alice")
+        acl = AccessControlList.private("alice").granting("bob", Right.READ)
+        desc = alice.reserve(4096, RegionAttributes(acl=acl))
+        alice.allocate(desc.rid)
+        alice.write_at(desc.rid, b"readable")
+        bob = cluster.client(node=2, principal="bob")
+        assert bob.read_at(desc.rid, 8) == b"readable"
+        with pytest.raises(AccessDenied):
+            bob.write_at(desc.rid, b"x")
+
+    def test_home_enforces_acl_despite_stale_cached_descriptor(self, cluster):
+        """Defense in depth: even if a requester's daemon holds a
+        stale descriptor with a permissive ACL, the home re-checks
+        against the authoritative one (paper 3.2: 'Khazana checks the
+        region's access permissions')."""
+        alice = cluster.client(node=1, principal="alice")
+        open_attrs = RegionAttributes()   # world-accessible at first
+        desc = alice.reserve(4096, open_attrs)
+        alice.allocate(desc.rid)
+        alice.write_at(desc.rid, b"soon-private")
+        bob = cluster.client(node=2, principal="bob")
+        assert bob.read_at(desc.rid, 12) == b"soon-private"
+        # Alice locks bob out; bob's node still caches the open ACL.
+        alice.set_attributes(
+            desc.rid,
+            open_attrs.with_acl(AccessControlList.private("alice")),
+        )
+        # Drop bob's local copy so the next read must hit the home.
+        cluster.daemon(2).drop_local_page(desc.rid)
+        cm = cluster.daemon(2).consistency_manager("crew")
+        cm.page_state.pop(desc.rid, None)
+        with pytest.raises(AccessDenied):
+            bob.read_at(desc.rid, 12)
+
+    def test_remote_acl_enforced_for_release_protocol(self, cluster):
+        alice = cluster.client(node=1, principal="alice")
+        acl = AccessControlList.private("alice").granting("bob", Right.READ)
+        desc = alice.reserve(
+            4096,
+            RegionAttributes(
+                consistency_level=ConsistencyLevel.RELEASE, acl=acl
+            ),
+        )
+        alice.allocate(desc.rid)
+        alice.write_at(desc.rid, b"release-data")
+        bob = cluster.client(node=2, principal="bob")
+        assert bob.read_at(desc.rid, 12) == b"release-data"
+        with pytest.raises(AccessDenied):
+            bob.write_at(desc.rid, b"denied")
+
+    def test_admin_needed_for_set_attributes(self, cluster):
+        alice = cluster.client(node=1, principal="alice")
+        acl = AccessControlList.private("alice").granting(
+            "bob", Right.READ | Right.WRITE
+        )
+        desc = alice.reserve(4096, RegionAttributes(acl=acl))
+        bob = cluster.client(node=2, principal="bob")
+        with pytest.raises(AccessDenied):
+            bob.set_attributes(desc.rid, RegionAttributes(acl=acl))
+
+
+class TestUnreserveAndFree:
+    def test_unreserve_releases_address_space(self, cluster):
+        kz = cluster.client(node=1)
+        desc = kz.reserve(4096)
+        kz.allocate(desc.rid)
+        kz.write_at(desc.rid, b"bye")
+        kz.unreserve(desc.rid)
+        cluster.run(5.0)   # let background teardown finish
+        with pytest.raises(RegionNotFound):
+            cluster.client(node=3).read_at(desc.rid, 3)
+
+    def test_unreserve_with_live_lock_rejected(self, cluster):
+        kz = cluster.client(node=1)
+        desc = kz.reserve(4096)
+        kz.allocate(desc.rid)
+        ctx = kz.lock(desc.rid, 4096, LockMode.READ)
+        with pytest.raises(RegionInUse):
+            kz.unreserve(desc.rid)
+        kz.unlock(ctx)
+
+    def test_free_subrange_drops_storage(self, cluster):
+        kz = cluster.client(node=1)
+        desc = kz.reserve(2 * 4096)
+        kz.allocate(desc.rid)
+        kz.write_at(desc.rid, b"a" * 8192)
+        kz.free(desc.rid, 4096, 4096)
+        cluster.run(2.0)
+        # Freed page reads as zero again after re-allocation.
+        kz.allocate(desc.rid, 4096, 4096)
+        assert kz.read_at(desc.rid + 4096, 4) == b"\x00" * 4
+        assert kz.read_at(desc.rid, 4) == b"aaaa"
+
+    def test_unreserve_unknown_region(self, cluster):
+        kz = cluster.client(node=1)
+        with pytest.raises(RegionNotFound):
+            kz.unreserve(0x700000000000)
+
+
+class TestPersistenceAcrossProtocols:
+    @pytest.mark.parametrize("level", list(ConsistencyLevel))
+    def test_write_read_roundtrip_each_protocol(self, cluster, level):
+        kz = cluster.client(node=1)
+        desc = kz.reserve(4096, RegionAttributes(consistency_level=level))
+        kz.allocate(desc.rid)
+        kz.write_at(desc.rid, b"proto-" + level.value.encode())
+        got = kz.read_at(desc.rid, 6 + len(level.value))
+        assert got == b"proto-" + level.value.encode()

@@ -1,0 +1,139 @@
+"""Tests for the per-node region directory and page directory."""
+
+from repro.core.addressing import AddressRange
+from repro.core.attributes import RegionAttributes
+from repro.core.page_directory import PageDirectory
+from repro.core.region import RegionDescriptor
+from repro.core.region_directory import RegionDirectory
+
+
+def desc(start, length=0x4000, homes=(1,), version=None):
+    d = RegionDescriptor(
+        range=AddressRange(start, length),
+        attrs=RegionAttributes(),
+        home_nodes=homes,
+    )
+    if version is not None:
+        object.__setattr__(d, "version", version)
+    return d
+
+
+class TestRegionDirectory:
+    def test_insert_and_get(self):
+        rd = RegionDirectory()
+        d = desc(0x10000)
+        rd.insert(d)
+        assert rd.get(0x10000) is d
+
+    def test_find_covering(self):
+        rd = RegionDirectory()
+        rd.insert(desc(0x10000, 0x4000))
+        hit = rd.find_covering(0x12000)
+        assert hit is not None and hit.rid == 0x10000
+        assert rd.find_covering(0x20000) is None
+
+    def test_lru_eviction(self):
+        rd = RegionDirectory(capacity=2)
+        a, b, c = desc(0x10000), desc(0x20000), desc(0x30000)
+        rd.insert(a)
+        rd.insert(b)
+        rd.get(0x10000)     # refresh a
+        rd.insert(c)        # evicts b
+        assert rd.get(0x20000) is None
+        assert rd.get(0x10000) is not None
+        assert rd.get(0x30000) is not None
+
+    def test_pinned_entries_never_evicted(self):
+        rd = RegionDirectory(capacity=1)
+        system = desc(0)
+        rd.pin(system)
+        rd.insert(desc(0x10000))
+        rd.insert(desc(0x20000))
+        assert rd.get(0) is system
+        assert rd.find_covering(0x100).rid == 0
+
+    def test_newer_version_wins(self):
+        rd = RegionDirectory()
+        old = desc(0x10000, version=5)
+        new = desc(0x10000, version=9)
+        rd.insert(new)
+        rd.insert(old)   # stale insert must not clobber
+        assert rd.get(0x10000).version == 9
+        rd.insert(desc(0x10000, version=12))
+        assert rd.get(0x10000).version == 12
+
+    def test_invalidate(self):
+        rd = RegionDirectory()
+        rd.insert(desc(0x10000))
+        rd.invalidate(0x10000)
+        assert rd.get(0x10000) is None
+
+    def test_hit_rate_accounting(self):
+        rd = RegionDirectory()
+        rd.insert(desc(0x10000))
+        rd.get(0x10000)
+        rd.get(0x99000)
+        assert rd.hit_rate() == 0.5
+        rd.reset_stats()
+        assert rd.hit_rate() == 0.0
+
+
+class TestPageDirectory:
+    def test_ensure_creates_once(self):
+        pd = PageDirectory(node_id=1)
+        e1 = pd.ensure(0x1000, rid=0x1000, homed=True)
+        e2 = pd.ensure(0x1000, rid=0x1000, homed=False)
+        assert e1 is e2
+        assert e1.homed   # never downgraded
+
+    def test_hint_upgraded_to_homed(self):
+        pd = PageDirectory(node_id=1)
+        pd.ensure(0x1000, rid=0x1000, homed=False)
+        entry = pd.ensure(0x1000, rid=0x1000, homed=True)
+        assert entry.homed
+
+    def test_sharer_tracking(self):
+        pd = PageDirectory(node_id=1)
+        entry = pd.ensure(0x1000, rid=0x1000, homed=True)
+        entry.record_sharer(2)
+        entry.record_sharer(3)
+        entry.owner = 3
+        assert entry.copyset_excluding(2) == [3]
+        entry.forget_sharer(3)
+        assert entry.owner is None
+        assert entry.sharers == {2}
+
+    def test_entries_for_region_sorted(self):
+        pd = PageDirectory(node_id=1)
+        pd.ensure(0x3000, rid=0x1000, homed=True)
+        pd.ensure(0x1000, rid=0x1000, homed=True)
+        pd.ensure(0x9000, rid=0x9000, homed=True)
+        addrs = [e.address for e in pd.entries_for_region(0x1000)]
+        assert addrs == [0x1000, 0x3000]
+
+    def test_homed_vs_hint_partition(self):
+        pd = PageDirectory(node_id=1)
+        pd.ensure(0x1000, rid=0x1000, homed=True)
+        pd.ensure(0x2000, rid=0x1000, homed=False)
+        assert [e.address for e in pd.homed_entries()] == [0x1000]
+        assert [e.address for e in pd.hint_entries()] == [0x2000]
+
+    def test_drop_region(self):
+        pd = PageDirectory(node_id=1)
+        pd.ensure(0x1000, rid=0x1000, homed=True)
+        pd.ensure(0x2000, rid=0x1000, homed=True)
+        pd.ensure(0x9000, rid=0x9000, homed=True)
+        assert pd.drop_region(0x1000) == 2
+        assert len(pd) == 1
+
+    def test_forget_node_scrubs_copysets(self):
+        pd = PageDirectory(node_id=1)
+        a = pd.ensure(0x1000, rid=0x1000, homed=True)
+        a.record_sharer(5)
+        a.owner = 5
+        b = pd.ensure(0x2000, rid=0x1000, homed=True)
+        b.record_sharer(2)
+        touched = pd.forget_node(5)
+        assert [e.address for e in touched] == [0x1000]
+        assert a.owner is None and 5 not in a.sharers
+        assert b.sharers == {2}

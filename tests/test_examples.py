@@ -1,0 +1,45 @@
+"""Smoke tests: every example script runs to completion.
+
+The examples double as end-to-end acceptance tests for the public
+API; each one exercises a different consumer from the paper.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+EXAMPLES = sorted(
+    name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+)
+
+
+def test_example_inventory():
+    """The documented example set is present."""
+    for expected in (
+        "quickstart.py",
+        "filesystem.py",
+        "objects.py",
+        "web_cache.py",
+        "directory_service.py",
+        "figure2_trace.py",
+        "operations.py",
+    ):
+        assert expected in EXAMPLES
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\n{result.stdout}\n{result.stderr}"
+    )
+    assert result.stdout.strip(), f"{script} printed nothing"

@@ -1,0 +1,277 @@
+"""Tests for KFS, the Section 4.1 wide-area distributed file system."""
+
+import pytest
+
+from repro.api import create_cluster
+from repro.core.attributes import ConsistencyLevel
+from repro.fs import FileSystemError, FileType, KhazanaFileSystem
+from repro.fs.layout import BLOCK_SIZE, MAX_BLOCKS
+
+
+@pytest.fixture
+def fs(cluster):
+    return KhazanaFileSystem.format(cluster.client(node=1))
+
+
+class TestFormatMount:
+    def test_format_creates_root(self, fs):
+        assert fs.listdir("/") == []
+        root = fs._read_inode(fs.root_inode_addr)
+        assert root.file_type is FileType.DIRECTORY
+
+    def test_mount_by_superblock_address(self, cluster, fs):
+        other = KhazanaFileSystem.mount(
+            cluster.client(node=3), fs.superblock_addr
+        )
+        assert other.root_inode_addr == fs.root_inode_addr
+
+    def test_mount_garbage_address_fails(self, cluster, fs):
+        kz = cluster.client(node=2)
+        desc = kz.reserve(4096)
+        kz.allocate(desc.rid)
+        with pytest.raises(FileSystemError):
+            KhazanaFileSystem.mount(kz, desc.rid)
+
+
+class TestFilesBasic:
+    def test_create_write_read(self, fs):
+        with fs.create("/a.txt") as f:
+            f.write(b"hello")
+        with fs.open("/a.txt") as f:
+            assert f.read() == b"hello"
+
+    def test_create_existing_fails(self, fs):
+        fs.create("/a.txt").close()
+        with pytest.raises(FileSystemError):
+            fs.create("/a.txt")
+
+    def test_open_missing_read_fails(self, fs):
+        with pytest.raises(FileSystemError):
+            fs.open("/missing.txt")
+
+    def test_open_w_truncates(self, fs):
+        with fs.create("/a.txt") as f:
+            f.write(b"long content here")
+        with fs.open("/a.txt", "w") as f:
+            f.write(b"hi")
+        assert fs.stat("/a.txt").size == 2
+
+    def test_open_a_appends(self, fs):
+        with fs.create("/a.txt") as f:
+            f.write(b"one,")
+        with fs.open("/a.txt", "a") as f:
+            f.write(b"two")
+        with fs.open("/a.txt") as f:
+            assert f.read() == b"one,two"
+
+    def test_seek_tell(self, fs):
+        with fs.create("/a.txt") as f:
+            f.write(b"0123456789")
+            f.seek(2)
+            assert f.tell() == 2
+            assert f.read(3) == b"234"
+            f.seek(-2, 2)
+            assert f.read() == b"89"
+
+    def test_pread_pwrite(self, fs):
+        with fs.create("/a.txt") as f:
+            f.write(b"aaaaaaaa")
+            f.pwrite(2, b"XX")
+            assert f.pread(0, 8) == b"aaXXaaaa"
+            assert f.tell() == 8   # position unchanged by p-ops
+
+    def test_multi_block_file(self, fs):
+        blob = bytes(i % 251 for i in range(3 * BLOCK_SIZE + 17))
+        with fs.create("/big.bin") as f:
+            f.write(blob)
+        st = fs.stat("/big.bin")
+        assert st.size == len(blob)
+        assert len(st.blocks) == 4
+        with fs.open("/big.bin") as f:
+            assert f.read() == blob
+
+    def test_each_block_is_its_own_region(self, fs):
+        with fs.create("/two.bin") as f:
+            f.write(b"z" * (2 * BLOCK_SIZE))
+        st = fs.stat("/two.bin")
+        assert len(set(st.blocks)) == 2
+        for block in st.blocks:
+            assert block % BLOCK_SIZE == 0
+
+    def test_sparse_hole_reads_zero(self, fs):
+        with fs.create("/sparse.bin") as f:
+            f.truncate(2 * BLOCK_SIZE)
+            assert f.pread(10, 20) == b"\x00" * 20
+
+    def test_truncate_frees_blocks(self, cluster, fs):
+        with fs.create("/t.bin") as f:
+            f.write(b"x" * (3 * BLOCK_SIZE))
+            f.truncate(BLOCK_SIZE)
+        st = fs.stat("/t.bin")
+        assert st.size == BLOCK_SIZE
+        assert len(st.blocks) == 1
+
+    def test_file_size_limit_enforced(self, fs):
+        with fs.create("/cap.bin") as f:
+            with pytest.raises(Exception):
+                f.pwrite(MAX_BLOCKS * BLOCK_SIZE, b"overflow")
+
+    def test_closed_handle_rejects_io(self, fs):
+        f = fs.create("/c.txt")
+        f.close()
+        with pytest.raises(ValueError):
+            f.read()
+
+    def test_read_only_handle_rejects_write(self, fs):
+        fs.create("/r.txt").close()
+        with fs.open("/r.txt", "r") as f:
+            with pytest.raises(PermissionError):
+                f.write(b"nope")
+
+
+class TestDirectories:
+    def test_mkdir_listdir(self, fs):
+        fs.mkdir("/d")
+        fs.mkdir("/d/e")
+        fs.create("/d/f.txt").close()
+        assert fs.listdir("/") == ["d"]
+        assert fs.listdir("/d") == ["e", "f.txt"]
+
+    def test_mkdir_existing_fails(self, fs):
+        fs.mkdir("/d")
+        with pytest.raises(FileSystemError):
+            fs.mkdir("/d")
+
+    def test_nested_path_resolution(self, fs):
+        fs.mkdir("/a")
+        fs.mkdir("/a/b")
+        with fs.create("/a/b/c.txt") as f:
+            f.write(b"deep")
+        with fs.open("/a/b/c.txt") as f:
+            assert f.read() == b"deep"
+
+    def test_missing_parent_fails(self, fs):
+        with pytest.raises(FileSystemError):
+            fs.create("/no/such/parent.txt")
+
+    def test_rmdir_empty_only(self, fs):
+        fs.mkdir("/d")
+        fs.create("/d/x").close()
+        with pytest.raises(FileSystemError):
+            fs.rmdir("/d")
+        fs.unlink("/d/x")
+        fs.rmdir("/d")
+        assert not fs.exists("/d")
+
+    def test_unlink_directory_rejected(self, fs):
+        fs.mkdir("/d")
+        with pytest.raises(FileSystemError):
+            fs.unlink("/d")
+
+    def test_rename_within_directory(self, fs):
+        fs.create("/old.txt").close()
+        fs.rename("/old.txt", "/new.txt")
+        assert fs.exists("/new.txt")
+        assert not fs.exists("/old.txt")
+
+    def test_rename_across_directories(self, fs):
+        fs.mkdir("/src")
+        fs.mkdir("/dst")
+        with fs.create("/src/f.txt") as f:
+            f.write(b"moved")
+        fs.rename("/src/f.txt", "/dst/g.txt")
+        assert fs.listdir("/src") == []
+        with fs.open("/dst/g.txt") as f:
+            assert f.read() == b"moved"
+
+    def test_tree_listing(self, fs):
+        fs.mkdir("/d")
+        with fs.create("/d/f") as f:
+            f.write(b"abc")
+        tree = fs.tree("/")
+        assert tree["children"]["d"]["children"]["f"]["size"] == 3
+
+    def test_relative_path_rejected(self, fs):
+        with pytest.raises(FileSystemError):
+            fs.create("relative.txt")
+
+    def test_bad_names_rejected(self, fs):
+        from repro.fs.layout import LayoutError
+
+        with pytest.raises((FileSystemError, LayoutError)):
+            fs.create("/..")
+
+
+class TestUnlink:
+    def test_unlink_releases_regions(self, cluster, fs):
+        with fs.create("/gone.bin") as f:
+            f.write(b"y" * BLOCK_SIZE)
+        st = fs.stat("/gone.bin")
+        block = st.blocks[0]
+        fs.unlink("/gone.bin")
+        cluster.run(5.0)   # background unreserve drains
+        from repro.core.errors import KhazanaError
+
+        kz = cluster.client(node=1)
+        with pytest.raises(KhazanaError):
+            kz.read_at(block, 4)
+
+    def test_unlink_missing_fails(self, fs):
+        with pytest.raises(FileSystemError):
+            fs.unlink("/phantom")
+
+
+class TestDistribution:
+    """The paper's headline: the FS code is identical on 1..N nodes
+    and instances share state only through Khazana."""
+
+    def test_multi_mount_sharing(self, cluster, fs):
+        fs3 = KhazanaFileSystem.mount(
+            cluster.client(node=3), fs.superblock_addr
+        )
+        with fs.create("/shared.txt") as f:
+            f.write(b"from node 1")
+        with fs3.open("/shared.txt") as f:
+            assert f.read() == b"from node 1"
+        with fs3.open("/shared.txt", "a") as f:
+            f.write(b" + node 3")
+        with fs.open("/shared.txt") as f:
+            assert f.read() == b"from node 1 + node 3"
+
+    def test_same_code_single_node_cluster(self):
+        single = create_cluster(num_nodes=1)
+        fs = KhazanaFileSystem.format(single.client(node=0))
+        fs.mkdir("/solo")
+        with fs.create("/solo/f.txt") as f:
+            f.write(b"standalone")
+        with fs.open("/solo/f.txt") as f:
+            assert f.read() == b"standalone"
+
+    def test_replicated_filesystem_survives_home_crash(self):
+        cluster = create_cluster(num_nodes=6)
+        fs = KhazanaFileSystem.format(
+            cluster.client(node=1),
+            consistency=ConsistencyLevel.STRICT,
+            replicas=2,
+        )
+        with fs.create("/important.txt") as f:
+            f.write(b"do not lose")
+        cluster.run(2.0)
+        cluster.crash(1)
+        cluster.run(15.0)
+        fs4 = KhazanaFileSystem.mount(
+            cluster.client(node=4), fs.superblock_addr
+        )
+        with fs4.open("/important.txt") as f:
+            assert f.read() == b"do not lose"
+
+    def test_concurrent_directory_updates_from_two_nodes(self, cluster, fs):
+        fs3 = KhazanaFileSystem.mount(
+            cluster.client(node=3), fs.superblock_addr
+        )
+        for i in range(5):
+            fs.create(f"/n1-{i}").close()
+            fs3.create(f"/n3-{i}").close()
+        names = fs.listdir("/")
+        assert len(names) == 10
+        assert fs3.listdir("/") == names

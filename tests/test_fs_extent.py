@@ -1,0 +1,136 @@
+"""Tests for the extent file layout (paper Section 4.1's alternative:
+"allocate each file into a single contiguous region, which would
+require the filesystem to resize the region whenever the file size
+changes")."""
+
+import pytest
+
+from repro.api import create_cluster
+from repro.fs import KhazanaFileSystem
+from repro.fs.layout import BLOCK_SIZE
+
+
+@pytest.fixture
+def fs(cluster):
+    return KhazanaFileSystem.format(cluster.client(node=1))
+
+
+class TestExtentFiles:
+    def test_write_read_roundtrip(self, fs):
+        with fs.create("/e.bin", layout="extent") as f:
+            f.write(b"extent data")
+        with fs.open("/e.bin") as f:
+            assert f.read() == b"extent data"
+        assert fs.stat("/e.bin").layout == "extent"
+
+    def test_growth_resizes_single_region(self, fs):
+        with fs.create("/grow.bin", layout="extent") as f:
+            # 4 blocks up front puts the extent at the pool's tail,
+            # so in-place growth has free space to claim.
+            f.write(b"a" * (4 * BLOCK_SIZE))
+            first_extent = fs.stat("/grow.bin").extent
+            f.write(b"b" * (4 * BLOCK_SIZE))
+        st = fs.stat("/grow.bin")
+        assert st.size == 8 * BLOCK_SIZE
+        assert st.extent == first_extent        # same region, resized
+        assert st.extent_capacity >= 8 * BLOCK_SIZE
+        assert st.blocks == []                  # no per-block regions
+        with fs.open("/grow.bin") as f:
+            data = f.read()
+        assert data[: 4 * BLOCK_SIZE] == b"a" * (4 * BLOCK_SIZE)
+        assert data[4 * BLOCK_SIZE :] == b"b" * (4 * BLOCK_SIZE)
+
+    def test_capacity_doubles(self, fs):
+        with fs.create("/cap.bin", layout="extent") as f:
+            f.write(b"x")
+            assert fs.stat("/cap.bin").extent_capacity == BLOCK_SIZE
+            f.write(b"y" * BLOCK_SIZE)
+        assert fs.stat("/cap.bin").extent_capacity == 2 * BLOCK_SIZE
+
+    def test_relocation_when_neighbour_taken(self, fs):
+        with fs.create("/a.bin", layout="extent") as f:
+            f.write(b"a" * BLOCK_SIZE)
+        first = fs.stat("/a.bin").extent
+        # Reserve the space right after /a.bin's extent so in-place
+        # growth is impossible.
+        blocker = fs.session.reserve(BLOCK_SIZE)
+        assert blocker.range.start == first + BLOCK_SIZE
+        with fs.open("/a.bin", "a") as f:
+            f.write(b"b" * BLOCK_SIZE)
+        st = fs.stat("/a.bin")
+        assert st.extent != first               # relocated
+        with fs.open("/a.bin") as f:
+            assert f.read() == b"a" * BLOCK_SIZE + b"b" * BLOCK_SIZE
+
+    def test_truncate_shrinks_and_zeroes(self, fs):
+        with fs.create("/t.bin", layout="extent") as f:
+            f.write(b"z" * (4 * BLOCK_SIZE))
+            f.truncate(100)
+        st = fs.stat("/t.bin")
+        assert st.size == 100
+        assert st.extent_capacity == BLOCK_SIZE
+        with fs.open("/t.bin", "a") as f:
+            f.seek(0)
+        with fs.open("/t.bin") as f:
+            assert f.read() == b"z" * 100
+        # Re-extend sparsely: the hole reads zero, not stale bytes.
+        with fs.open("/t.bin", "a") as f:
+            f.pwrite(2 * BLOCK_SIZE, b"end")
+        with fs.open("/t.bin") as f:
+            data = f.read()
+        assert data[100 : 2 * BLOCK_SIZE] == b"\x00" * (2 * BLOCK_SIZE - 100)
+        assert data[2 * BLOCK_SIZE:] == b"end"
+
+    def test_sparse_truncate_up(self, fs):
+        with fs.create("/s.bin", layout="extent") as f:
+            f.write(b"head")
+            f.truncate(3 * BLOCK_SIZE)
+        with fs.open("/s.bin") as f:
+            data = f.read()
+        assert len(data) == 3 * BLOCK_SIZE
+        assert data[:4] == b"head"
+        assert set(data[4:]) == {0}
+
+    def test_unlink_releases_extent(self, cluster, fs):
+        with fs.create("/gone.bin", layout="extent") as f:
+            f.write(b"q" * BLOCK_SIZE)
+        extent = fs.stat("/gone.bin").extent
+        fs.unlink("/gone.bin")
+        cluster.run(5.0)
+        from repro.core.errors import KhazanaError
+
+        with pytest.raises(KhazanaError):
+            cluster.client(node=1).read_at(extent, 4)
+
+    def test_cross_node_sharing(self, cluster, fs):
+        with fs.create("/shared.bin", layout="extent") as f:
+            f.write(b"from site 1" + b"." * BLOCK_SIZE)
+        other = KhazanaFileSystem.mount(
+            cluster.client(node=3), fs.superblock_addr
+        )
+        with other.open("/shared.bin") as f:
+            assert f.read(11) == b"from site 1"
+        with other.open("/shared.bin", "a") as f:
+            f.write(b"+site 3")
+        with fs.open("/shared.bin") as f:
+            f.seek(-7, 2)
+            assert f.read() == b"+site 3"
+
+    def test_unknown_layout_rejected(self, fs):
+        from repro.fs import FileSystemError
+
+        with pytest.raises(FileSystemError):
+            fs.create("/bad.bin", layout="quantum")
+
+    def test_layouts_coexist(self, cluster, fs):
+        with fs.create("/b.bin", layout="blocks") as f:
+            f.write(b"blocks" * 1000)
+        with fs.create("/e.bin", layout="extent") as f:
+            f.write(b"extent" * 1000)
+        other = KhazanaFileSystem.mount(
+            cluster.client(node=2), fs.superblock_addr
+        )
+        with other.open("/b.bin") as f:
+            assert f.read(6) == b"blocks"
+        with other.open("/e.bin") as f:
+            assert f.read(6) == b"extent"

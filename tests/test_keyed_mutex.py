@@ -1,0 +1,58 @@
+"""Unit tests for the per-key FIFO mutex used by home-side directory
+transactions."""
+
+from repro.consistency.manager import KeyedMutex
+
+
+class TestKeyedMutex:
+    def test_uncontended_acquire_immediate(self):
+        mutex = KeyedMutex()
+        assert mutex.acquire("k").done
+        assert mutex.locked("k")
+        mutex.release("k")
+        assert not mutex.locked("k")
+
+    def test_fifo_ordering(self):
+        mutex = KeyedMutex()
+        order = []
+        first = mutex.acquire("k")
+        second = mutex.acquire("k")
+        third = mutex.acquire("k")
+        second.add_callback(lambda _: order.append("second"))
+        third.add_callback(lambda _: order.append("third"))
+        assert first.done and not second.done and not third.done
+        mutex.release("k")
+        assert order == ["second"]
+        mutex.release("k")
+        assert order == ["second", "third"]
+
+    def test_keys_independent(self):
+        mutex = KeyedMutex()
+        assert mutex.acquire("a").done
+        assert mutex.acquire("b").done
+        blocked = mutex.acquire("a")
+        assert not blocked.done
+
+    def test_reentrant_release_chain(self):
+        """Regression: a waiter's callback that itself releases the
+        mutex must not corrupt the wait queue (the next holder runs
+        synchronously inside release())."""
+        mutex = KeyedMutex()
+        completed = []
+
+        def critical_section(tag):
+            def on_granted(_future):
+                completed.append(tag)
+                mutex.release("k")   # re-enters release from within
+
+            return on_granted
+
+        first = mutex.acquire("k")
+        for tag in ("b", "c", "d"):
+            mutex.acquire("k").add_callback(critical_section(tag))
+        # Releasing the first holder cascades through every waiter.
+        mutex.release("k")
+        assert completed == ["b", "c", "d"]
+        assert not mutex.locked("k")
+        # The mutex is reusable afterwards.
+        assert mutex.acquire("k").done

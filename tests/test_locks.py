@@ -1,0 +1,113 @@
+"""Tests for lock modes, contexts, and the per-node lock table."""
+
+import pytest
+
+from repro.core.addressing import AddressRange
+from repro.core.errors import InvalidLockContext
+from repro.core.locks import LockContext, LockMode, LockTable
+
+
+def ctx(start=0, length=4096, mode=LockMode.READ, node=1):
+    return LockContext(rid=0, range=AddressRange(start, length),
+                       mode=mode, node_id=node, principal="u")
+
+
+class TestLockModes:
+    def test_read_read_compatible(self):
+        assert not LockMode.READ.conflicts_with(LockMode.READ)
+
+    def test_write_conflicts_with_everything_strict(self):
+        assert LockMode.WRITE.conflicts_with(LockMode.READ)
+        assert LockMode.WRITE.conflicts_with(LockMode.WRITE)
+        assert LockMode.READ.conflicts_with(LockMode.WRITE)
+
+    def test_write_shared_self_compatible(self):
+        assert not LockMode.WRITE_SHARED.conflicts_with(LockMode.WRITE_SHARED)
+        assert LockMode.WRITE_SHARED.conflicts_with(LockMode.READ)
+
+    def test_is_write(self):
+        assert LockMode.WRITE.is_write
+        assert LockMode.WRITE_SHARED.is_write
+        assert not LockMode.READ.is_write
+
+
+class TestLockContext:
+    def test_check_covers_accepts_subrange(self):
+        c = ctx(0, 8192, LockMode.WRITE)
+        c.check_covers(AddressRange(4096, 100), for_write=True)
+
+    def test_check_covers_rejects_outside(self):
+        c = ctx(0, 4096)
+        with pytest.raises(InvalidLockContext):
+            c.check_covers(AddressRange(4096, 1), for_write=False)
+
+    def test_read_mode_rejects_write(self):
+        c = ctx(0, 4096, LockMode.READ)
+        with pytest.raises(InvalidLockContext):
+            c.check_covers(AddressRange(0, 10), for_write=True)
+
+    def test_closed_context_rejected(self):
+        c = ctx()
+        c.closed = True
+        with pytest.raises(InvalidLockContext):
+            c.check_open()
+
+    def test_unique_ids(self):
+        assert ctx().ctx_id != ctx().ctx_id
+
+
+class TestLockTable:
+    def test_register_and_lookup(self):
+        table = LockTable()
+        c = ctx()
+        table.register(c, [0])
+        assert table.lookup(c.ctx_id) is c
+        assert table.page_locked(0)
+        assert len(table) == 1
+
+    def test_release_closes_and_unindexes(self):
+        table = LockTable()
+        c = ctx()
+        table.register(c, [0, 4096])
+        table.release(c, [0, 4096])
+        assert c.closed
+        assert not table.page_locked(0)
+        with pytest.raises(InvalidLockContext):
+            table.lookup(c.ctx_id)
+
+    def test_release_unregistered_raises(self):
+        table = LockTable()
+        with pytest.raises(InvalidLockContext):
+            table.release(ctx(), [0])
+
+    def test_conflicts_read_read(self):
+        table = LockTable()
+        table.register(ctx(mode=LockMode.READ), [0])
+        assert not table.conflicts(0, LockMode.READ)
+        assert table.conflicts(0, LockMode.WRITE)
+
+    def test_conflicts_ignore_self(self):
+        table = LockTable()
+        c = ctx(mode=LockMode.WRITE)
+        table.register(c, [0])
+        assert table.conflicts(0, LockMode.WRITE)
+        assert not table.conflicts(0, LockMode.WRITE, ignore=c)
+
+    def test_holders_per_page(self):
+        table = LockTable()
+        c1 = ctx(mode=LockMode.READ)
+        c2 = ctx(mode=LockMode.READ)
+        table.register(c1, [0, 4096])
+        table.register(c2, [4096])
+        assert {h.ctx_id for h in table.holders(4096)} == {c1.ctx_id, c2.ctx_id}
+        assert [h.ctx_id for h in table.holders(0)] == [c1.ctx_id]
+        assert table.holders(8192) == []
+
+    def test_live_contexts_iteration(self):
+        table = LockTable()
+        contexts = [ctx() for _ in range(3)]
+        for c in contexts:
+            table.register(c, [0])
+        assert {c.ctx_id for c in table.live_contexts()} == {
+            c.ctx_id for c in contexts
+        }

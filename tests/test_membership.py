@@ -1,0 +1,88 @@
+"""Tests for dynamic membership (paper Section 3: "Machines can
+dynamically enter and leave Khazana and contribute/reclaim local
+resources")."""
+
+import pytest
+
+from repro.api import create_cluster, create_hierarchy
+from repro.core.attributes import RegionAttributes
+
+
+class TestJoin:
+    def test_new_node_reads_existing_data(self, cluster):
+        kz1 = cluster.client(node=1)
+        desc = kz1.reserve(4096)
+        kz1.allocate(desc.rid)
+        kz1.write_at(desc.rid, b"pre-join data")
+        fresh = cluster.add_node()
+        cluster.run(1.0)
+        newcomer = cluster.client(node=fresh.node_id)
+        assert newcomer.read_at(desc.rid, 13) == b"pre-join data"
+
+    def test_new_node_contributes_address_space(self, cluster):
+        fresh = cluster.add_node()
+        cluster.run(1.0)
+        newcomer = cluster.client(node=fresh.node_id)
+        desc = newcomer.reserve(4096)
+        newcomer.allocate(desc.rid)
+        newcomer.write_at(desc.rid, b"from the newcomer")
+        assert cluster.client(node=0).read_at(desc.rid, 17) == (
+            b"from the newcomer"
+        )
+
+    def test_existing_nodes_learn_about_newcomer(self, cluster):
+        fresh = cluster.add_node()
+        cluster.run(5.0)   # ping rounds
+        assert fresh.node_id in cluster.daemon(1).detector.alive_peers()
+
+    def test_newcomer_eligible_as_replica_home(self, cluster):
+        fresh = cluster.add_node()
+        cluster.run(3.0)
+        kz1 = cluster.client(node=1)
+        # With every original peer plus the newcomer alive, a
+        # 5-replica region must include the newcomer.
+        desc = kz1.reserve(4096, RegionAttributes(min_replicas=5))
+        assert fresh.node_id in desc.home_nodes
+
+    def test_duplicate_node_id_rejected(self, cluster):
+        with pytest.raises(ValueError):
+            cluster.add_node(node=1)
+
+    def test_join_into_hierarchy(self):
+        hierarchy = create_hierarchy([2, 2])
+        fresh = hierarchy.add_node()
+        hierarchy.run(1.0)
+        assert fresh.config.cluster_id == 0
+        assert fresh.config.cluster_manager_node == 0
+        kz = hierarchy.client(node=fresh.node_id)
+        desc = kz.reserve(4096)
+        assert desc is not None
+
+
+class TestLeave:
+    def test_clean_leave_triggers_repair(self):
+        cluster = create_cluster(num_nodes=6)
+        kz1 = cluster.client(node=1)
+        desc = kz1.reserve(4096, RegionAttributes(min_replicas=2))
+        kz1.allocate(desc.rid)
+        kz1.write_at(desc.rid, b"keep me")
+        secondary = desc.home_nodes[1]
+        cluster.run(2.0)
+        cluster.remove_node(1)   # the primary leaves cleanly
+        cluster.run(10.0)
+        promoted = cluster.daemon(secondary).homed_regions.get(desc.rid)
+        assert promoted is not None and promoted.primary_home == secondary
+        assert cluster.client(node=4).read_at(desc.rid, 7) == b"keep me"
+
+    def test_leave_then_rejoin_fresh(self, cluster):
+        cluster.remove_node(3)
+        cluster.run(2.0)
+        fresh = cluster.add_node(node=3)
+        cluster.run(2.0)
+        kz1 = cluster.client(node=1)
+        desc = kz1.reserve(4096)
+        kz1.allocate(desc.rid)
+        kz1.write_at(desc.rid, b"hello again")
+        assert cluster.client(node=3).read_at(desc.rid, 11) == (
+            b"hello again"
+        )

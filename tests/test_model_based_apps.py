@@ -1,0 +1,136 @@
+"""Model-based property tests for the application layers: extent
+files against a bytearray model, the name service against a dict."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import create_cluster
+from repro.fs import KhazanaFileSystem
+from repro.fs.layout import BLOCK_SIZE
+from repro.naming import NameService, NamingError
+
+
+# ---------------------------------------------------------------------------
+# Extent files vs a bytearray
+# ---------------------------------------------------------------------------
+
+extent_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("write"),
+                  st.integers(min_value=0, max_value=3 * BLOCK_SIZE),
+                  st.binary(min_size=1, max_size=600)),
+        st.tuples(st.just("truncate"),
+                  st.integers(min_value=0, max_value=4 * BLOCK_SIZE)),
+        st.tuples(st.just("read"),
+                  st.integers(min_value=0, max_value=4 * BLOCK_SIZE),
+                  st.integers(min_value=1, max_value=600)),
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+
+class TestExtentModel:
+    @given(extent_ops)
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_extent_file_matches_bytearray(self, ops):
+        cluster = create_cluster(num_nodes=2)
+        fs = KhazanaFileSystem.format(cluster.client(node=1))
+        handle = fs.create("/model.bin", layout="extent")
+        model = bytearray()
+        for op in ops:
+            if op[0] == "write":
+                _k, offset, data = op
+                end = offset + len(data)
+                if end > len(model):
+                    model.extend(b"\x00" * (end - len(model)))
+                model[offset:end] = data
+                handle.pwrite(offset, data)
+            elif op[0] == "truncate":
+                _k, size = op
+                if size <= len(model):
+                    model = model[:size]
+                else:
+                    model.extend(b"\x00" * (size - len(model)))
+                handle.truncate(size)
+            else:
+                _k, offset, length = op
+                expected = bytes(model[offset : offset + length])
+                assert handle.pread(offset, length) == expected
+        # Final content identical, including from the other node.
+        other = KhazanaFileSystem.mount(
+            cluster.client(node=0), fs.superblock_addr
+        )
+        with other.open("/model.bin") as f:
+            assert f.read() == bytes(model)
+
+
+# ---------------------------------------------------------------------------
+# Name service vs a dict
+# ---------------------------------------------------------------------------
+
+NAMES = ["/a", "/b", "/ctx/x", "/ctx/y"]
+
+naming_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("bind"), st.sampled_from(NAMES),
+                  st.integers(min_value=0, max_value=99)),
+        st.tuples(st.just("rebind"), st.sampled_from(NAMES),
+                  st.integers(min_value=0, max_value=99)),
+        st.tuples(st.just("unbind"), st.sampled_from(NAMES)),
+        st.tuples(st.just("lookup"), st.sampled_from(NAMES)),
+    ),
+    min_size=1,
+    max_size=14,
+)
+
+
+class TestNamingModel:
+    @given(naming_ops)
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_name_service_matches_dict(self, ops):
+        from repro.core.attributes import ConsistencyLevel
+
+        cluster = create_cluster(num_nodes=2)
+        # STRICT so both attached services agree instantly.
+        ns1 = NameService.create(
+            cluster.client(node=1), consistency=ConsistencyLevel.STRICT
+        )
+        ns0 = NameService.attach(cluster.client(node=0), ns1.root_addr)
+        services = [ns1, ns0]
+        model = {}
+        for index, op in enumerate(ops):
+            ns = services[index % 2]
+            kind, name = op[0], op[1]
+            if kind == "bind":
+                value = {"v": op[2]}
+                if name in model:
+                    with pytest.raises(NamingError):
+                        ns.bind(name, value)
+                else:
+                    ns.bind(name, value)
+                    model[name] = value
+            elif kind == "rebind":
+                value = {"v": op[2]}
+                ns.rebind(name, value)
+                model[name] = value
+            elif kind == "unbind":
+                if name in model:
+                    ns.unbind(name)
+                    del model[name]
+                else:
+                    with pytest.raises(NamingError):
+                        ns.unbind(name)
+            else:
+                if name in model:
+                    assert ns.lookup(name) == model[name]
+                else:
+                    with pytest.raises(NamingError):
+                        ns.lookup(name)
+        # Final agreement from both attach points.
+        for name, value in model.items():
+            assert ns0.lookup(name) == value
+            assert ns1.lookup(name) == value

@@ -1,0 +1,117 @@
+"""Tests for the distributed directory (name) service."""
+
+import pytest
+
+from repro.api import create_cluster
+from repro.core.attributes import ConsistencyLevel
+from repro.naming import NameNotFound, NameService, NamingError
+
+
+@pytest.fixture
+def ns(cluster):
+    return NameService.create(cluster.client(node=1))
+
+
+class TestBasics:
+    def test_bind_lookup_roundtrip(self, ns):
+        ns.bind("/users/alice", {"uid": 1000, "shell": "/bin/sh"})
+        assert ns.lookup("/users/alice")["uid"] == 1000
+
+    def test_intermediate_contexts_created(self, ns):
+        ns.bind("/org/eng/printers/laser1", {"room": "3rd floor"})
+        bindings, children = ns.list("/org/eng/printers")
+        assert bindings == ["laser1"]
+        _b, top = ns.list("/")
+        assert top == ["org"]
+
+    def test_duplicate_bind_rejected(self, ns):
+        ns.bind("/svc", {"v": 1})
+        with pytest.raises(NamingError):
+            ns.bind("/svc", {"v": 2})
+        assert ns.lookup("/svc")["v"] == 1
+
+    def test_rebind_replaces(self, ns):
+        ns.bind("/svc", {"v": 1})
+        ns.rebind("/svc", {"v": 2})
+        assert ns.lookup("/svc")["v"] == 2
+
+    def test_unbind(self, ns):
+        ns.bind("/gone", {"x": 1})
+        ns.unbind("/gone")
+        assert not ns.exists("/gone")
+        with pytest.raises(NameNotFound):
+            ns.lookup("/gone")
+
+    def test_lookup_missing_context(self, ns):
+        with pytest.raises(NameNotFound):
+            ns.lookup("/no/such/path")
+
+    def test_relative_names_rejected(self, ns):
+        with pytest.raises(NamingError):
+            ns.bind("relative", {})
+
+    def test_binding_vs_context_collision(self, ns):
+        ns.bind("/x/y", {"leaf": True})   # /x is a context
+        with pytest.raises(NamingError):
+            ns.bind("/x", {"clobber": True})
+
+    def test_list_distinguishes_kinds(self, ns):
+        ns.bind("/a/leaf1", {})
+        ns.bind("/a/leaf2", {})
+        ns.bind("/a/sub/deeper", {})
+        bindings, children = ns.list("/a")
+        assert bindings == ["leaf1", "leaf2"]
+        assert children == ["sub"]
+
+
+class TestDistribution:
+    def test_attach_from_other_node(self, cluster, ns):
+        ns.bind("/shared/service", {"port": 8080})
+        remote = NameService.attach(cluster.client(node=3), ns.root_addr)
+        assert remote.lookup("/shared/service")["port"] == 8080
+
+    def test_updates_visible_within_staleness_bound(self, cluster, ns):
+        ns.bind("/cfg", {"gen": 1})
+        remote = NameService.attach(cluster.client(node=3), ns.root_addr)
+        assert remote.lookup("/cfg")["gen"] == 1
+        ns.rebind("/cfg", {"gen": 2})
+        cluster.run(4.0)   # eventual protocol converges
+        assert remote.lookup("/cfg")["gen"] == 2
+
+    def test_strict_registry_sees_updates_immediately(self, cluster):
+        ns = NameService.create(
+            cluster.client(node=1), consistency=ConsistencyLevel.STRICT
+        )
+        remote = NameService.attach(cluster.client(node=3), ns.root_addr)
+        ns.bind("/lock-holder", {"node": 1})
+        assert remote.lookup("/lock-holder")["node"] == 1
+        remote_service = NameService.attach(
+            cluster.client(node=2), ns.root_addr
+        )
+        remote_service.rebind("/lock-holder", {"node": 2})
+        assert ns.lookup("/lock-holder")["node"] == 2
+
+    def test_concurrent_binds_in_same_context(self, cluster):
+        ns1 = NameService.create(
+            cluster.client(node=1), consistency=ConsistencyLevel.STRICT
+        )
+        ns2 = NameService.attach(cluster.client(node=2), ns1.root_addr)
+        for i in range(5):
+            ns1.bind(f"/n1-{i}", {"i": i})
+            ns2.bind(f"/n2-{i}", {"i": i})
+        bindings, _children = ns1.list("/")
+        assert len(bindings) == 10
+
+    def test_directory_survives_with_replicas(self):
+        cluster = create_cluster(num_nodes=6)
+        ns = NameService.create(
+            cluster.client(node=1),
+            consistency=ConsistencyLevel.STRICT,
+            replicas=2,
+        )
+        ns.bind("/durable", {"ok": True})
+        cluster.run(2.0)
+        cluster.crash(1)
+        cluster.run(15.0)
+        remote = NameService.attach(cluster.client(node=4), ns.root_addr)
+        assert remote.lookup("/durable")["ok"] is True

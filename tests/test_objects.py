@@ -1,0 +1,176 @@
+"""Tests for the Section 4.2 distributed object runtime."""
+
+import pytest
+
+from repro.api import create_cluster
+from repro.core.attributes import ConsistencyLevel
+from repro.objects import (
+    InvocationPolicy,
+    KhazanaObject,
+    ObjectError,
+    ObjectRuntime,
+    readonly,
+    register_class,
+)
+from repro.objects.model import decode_state, encode_state
+from repro.objects.registry import clear_registry, registered_classes
+
+
+@register_class
+class Account(KhazanaObject):
+    @staticmethod
+    def initial_state():
+        return {"balance": 0, "history": []}
+
+    def deposit(self, state, amount):
+        state["balance"] += amount
+        state["history"].append(amount)
+        return state["balance"]
+
+    def withdraw(self, state, amount):
+        if amount > state["balance"]:
+            raise ValueError("insufficient funds")
+        state["balance"] -= amount
+        state["history"].append(-amount)
+        return state["balance"]
+
+    @readonly
+    def balance(self, state):
+        return state["balance"]
+
+    @readonly
+    def history(self, state):
+        return list(state["history"])
+
+
+class TestStateCodec:
+    def test_roundtrip(self):
+        doc = {"a": 1, "b": [1, 2], "c": "x"}
+        assert decode_state(encode_state(doc, 4096)) == doc
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ObjectError):
+            encode_state({"k": "v" * 5000}, 4096)
+
+    def test_empty_page_decodes_empty(self):
+        assert decode_state(b"\x00" * 64) == {}
+
+
+class TestRegistry:
+    def test_account_registered(self):
+        assert "Account" in registered_classes()
+
+    def test_conflicting_name_rejected(self):
+        class Impostor(KhazanaObject):
+            pass
+
+        with pytest.raises(ObjectError):
+            register_class(Impostor, name="Account")
+
+
+class TestLifecycle:
+    def test_export_and_invoke(self, cluster):
+        rt = ObjectRuntime(cluster.client(node=1))
+        ref = rt.export(Account)
+        acct = rt.proxy(ref)
+        assert acct.deposit(100) == 100
+        assert acct.withdraw(30) == 70
+        assert acct.balance() == 70
+        assert acct.history() == [100, -30]
+
+    def test_exceptions_propagate(self, cluster):
+        rt = ObjectRuntime(cluster.client(node=1))
+        acct = rt.proxy(rt.export(Account))
+        with pytest.raises(ValueError):
+            acct.withdraw(1)
+
+    def test_attach_by_address(self, cluster):
+        rt1 = ObjectRuntime(cluster.client(node=1))
+        rt3 = ObjectRuntime(cluster.client(node=3))
+        ref = rt1.export(Account)
+        rt1.proxy(ref).deposit(42)
+        attached = rt3.attach(ref.address)
+        assert attached.class_name == "Account"
+        assert rt3.proxy(attached).balance() == 42
+
+    def test_unknown_method_rejected(self, cluster):
+        rt = ObjectRuntime(cluster.client(node=1))
+        acct = rt.proxy(rt.export(Account))
+        with pytest.raises(ObjectError):
+            acct.explode()
+
+    def test_proxy_attributes_immutable(self, cluster):
+        rt = ObjectRuntime(cluster.client(node=1))
+        acct = rt.proxy(rt.export(Account))
+        with pytest.raises(ObjectError):
+            acct.balance_field = 5
+
+    def test_refcounting_releases_region(self, cluster):
+        rt = ObjectRuntime(cluster.client(node=1))
+        ref = rt.export(Account)
+        assert rt.retain(ref) == 2
+        assert rt.release(ref) == 1
+        assert rt.release(ref) == 0
+        cluster.run(5.0)
+        from repro.core.errors import KhazanaError
+
+        with pytest.raises(KhazanaError):
+            cluster.client(node=1).read_at(ref.address, 4)
+
+
+class TestPolicies:
+    def test_remote_policy_executes_at_home(self, cluster):
+        rt1 = ObjectRuntime(cluster.client(node=1))
+        rt3 = ObjectRuntime(cluster.client(node=3))
+        ref = rt1.export(Account)
+        remote = rt3.proxy(ref, policy=InvocationPolicy.REMOTE)
+        assert remote.deposit(5) == 5
+        assert rt3.stats["remote_invocations"] == 1
+        assert rt1.stats["served_invocations"] == 1
+        # The object's state never got cached on node 3.
+        assert not cluster.daemon(3).storage.contains(ref.address)
+
+    def test_local_policy_pulls_replica(self, cluster):
+        rt1 = ObjectRuntime(cluster.client(node=1))
+        rt3 = ObjectRuntime(cluster.client(node=3))
+        ref = rt1.export(Account)
+        rt1.proxy(ref).deposit(10)
+        local = rt3.proxy(ref, policy=InvocationPolicy.LOCAL)
+        assert local.balance() == 10
+        assert cluster.daemon(3).storage.contains(ref.address)
+        assert rt3.stats["remote_invocations"] == 0
+
+    def test_adaptive_localizes_after_repeated_use(self, cluster):
+        rt1 = ObjectRuntime(cluster.client(node=1))
+        rt3 = ObjectRuntime(cluster.client(node=3),
+                            policy=InvocationPolicy.ADAPTIVE)
+        ref = rt1.export(Account)
+        acct = rt3.proxy(ref)
+        for _ in range(5):
+            acct.deposit(1)
+        # Early calls were remote; later calls ran locally.
+        assert rt3.stats["remote_invocations"] >= 1
+        assert rt3.stats["local_invocations"] >= 1
+        assert acct.balance() == 5
+
+    def test_consistency_across_replicas(self, cluster):
+        """Both runtimes invoke locally; Khazana CREW keeps the
+        replicas coherent (the paper's core pitch for this layer)."""
+        rt1 = ObjectRuntime(cluster.client(node=1),
+                            policy=InvocationPolicy.LOCAL)
+        rt2 = ObjectRuntime(cluster.client(node=2),
+                            policy=InvocationPolicy.LOCAL)
+        ref = rt1.export(Account)
+        a1 = rt1.proxy(ref)
+        a2 = rt2.proxy(ref)
+        a1.deposit(10)
+        a2.deposit(5)
+        assert a1.balance() == 15
+        assert a2.balance() == 15
+
+    def test_replicated_object_with_eventual_consistency(self, cluster):
+        rt1 = ObjectRuntime(cluster.client(node=1))
+        ref = rt1.export(Account, consistency=ConsistencyLevel.EVENTUAL)
+        acct = rt1.proxy(ref)
+        acct.deposit(7)
+        assert acct.balance() == 7

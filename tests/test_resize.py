@@ -1,0 +1,120 @@
+"""Tests for in-place region resizing.
+
+Paper Section 4.1 names the capability: "An alternative would be for
+the filesystem to allocate each file into a single contiguous region,
+which would require the filesystem to resize the region whenever the
+file size changes."
+"""
+
+import pytest
+
+from repro.api import create_cluster
+from repro.core.attributes import RegionAttributes
+from repro.core.errors import (
+    AddressSpaceExhausted,
+    InvalidRange,
+    RegionInUse,
+)
+from repro.core.locks import LockMode
+
+
+@pytest.fixture
+def region(cluster):
+    kz = cluster.client(node=1)
+    desc = kz.reserve(2 * 4096)
+    kz.allocate(desc.rid)
+    kz.write_at(desc.rid, b"head")
+    return kz, desc
+
+
+class TestGrow:
+    def test_grow_in_place(self, cluster, region):
+        kz, desc = region
+        bigger = kz.resize(desc.rid, 5 * 4096)
+        assert bigger.range.length == 5 * 4096
+        assert bigger.range.start == desc.range.start
+        assert bigger.version > desc.version
+        # New tail pages are allocated and usable immediately.
+        kz.write_at(desc.rid + 4 * 4096, b"tail")
+        assert kz.read_at(desc.rid + 4 * 4096, 4) == b"tail"
+        assert kz.read_at(desc.rid, 4) == b"head"
+
+    def test_grow_rounds_to_pages(self, cluster, region):
+        kz, desc = region
+        bigger = kz.resize(desc.rid, 2 * 4096 + 1)
+        assert bigger.range.length == 3 * 4096
+
+    def test_grow_blocked_by_neighbour(self, cluster):
+        kz = cluster.client(node=1)
+        first = kz.reserve(4096)
+        second = kz.reserve(4096)
+        # The pool carves sequentially: second sits right after first.
+        assert second.range.start == first.range.end
+        kz.allocate(first.rid)
+        with pytest.raises(AddressSpaceExhausted):
+            kz.resize(first.rid, 2 * 4096)
+
+    def test_remote_nodes_see_grown_region(self, cluster, region):
+        kz, desc = region
+        kz.resize(desc.rid, 4 * 4096)
+        kz.write_at(desc.rid + 3 * 4096, b"far")
+        remote = cluster.client(node=3)
+        assert remote.read_at(desc.rid + 3 * 4096, 3) == b"far"
+
+
+class TestShrink:
+    def test_shrink_frees_tail(self, cluster, region):
+        kz, desc = region
+        kz.write_at(desc.rid + 4096, b"tail")
+        smaller = kz.resize(desc.rid, 4096)
+        assert smaller.range.length == 4096
+        cluster.run(2.0)
+        # The tail page is gone; the head survives.
+        assert kz.read_at(desc.rid, 4) == b"head"
+        from repro.core.errors import KhazanaError
+
+        with pytest.raises(KhazanaError):
+            kz.read_at(desc.rid + 4096, 4)
+
+    def test_shrink_then_regrow(self, cluster, region):
+        kz, desc = region
+        kz.resize(desc.rid, 4096)
+        cluster.run(2.0)
+        regrown = kz.resize(desc.rid, 3 * 4096)
+        assert regrown.range.length == 3 * 4096
+        kz.write_at(desc.rid + 2 * 4096, b"back")
+        assert kz.read_at(desc.rid + 2 * 4096, 4) == b"back"
+
+
+class TestGuards:
+    def test_same_size_is_noop(self, cluster, region):
+        kz, desc = region
+        same = kz.resize(desc.rid, 2 * 4096)
+        assert same.range == desc.range
+
+    def test_zero_size_rejected(self, cluster, region):
+        kz, desc = region
+        with pytest.raises(InvalidRange):
+            kz.resize(desc.rid, 0)
+
+    def test_interior_address_rejected(self, cluster, region):
+        kz, desc = region
+        with pytest.raises(InvalidRange):
+            kz.resize(desc.rid + 4096, 4 * 4096)
+
+    def test_resize_with_live_lock_rejected(self, cluster, region):
+        kz, desc = region
+        ctx = kz.lock(desc.rid, 4096, LockMode.READ)
+        with pytest.raises(RegionInUse):
+            kz.resize(desc.rid, 4 * 4096)
+        kz.unlock(ctx)
+
+    def test_fsck_clean_after_resizes(self, cluster, region):
+        from repro.tools import check_cluster
+
+        kz, desc = region
+        kz.resize(desc.rid, 6 * 4096)
+        kz.resize(desc.rid, 3 * 4096)
+        cluster.run(3.0)
+        report = check_cluster(cluster)
+        assert report.ok, report.render()

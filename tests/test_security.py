@@ -1,0 +1,79 @@
+"""Tests for region access control."""
+
+from repro.core.security import (
+    ANYONE,
+    SYSTEM_PRINCIPAL,
+    AccessControlList,
+    Right,
+)
+
+
+class TestRights:
+    def test_flags_compose(self):
+        rw = Right.READ | Right.WRITE
+        assert (rw & Right.READ) == Right.READ
+        assert (rw & Right.ADMIN) != Right.ADMIN
+
+    def test_all_rights(self):
+        assert Right.all_rights() == Right.READ | Right.WRITE | Right.ADMIN
+
+
+class TestAcl:
+    def test_owner_has_everything(self):
+        acl = AccessControlList.private("alice")
+        assert acl.allows("alice", Right.all_rights())
+
+    def test_system_principal_always_allowed(self):
+        acl = AccessControlList.private("alice")
+        assert acl.allows(SYSTEM_PRINCIPAL, Right.all_rights())
+
+    def test_private_blocks_others(self):
+        acl = AccessControlList.private("alice")
+        assert not acl.allows("bob", Right.READ)
+
+    def test_open_access_allows_everyone(self):
+        acl = AccessControlList.open_access("alice")
+        assert acl.allows("bob", Right.READ | Right.WRITE)
+
+    def test_explicit_grant(self):
+        acl = AccessControlList.build("alice", {"bob": Right.READ})
+        assert acl.allows("bob", Right.READ)
+        assert not acl.allows("bob", Right.WRITE)
+
+    def test_wildcard_grant(self):
+        acl = AccessControlList.build("alice", {ANYONE: Right.READ})
+        assert acl.allows("carol", Right.READ)
+        assert not acl.allows("carol", Right.WRITE)
+
+    def test_granting_is_functional_update(self):
+        base = AccessControlList.private("alice")
+        extended = base.granting("bob", Right.WRITE)
+        assert not base.allows("bob", Right.WRITE)
+        assert extended.allows("bob", Right.WRITE)
+
+    def test_grants_accumulate(self):
+        acl = (
+            AccessControlList.private("alice")
+            .granting("bob", Right.READ)
+            .granting("bob", Right.WRITE)
+        )
+        assert acl.allows("bob", Right.READ | Right.WRITE)
+
+    def test_revoking(self):
+        acl = AccessControlList.private("alice").granting("bob", Right.READ)
+        revoked = acl.revoking("bob")
+        assert not revoked.allows("bob", Right.READ)
+        assert revoked.allows("alice", Right.ADMIN)
+
+    def test_principals_listing(self):
+        acl = AccessControlList.build("alice", {"bob": Right.READ})
+        assert acl.principals() == frozenset({"alice", "bob"})
+
+    def test_wire_roundtrip(self):
+        acl = AccessControlList.build(
+            "alice", {"bob": Right.READ | Right.WRITE, ANYONE: Right.READ}
+        )
+        clone = AccessControlList.from_wire(acl.to_wire())
+        assert clone == acl
+        assert clone.allows("bob", Right.WRITE)
+        assert clone.allows("zoe", Right.READ)

@@ -1,0 +1,180 @@
+"""Tests for futures and generator-based protocol tasks."""
+
+import pytest
+
+from repro.net.tasks import (
+    Future,
+    FutureError,
+    TaskRunner,
+    failed,
+    gather,
+    gather_settled,
+    resolved,
+)
+
+
+class TestFuture:
+    def test_result_roundtrip(self):
+        f = Future("t")
+        f.set_result(42)
+        assert f.done and not f.failed
+        assert f.result() == 42
+
+    def test_exception_roundtrip(self):
+        f = Future("t")
+        f.set_exception(ValueError("boom"))
+        assert f.failed
+        with pytest.raises(ValueError):
+            f.result()
+
+    def test_double_resolve_rejected(self):
+        f = Future("t")
+        f.set_result(1)
+        with pytest.raises(FutureError):
+            f.set_result(2)
+        with pytest.raises(FutureError):
+            f.set_exception(RuntimeError())
+
+    def test_premature_result_rejected(self):
+        with pytest.raises(FutureError):
+            Future("t").result()
+
+    def test_callback_after_resolution_fires_immediately(self):
+        f = resolved(7)
+        seen = []
+        f.add_callback(lambda fut: seen.append(fut.result()))
+        assert seen == [7]
+
+    def test_callbacks_fire_once_in_order(self):
+        f = Future("t")
+        seen = []
+        f.add_callback(lambda _: seen.append(1))
+        f.add_callback(lambda _: seen.append(2))
+        f.set_result(None)
+        assert seen == [1, 2]
+
+    def test_helpers(self):
+        assert resolved("x").result() == "x"
+        assert isinstance(failed(KeyError("k")).exception(), KeyError)
+
+
+class TestGather:
+    def test_empty(self):
+        assert gather([]).result() == []
+
+    def test_collects_in_order(self):
+        futures = [Future(str(i)) for i in range(3)]
+        combined = gather(futures)
+        futures[2].set_result("c")
+        futures[0].set_result("a")
+        assert not combined.done
+        futures[1].set_result("b")
+        assert combined.result() == ["a", "b", "c"]
+
+    def test_first_failure_wins(self):
+        futures = [Future(str(i)) for i in range(2)]
+        combined = gather(futures)
+        futures[1].set_exception(RuntimeError("x"))
+        assert combined.failed
+        futures[0].set_result("late")   # must not blow up
+
+    def test_settled_never_fails(self):
+        futures = [Future("a"), Future("b")]
+        combined = gather_settled(futures)
+        futures[0].set_exception(RuntimeError("x"))
+        futures[1].set_result(5)
+        outcomes = combined.result()
+        assert outcomes[0][0] is False
+        assert isinstance(outcomes[0][1], RuntimeError)
+        assert outcomes[1] == (True, 5)
+
+
+class TestTaskRunner:
+    def test_plain_return(self):
+        runner = TaskRunner()
+
+        def task():
+            return 42
+            yield  # pragma: no cover - makes this a generator
+
+        outcome = runner.spawn(task())
+        assert outcome.result() == 42
+        assert runner.active == 0
+
+    def test_yield_resumes_with_result(self):
+        runner = TaskRunner()
+        gate = Future("gate")
+
+        def task():
+            value = yield gate
+            return value + 1
+
+        outcome = runner.spawn(task())
+        assert not outcome.done
+        assert runner.active == 1
+        gate.set_result(10)
+        assert outcome.result() == 11
+
+    def test_exception_thrown_into_task(self):
+        runner = TaskRunner()
+        gate = Future("gate")
+
+        def task():
+            try:
+                yield gate
+            except ValueError:
+                return "caught"
+            return "missed"
+
+        outcome = runner.spawn(task())
+        gate.set_exception(ValueError("boom"))
+        assert outcome.result() == "caught"
+
+    def test_uncaught_exception_fails_future(self):
+        runner = TaskRunner()
+
+        def task():
+            raise KeyError("k")
+            yield  # pragma: no cover
+
+        outcome = runner.spawn(task())
+        assert isinstance(outcome.exception(), KeyError)
+
+    def test_yield_from_composition(self):
+        runner = TaskRunner()
+        gates = [Future("a"), Future("b")]
+
+        def inner(gate):
+            value = yield gate
+            return value * 2
+
+        def outer():
+            first = yield from inner(gates[0])
+            second = yield from inner(gates[1])
+            return first + second
+
+        outcome = runner.spawn(outer())
+        gates[0].set_result(3)
+        gates[1].set_result(4)
+        assert outcome.result() == 14
+
+    def test_non_future_yield_is_error(self):
+        runner = TaskRunner()
+
+        def task():
+            yield 42
+
+        outcome = runner.spawn(task())
+        assert isinstance(outcome.exception(), TypeError)
+
+    def test_many_chained_tasks(self):
+        runner = TaskRunner()
+        gate = Future("gate")
+
+        def task(n):
+            value = yield gate
+            return value + n
+
+        outcomes = [runner.spawn(task(i)) for i in range(50)]
+        gate.set_result(100)
+        assert [o.result() for o in outcomes] == [100 + i for i in range(50)]

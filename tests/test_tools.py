@@ -1,0 +1,116 @@
+"""Tests for the fsck checker and inspection tools — and, through
+them, whole-cluster invariant checks after a battery of operations."""
+
+import pytest
+
+from repro.api import create_cluster
+from repro.core.attributes import ConsistencyLevel, RegionAttributes
+from repro.tools import check_cluster, cluster_summary, region_report, storage_report
+
+
+def exercised_cluster():
+    """A cluster that has done a bit of everything."""
+    cluster = create_cluster(num_nodes=4)
+    kz1 = cluster.client(node=1)
+    descs = []
+    for level in ConsistencyLevel:
+        desc = kz1.reserve(
+            8192, RegionAttributes(consistency_level=level)
+        )
+        kz1.allocate(desc.rid)
+        kz1.write_at(desc.rid, b"fsck-me")
+        descs.append(desc)
+    cluster.client(node=3).read_at(descs[0].rid, 7)
+    cluster.client(node=2).write_at(descs[0].rid, b"updated")
+    kz1.unreserve(descs[-1].rid)
+    cluster.run(5.0)
+    return cluster, descs
+
+
+class TestFsck:
+    def test_clean_cluster_passes(self):
+        cluster, _descs = exercised_cluster()
+        report = check_cluster(cluster)
+        assert report.ok, report.render()
+        assert report.checked_map_entries > 0
+        assert report.checked_regions >= 2
+        assert report.checked_pages >= 2
+
+    def test_fresh_cluster_passes(self, cluster):
+        report = check_cluster(cluster)
+        assert report.ok, report.render()
+
+    def test_detects_phantom_sharer(self):
+        cluster, descs = exercised_cluster()
+        entry = cluster.daemon(1).page_directory.get(descs[0].rid)
+        entry.record_sharer(0)   # node 0 holds no copy: corruption
+        report = check_cluster(cluster)
+        assert not report.ok
+        assert any("sharer" in e for e in report.errors)
+
+    def test_detects_unmapped_homed_region(self):
+        cluster, descs = exercised_cluster()
+        daemon = cluster.daemon(1)
+        ghost = descs[0].with_homes((1,))
+        object.__setattr__(ghost, "range",
+                           type(ghost.range)(0x900000000000, 4096))
+        daemon.homed_regions[0x900000000000] = ghost
+        report = check_cluster(cluster)
+        assert not report.ok
+        assert any("missing from the address map" in e
+                   for e in report.errors)
+
+    def test_detects_storage_miscount(self):
+        cluster, _descs = exercised_cluster()
+        cluster.daemon(2).storage.memory._used += 1   # corrupt counter
+        report = check_cluster(cluster)
+        assert not report.ok
+        assert any("used_bytes" in e for e in report.errors)
+
+    def test_survives_migration_and_failover(self):
+        cluster = create_cluster(num_nodes=6)
+        kz = cluster.client(node=1)
+        desc = kz.reserve(4096, RegionAttributes(min_replicas=2))
+        kz.allocate(desc.rid)
+        kz.write_at(desc.rid, b"x")
+        kz.migrate(desc.rid, 4)
+        cluster.run(3.0)
+        report = check_cluster(cluster)
+        # Migration may leave stale map homes (warning), never errors.
+        assert report.ok, report.render()
+
+    def test_report_renders(self):
+        cluster, _ = exercised_cluster()
+        text = check_cluster(cluster).render()
+        assert "fsck:" in text and "map entries" in text
+
+
+class TestInspect:
+    def test_cluster_summary(self):
+        cluster, descs = exercised_cluster()
+        summary = cluster_summary(cluster)
+        assert summary["nodes"] == 4
+        rids = {r["rid"] for r in summary["regions"]}
+        assert descs[0].rid in rids
+        assert descs[-1].rid not in rids   # unreserved region gone
+        first = next(r for r in summary["regions"]
+                     if r["rid"] == descs[0].rid)
+        assert first["primary_home"] == 1
+        assert 1 in first["cached_on"]
+
+    def test_region_report_shows_copysets(self):
+        cluster, descs = exercised_cluster()
+        report = region_report(cluster, descs[0].rid)
+        assert 1 in report["homes"]
+        pages = report["pages"]
+        assert descs[0].rid in pages
+        # Node 2 wrote last, so the home's entry says node 2 owns it.
+        assert pages[descs[0].rid][1]["owner"] == 2
+
+    def test_storage_report(self):
+        cluster, _ = exercised_cluster()
+        rows = storage_report(cluster)
+        assert len(rows) == 4
+        node1 = next(r for r in rows if r["node"] == 1)
+        assert node1["ram_used"] > 0
+        assert node1["ram_used"] <= node1["ram_capacity"]

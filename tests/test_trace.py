@@ -1,0 +1,87 @@
+"""Tests for the message-trace tool."""
+
+import pytest
+
+from repro.api import create_cluster
+from repro.net.message import MessageType
+from repro.tools.trace import MessageTrace
+
+
+@pytest.fixture
+def traced():
+    cluster = create_cluster(num_nodes=3)
+    return cluster, MessageTrace(cluster)
+
+
+def do_remote_read(cluster):
+    kz = cluster.client(node=1)
+    desc = kz.reserve(4096)
+    kz.allocate(desc.rid)
+    kz.write_at(desc.rid, b"traced")
+    cluster.client(node=2).read_at(desc.rid, 6)
+    return desc
+
+
+class TestCollection:
+    def test_inactive_trace_records_nothing(self, traced):
+        cluster, trace = traced
+        do_remote_read(cluster)
+        assert trace.count() == 0
+
+    def test_context_manager_scopes_collection(self, traced):
+        cluster, trace = traced
+        with trace:
+            do_remote_read(cluster)
+        before = trace.count()
+        assert before > 0
+        do_remote_read(cluster)   # outside the with-block
+        assert trace.count() == before
+
+    def test_background_filtered_by_default(self, traced):
+        cluster, trace = traced
+        with trace:
+            cluster.run(5.0)   # plenty of detector pings
+        assert trace.count(MessageType.PING) == 0
+
+    def test_background_opt_in(self):
+        cluster = create_cluster(num_nodes=2)
+        trace = MessageTrace(cluster, background=True)
+        with trace:
+            cluster.run(5.0)
+        assert trace.count(MessageType.PING) > 0
+
+    def test_count_by_type_and_between(self, traced):
+        cluster, trace = traced
+        with trace:
+            do_remote_read(cluster)
+        assert trace.count(MessageType.LOCK_REQUEST) >= 1
+        assert trace.between(2, 1) or trace.between(2, 0)
+
+    def test_clear(self, traced):
+        cluster, trace = traced
+        with trace:
+            do_remote_read(cluster)
+        trace.clear()
+        assert trace.count() == 0
+
+
+class TestRendering:
+    def test_sequence_diagram_structure(self, traced):
+        cluster, trace = traced
+        with trace:
+            do_remote_read(cluster)
+        art = trace.render_sequence()
+        assert "node 1" in art and "node 2" in art
+        assert "lock_request" in art
+        assert "--->" in art or "<---" in art
+
+    def test_empty_diagram(self, traced):
+        _cluster, trace = traced
+        assert trace.render_sequence() == "(no messages)"
+
+    def test_summary_counts(self, traced):
+        cluster, trace = traced
+        with trace:
+            do_remote_read(cluster)
+        summary = trace.summary()
+        assert "lock_request" in summary

@@ -1,0 +1,124 @@
+"""Tests for atomic multi-object operations (the Section 4.2 veneer's
+transactional behaviour)."""
+
+import pytest
+
+from repro.api import create_cluster
+from repro.objects import (
+    KhazanaObject,
+    ObjectError,
+    ObjectRuntime,
+    atomically,
+    register_class,
+)
+
+
+@register_class
+class TxnAccount(KhazanaObject):
+    @staticmethod
+    def initial_state():
+        return {"balance": 0}
+
+    def deposit(self, state, amount):
+        state["balance"] += amount
+        return state["balance"]
+
+    def balance_of(self, state):
+        return state["balance"]
+
+
+def setup_accounts(cluster, node=1, balances=(100, 20)):
+    rt = ObjectRuntime(cluster.client(node=node))
+    refs = []
+    for balance in balances:
+        ref = rt.export(TxnAccount, state={"balance": balance})
+        refs.append(ref)
+    return rt, refs
+
+
+class TestAtomically:
+    def test_transfer_commits_both_sides(self, cluster):
+        rt, (a, b) = setup_accounts(cluster)
+
+        def transfer(view):
+            view.state(a)["balance"] -= 30
+            view.state(b)["balance"] += 30
+            return "moved"
+
+        assert atomically(rt, [a, b], transfer) == "moved"
+        assert rt.proxy(a).balance_of() == 70
+        assert rt.proxy(b).balance_of() == 50
+
+    def test_body_exception_aborts_everything(self, cluster):
+        rt, (a, b) = setup_accounts(cluster)
+
+        def bad(view):
+            view.state(a)["balance"] -= 30
+            raise ValueError("changed my mind")
+
+        with pytest.raises(ValueError):
+            atomically(rt, [a, b], bad)
+        # Neither object changed: the debit never committed.
+        assert rt.proxy(a).balance_of() == 100
+        assert rt.proxy(b).balance_of() == 20
+
+    def test_view_call_invokes_methods_in_txn(self, cluster):
+        rt, (a, b) = setup_accounts(cluster)
+
+        def double_deposit(view):
+            view.call(a, "deposit", 5)
+            view.call(b, "deposit", 7)
+
+        atomically(rt, [a, b], double_deposit)
+        assert rt.proxy(a).balance_of() == 105
+        assert rt.proxy(b).balance_of() == 27
+
+    def test_unenlisted_object_rejected(self, cluster):
+        rt, (a, b) = setup_accounts(cluster)
+
+        def sneaky(view):
+            view.state(b)["balance"] += 1
+
+        with pytest.raises(ObjectError):
+            atomically(rt, [a], sneaky)
+
+    def test_empty_refs_rejected(self, cluster):
+        rt, _refs = setup_accounts(cluster)
+        with pytest.raises(ObjectError):
+            atomically(rt, [], lambda view: None)
+
+    def test_duplicate_refs_collapse(self, cluster):
+        rt, (a, _b) = setup_accounts(cluster)
+
+        def bump(view):
+            view.state(a)["balance"] += 1
+
+        atomically(rt, [a, a, a], bump)
+        assert rt.proxy(a).balance_of() == 101
+
+    def test_cross_node_transactions_serialize(self, cluster):
+        """Two runtimes transacting over the same pair of objects
+        (in opposite orders) both commit; ordered locking prevents
+        deadlock and CREW serialises the outcomes."""
+        rt1, (a, b) = setup_accounts(cluster)
+        rt2 = ObjectRuntime(cluster.client(node=3))
+
+        def move_a_to_b(view):
+            view.state(a)["balance"] -= 10
+            view.state(b)["balance"] += 10
+
+        def move_b_to_a(view):
+            view.state(b)["balance"] -= 5
+            view.state(a)["balance"] += 5
+
+        for _ in range(3):
+            atomically(rt1, [a, b], move_a_to_b)
+            atomically(rt2, [b, a], move_b_to_a)
+        total = rt1.proxy(a).balance_of() + rt1.proxy(b).balance_of()
+        assert total == 120   # conservation: no lost or phantom money
+        assert rt2.proxy(a).balance_of() == 100 - 30 + 15
+
+    def test_result_passthrough(self, cluster):
+        rt, (a, _b) = setup_accounts(cluster)
+        result = atomically(rt, [a], lambda view: view.state(a)["balance"])
+        assert result == 100
