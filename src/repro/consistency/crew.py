@@ -25,7 +25,7 @@ the same window the paper's prototype has.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.consistency.manager import (
     ConsistencyManager,
@@ -251,6 +251,172 @@ class CrewManager(ConsistencyManager):
             yield gather_settled(pushes, label="crew-writeback")
         if self.daemon.node_id == desc.primary_home:
             self.daemon.storage.mark_clean(page_addr)
+
+    # ------------------------------------------------------------------
+    # Batched multi-page path
+    # ------------------------------------------------------------------
+
+    def acquire_many(
+        self,
+        desc: RegionDescriptor,
+        pages: List[int],
+        mode: LockMode,
+        ctx: LockContext,
+        note_acquired: Callable[[int], None],
+    ) -> ProtocolGen:
+        if mode is LockMode.WRITE_SHARED:
+            raise LockDenied(
+                "CREW does not support write-shared intentions; "
+                "use the release or eventual protocol"
+            )
+        me = self.daemon.node_id
+        if (me == desc.primary_home or len(pages) <= 1
+                or not self.batching_enabled()):
+            yield from super().acquire_many(desc, pages, mode, ctx,
+                                            note_acquired)
+            return
+        for page_addr in pages:
+            yield from self.daemon._wait_local_conflicts(page_addr, mode)
+        batched: List[int] = []
+        for page_addr in pages:
+            state = self.page_state.get(page_addr, LocalPageState.INVALID)
+            resident = self.daemon.storage.contains(page_addr)
+            entry = self.daemon.page_directory.get(page_addr)
+            if mode is LockMode.READ:
+                if state is not LocalPageState.INVALID and resident:
+                    continue   # cached copy is valid for reading
+                owner_hint = entry.owner if entry is not None else None
+                if owner_hint is not None and owner_hint not in (
+                    me, desc.primary_home
+                ):
+                    # Figure 2's direct-owner fast path stays per-page;
+                    # only home-mediated pages join the batch.
+                    yield from self._acquire_read(desc, page_addr,
+                                                  ctx.principal)
+                    continue
+                batched.append(page_addr)
+            else:
+                if (state is LocalPageState.EXCLUSIVE and resident
+                        and entry is not None and entry.owner == me):
+                    continue   # already the exclusive owner
+                batched.append(page_addr)
+        if batched:
+            reply = yield from self._request_home_batch(
+                desc, batched, mode, ctx.principal
+            )
+            yield from self._install_batch_grants(desc, mode, reply)
+        for page_addr in pages:
+            note_acquired(page_addr)
+
+    def _request_home_batch(
+        self, desc: RegionDescriptor, pages: List[int], mode: LockMode,
+        principal: str,
+    ) -> ProtocolGen:
+        last_error: Optional[Exception] = None
+        for home in desc.home_nodes:
+            if home == self.daemon.node_id:
+                continue
+            try:
+                reply = yield self.daemon.rpc.request(
+                    home,
+                    MessageType.TOKEN_ACQUIRE_BATCH,
+                    {"rid": desc.rid, "pages": list(pages),
+                     "mode": mode.value, "principal": principal},
+                    policy=TRANSACTION_POLICY,
+                )
+                return reply
+            except RpcTimeout as error:
+                last_error = error   # try the next home (Section 3.5)
+            except RemoteError as error:
+                raise _typed_denial(error) from error
+        raise LockDenied(
+            f"no home node of region {desc.rid:#x} granted the batch: "
+            f"{last_error}"
+        )
+
+    def _install_batch_grants(
+        self, desc: RegionDescriptor, mode: LockMode, reply: Message
+    ) -> ProtocolGen:
+        me = self.daemon.node_id
+        for item in reply.payload.get("pages", []):
+            page_addr = int(item["page"])
+            data = item.get("data")
+            if mode is LockMode.READ:
+                if data is not None:
+                    yield from self.daemon.store_local_page(
+                        desc, page_addr, data, dirty=False
+                    )
+                entry = self.daemon.page_directory.ensure(
+                    page_addr, desc.rid, homed=False
+                )
+                owner = item.get("owner")
+                if owner is not None:
+                    entry.owner = owner
+                entry.allocated = True
+                self.page_state[page_addr] = LocalPageState.SHARED
+            else:
+                if data is not None:
+                    yield from self.daemon.store_local_page(
+                        desc, page_addr, data, dirty=True
+                    )
+                elif not self.daemon.storage.contains(page_addr):
+                    raise KhazanaError(
+                        f"write grant for page {page_addr:#x} carried no "
+                        "data and no local copy exists"
+                    )
+                entry = self.daemon.page_directory.ensure(
+                    page_addr, desc.rid, homed=False
+                )
+                entry.owner = me
+                entry.allocated = True
+                self.page_state[page_addr] = LocalPageState.EXCLUSIVE
+        errors = reply.payload.get("errors") or []
+        if errors:
+            from repro.core.errors import error_from_code
+
+            first = errors[0]
+            raise error_from_code(first["code"], first.get("detail", ""))
+
+    def release_many(
+        self,
+        desc: RegionDescriptor,
+        pages: List[int],
+        ctx: LockContext,
+    ) -> ProtocolGen:
+        me = self.daemon.node_id
+        if len(pages) <= 1 or not self.batching_enabled():
+            yield from super().release_many(desc, pages, ctx)
+            return
+        updates: List[Dict[str, Any]] = []
+        for page_addr in pages:
+            if page_addr not in ctx.dirty_pages:
+                continue
+            page = self.daemon.storage.peek(page_addr)
+            if page is None:
+                continue
+            updates.append({
+                "page": page_addr, "data": page.data,
+                "release_token": False,
+            })
+        if updates:
+            # One coalesced write-back per home; distinct homes overlap.
+            pushes = []
+            for home in desc.home_nodes:
+                if home == me:
+                    continue
+                pushes.append(
+                    self.daemon.rpc.request(
+                        home,
+                        MessageType.UPDATE_PUSH_BATCH,
+                        {"rid": desc.rid, "updates": updates},
+                        policy=TRANSACTION_POLICY,
+                    )
+                )
+            if pushes:
+                yield gather_settled(pushes, label="crew-writeback-batch")
+        if me == desc.primary_home:
+            for update in updates:
+                self.daemon.storage.mark_clean(update["page"])
 
     # ------------------------------------------------------------------
     # Home side
@@ -585,6 +751,78 @@ class CrewManager(ConsistencyManager):
             self.daemon.reply_request(msg, MessageType.UPDATE_ACK, {})
 
         self.daemon.spawn_handler(msg, apply(), label="crew-writeback")
+
+    def handle_lock_request_batch(self, desc: RegionDescriptor,
+                                  msg: Message) -> None:
+        mode = LockMode(msg.payload["mode"])
+        if not self.check_remote_access(desc, msg, mode):
+            return
+        if self.daemon.node_id != desc.primary_home:
+            self.daemon.reply_error(msg, "not_responsible",
+                                    f"node {self.daemon.node_id} is not the "
+                                    f"primary home of region {desc.rid:#x}")
+            return
+        pages = [int(p) for p in msg.payload.get("pages", [])]
+
+        def transaction() -> ProtocolGen:
+            granted: List[Dict[str, Any]] = []
+            errors: List[Dict[str, Any]] = []
+            for page_addr in pages:
+                # Per-page grants with per-page errors: the same
+                # partial semantics the sequential path has today (the
+                # client rolls its side back on any error).
+                try:
+                    data = yield from self._home_grant(
+                        desc, page_addr, mode, msg.src
+                    )
+                except KhazanaError as error:
+                    errors.append({
+                        "page": page_addr,
+                        "code": getattr(error, "code", "khazana_error"),
+                        "detail": str(error),
+                    })
+                    continue
+                entry = self.daemon.page_directory.get(page_addr)
+                owner = entry.owner if entry is not None else None
+                granted.append({
+                    "page": page_addr, "data": data, "owner": owner,
+                })
+            self.daemon.reply_request(
+                msg, MessageType.TOKEN_GRANT_BATCH,
+                {"pages": granted, "errors": errors},
+            )
+
+        self.daemon.spawn_handler(msg, transaction(), label="crew-grant-batch")
+
+    def handle_update_batch(self, desc: RegionDescriptor,
+                            msg: Message) -> None:
+        """Coalesced write-back from an owner at lock release."""
+        updates = msg.payload.get("updates", [])
+
+        def apply() -> ProtocolGen:
+            me = self.daemon.node_id
+            for update in updates:
+                page_addr = int(update["page"])
+                yield from self.daemon.store_local_page(
+                    desc, page_addr, update["data"],
+                    dirty=me != desc.primary_home,
+                )
+                entry = self.daemon.page_directory.ensure(
+                    page_addr, desc.rid, homed=me in desc.home_nodes
+                )
+                entry.allocated = True
+                if self.page_state.get(page_addr) in (
+                    None, LocalPageState.INVALID
+                ):
+                    # Durability write-back, not a coherent cached copy
+                    # (same discipline as the per-page handler).
+                    self.page_state[page_addr] = LocalPageState.INVALID
+                    entry.sharers.discard(me)
+            self.daemon.reply_request(
+                msg, MessageType.UPDATE_ACK_BATCH, {"applied": len(updates)}
+            )
+
+        self.daemon.spawn_handler(msg, apply(), label="crew-writeback-batch")
 
     def on_node_failure(self, node_id: int) -> None:
         self.daemon.page_directory.forget_node(node_id)

@@ -24,7 +24,7 @@ Semantics:
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.consistency.manager import (
     ConsistencyManager,
@@ -188,6 +188,136 @@ class EventualManager(ConsistencyManager):
         self._dirty_fanout.add(page_addr)
 
     # ------------------------------------------------------------------
+    # Batched multi-page path
+    # ------------------------------------------------------------------
+
+    def acquire_many(
+        self,
+        desc: RegionDescriptor,
+        pages: List[int],
+        mode: LockMode,
+        ctx: LockContext,
+        note_acquired: Callable[[int], None],
+    ) -> ProtocolGen:
+        me = self.daemon.node_id
+        if (me == desc.primary_home or len(pages) <= 1
+                or not self.batching_enabled()):
+            yield from super().acquire_many(desc, pages, mode, ctx,
+                                            note_acquired)
+            return
+        for page_addr in pages:
+            yield from self.daemon._wait_local_conflicts(page_addr, mode)
+            self._rids[page_addr] = desc.rid
+        now = self.daemon.scheduler.now
+        stale = [
+            p for p in pages
+            if not (self.daemon.storage.contains(p)
+                    and now - self._refreshed_at.get(p, float("-inf"))
+                    <= self.staleness_bound)
+        ]
+        if stale:
+            try:
+                yield from self._refresh_batch(desc, stale, ctx.principal)
+            except LockDenied:
+                # Home unreachable: stale copies may still serve, but a
+                # page we have never held is a hard failure.
+                if any(not self.daemon.storage.contains(p) for p in stale):
+                    raise
+        for page_addr in pages:
+            note_acquired(page_addr)
+
+    def _refresh_batch(self, desc: RegionDescriptor, pages: List[int],
+                       principal: str = "_khazana") -> ProtocolGen:
+        last_error: Optional[Exception] = None
+        reply = None
+        for home in desc.home_nodes:
+            if home == self.daemon.node_id:
+                continue
+            try:
+                reply = yield self.daemon.rpc.request(
+                    home,
+                    MessageType.PAGE_FETCH_BATCH,
+                    {"rid": desc.rid, "pages": list(pages), "register": True,
+                     "principal": principal},
+                    policy=FETCH_POLICY,
+                )
+                break
+            except (RpcTimeout, RemoteError) as error:
+                last_error = error
+        if reply is None:
+            raise LockDenied(
+                f"no home of region {desc.rid:#x} reachable: {last_error}"
+            )
+        for item in reply.payload.get("pages", []):
+            page_addr = int(item["page"])
+            yield from self.daemon.store_local_page(
+                desc, page_addr, item["data"], dirty=False
+            )
+            self._versions[page_addr] = (
+                item.get("version", 0), item.get("writer", 0)
+            )
+            self._refreshed_at[page_addr] = self.daemon.scheduler.now
+            self.page_state[page_addr] = LocalPageState.SHARED
+            entry = self.daemon.page_directory.ensure(
+                page_addr, desc.rid, homed=False
+            )
+            entry.allocated = True
+        for err in reply.payload.get("errors") or []:
+            if not self.daemon.storage.contains(int(err["page"])):
+                raise LockDenied(
+                    f"home refused page {int(err['page']):#x}: "
+                    f"{err.get('detail', err.get('code', ''))}"
+                )
+
+    def release_many(
+        self,
+        desc: RegionDescriptor,
+        pages: List[int],
+        ctx: LockContext,
+    ) -> ProtocolGen:
+        me = self.daemon.node_id
+        if (me == desc.primary_home or len(pages) <= 1
+                or not self.batching_enabled()):
+            yield from super().release_many(desc, pages, ctx)
+            return
+        updates: List[Dict[str, Any]] = []
+        for page_addr in pages:
+            if page_addr not in ctx.dirty_pages:
+                continue
+            page = self.daemon.storage.peek(page_addr)
+            if page is None:
+                continue
+            version, _writer = self._versions.get(page_addr, (0, 0))
+            version += 1
+            self._versions[page_addr] = (version, me)
+            self._refreshed_at[page_addr] = self.daemon.scheduler.now
+            updates.append({
+                "page": page_addr, "data": page.data,
+                "version": version, "writer": me,
+                "release_token": False,
+            })
+        if not updates:
+            return
+        try:
+            yield self.daemon.rpc.request(
+                desc.primary_home, MessageType.UPDATE_PUSH_BATCH,
+                {"rid": desc.rid, "updates": updates},
+                policy=FETCH_POLICY,
+            )
+        except (RpcTimeout, RemoteError):
+            # Home unreachable: fall back to one background retry per
+            # page; local copies stay dirty until each push lands.
+            for update in updates:
+                payload = {"rid": desc.rid, **update}
+                self.daemon.retry_queue.enqueue(
+                    lambda payload=payload: self._retry_push(desc, payload),
+                    label=f"eventual-push:{payload['page']:#x}",
+                )
+            return
+        for update in updates:
+            self.daemon.storage.mark_clean(update["page"])
+
+    # ------------------------------------------------------------------
     # Home side
     # ------------------------------------------------------------------
 
@@ -223,6 +353,72 @@ class EventualManager(ConsistencyManager):
             self._apply_at_home(desc, msg)
             return
         self._apply_replica_update(desc, msg)
+
+    def handle_page_fetch_batch(self, desc: RegionDescriptor,
+                                msg: Message) -> None:
+        from repro.core.locks import LockMode as _LM
+
+        if not self.check_remote_access(desc, msg, _LM.READ):
+            return
+        pages = [int(p) for p in msg.payload.get("pages", [])]
+
+        def serve() -> ProtocolGen:
+            served: List[Dict[str, Any]] = []
+            errors: List[Dict[str, Any]] = []
+            for page_addr in pages:
+                data = yield from self.daemon.local_page_bytes(desc, page_addr)
+                if data is None:
+                    errors.append({
+                        "page": page_addr, "code": "not_allocated",
+                        "detail": f"page {page_addr:#x} has no storage",
+                    })
+                    continue
+                if msg.payload.get("register"):
+                    entry = self.daemon.page_directory.ensure(
+                        page_addr, desc.rid, homed=True
+                    )
+                    entry.record_sharer(msg.src)
+                version, writer = self._versions.get(page_addr, (0, 0))
+                served.append({
+                    "page": page_addr, "data": data,
+                    "version": version, "writer": writer,
+                })
+            self.daemon.reply_request(
+                msg, MessageType.PAGE_DATA_BATCH,
+                {"pages": served, "errors": errors},
+            )
+
+        self.daemon.spawn_handler(msg, serve(), label="eventual-fetch-batch")
+
+    def handle_update_batch(self, desc: RegionDescriptor,
+                            msg: Message) -> None:
+        if self.daemon.node_id != desc.primary_home:
+            self.daemon.reply_error(msg, "not_responsible",
+                                    "batched updates go to the primary home")
+            return
+        updates = msg.payload.get("updates", [])
+
+        def apply() -> ProtocolGen:
+            applied = 0
+            for update in updates:
+                page_addr = int(update["page"])
+                incoming = (update.get("version", 0), update.get("writer", 0))
+                # Same last-writer-wins rule as the per-page handler.
+                if incoming > self._versions.get(page_addr, (0, -1)):
+                    yield from self.daemon.store_local_page(
+                        desc, page_addr, update["data"], dirty=False
+                    )
+                    self._versions[page_addr] = incoming
+                    self._record_home_write(
+                        desc, page_addr, incoming[0], incoming[1]
+                    )
+                self._rids[page_addr] = desc.rid
+                applied += 1
+            self.daemon.reply_request(
+                msg, MessageType.UPDATE_ACK_BATCH, {"applied": applied}
+            )
+
+        self.daemon.spawn_handler(msg, apply(), label="eventual-apply-batch")
 
     def _apply_at_home(self, desc: RegionDescriptor, msg: Message) -> None:
         page_addr = msg.payload["page"]

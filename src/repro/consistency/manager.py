@@ -133,6 +133,63 @@ class ConsistencyManager(abc.ABC):
     ) -> ProtocolGen:
         """Protocol work at unlock time (push updates, drop tokens)."""
 
+    # --- Batched multi-page path -------------------------------------------
+
+    def batching_enabled(self) -> bool:
+        """Whether this daemon may coalesce multi-page protocol traffic."""
+        return bool(getattr(self.daemon.config, "enable_batching", True))
+
+    def acquire_many(
+        self,
+        desc: RegionDescriptor,
+        pages: List[int],
+        mode: LockMode,
+        ctx: LockContext,
+        note_acquired: Callable[[int], None],
+    ) -> ProtocolGen:
+        """Acquire every page of a lock range for one context.
+
+        Default: the per-page path — wait out local conflicts, run
+        :meth:`acquire`, and pin each page in turn.  Batch-aware
+        protocols override this to group the pages by the home node
+        that must serve them and issue one RPC per home.
+
+        ``note_acquired(page)`` must be invoked the moment a page's
+        acquisition is final: the daemon registers the page in its lock
+        table there, and rolls exactly the noted pages back if the rest
+        of the range fails (no page stays pinned after a partial
+        failure).
+        """
+        for page_addr in pages:
+            yield from self.daemon._wait_local_conflicts(page_addr, mode)
+            yield from self.acquire(desc, page_addr, mode, ctx)
+            note_acquired(page_addr)
+
+    def release_many(
+        self,
+        desc: RegionDescriptor,
+        pages: List[int],
+        ctx: LockContext,
+    ) -> ProtocolGen:
+        """Release every page of a context (release-type: never raises).
+
+        Default: per-page :meth:`release`, with failures handed to the
+        background retry queue (paper 3.5).  Batch-aware protocols
+        override this to coalesce the context's dirty pages into one
+        ``UPDATE_PUSH_BATCH`` per home node, falling back to per-page
+        retries when a home is unreachable.
+        """
+        for page_addr in pages:
+            try:
+                yield from self.release(desc, page_addr, ctx)
+            except Exception:
+                self.daemon.retry_queue.enqueue(
+                    lambda page_addr=page_addr: self.release(
+                        desc, page_addr, ctx
+                    ),
+                    label=f"cm-release:{page_addr:#x}",
+                )
+
     def evict(
         self, desc: RegionDescriptor, page_addr: int, data: bytes, dirty: bool
     ) -> ProtocolGen:
@@ -234,6 +291,18 @@ class ConsistencyManager(abc.ABC):
 
     def handle_update(self, desc: RegionDescriptor, msg: Message) -> None:
         self.daemon.rpc.reply_error(msg, "unhandled", "update_push")
+
+    def handle_page_fetch_batch(self, desc: RegionDescriptor,
+                                msg: Message) -> None:
+        self.daemon.reply_error(msg, "unhandled", "page_fetch_batch")
+
+    def handle_lock_request_batch(self, desc: RegionDescriptor,
+                                  msg: Message) -> None:
+        self.daemon.reply_error(msg, "unhandled", "token_acquire_batch")
+
+    def handle_update_batch(self, desc: RegionDescriptor,
+                            msg: Message) -> None:
+        self.daemon.reply_error(msg, "unhandled", "update_push_batch")
 
     def handle_sharer_register(self, desc: RegionDescriptor, msg: Message) -> None:
         entry = self.daemon.page_directory.ensure(

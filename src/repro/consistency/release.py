@@ -261,6 +261,160 @@ class ReleaseManager(ConsistencyManager):
         yield from self._home_request(desc, MessageType.UPDATE_PUSH, payload)
 
     # ------------------------------------------------------------------
+    # Batched multi-page path
+    # ------------------------------------------------------------------
+
+    def acquire_many(
+        self,
+        desc: RegionDescriptor,
+        pages: List[int],
+        mode: LockMode,
+        ctx: LockContext,
+        note_acquired: Any,
+    ) -> ProtocolGen:
+        me = self.daemon.node_id
+        if (me == desc.primary_home or len(pages) <= 1
+                or not self.batching_enabled()):
+            # Home-local or trivial ranges gain nothing from batching.
+            yield from super().acquire_many(desc, pages, mode, ctx,
+                                            note_acquired)
+            return
+        for page_addr in pages:
+            yield from self.daemon._wait_local_conflicts(page_addr, mode)
+        if mode is LockMode.READ:
+            missing = [p for p in pages
+                       if not self.daemon.storage.contains(p)]
+            if missing:
+                yield from self._fetch_replica_batch(desc, missing,
+                                                     ctx.principal)
+        elif mode is LockMode.WRITE:
+            yield from self._acquire_token_batch(desc, pages, ctx.principal)
+        else:  # WRITE_SHARED: no tokens; twin every page for diffing.
+            missing = [p for p in pages
+                       if not self.daemon.storage.contains(p)]
+            if missing:
+                yield from self._fetch_replica_batch(desc, missing,
+                                                     ctx.principal)
+            for page_addr in pages:
+                data = yield from self.daemon.local_page_bytes(desc, page_addr)
+                if data is None:
+                    raise KhazanaError(
+                        f"page {page_addr:#x} vanished during write-shared "
+                        f"acquire"
+                    )
+                self._twins[(ctx.ctx_id, page_addr)] = data
+        for page_addr in pages:
+            note_acquired(page_addr)
+
+    def _fetch_replica_batch(self, desc: RegionDescriptor, pages: List[int],
+                             principal: str = "_khazana") -> ProtocolGen:
+        reply = yield from self._home_request(
+            desc, MessageType.PAGE_FETCH_BATCH,
+            {"rid": desc.rid, "pages": list(pages), "register": True,
+             "principal": principal},
+        )
+        for item in reply.payload.get("pages", []):
+            page_addr = int(item["page"])
+            yield from self.daemon.store_local_page(
+                desc, page_addr, item["data"], dirty=False
+            )
+            self._versions[page_addr] = item.get("version", 0)
+            self.page_state[page_addr] = LocalPageState.SHARED
+            entry = self.daemon.page_directory.ensure(
+                page_addr, desc.rid, homed=False
+            )
+            entry.allocated = True
+        errors = reply.payload.get("errors") or []
+        if errors:
+            from repro.core.errors import error_from_code
+
+            first = errors[0]
+            raise error_from_code(first["code"], first.get("detail", ""))
+
+    def _acquire_token_batch(self, desc: RegionDescriptor, pages: List[int],
+                             principal: str = "_khazana") -> ProtocolGen:
+        # The home grants all tokens or none (it NAKs the whole batch),
+        # so a denial leaves nothing to roll back remotely.
+        reply = yield from self._home_request(
+            desc, MessageType.TOKEN_ACQUIRE_BATCH,
+            {"rid": desc.rid, "pages": list(pages),
+             "mode": LockMode.WRITE.value, "principal": principal},
+        )
+        for item in reply.payload.get("pages", []):
+            page_addr = int(item["page"])
+            yield from self.daemon.store_local_page(
+                desc, page_addr, item["data"], dirty=False
+            )
+            self._versions[page_addr] = item.get("version", 0)
+            self.page_state[page_addr] = LocalPageState.EXCLUSIVE
+            entry = self.daemon.page_directory.ensure(
+                page_addr, desc.rid, homed=False
+            )
+            entry.allocated = True
+
+    def release_many(
+        self,
+        desc: RegionDescriptor,
+        pages: List[int],
+        ctx: LockContext,
+    ) -> ProtocolGen:
+        me = self.daemon.node_id
+        if (me == desc.primary_home or len(pages) <= 1
+                or not self.batching_enabled()):
+            yield from super().release_many(desc, pages, ctx)
+            return
+        updates = []
+        for page_addr in pages:
+            update = self._release_update(desc, page_addr, ctx)
+            if update is not None:
+                updates.append(update)
+        if not updates:
+            return
+        try:
+            yield from self._home_request(
+                desc, MessageType.UPDATE_PUSH_BATCH,
+                {"rid": desc.rid, "updates": updates},
+            )
+        except Exception:
+            # Home unreachable: token releases and dirty data must not
+            # be lost — fall back to one background retry per page.
+            for update in updates:
+                payload = {"rid": desc.rid, **update}
+                self.daemon.retry_queue.enqueue(
+                    lambda payload=payload: self._push_home(
+                        desc, payload["page"], payload
+                    ),
+                    label=f"release-token:{payload['page']:#x}",
+                )
+            return
+        for update in updates:
+            if "data" in update or "diff" in update:
+                self.daemon.storage.mark_clean(update["page"])
+
+    def _release_update(self, desc: RegionDescriptor, page_addr: int,
+                        ctx: LockContext) -> Optional[Dict[str, Any]]:
+        """The per-page entry of an UPDATE_PUSH_BATCH, or None."""
+        twin = self._twins.pop((ctx.ctx_id, page_addr), None)
+        if ctx.mode is LockMode.WRITE_SHARED:
+            if twin is None:
+                return None
+            page = self.daemon.storage.peek(page_addr)
+            if page is None:
+                return None
+            diff = compute_diff(twin, page.data)
+            if not diff:
+                return None
+            return {"page": page_addr, "diff": diff, "release_token": False}
+        if ctx.mode is not LockMode.WRITE:
+            return None
+        update: Dict[str, Any] = {"page": page_addr, "release_token": True}
+        if page_addr in ctx.dirty_pages:
+            page = self.daemon.storage.peek(page_addr)
+            if page is not None:
+                update["data"] = page.data
+        return update
+
+    # ------------------------------------------------------------------
     # Home side
     # ------------------------------------------------------------------
 
@@ -339,6 +493,118 @@ class ReleaseManager(ConsistencyManager):
             return
         # Replica side: a propagated update from the home node.
         self._apply_replica_update(desc, msg)
+
+    def handle_page_fetch_batch(self, desc: RegionDescriptor,
+                                msg: Message) -> None:
+        if not self.check_remote_access(desc, msg, LockMode.READ):
+            return
+        pages = [int(p) for p in msg.payload.get("pages", [])]
+
+        def serve() -> ProtocolGen:
+            served: List[Dict[str, Any]] = []
+            errors: List[Dict[str, Any]] = []
+            for page_addr in pages:
+                data = yield from self.daemon.local_page_bytes(desc, page_addr)
+                if data is None:
+                    errors.append({
+                        "page": page_addr, "code": "not_allocated",
+                        "detail": f"page {page_addr:#x} has no storage",
+                    })
+                    continue
+                if msg.payload.get("register"):
+                    entry = self.daemon.page_directory.ensure(
+                        page_addr, desc.rid, homed=True
+                    )
+                    entry.record_sharer(msg.src)
+                served.append({
+                    "page": page_addr, "data": data,
+                    "version": self._versions.get(page_addr, 0),
+                })
+            self.daemon.reply_request(
+                msg, MessageType.PAGE_DATA_BATCH,
+                {"pages": served, "errors": errors},
+            )
+
+        self.daemon.spawn_handler(msg, serve(), label="release-fetch-batch")
+
+    def handle_lock_request_batch(self, desc: RegionDescriptor,
+                                  msg: Message) -> None:
+        if self.daemon.node_id != desc.primary_home:
+            self.daemon.reply_error(msg, "not_responsible", "not primary home")
+            return
+        if not self.check_remote_access(desc, msg, LockMode.WRITE):
+            return
+        # Ascending order everywhere → concurrent batches cannot
+        # deadlock on each other's tokens.
+        pages = sorted(int(p) for p in msg.payload.get("pages", []))
+
+        def grant() -> ProtocolGen:
+            held: List[int] = []
+            granted: List[Dict[str, Any]] = []
+            try:
+                for page_addr in pages:
+                    yield self._tokens.acquire(page_addr)
+                    held.append(page_addr)
+                    data = yield from self.daemon.local_page_bytes(
+                        desc, page_addr
+                    )
+                    if data is None:
+                        # All-or-nothing: give back every token held so
+                        # far so a denied batch leaves no residue.
+                        for token_page in held:
+                            self._tokens.release(token_page)
+                        self.daemon.reply_error(
+                            msg, "not_allocated",
+                            f"page {page_addr:#x} has no storage",
+                        )
+                        return
+                    granted.append({
+                        "page": page_addr, "data": data,
+                        "version": self._versions.get(page_addr, 0),
+                    })
+            except Exception:
+                for token_page in held:
+                    self._tokens.release(token_page)
+                raise
+            for page_addr in pages:
+                entry = self.daemon.page_directory.ensure(
+                    page_addr, desc.rid, homed=True
+                )
+                entry.record_sharer(msg.src)
+            self.daemon.reply_request(
+                msg, MessageType.TOKEN_GRANT_BATCH, {"pages": granted}
+            )
+            # Tokens now belong to msg.src until its UPDATE_PUSH_BATCH
+            # with release_token=True arrives.
+
+        self.daemon.spawn_handler(msg, grant(), label="release-token-batch")
+
+    def handle_update_batch(self, desc: RegionDescriptor,
+                            msg: Message) -> None:
+        if self.daemon.node_id != desc.primary_home:
+            self.daemon.reply_error(msg, "not_responsible",
+                                    "batched updates go to the primary home")
+            return
+        updates = msg.payload.get("updates", [])
+
+        def apply() -> ProtocolGen:
+            applied = 0
+            for update in updates:
+                page_addr = int(update["page"])
+                yield from self._apply_update_at_home(
+                    desc, page_addr,
+                    diff=update.get("diff"),
+                    data=update.get("data"),
+                    writer=msg.src,
+                )
+                if update.get("release_token"):
+                    self._tokens.release(page_addr)
+                applied += 1
+            self.daemon.reply_request(
+                msg, MessageType.UPDATE_ACK_BATCH, {"applied": applied}
+            )
+
+        self.daemon.spawn_handler(msg, apply(), label="release-apply-batch")
 
     def _apply_update_at_home(
         self,

@@ -104,6 +104,10 @@ class DaemonConfig:
     housekeeping_period: float = 1.0
     #: Run the failure detector / replica maintainer.
     enable_failure_handling: bool = True
+    #: Coalesce multi-page lock/unlock traffic into one RPC per home
+    #: node (PAGE_FETCH_BATCH / TOKEN_ACQUIRE_BATCH / UPDATE_PUSH_BATCH).
+    #: Off forces the per-page protocol path everywhere.
+    enable_batching: bool = True
     #: Region-directory capacity (ablation A1 shrinks this to 1).
     region_directory_capacity: int = 1024
     #: Disable the cluster-manager hint tier (ablation A1).
@@ -780,15 +784,20 @@ class KhazanaDaemon:
         pages = desc.pages_covering(target)
         cm = self.consistency_manager(desc.attrs.protocol)
         acquired: List[int] = []
+
+        def note_acquired(page_addr: int) -> None:
+            # Pin the page the moment its acquisition is final so a
+            # later failure in the same range rolls back exactly the
+            # pages we hold.
+            self.lock_table.register(ctx, [page_addr])
+            acquired.append(page_addr)
+
         try:
-            for page_addr in pages:
-                yield from self._wait_local_conflicts(page_addr, mode)
-                try:
-                    yield from cm.acquire(desc, page_addr, mode, ctx)
-                except RemoteError as error:
-                    raise error_from_code(error.code, error.detail) from error
-                self.lock_table.register(ctx, [page_addr])
-                acquired.append(page_addr)
+            try:
+                yield from cm.acquire_many(desc, pages, mode, ctx,
+                                           note_acquired)
+            except RemoteError as error:
+                raise error_from_code(error.code, error.detail) from error
         except BaseException:
             # Roll back partial acquisition so no page stays pinned.
             if acquired:
@@ -842,11 +851,12 @@ class KhazanaDaemon:
             return None   # already unlocked; idempotent
         desc, pages = mapping
         cm = self.consistency_manager(desc.attrs.protocol)
-        for page_addr in pages:
-            try:
-                yield from cm.release(desc, page_addr, ctx)
-            except Exception:
-                # Release-type failure: retry in the background (3.5).
+        try:
+            yield from cm.release_many(desc, pages, ctx)
+        except Exception:
+            # Backstop: release_many already routes per-page failures
+            # to the retry queue, but unlock itself must never raise.
+            for page_addr in pages:
                 self.retry_queue.enqueue(
                     lambda cm=cm, page_addr=page_addr: cm.release(
                         desc, page_addr, ctx
@@ -897,19 +907,25 @@ class KhazanaDaemon:
             )
         desc, _pages = self._require_ctx(ctx)
         for page_addr in desc.pages_covering(target):
-            current = yield from self.local_page_bytes(desc, page_addr)
-            if current is None:
-                current = b"\x00" * desc.page_size
             page_range = AddressRange(page_addr, desc.page_size)
             overlap = page_range.intersection(target)
             assert overlap is not None
             lo = overlap.start - page_addr
             src_lo = overlap.start - target.start
-            updated = (
-                current[:lo]
-                + data[src_lo : src_lo + overlap.length]
-                + current[lo + overlap.length :]
-            )
+            if overlap.length == desc.page_size:
+                # Full-page write: every byte is replaced, so skip the
+                # read-modify-write (which may fetch the stale page
+                # over the network just to discard it).
+                updated = bytes(data[src_lo : src_lo + overlap.length])
+            else:
+                current = yield from self.local_page_bytes(desc, page_addr)
+                if current is None:
+                    current = b"\x00" * desc.page_size
+                updated = (
+                    current[:lo]
+                    + data[src_lo : src_lo + overlap.length]
+                    + current[lo + overlap.length :]
+                )
             yield from self.store_local_page(desc, page_addr, updated,
                                              dirty=True)
             ctx.dirty_pages.add(page_addr)
@@ -1274,6 +1290,12 @@ class KhazanaDaemon:
         on(MessageType.PAGE_FETCH, self._dedup(self._cm_dispatch("handle_page_fetch")))
         on(MessageType.INVALIDATE, self._dedup(self._cm_dispatch("handle_invalidate")))
         on(MessageType.UPDATE_PUSH, self._dedup(self._cm_dispatch("handle_update")))
+        on(MessageType.PAGE_FETCH_BATCH,
+           self._dedup(self._cm_dispatch("handle_page_fetch_batch")))
+        on(MessageType.TOKEN_ACQUIRE_BATCH,
+           self._dedup(self._cm_dispatch("handle_lock_request_batch")))
+        on(MessageType.UPDATE_PUSH_BATCH,
+           self._dedup(self._cm_dispatch("handle_update_batch")))
         on(MessageType.SHARER_REGISTER, self._cm_dispatch("handle_sharer_register"))
         on(MessageType.SHARER_UNREGISTER, self._cm_dispatch("handle_sharer_unregister"))
         on(MessageType.REPLICA_CREATE, self._dedup(self._h_replica_create))

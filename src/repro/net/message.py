@@ -55,6 +55,17 @@ class MessageType(str, enum.Enum):
     SHARER_REGISTER = "sharer_register"      # tell home node we cache a page
     SHARER_UNREGISTER = "sharer_unregister"  # eviction notice (may retry in bg)
 
+    # --- Batched multi-page protocol operations.  One envelope carries
+    # a list of pages bound for the same home node, collapsing the
+    # per-page round-trips of a multi-page lock/unlock cycle into one
+    # RPC per (home node, message kind).
+    PAGE_FETCH_BATCH = "page_fetch_batch"    # fetch many read copies at once
+    PAGE_DATA_BATCH = "page_data_batch"
+    TOKEN_ACQUIRE_BATCH = "token_acquire_batch"  # many write grants at once
+    TOKEN_GRANT_BATCH = "token_grant_batch"
+    UPDATE_PUSH_BATCH = "update_push_batch"  # coalesced write-back at unlock
+    UPDATE_ACK_BATCH = "update_ack_batch"
+
     # --- Replication & failure handling (paper Section 3.5) ---
     REPLICA_CREATE = "replica_create"        # push a replica for min-copies
     REPLICA_ACK = "replica_ack"
@@ -85,6 +96,9 @@ REPLY_TYPES = frozenset(
         MessageType.PAGE_DATA,
         MessageType.INVALIDATE_ACK,
         MessageType.UPDATE_ACK,
+        MessageType.PAGE_DATA_BATCH,
+        MessageType.TOKEN_GRANT_BATCH,
+        MessageType.UPDATE_ACK_BATCH,
         MessageType.REPLICA_ACK,
         MessageType.PONG,
         MessageType.APP_REPLY,
@@ -95,6 +109,26 @@ REPLY_TYPES = frozenset(
 # Fixed per-message envelope overhead used for traffic accounting, in
 # bytes.  Roughly a UDP/IP header plus Khazana's own message header.
 ENVELOPE_BYTES = 64
+
+
+def _wire_size(value: Any) -> int:
+    """Approximate serialized size of one payload value, recursively.
+
+    Batch payloads are lists of dicts with embedded page ``bytes``;
+    counting containers by element count alone would hide megabytes of
+    page data from the bandwidth model, so containers recurse.
+    """
+    if isinstance(value, (bytes, bytearray)):
+        return len(value)
+    if isinstance(value, str):
+        return len(value)
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return 8 + sum(_wire_size(item) for item in value)
+    if isinstance(value, dict):
+        return 8 + sum(
+            len(str(key)) + _wire_size(item) for key, item in value.items()
+        )
+    return 8
 
 
 @dataclass
@@ -122,17 +156,7 @@ class Message:
         """Approximate wire size for bandwidth/latency accounting."""
         size = ENVELOPE_BYTES
         for key, value in self.payload.items():
-            size += len(key)
-            if isinstance(value, (bytes, bytearray)):
-                size += len(value)
-            elif isinstance(value, str):
-                size += len(value)
-            elif isinstance(value, (list, tuple, set, frozenset)):
-                size += 8 * max(1, len(value))
-            elif isinstance(value, dict):
-                size += 16 * max(1, len(value))
-            else:
-                size += 8
+            size += len(key) + _wire_size(value)
         return size
 
     def reply(
