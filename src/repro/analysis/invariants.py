@@ -1,0 +1,102 @@
+"""Quiesced-state invariant checks over a set of Khazana daemons.
+
+These functions inspect daemon state without mutating it and return
+human-readable problem descriptions (empty list = invariant holds).
+They are shared by two consumers: the race detector's
+:meth:`~repro.analysis.races.RaceDetector.final_check`, and
+``tools/fsck.py`` in ``--strict`` mode.
+
+They are *final* checks: several of these invariants are legitimately
+violated in transient states (a replica floor during re-replication,
+a pin while a lock context is open), so run them only against a
+quiesced cluster — after the operations under test have completed and
+background repair has had time to converge.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Set
+
+from repro.core.address_map import SYSTEM_REGION
+
+
+def check_pin_balance(daemons: Sequence[Any]) -> List[str]:
+    """Lock-table and context bookkeeping agree on every node.
+
+    Every live lock context must be open and known to the daemon's
+    context-to-pages map, and vice versa: a context in one structure
+    but not the other means pins will never be released (or were
+    released twice).
+    """
+    problems: List[str] = []
+    for daemon in daemons:
+        table_ids = set()
+        for ctx in daemon.lock_table.live_contexts():
+            table_ids.add(ctx.ctx_id)
+            if ctx.closed:
+                problems.append(
+                    f"node {daemon.node_id}: closed context {ctx.ctx_id} "
+                    "still registered in the lock table"
+                )
+            if ctx.ctx_id not in daemon._ctx_pages:
+                problems.append(
+                    f"node {daemon.node_id}: context {ctx.ctx_id} is in "
+                    "the lock table but unknown to the daemon"
+                )
+        for ctx_id in daemon._ctx_pages:
+            if ctx_id not in table_ids:
+                problems.append(
+                    f"node {daemon.node_id}: context {ctx_id} maps pages "
+                    "but is not registered in the lock table"
+                )
+    return problems
+
+
+def check_replica_floor(daemons: Sequence[Any]) -> List[str]:
+    """Every region's home count meets its ``min_replicas`` floor.
+
+    The floor is capped at the number of live daemons: a 3-replica
+    region on a 2-node system can only ever have 2 homes.
+    """
+    problems: List[str] = []
+    homes: Dict[int, Set[int]] = {}
+    floors: Dict[int, int] = {}
+    for daemon in daemons:
+        for rid, desc in daemon.homed_regions.items():
+            homes.setdefault(rid, set()).add(daemon.node_id)
+            floors[rid] = max(floors.get(rid, 0), desc.attrs.min_replicas)
+    for rid, floor in sorted(floors.items()):
+        if rid == SYSTEM_REGION.start:
+            continue
+        effective = min(floor, len(daemons))
+        actual = homes.get(rid, set())
+        if len(actual) < effective:
+            problems.append(
+                f"region {rid:#x}: min_replicas={floor} but only "
+                f"{sorted(actual)} home it ({len(actual)} < {effective})"
+            )
+    return problems
+
+
+def check_directory_store_agreement(daemons: Sequence[Any]) -> List[str]:
+    """Every stored page is known to its node's page directory.
+
+    A page resident in the storage hierarchy without a directory entry
+    is unreachable by the consistency machinery: it can neither be
+    invalidated nor written back, so it silently serves stale data.
+    (The converse is legal — a homed, allocated entry may lack storage
+    because untouched pages are materialised lazily as zeroes.)
+    """
+    problems: List[str] = []
+    for daemon in daemons:
+        stored = set(daemon.storage.memory.addresses())
+        stored.update(daemon.storage.disk.addresses())
+        for address in sorted(stored):
+            if SYSTEM_REGION.contains(address):
+                continue
+            if daemon.page_directory.get(address) is None:
+                problems.append(
+                    f"node {daemon.node_id}: page {address:#x} is stored "
+                    "locally but has no page-directory entry"
+                )
+    return problems

@@ -1,0 +1,568 @@
+"""Project-specific static lint for the Khazana reproduction.
+
+Run as ``python -m repro.analysis.lint src/ tests/ examples/``.
+
+The rules encode invariants of *this* codebase that generic linters
+cannot know:
+
+- **KHZ001 blocking-call** — protocol code (``repro/core``,
+  ``repro/consistency``, ``repro/net``, ``repro/failure``) runs inside
+  a discrete-event simulation; real ``time.sleep``, socket, file, or
+  subprocess I/O would block the single simulation thread and desync
+  virtual time.  Everything must go through the sim clock/transport.
+- **KHZ002 unhandled-message / missing-fallback / reply-class** —
+  every non-reply :class:`~repro.net.message.MessageType` member must
+  have a handler registered somewhere (``on(MessageType.X, ...)``);
+  every consistency manager defining a ``handle_*_batch`` method must
+  also define the per-page ``handle_*`` fallback; every type sent as
+  a reply must be classified in ``REPLY_TYPES``.
+- **KHZ003 broad-except** — ``except Exception:`` (or bare
+  ``except:``) in protocol code may not silently swallow errors: the
+  body must log what happened, or the line carries a suppression.
+- **KHZ004 stale-context** — within one function, a lock context
+  variable may not be passed to ``read``/``write`` after being passed
+  to ``unlock`` (lexical, intra-function dataflow; reassignment
+  clears the mark).
+- **KHZ005 foreign-exception** — exceptions raised in consistency
+  code, ``core/daemon.py``, and ``core/locks.py`` must come from the
+  :mod:`repro.core.errors` taxonomy (or be built by
+  ``error_from_code``/``_typed_denial``), and the raised name must
+  actually be bound in the module — catching the
+  raise-an-unimported-name bug that only explodes on the error path.
+
+Suppression: append ``# khz: allow-<slug>(reason)`` to the flagged
+line.  The reason is mandatory; an empty one is itself an error.
+Slugs: ``blocking-call``, ``unhandled-message``, ``missing-fallback``,
+``reply-class``, ``broad-except``, ``stale-context``,
+``foreign-exception``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+SUPPRESS_RE = re.compile(r"#\s*khz:\s*allow-([a-z0-9-]+)\(([^)]*)\)")
+
+#: Dotted-call prefixes that block the simulation thread.
+BLOCKING_PREFIXES = (
+    "time.sleep",
+    "socket.",
+    "subprocess.",
+    "os.system",
+    "os.popen",
+    "select.select",
+    "selectors.",
+    "requests.",
+    "urllib.request.",
+    "http.client.",
+)
+
+#: Method names whose presence in an except body counts as logging.
+LOG_METHODS = {"debug", "info", "warning", "error", "exception", "critical",
+               "log", "warn"}
+
+#: Paths (posix substrings) where KHZ001 applies.
+SIM_SCOPES = ("repro/core/", "repro/consistency/", "repro/net/",
+              "repro/failure/")
+
+#: Paths where KHZ005 applies.
+TAXONOMY_SCOPES = ("repro/consistency/",)
+TAXONOMY_FILES = ("repro/core/daemon.py", "repro/core/locks.py")
+
+#: Names that construct taxonomy errors without naming a class.
+TAXONOMY_FACTORIES = {"error_from_code", "_typed_denial"}
+
+
+@dataclass(frozen=True)
+class Finding:
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+@dataclass
+class SourceFile:
+    """One parsed input file plus its suppression comments."""
+
+    path: str          # normalized posix path, as given
+    source: str
+    tree: ast.AST
+    #: line -> list of (slug, reason) suppressions on that line.
+    suppressions: Dict[int, List[Tuple[str, str]]] = field(
+        default_factory=dict
+    )
+
+    @classmethod
+    def parse(cls, path: str, source: str) -> "SourceFile":
+        tree = ast.parse(source, filename=path)
+        suppressions: Dict[int, List[Tuple[str, str]]] = {}
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            for match in SUPPRESS_RE.finditer(line):
+                suppressions.setdefault(lineno, []).append(
+                    (match.group(1), match.group(2))
+                )
+        return cls(path=path, source=source, tree=tree,
+                   suppressions=suppressions)
+
+
+class _Reporter:
+    """Collects findings, honoring same-line suppressions."""
+
+    def __init__(self) -> None:
+        self.findings: List[Finding] = []
+
+    def flag(self, sf: SourceFile, line: int, rule: str, slug: str,
+             message: str) -> None:
+        for found_slug, reason in sf.suppressions.get(line, ()):
+            if found_slug != slug:
+                continue
+            if not reason.strip():
+                self.findings.append(Finding(
+                    sf.path, line, rule,
+                    f"suppression allow-{slug} needs a written reason",
+                ))
+            return
+        self.findings.append(Finding(sf.path, line, rule, message))
+
+
+def _in_scope(path: str, scopes: Sequence[str] = (),
+              files: Sequence[str] = ()) -> bool:
+    return any(scope in path for scope in scopes) or any(
+        path.endswith(name) for name in files
+    )
+
+
+def _import_map(tree: ast.AST) -> Dict[str, str]:
+    """Local name -> dotted origin for every import in the module."""
+    origins: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                origins[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                origins[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+    return origins
+
+
+def _dotted_call_name(func: ast.expr,
+                      origins: Dict[str, str]) -> Optional[str]:
+    """Resolve a call target to a dotted name via the import map."""
+    parts: List[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    root = origins.get(node.id, node.id if not parts else None)
+    if root is None:
+        return None
+    return ".".join([root] + list(reversed(parts)))
+
+
+# ---------------------------------------------------------------------------
+# KHZ001: no blocking calls in simulation code
+# ---------------------------------------------------------------------------
+
+def check_blocking_calls(sf: SourceFile, reporter: _Reporter) -> None:
+    if not _in_scope(sf.path, scopes=SIM_SCOPES):
+        return
+    origins = _import_map(sf.tree)
+    for node in ast.walk(sf.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if isinstance(node.func, ast.Name) and node.func.id == "open":
+            reporter.flag(
+                sf, node.lineno, "KHZ001", "blocking-call",
+                "real file I/O (open) in simulation code; use the "
+                "storage hierarchy",
+            )
+            continue
+        dotted = _dotted_call_name(node.func, origins)
+        if dotted is None:
+            continue
+        for prefix in BLOCKING_PREFIXES:
+            if dotted == prefix or (prefix.endswith(".")
+                                    and dotted.startswith(prefix)):
+                reporter.flag(
+                    sf, node.lineno, "KHZ001", "blocking-call",
+                    f"blocking call {dotted} in simulation code; use "
+                    "the sim clock/transport instead",
+                )
+                break
+
+
+# ---------------------------------------------------------------------------
+# KHZ002: MessageType completeness (project-wide)
+# ---------------------------------------------------------------------------
+
+def _message_enum(sf: SourceFile) -> Tuple[Dict[str, int], Set[str]]:
+    """(member name -> line) of MessageType, and REPLY_TYPES names."""
+    members: Dict[str, int] = {}
+    replies: Set[str] = set()
+    for node in ast.walk(sf.tree):
+        if isinstance(node, ast.ClassDef) and node.name == "MessageType":
+            for stmt in node.body:
+                if (isinstance(stmt, ast.Assign)
+                        and len(stmt.targets) == 1
+                        and isinstance(stmt.targets[0], ast.Name)):
+                    members[stmt.targets[0].id] = stmt.lineno
+        if (isinstance(node, ast.Assign)
+                and any(isinstance(t, ast.Name) and t.id == "REPLY_TYPES"
+                        for t in node.targets)):
+            for sub in ast.walk(node.value):
+                if (isinstance(sub, ast.Attribute)
+                        and isinstance(sub.value, ast.Name)
+                        and sub.value.id == "MessageType"):
+                    replies.add(sub.attr)
+    return members, replies
+
+
+def _message_type_args(call: ast.Call) -> List[str]:
+    names = []
+    for arg in call.args:
+        if (isinstance(arg, ast.Attribute)
+                and isinstance(arg.value, ast.Name)
+                and arg.value.id == "MessageType"):
+            names.append(arg.attr)
+    return names
+
+
+def check_message_completeness(files: Sequence[SourceFile],
+                               reporter: _Reporter) -> None:
+    message_sf = next(
+        (sf for sf in files if sf.path.endswith("repro/net/message.py")),
+        None,
+    )
+    if message_sf is None:
+        return
+    members, replies = _message_enum(message_sf)
+
+    handled: Set[str] = set()
+    for sf in files:
+        if "repro/" not in sf.path:
+            continue
+        for node in ast.walk(sf.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            is_on = (isinstance(func, ast.Name) and func.id == "on") or (
+                isinstance(func, ast.Attribute) and func.attr == "on"
+            )
+            if is_on:
+                handled.update(_message_type_args(node))
+                continue
+            # Reply classification: types sent as replies must be in
+            # REPLY_TYPES or the RPC layer cannot account for them.
+            is_reply_call = isinstance(func, ast.Attribute) and func.attr in (
+                "reply", "reply_request"
+            )
+            if is_reply_call:
+                for name in _message_type_args(node):
+                    if name in members and name not in replies:
+                        reporter.flag(
+                            sf, node.lineno, "KHZ002", "reply-class",
+                            f"MessageType.{name} is sent as a reply but "
+                            "missing from REPLY_TYPES",
+                        )
+
+    for name, line in sorted(members.items(), key=lambda kv: kv[1]):
+        if name in replies or name in handled:
+            continue
+        reporter.flag(
+            message_sf, line, "KHZ002", "unhandled-message",
+            f"MessageType.{name} has no registered handler "
+            "(no on(MessageType.{0}, ...) anywhere)".format(name),
+        )
+
+    # Batch fallback: a CM handling the batched form of an operation
+    # must also handle the per-page form, or a peer with batching
+    # disabled cannot talk to it.
+    for sf in files:
+        if "repro/consistency/" not in sf.path:
+            continue
+        for node in ast.walk(sf.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            methods = {
+                stmt.name: stmt.lineno
+                for stmt in node.body
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            for name, line in sorted(methods.items()):
+                if not (name.startswith("handle_")
+                        and name.endswith("_batch")):
+                    continue
+                fallback = name[: -len("_batch")]
+                if fallback not in methods:
+                    reporter.flag(
+                        sf, line, "KHZ002", "missing-fallback",
+                        f"{node.name}.{name} has no per-page fallback "
+                        f"{fallback}",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# KHZ003: no silent broad excepts in protocol code
+# ---------------------------------------------------------------------------
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    names: List[str] = []
+    if isinstance(handler.type, ast.Name):
+        names = [handler.type.id]
+    elif isinstance(handler.type, ast.Tuple):
+        names = [e.id for e in handler.type.elts if isinstance(e, ast.Name)]
+    return "Exception" in names
+
+
+def _body_logs(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in LOG_METHODS):
+            return True
+    return False
+
+
+def check_broad_except(sf: SourceFile, reporter: _Reporter) -> None:
+    if "repro/" not in sf.path:
+        return
+    for node in ast.walk(sf.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if not _is_broad(node):
+            continue
+        if _body_logs(node):
+            continue
+        what = ("bare except" if node.type is None
+                else "except Exception")
+        reporter.flag(
+            sf, node.lineno, "KHZ003", "broad-except",
+            f"{what} in protocol code must log what it swallowed, "
+            "narrow the type, or carry a suppression",
+        )
+
+
+# ---------------------------------------------------------------------------
+# KHZ004: no read/write with a context after its unlock
+# ---------------------------------------------------------------------------
+
+_UNLOCK_METHODS = {"unlock", "op_unlock"}
+_ACCESS_METHODS = {"read", "write", "op_read", "op_write"}
+
+
+def _first_name_arg(call: ast.Call) -> Optional[str]:
+    if call.args and isinstance(call.args[0], ast.Name):
+        return call.args[0].id
+    return None
+
+
+def check_stale_contexts(sf: SourceFile, reporter: _Reporter) -> None:
+    for func in ast.walk(sf.tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        events: List[Tuple[int, int, str, str]] = []
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                name = _first_name_arg(node)
+                if name is None:
+                    continue
+                if node.func.attr in _UNLOCK_METHODS:
+                    events.append((node.lineno, node.col_offset,
+                                   "unlock", name))
+                elif node.func.attr in _ACCESS_METHODS:
+                    events.append((node.lineno, node.col_offset,
+                                   "access", name))
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        events.append((node.lineno, node.col_offset,
+                                       "assign", target.id))
+        unlocked: Set[str] = set()
+        for lineno, _col, kind, name in sorted(events):
+            if kind == "unlock":
+                unlocked.add(name)
+            elif kind == "assign":
+                unlocked.discard(name)
+            elif kind == "access" and name in unlocked:
+                reporter.flag(
+                    sf, lineno, "KHZ004", "stale-context",
+                    f"context {name!r} is used after being unlocked "
+                    f"earlier in {func.name}",
+                )
+
+
+# ---------------------------------------------------------------------------
+# KHZ005: raised exceptions come from the core.errors taxonomy
+# ---------------------------------------------------------------------------
+
+def _taxonomy_names() -> Set[str]:
+    from repro.core import errors as errors_module
+
+    names = set()
+    for attr in dir(errors_module):
+        obj = getattr(errors_module, attr)
+        if (isinstance(obj, type)
+                and issubclass(obj, errors_module.KhazanaError)):
+            names.add(attr)
+    return names
+
+
+def _bound_names(tree: ast.AST) -> Set[str]:
+    bound: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                bound.add(alias.asname or alias.name)
+        elif isinstance(node, (ast.ClassDef, ast.FunctionDef,
+                               ast.AsyncFunctionDef)):
+            bound.add(node.name)
+    return bound
+
+
+def _local_taxonomy_subclasses(tree: ast.AST,
+                               taxonomy: Set[str]) -> Set[str]:
+    """Classes defined in this module deriving from a taxonomy name."""
+    local: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef) or node.name in local:
+                continue
+            bases = {b.id for b in node.bases if isinstance(b, ast.Name)}
+            bases.update(
+                b.attr for b in node.bases if isinstance(b, ast.Attribute)
+            )
+            if bases & (taxonomy | local):
+                local.add(node.name)
+                changed = True
+    return local
+
+
+def check_error_taxonomy(sf: SourceFile, reporter: _Reporter,
+                         taxonomy: Set[str]) -> None:
+    if not _in_scope(sf.path, scopes=TAXONOMY_SCOPES, files=TAXONOMY_FILES):
+        return
+    bound = _bound_names(sf.tree)
+    local = _local_taxonomy_subclasses(sf.tree, taxonomy)
+    allowed = taxonomy | local | TAXONOMY_FACTORIES
+    for node in ast.walk(sf.tree):
+        if not isinstance(node, ast.Raise) or node.exc is None:
+            continue
+        exc = node.exc
+        if isinstance(exc, ast.Name):
+            continue   # re-raise of a caught variable
+        if not isinstance(exc, ast.Call):
+            continue
+        callee = exc.func
+        if isinstance(callee, ast.Attribute):
+            name = callee.attr
+        elif isinstance(callee, ast.Name):
+            name = callee.id
+        else:
+            continue
+        if name not in allowed:
+            reporter.flag(
+                sf, node.lineno, "KHZ005", "foreign-exception",
+                f"raise {name}(...) is outside the core.errors "
+                "taxonomy; raise a KhazanaError subclass so clients "
+                "get a typed, wire-codable failure",
+            )
+        elif isinstance(callee, ast.Name) and name not in bound:
+            reporter.flag(
+                sf, node.lineno, "KHZ005", "foreign-exception",
+                f"raise {name}(...) but {name} is never imported in "
+                "this module — NameError on the error path",
+            )
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+def lint_files(files: Sequence[SourceFile]) -> List[Finding]:
+    """Run every rule over parsed files; returns sorted findings."""
+    reporter = _Reporter()
+    taxonomy = _taxonomy_names()
+    for sf in files:
+        check_blocking_calls(sf, reporter)
+        check_broad_except(sf, reporter)
+        check_stale_contexts(sf, reporter)
+        check_error_taxonomy(sf, reporter, taxonomy)
+    check_message_completeness(files, reporter)
+    return sorted(reporter.findings, key=lambda f: (f.path, f.line, f.rule))
+
+
+def lint_source(source: str, path: str = "src/repro/example.py",
+                extra: Optional[Sequence[SourceFile]] = None) -> List[Finding]:
+    """Lint one in-memory source blob (used by the fixture tests).
+
+    ``path`` controls which path-scoped rules apply; ``extra`` supplies
+    additional files for the project-wide KHZ002 pass.
+    """
+    files = [SourceFile.parse(path, source)]
+    if extra:
+        files.extend(extra)
+    return lint_files(files)
+
+
+def _collect(paths: Sequence[str]) -> List[SourceFile]:
+    seen: Set[Path] = set()
+    files: List[SourceFile] = []
+    for raw in paths:
+        root = Path(raw)
+        candidates = (
+            sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        )
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            source = candidate.read_text(encoding="utf-8")
+            try:
+                files.append(SourceFile.parse(candidate.as_posix(), source))
+            except SyntaxError as error:
+                raise SystemExit(f"{candidate}: cannot parse: {error}")
+    return files
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args:
+        args = ["src/"]
+    files = _collect(args)
+    findings = lint_files(files)
+    for finding in findings:
+        print(finding.render())
+    print(
+        f"repro.analysis.lint: {len(files)} file(s), "
+        f"{len(findings)} finding(s)"
+    )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

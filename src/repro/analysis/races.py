@@ -1,0 +1,461 @@
+"""Dynamic race and invariant detection for Khazana clusters.
+
+The detector is a passive observer wired into the hot paths through
+*probe* calls: the daemon, lock table, and consistency managers invoke
+methods on a :class:`Probe` object at the points where protocol state
+changes hands.  The default probe (:data:`NULL_PROBE`) has
+``enabled = False`` and every call site guards on that flag, so a
+cluster built without ``DaemonConfig(detect_races=True)`` pays one
+attribute load per instrumented operation and nothing else.
+
+With detection on, one shared :class:`RaceDetector` observes every
+daemon of a cluster.  It maintains a vector clock per node, advanced
+on every message send and merged on every delivery, which gives it
+the happens-before relation of the simulated execution.  On top of
+that it checks, as events arrive:
+
+- **stale-context access** — a read or write presented with a lock
+  context that is closed, unknown, or does not cover the page;
+- **CREW at-most-one-writer** — two write-capable contexts open on
+  the same page of a CREW region anywhere in the system;
+- **concurrent conflicting writes** — two writes to the same page
+  whose vector clocks are incomparable (neither happened before the
+  other).  Under CREW and release consistency with exclusive WRITE
+  intentions this is a violation; under the eventual protocol or
+  WRITE_SHARED intentions concurrent writes are the design, so they
+  are recorded in :attr:`RaceDetector.observed` rather than flagged;
+- **write-token conservation** — the release protocol's per-page
+  write token is granted at most once before being returned, and
+  never returned by a node that does not hold it (covers the batched
+  acquire/release paths and failover retries);
+- **pin balance** — lock-table registrations and releases stay
+  paired per (node, page); a release of more than was registered
+  trips immediately, leftovers surface in :meth:`final_check`.
+
+Violations carry the pages, nodes, and the tail of the message
+history leading up to them.  :meth:`RaceDetector.final_check` adds
+the quiesced-state invariants from :mod:`repro.analysis.invariants`
+(leftover pins, outstanding tokens, replica floors, page-directory /
+store agreement).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Set, Tuple
+
+#: How many delivered messages the violation reports quote.
+HISTORY_WINDOW = 24
+#: How many past writes per page are kept for happens-before checks.
+WRITES_PER_PAGE = 8
+
+VectorClock = Dict[int, int]
+
+
+def _dominates(a: VectorClock, b: VectorClock) -> bool:
+    """True when ``a`` >= ``b`` componentwise (b happened-before a)."""
+    return all(a.get(node, 0) >= count for node, count in b.items())
+
+
+def _concurrent(a: VectorClock, b: VectorClock) -> bool:
+    return not _dominates(a, b) and not _dominates(b, a)
+
+
+@dataclass
+class Violation:
+    """One detected protocol-invariant violation."""
+
+    rule: str
+    detail: str
+    pages: Tuple[int, ...] = ()
+    nodes: Tuple[int, ...] = ()
+    #: The most recent message deliveries before the violation.
+    history: Tuple[str, ...] = ()
+
+    def render(self) -> str:
+        lines = [f"{self.rule}: {self.detail}"]
+        if self.pages:
+            lines.append(
+                "  pages: " + ", ".join(f"{p:#x}" for p in self.pages)
+            )
+        if self.nodes:
+            lines.append(
+                "  nodes: " + ", ".join(str(n) for n in self.nodes)
+            )
+        if self.history:
+            lines.append("  recent messages:")
+            lines.extend(f"    {entry}" for entry in self.history)
+        return "\n".join(lines)
+
+
+class Probe:
+    """No-op instrumentation interface.
+
+    Call sites guard on :attr:`enabled`, so the base class costs one
+    attribute check when detection is off.  :class:`RaceDetector`
+    overrides everything.
+    """
+
+    enabled = False
+
+    # Lock table ------------------------------------------------------
+    def lock_registered(self, ctx: Any, pages: List[int]) -> None:
+        pass
+
+    def lock_released(self, ctx: Any, pages: List[int]) -> None:
+        pass
+
+    # Daemon data path ------------------------------------------------
+    def page_read(self, node_id: int, ctx: Any, pages: List[int],
+                  protocol: str) -> None:
+        pass
+
+    def page_write(self, node_id: int, ctx: Any, pages: List[int],
+                   protocol: str) -> None:
+        pass
+
+    def region_seen(self, node_id: int, desc: Any) -> None:
+        pass
+
+    # Consistency managers --------------------------------------------
+    def token_granted(self, home: int, page: int, holder: int) -> None:
+        pass
+
+    def token_released(self, home: int, page: int, holder: int) -> None:
+        pass
+
+    def exclusive_grant(self, home: int, page: int, requester: int) -> None:
+        pass
+
+    def remote_update(self, node_id: int, page: int, writer: int,
+                      protocol: str) -> None:
+        pass
+
+
+#: Shared instance used by every daemon with detection off.
+NULL_PROBE = Probe()
+
+
+@dataclass
+class _CtxRecord:
+    ctx: Any
+    pages: Set[int] = field(default_factory=set)
+
+
+@dataclass
+class _WriteRecord:
+    node: int
+    clock: VectorClock
+    mode: str
+    protocol: str
+
+
+class RaceDetector(Probe):
+    """Vector-clock race/invariant checker shared by a cluster."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.violations: List[Violation] = []
+        #: Concurrent writes that are legal under the page's protocol
+        #: (eventual, mobile, WRITE_SHARED) — recorded, not flagged.
+        self.observed: List[Violation] = []
+        self._daemons: List[Any] = []
+        self._clocks: Dict[int, VectorClock] = {}
+        self._msg_clocks: "OrderedDict[int, VectorClock]" = OrderedDict()
+        self._history: Deque[str] = deque(maxlen=HISTORY_WINDOW)
+        #: rid -> (protocol, min_replicas); learned from descriptors.
+        self._regions: Dict[int, Tuple[str, int]] = {}
+        self._open: Dict[int, _CtxRecord] = {}
+        self._writes: Dict[int, Deque[_WriteRecord]] = {}
+        self._pins: Dict[Tuple[int, int], int] = {}
+        self._tokens: Dict[int, int] = {}   # page -> holder node
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def attach_daemon(self, daemon: Any) -> None:
+        self._daemons.append(daemon)
+        self._clocks.setdefault(daemon.node_id, {})
+
+    def attach_network(self, network: Any) -> None:
+        """Observe sends and deliveries for the happens-before order."""
+        network.tap(self._on_send)
+        network.tap_delivery(self._on_deliver)
+
+    # ------------------------------------------------------------------
+    # Vector clocks
+    # ------------------------------------------------------------------
+
+    def _tick(self, node_id: int) -> VectorClock:
+        clock = self._clocks.setdefault(node_id, {})
+        clock[node_id] = clock.get(node_id, 0) + 1
+        return clock
+
+    def _on_send(self, message: Any) -> None:
+        clock = self._tick(message.src)
+        self._msg_clocks[message.msg_id] = dict(clock)
+        while len(self._msg_clocks) > 4096:
+            self._msg_clocks.popitem(last=False)
+
+    def _on_deliver(self, message: Any) -> None:
+        stamped = self._msg_clocks.pop(message.msg_id, None)
+        clock = self._clocks.setdefault(message.dst, {})
+        if stamped is not None:
+            for node, count in stamped.items():
+                if clock.get(node, 0) < count:
+                    clock[node] = count
+        self._tick(message.dst)
+        self._history.append(
+            f"{message.msg_type.value} {message.src}->{message.dst}"
+            f" (msg {message.msg_id})"
+        )
+
+    # ------------------------------------------------------------------
+    # Event handling
+    # ------------------------------------------------------------------
+
+    def _flag(self, rule: str, detail: str, pages: Tuple[int, ...] = (),
+              nodes: Tuple[int, ...] = ()) -> None:
+        self.violations.append(
+            Violation(rule=rule, detail=detail, pages=pages, nodes=nodes,
+                      history=tuple(self._history))
+        )
+
+    def _protocol_of(self, rid: int) -> Optional[str]:
+        info = self._regions.get(rid)
+        return info[0] if info is not None else None
+
+    def region_seen(self, node_id: int, desc: Any) -> None:
+        self._regions[desc.rid] = (
+            desc.attrs.protocol, desc.attrs.min_replicas
+        )
+
+    def lock_registered(self, ctx: Any, pages: List[int]) -> None:
+        record = self._open.setdefault(ctx.ctx_id, _CtxRecord(ctx=ctx))
+        protocol = self._protocol_of(ctx.rid)
+        for page in pages:
+            record.pages.add(page)
+            self._pins[(ctx.node_id, page)] = (
+                self._pins.get((ctx.node_id, page), 0) + 1
+            )
+            if not ctx.mode.is_write or protocol != "crew":
+                continue
+            others = [
+                rec for rec in self._open.values()
+                if rec.ctx.ctx_id != ctx.ctx_id
+                and page in rec.pages
+                and rec.ctx.mode.is_write
+                and not rec.ctx.closed
+            ]
+            if others:
+                holders = sorted({rec.ctx.node_id for rec in others}
+                                 | {ctx.node_id})
+                self._flag(
+                    "crew-double-writer",
+                    f"page {page:#x}: write context {ctx.ctx_id} on node "
+                    f"{ctx.node_id} granted while write context(s) "
+                    f"{sorted(rec.ctx.ctx_id for rec in others)} are open "
+                    "under CREW",
+                    pages=(page,),
+                    nodes=tuple(holders),
+                )
+
+    def lock_released(self, ctx: Any, pages: List[int]) -> None:
+        record = self._open.get(ctx.ctx_id)
+        for page in pages:
+            key = (ctx.node_id, page)
+            count = self._pins.get(key, 0) - 1
+            if count < 0:
+                self._flag(
+                    "pin-balance",
+                    f"node {ctx.node_id} released page {page:#x} more "
+                    "often than it was registered",
+                    pages=(page,),
+                    nodes=(ctx.node_id,),
+                )
+                self._pins.pop(key, None)
+            elif count == 0:
+                self._pins.pop(key, None)
+            else:
+                self._pins[key] = count
+            if record is not None:
+                record.pages.discard(page)
+        if record is not None and not record.pages:
+            del self._open[ctx.ctx_id]
+
+    def _check_ctx_access(self, node_id: int, ctx: Any, pages: List[int],
+                          kind: str) -> None:
+        record = self._open.get(ctx.ctx_id)
+        if ctx.closed or record is None:
+            self._flag(
+                "stale-context",
+                f"{kind} on node {node_id} presented "
+                f"{'closed' if ctx.closed else 'unregistered'} lock "
+                f"context {ctx.ctx_id}",
+                pages=tuple(pages),
+                nodes=(node_id,),
+            )
+            return
+        uncovered = [p for p in pages if p not in record.pages]
+        if uncovered:
+            self._flag(
+                "stale-context",
+                f"{kind} on node {node_id} touches pages outside lock "
+                f"context {ctx.ctx_id}",
+                pages=tuple(uncovered),
+                nodes=(node_id,),
+            )
+
+    def page_read(self, node_id: int, ctx: Any, pages: List[int],
+                  protocol: str) -> None:
+        self._check_ctx_access(node_id, ctx, pages, "read")
+
+    def page_write(self, node_id: int, ctx: Any, pages: List[int],
+                   protocol: str) -> None:
+        self._check_ctx_access(node_id, ctx, pages, "write")
+        if not ctx.mode.is_write:
+            self._flag(
+                "stale-context",
+                f"write on node {node_id} under {ctx.mode.value} context "
+                f"{ctx.ctx_id}",
+                pages=tuple(pages),
+                nodes=(node_id,),
+            )
+        clock = dict(self._tick(node_id))
+        mode = ctx.mode.value
+        for page in pages:
+            past = self._writes.setdefault(
+                page, deque(maxlen=WRITES_PER_PAGE)
+            )
+            for prev in past:
+                if prev.node == node_id:
+                    continue
+                if not _concurrent(clock, prev.clock):
+                    continue
+                relaxed = (
+                    protocol in ("eventual", "mobile")
+                    or prev.protocol in ("eventual", "mobile")
+                    or mode == "write_shared"
+                    or prev.mode == "write_shared"
+                )
+                violation = Violation(
+                    rule="concurrent-writes",
+                    detail=(
+                        f"page {page:#x}: write by node {node_id} "
+                        f"({protocol}/{mode}) is concurrent with write "
+                        f"by node {prev.node} "
+                        f"({prev.protocol}/{prev.mode})"
+                    ),
+                    pages=(page,),
+                    nodes=tuple(sorted({node_id, prev.node})),
+                    history=tuple(self._history),
+                )
+                if relaxed:
+                    self.observed.append(violation)
+                else:
+                    self.violations.append(violation)
+            past.append(
+                _WriteRecord(node=node_id, clock=clock, mode=mode,
+                             protocol=protocol)
+            )
+
+    def remote_update(self, node_id: int, page: int, writer: int,
+                      protocol: str) -> None:
+        self._history.append(
+            f"update-applied page={page:#x} at node {node_id} "
+            f"from writer {writer} ({protocol})"
+        )
+
+    # --- Write tokens (release consistency) ----------------------------
+
+    def token_granted(self, home: int, page: int, holder: int) -> None:
+        current = self._tokens.get(page)
+        if current is not None:
+            self._flag(
+                "token-conservation",
+                f"page {page:#x}: home {home} granted the write token to "
+                f"node {holder} while node {current} still holds it",
+                pages=(page,),
+                nodes=tuple(sorted({home, holder, current})),
+            )
+        self._tokens[page] = holder
+
+    def token_released(self, home: int, page: int, holder: int) -> None:
+        current = self._tokens.get(page)
+        if current is None:
+            self._flag(
+                "token-conservation",
+                f"page {page:#x}: node {holder} returned a write token "
+                "that was never granted",
+                pages=(page,),
+                nodes=tuple(sorted({home, holder})),
+            )
+            return
+        if current != holder:
+            self._flag(
+                "token-conservation",
+                f"page {page:#x}: node {holder} returned the write token "
+                f"held by node {current}",
+                pages=(page,),
+                nodes=tuple(sorted({home, holder, current})),
+            )
+        del self._tokens[page]
+
+    def exclusive_grant(self, home: int, page: int, requester: int) -> None:
+        self._history.append(
+            f"crew-exclusive page={page:#x} home {home} -> "
+            f"owner {requester}"
+        )
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def final_check(self) -> List[Violation]:
+        """Quiesced-state invariants; call once the cluster is idle.
+
+        Appends to and returns :attr:`violations`.  Uses the shared
+        checks from :mod:`repro.analysis.invariants` plus the
+        detector's own leftover-pin and outstanding-token state.
+        """
+        from repro.analysis import invariants
+
+        for (node, page), count in sorted(self._pins.items()):
+            self._flag(
+                "pin-balance",
+                f"node {node} still pins page {page:#x} "
+                f"({count} unmatched registration(s)) at final check",
+                pages=(page,),
+                nodes=(node,),
+            )
+        for page, holder in sorted(self._tokens.items()):
+            self._flag(
+                "token-conservation",
+                f"page {page:#x}: write token still held by node "
+                f"{holder} at final check",
+                pages=(page,),
+                nodes=(holder,),
+            )
+        live = [d for d in self._daemons if d._alive]
+        for problem in invariants.check_pin_balance(live):
+            self._flag("pin-balance", problem)
+        for problem in invariants.check_replica_floor(live):
+            self._flag("replica-floor", problem)
+        for problem in invariants.check_directory_store_agreement(live):
+            self._flag("directory-store", problem)
+        return self.violations
+
+    def report(self) -> str:
+        if not self.violations:
+            return "race detector: no violations"
+        lines = [f"race detector: {len(self.violations)} violation(s)"]
+        for violation in self.violations:
+            lines.append(violation.render())
+        return "\n".join(lines)
+
+    def assert_clean(self) -> None:
+        if self.violations:
+            raise AssertionError(self.report())

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Dict, List, Optional, Union
 
+from repro.analysis.races import RaceDetector
 from repro.core.client import KhazanaSession, SyncDriver
 from repro.core.daemon import DaemonConfig, KhazanaDaemon
 from repro.net.clock import EventScheduler
@@ -63,11 +64,20 @@ class Cluster:
         self.driver = SyncDriver(self.scheduler)
 
         node_ids = list(range(num_nodes))
+        #: Shared race detector (None unless some config sets
+        #: detect_races): one observer across all daemons, so
+        #: cross-node violations — two CREW writers on different
+        #: nodes — are visible.
+        self.race_detector: Optional[RaceDetector] = None
+        if any(self._config_for(n).detect_races for n in node_ids):
+            self.race_detector = RaceDetector()
+            self.race_detector.attach_network(self.network)
         self.daemons: Dict[int, KhazanaDaemon] = {}
         for node_id in node_ids:
             self.daemons[node_id] = KhazanaDaemon(
                 node_id, self.network, self.scheduler,
                 config=self._config_for(node_id),
+                probe=self.race_detector,
             )
         for daemon in self.daemons.values():
             daemon.bootstrap_system_region(peers=node_ids)
@@ -188,6 +198,7 @@ class Cluster:
         fresh = KhazanaDaemon(
             node, self.network, self.scheduler,
             config=self._config_for(node),
+            probe=self.race_detector,
         )
         peers = self.node_ids() + [node]
         fresh.bootstrap_system_region(peers=peers)
@@ -226,6 +237,7 @@ class Cluster:
         fresh = KhazanaDaemon(
             node, self.network, self.scheduler,
             config=self._config_for(node),
+            probe=self.race_detector,
         )
         fresh.bootstrap_system_region(peers=self.node_ids())
         self.daemons[node] = fresh

@@ -17,6 +17,7 @@ from repro.api import Cluster
 from repro.bench.metrics import LatencyRecorder
 from repro.core.attributes import RegionAttributes
 from repro.core.client import KhazanaSession
+from repro.core.errors import KhazanaError
 from repro.core.region import RegionDescriptor
 
 
@@ -141,7 +142,7 @@ def run_access_workload(
             else:
                 session.read_at(region.rid, size)
                 result.reads += 1
-        except Exception:
+        except KhazanaError:
             result.errors += 1
             continue
         result.latency.record(cluster.now - start)

@@ -500,6 +500,8 @@ class CrewManager(ConsistencyManager):
         entry.sharers = {requester}
         if requester == me:
             entry.record_sharer(me)
+        if self.daemon.probe.enabled:
+            self.daemon.probe.exclusive_grant(me, page_addr, requester)
         return data
 
     def _current_data_for_read(

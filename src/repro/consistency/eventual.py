@@ -412,6 +412,11 @@ class EventualManager(ConsistencyManager):
                     self._record_home_write(
                         desc, page_addr, incoming[0], incoming[1]
                     )
+                    if self.daemon.probe.enabled:
+                        self.daemon.probe.remote_update(
+                            self.daemon.node_id, page_addr, msg.src,
+                            desc.attrs.protocol,
+                        )
                 self._rids[page_addr] = desc.rid
                 applied += 1
             self.daemon.reply_request(
@@ -436,6 +441,11 @@ class EventualManager(ConsistencyManager):
                 self._record_home_write(
                     desc, page_addr, incoming[0], incoming[1]
                 )
+                if self.daemon.probe.enabled:
+                    self.daemon.probe.remote_update(
+                        self.daemon.node_id, page_addr, msg.src,
+                        desc.attrs.protocol,
+                    )
             self._rids[page_addr] = desc.rid
             self.daemon.reply_request(msg, MessageType.UPDATE_ACK, {})
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import abc
 import enum
+import logging
 from collections import deque
 from typing import Any, Callable, Deque, Dict, Generator, List, Type
 
@@ -27,6 +28,8 @@ from repro.net.message import Message
 from repro.net.tasks import Future
 
 ProtocolGen = Generator[Future, Any, Any]
+
+logger = logging.getLogger(__name__)
 
 
 def _typed_denial(error: "Any") -> Exception:
@@ -183,6 +186,13 @@ class ConsistencyManager(abc.ABC):
             try:
                 yield from self.release(desc, page_addr, ctx)
             except Exception:
+                # Release-type semantics: never surface, but say what
+                # is being retried so a wedged release is debuggable.
+                logger.warning(
+                    "node %d: release of page %#x failed; queued for "
+                    "background retry",
+                    self.daemon.node_id, page_addr, exc_info=True,
+                )
                 self.daemon.retry_queue.enqueue(
                     lambda page_addr=page_addr: self.release(
                         desc, page_addr, ctx
@@ -281,16 +291,16 @@ class ConsistencyManager(abc.ABC):
     # Default implementations NAK; protocols override what they use.
 
     def handle_lock_request(self, desc: RegionDescriptor, msg: Message) -> None:
-        self.daemon.rpc.reply_error(msg, "unhandled", "lock_request")
+        self.daemon.reply_error(msg, "unhandled", "lock_request")
 
     def handle_page_fetch(self, desc: RegionDescriptor, msg: Message) -> None:
-        self.daemon.rpc.reply_error(msg, "unhandled", "page_fetch")
+        self.daemon.reply_error(msg, "unhandled", "page_fetch")
 
     def handle_invalidate(self, desc: RegionDescriptor, msg: Message) -> None:
-        self.daemon.rpc.reply_error(msg, "unhandled", "invalidate")
+        self.daemon.reply_error(msg, "unhandled", "invalidate")
 
     def handle_update(self, desc: RegionDescriptor, msg: Message) -> None:
-        self.daemon.rpc.reply_error(msg, "unhandled", "update_push")
+        self.daemon.reply_error(msg, "unhandled", "update_push")
 
     def handle_page_fetch_batch(self, desc: RegionDescriptor,
                                 msg: Message) -> None:
@@ -343,7 +353,7 @@ def register_protocol(cls: Type[ConsistencyManager]) -> Type[ConsistencyManager]
     replaces the previous class (handy for tests plugging variants).
     """
     if not cls.protocol_name:
-        raise ValueError(f"{cls.__name__} must define protocol_name")
+        raise ValueError(f"{cls.__name__} must define protocol_name")  # khz: allow-foreign-exception(import-time registration bug in the CM author's code, not a client-facing protocol failure)
     _REGISTRY[cls.protocol_name] = cls
     return cls
 

@@ -261,6 +261,11 @@ class MobileManager(ConsistencyManager):
             if incoming <= self._stamps.get(page_addr, (0, -1)):
                 return
             self._stamps[page_addr] = incoming
+            if self.daemon.probe.enabled:
+                self.daemon.probe.remote_update(
+                    self.daemon.node_id, page_addr, msg.src,
+                    desc.attrs.protocol,
+                )
 
             def store() -> ProtocolGen:
                 yield from self.daemon.store_local_page(

@@ -26,6 +26,8 @@ page change underneath an open lock.
 
 from __future__ import annotations
 
+import logging
+
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.consistency.manager import (
@@ -43,6 +45,8 @@ from repro.net.message import Message, MessageType
 from repro.net.rpc import RemoteError, RetryPolicy, RpcTimeout
 
 TOKEN_POLICY = RetryPolicy(timeout=10.0, retries=2, backoff=1.5)
+
+logger = logging.getLogger(__name__)
 
 
 def compute_diff(twin: bytes, current: bytes) -> List[Tuple[int, bytes]]:
@@ -157,7 +161,10 @@ class ReleaseManager(ConsistencyManager):
             yield self._tokens.acquire(page_addr)
             data = yield from self.daemon.local_page_bytes(desc, page_addr)
             if data is None:
+                self._tokens.release(page_addr)
                 raise KhazanaError(f"home lost page {page_addr:#x}")
+            if self.daemon.probe.enabled:
+                self.daemon.probe.token_granted(me, page_addr, me)
             self.page_state[page_addr] = LocalPageState.EXCLUSIVE
             return
         reply = yield from self._home_request(
@@ -233,6 +240,11 @@ class ReleaseManager(ConsistencyManager):
                     yield from self._apply_update_at_home(
                         desc, page_addr, diff=None, data=page.data, writer=me
                     )
+            # Probe before the mutex release: releasing may resume the
+            # next waiter synchronously, and its grant event must come
+            # after this release event.
+            if self.daemon.probe.enabled:
+                self.daemon.probe.token_released(me, page_addr, me)
             self._tokens.release(page_addr)
             return
 
@@ -375,9 +387,15 @@ class ReleaseManager(ConsistencyManager):
                 desc, MessageType.UPDATE_PUSH_BATCH,
                 {"rid": desc.rid, "updates": updates},
             )
-        except Exception:
-            # Home unreachable: token releases and dirty data must not
+        except KhazanaError:
+            # Home unreachable (all _home_request failures surface as
+            # KhazanaError): token releases and dirty data must not
             # be lost — fall back to one background retry per page.
+            logger.warning(
+                "batched release to home of region %#x failed; retrying "
+                "%d page(s) individually in the background",
+                desc.rid, len(updates), exc_info=True,
+            )
             for update in updates:
                 payload = {"rid": desc.rid, **update}
                 self.daemon.retry_queue.enqueue(
@@ -430,7 +448,9 @@ class ReleaseManager(ConsistencyManager):
             yield self._tokens.acquire(page_addr)
             try:
                 data = yield from self.daemon.local_page_bytes(desc, page_addr)
-            except Exception:
+            except BaseException:
+                # Cleanup-then-reraise: must also run when the handler
+                # task is killed (GeneratorExit), or the token leaks.
                 self._tokens.release(page_addr)
                 raise
             if data is None:
@@ -448,6 +468,10 @@ class ReleaseManager(ConsistencyManager):
             )
             # Token now belongs to msg.src until its UPDATE_PUSH with
             # release_token=True arrives.
+            if self.daemon.probe.enabled:
+                self.daemon.probe.token_granted(
+                    self.daemon.node_id, page_addr, msg.src
+                )
 
         self.daemon.spawn_handler(msg, grant(), label="release-token-grant")
 
@@ -486,6 +510,12 @@ class ReleaseManager(ConsistencyManager):
                     writer=msg.src,
                 )
                 if msg.payload.get("release_token"):
+                    # Probe before the mutex release (it may resume the
+                    # next waiter synchronously).
+                    if self.daemon.probe.enabled:
+                        self.daemon.probe.token_released(
+                            self.daemon.node_id, page_addr, msg.src
+                        )
                     self._tokens.release(page_addr)
                 self.daemon.reply_request(msg, MessageType.UPDATE_ACK, {})
 
@@ -562,7 +592,9 @@ class ReleaseManager(ConsistencyManager):
                         "page": page_addr, "data": data,
                         "version": self._versions.get(page_addr, 0),
                     })
-            except Exception:
+            except BaseException:
+                # Cleanup-then-reraise: must also run when the handler
+                # task is killed (GeneratorExit), or held tokens leak.
                 for token_page in held:
                     self._tokens.release(token_page)
                 raise
@@ -576,6 +608,11 @@ class ReleaseManager(ConsistencyManager):
             )
             # Tokens now belong to msg.src until its UPDATE_PUSH_BATCH
             # with release_token=True arrives.
+            if self.daemon.probe.enabled:
+                for page_addr in pages:
+                    self.daemon.probe.token_granted(
+                        self.daemon.node_id, page_addr, msg.src
+                    )
 
         self.daemon.spawn_handler(msg, grant(), label="release-token-batch")
 
@@ -598,6 +635,12 @@ class ReleaseManager(ConsistencyManager):
                     writer=msg.src,
                 )
                 if update.get("release_token"):
+                    # Probe before the mutex release (it may resume the
+                    # next waiter synchronously).
+                    if self.daemon.probe.enabled:
+                        self.daemon.probe.token_released(
+                            self.daemon.node_id, page_addr, msg.src
+                        )
                     self._tokens.release(page_addr)
                 applied += 1
             self.daemon.reply_request(

@@ -26,6 +26,8 @@ walk, then the cluster-walk broadcast of Section 3.1.
 
 from __future__ import annotations
 
+import logging
+
 from dataclasses import dataclass, field
 from typing import Any, Deque, Dict, Generator, List, Optional, Set, Tuple
 
@@ -46,10 +48,12 @@ from repro.core.attributes import ConsistencyLevel, RegionAttributes
 from repro.core.cluster import ClusterManagerRole
 from repro.core.errors import (
     AccessDenied,
+    InvalidLockContext,
     InvalidRange,
     KhazanaError,
     KhazanaTimeout,
     LockDenied,
+    NodeUnavailable,
     NotAllocated,
     RegionInUse,
     RegionNotFound,
@@ -74,6 +78,8 @@ from repro.storage.disk import DiskStore
 from repro.storage.store import StoredPage
 
 ProtocolGen = Generator[Future, Any, Any]
+
+logger = logging.getLogger(__name__)
 
 #: The region id of the well-known address-map region.
 SYSTEM_RID = SYSTEM_REGION.start
@@ -120,6 +126,10 @@ class DaemonConfig:
     #: dominates its access traffic (future-work policy; see
     #: repro/core/migration.py).
     enable_auto_migration: bool = False
+    #: Run the dynamic race/invariant detector (repro.analysis.races)
+    #: against this daemon.  Within a Cluster all daemons share one
+    #: detector so cross-node races are visible.
+    detect_races: bool = False
 
 
 @dataclass
@@ -180,17 +190,30 @@ class KhazanaDaemon:
         network: SimNetwork,
         scheduler: EventScheduler,
         config: Optional[DaemonConfig] = None,
+        probe: Optional["Any"] = None,
     ) -> None:
         self.node_id = node_id
         self.network = network
         self.scheduler = scheduler
         self.config = config if config is not None else DaemonConfig()
 
+        from repro.analysis.races import NULL_PROBE, RaceDetector
+
+        if probe is None and self.config.detect_races:
+            # Standalone daemon with detection on: private detector.
+            # Clusters pass one shared detector instead.
+            probe = RaceDetector()
+        self.probe = probe if probe is not None else NULL_PROBE
+        if self.probe.enabled:
+            self.probe.attach_daemon(self)
+
         self.rpc = RpcEndpoint(node_id, network, scheduler)
         self.runner = TaskRunner()
         self.stats = DaemonStats()
 
         self.lock_table = LockTable()
+        if self.probe.enabled:
+            self.lock_table.probe = self.probe
         self.region_directory = RegionDirectory(
             capacity=self.config.region_directory_capacity
         )
@@ -781,6 +804,8 @@ class KhazanaDaemon:
             rid=desc.rid, range=target, mode=mode,
             node_id=self.node_id, principal=principal,
         )
+        if self.probe.enabled:
+            self.probe.region_seen(self.node_id, desc)
         pages = desc.pages_covering(target)
         cm = self.consistency_manager(desc.attrs.protocol)
         acquired: List[int] = []
@@ -844,11 +869,21 @@ class KhazanaDaemon:
                 raise
 
     def op_unlock(self, ctx: LockContext) -> ProtocolGen:
-        """Release a lock context (release-type: never raises)."""
+        """Release a lock context.
+
+        The *network* side is release-type and never raises (push
+        failures go to the background retry queue, paper 3.5) — but
+        presenting an already-unlocked or foreign context is a client
+        bug, surfaced as ``InvalidLockContext`` like any other misuse
+        of a closed context.
+        """
         self.stats.bump("unlock")
         mapping = self._ctx_pages.pop(ctx.ctx_id, None)
         if mapping is None:
-            return None   # already unlocked; idempotent
+            ctx.check_open()   # raises InvalidLockContext when closed
+            raise InvalidLockContext(
+                f"lock context {ctx.ctx_id} unknown to node {self.node_id}"
+            )
         desc, pages = mapping
         cm = self.consistency_manager(desc.attrs.protocol)
         try:
@@ -856,6 +891,11 @@ class KhazanaDaemon:
         except Exception:
             # Backstop: release_many already routes per-page failures
             # to the retry queue, but unlock itself must never raise.
+            logger.warning(
+                "node %d: release_many for context %d failed; retrying "
+                "per page in the background", self.node_id, ctx.ctx_id,
+                exc_info=True,
+            )
             for page_addr in pages:
                 self.retry_queue.enqueue(
                     lambda cm=cm, page_addr=page_addr: cm.release(
@@ -881,6 +921,10 @@ class KhazanaDaemon:
         self.stats.bump("read")
         ctx.check_covers(target, for_write=False)
         desc, _pages = self._require_ctx(ctx)
+        if self.probe.enabled:
+            self.probe.page_read(self.node_id, ctx,
+                                 desc.pages_covering(target),
+                                 desc.attrs.protocol)
         chunks: List[bytes] = []
         for page_addr in desc.pages_covering(target):
             data = yield from self.local_page_bytes(desc, page_addr)
@@ -906,6 +950,10 @@ class KhazanaDaemon:
                 f"write of {len(data)} bytes into range of {target.length}"
             )
         desc, _pages = self._require_ctx(ctx)
+        if self.probe.enabled:
+            self.probe.page_write(self.node_id, ctx,
+                                  desc.pages_covering(target),
+                                  desc.attrs.protocol)
         for page_addr in desc.pages_covering(target):
             page_range = AddressRange(page_addr, desc.page_size)
             overlap = page_range.intersection(target)
@@ -1239,6 +1287,8 @@ class KhazanaDaemon:
 
     def adopt_descriptor(self, desc: RegionDescriptor) -> None:
         """Install a (possibly newer) descriptor locally."""
+        if self.probe.enabled:
+            self.probe.region_seen(self.node_id, desc)
         self.region_directory.insert(desc)
         if self.node_id in desc.home_nodes:
             known = self.homed_regions.get(desc.rid)

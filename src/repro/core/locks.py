@@ -113,12 +113,17 @@ class LockTable:
     def __init__(self) -> None:
         self._by_page: Dict[int, List[LockContext]] = {}
         self._by_id: Dict[int, LockContext] = {}
+        #: Optional race-detector probe (repro.analysis.races); set by
+        #: the owning daemon when detection is on, never imported here.
+        self.probe = None
 
     def register(self, ctx: LockContext, pages: List[int]) -> None:
         """Record a newly granted context covering ``pages``."""
         self._by_id[ctx.ctx_id] = ctx
         for page in pages:
             self._by_page.setdefault(page, []).append(ctx)
+        if self.probe is not None:
+            self.probe.lock_registered(ctx, pages)
 
     def release(self, ctx: LockContext, pages: List[int]) -> None:
         """Remove a context; marks it closed."""
@@ -135,6 +140,8 @@ class LockTable:
             holders[:] = [c for c in holders if c.ctx_id != ctx.ctx_id]
             if not holders:
                 del self._by_page[page]
+        if self.probe is not None:
+            self.probe.lock_released(ctx, pages)
 
     def lookup(self, ctx_id: int) -> LockContext:
         ctx = self._by_id.get(ctx_id)

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.attributes import ConsistencyLevel, RegionAttributes
 from repro.core.client import KhazanaSession
+from repro.core.errors import KhazanaError
 from repro.core.locks import LockMode
 from repro.fs.file import KFile
 from repro.fs.inode import FileType, Inode
@@ -31,6 +32,7 @@ from repro.fs.layout import (
     BLOCK_SIZE,
     INODE_PAGE_SIZE,
     SUPERBLOCK_MAGIC,
+    LayoutError,
     decode_struct,
     encode_struct,
     validate_name,
@@ -164,7 +166,7 @@ class KhazanaFileSystem:
             self.session.write_at(
                 inode.address, b"\x00" * INODE_PAGE_SIZE
             )
-        except Exception:
+        except KhazanaError:
             # Best effort: a failed tombstone only widens the window
             # back to what asynchronous teardown gives anyway.
             pass
@@ -480,7 +482,7 @@ class KhazanaFileSystem:
                     if (candidate.name == part
                             and candidate.parent == inode.address):
                         child_inode = candidate
-                except Exception:
+                except (KhazanaError, LayoutError):
                     pass   # torn down or tombstoned: treat as stale
                 if child_inode is None:
                     del self._inode_cache[walked]

@@ -49,7 +49,7 @@ class MessageType(str, enum.Enum):
     PAGE_DATA = "page_data"
     INVALIDATE = "invalidate"                # CREW: revoke cached copies
     INVALIDATE_ACK = "invalidate_ack"
-    OWNER_TRANSFER = "owner_transfer"        # CREW: ownership moves to requester
+    OWNER_TRANSFER = "owner_transfer"        # khz: allow-unhandled-message(reserved for explicit owner handoff; CREW currently transfers ownership inside LOCK_REPLY)
     UPDATE_PUSH = "update_push"              # release/eventual: propagate writes
     UPDATE_ACK = "update_ack"
     SHARER_REGISTER = "sharer_register"      # tell home node we cache a page

@@ -198,6 +198,7 @@ class SimNetwork(Transport):
         self._crashed: Set[int] = set()
         self._partitions: List[Tuple[Set[int], Set[int]]] = []
         self._taps: List[MessageHandler] = []
+        self._delivery_taps: List[MessageHandler] = []
 
     # --- Transport interface -------------------------------------------------
 
@@ -250,6 +251,12 @@ class SimNetwork(Transport):
         """Observe every sent message (for tracing and benchmarks)."""
         self._taps.append(handler)
 
+    def tap_delivery(self, handler: MessageHandler) -> None:
+        """Observe every *delivered* message, after loss/crash/partition
+        filtering — the receive-side counterpart of :meth:`tap`, used
+        by the race detector to order events (happens-before)."""
+        self._delivery_taps.append(handler)
+
     # --- Internals -------------------------------------------------------------
 
     def _deliverable(self, src: int, dst: int) -> bool:
@@ -273,4 +280,6 @@ class SimNetwork(Transport):
             self.stats.messages_dropped += 1
             return
         self.stats.messages_delivered += 1
+        for tap in self._delivery_taps:
+            tap(message)
         handler(message)

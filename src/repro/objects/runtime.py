@@ -26,6 +26,7 @@ from typing import Any, Dict, Generator, Optional, Tuple, Type
 from repro.core.addressing import DEFAULT_PAGE_SIZE, AddressRange
 from repro.core.attributes import ConsistencyLevel, RegionAttributes
 from repro.core.client import KhazanaSession
+from repro.core.errors import KhazanaError
 from repro.core.locks import LockMode
 from repro.net.message import Message, MessageType
 from repro.net.rpc import RemoteError, RetryPolicy, RpcTimeout
@@ -224,7 +225,9 @@ class ObjectRuntime:
                     daemon.locate_region(ref.address), label="obj-locate"
                 )
             )
-        except Exception:
+        except (KhazanaError, RpcTimeout, RemoteError):
+            # Location is advisory: an unlocatable object just falls
+            # back to the policy's remote-invocation path.
             return None
         return desc.primary_home
 

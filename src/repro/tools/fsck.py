@@ -16,6 +16,11 @@ Checks performed against a (quiesced) cluster:
 5. **Storage accounting** — every level's used-byte counter matches
    the sum of its resident pages.
 
+With ``strict=True`` the pass additionally runs the quiesced-state
+invariants from :mod:`repro.analysis.invariants` — pin balance,
+replica floors, and directory/store agreement — which assume no lock
+contexts are open and background repair has converged.
+
 Run via :func:`check_cluster`; returns an :class:`FsckReport` whose
 ``ok`` property is the overall verdict.
 """
@@ -25,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, List
 
+from repro.analysis import invariants
 from repro.core.address_map import (
     ROOT_PAGE,
     EntryState,
@@ -88,15 +94,35 @@ def _map_entries(cluster) -> List[Any]:
     return entries
 
 
-def check_cluster(cluster) -> FsckReport:
-    """Run every invariant check against ``cluster``."""
+def check_cluster(cluster, strict: bool = False) -> FsckReport:
+    """Run every invariant check against ``cluster``.
+
+    ``strict`` adds the quiesced-state invariants (pin balance,
+    replica floors, directory/store agreement); only use it when no
+    lock contexts are open and repair has had time to converge.
+    """
     report = FsckReport()
     _check_map_partition(cluster, report)
     _check_reservations(cluster, report)
     _check_descriptors(cluster, report)
     _check_copysets(cluster, report)
     _check_storage_accounting(cluster, report)
+    if strict:
+        _check_strict_invariants(cluster, report)
     return report
+
+
+def _check_strict_invariants(cluster, report: FsckReport) -> None:
+    live = [
+        cluster.daemon(node) for node in cluster.node_ids()
+        if not cluster.network.is_crashed(node)
+    ]
+    for problem in invariants.check_pin_balance(live):
+        report.error(f"strict: {problem}")
+    for problem in invariants.check_replica_floor(live):
+        report.error(f"strict: {problem}")
+    for problem in invariants.check_directory_store_agreement(live):
+        report.error(f"strict: {problem}")
 
 
 def _check_map_partition(cluster, report: FsckReport) -> None:

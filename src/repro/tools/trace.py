@@ -23,7 +23,20 @@ class TracedMessage:
 
     @property
     def label(self) -> str:
-        return self.message.msg_type.value
+        """Message type, annotated with a page count for batch
+        envelopes so a trace shows how much work one RPC carries."""
+        base = self.message.msg_type.value
+        payload = self.message.payload
+        if not isinstance(payload, dict):
+            return base
+        for key in ("pages", "updates"):
+            batch = payload.get(key)
+            if isinstance(batch, list):
+                return f"{base}[{len(batch)} page(s)]"
+        applied = payload.get("applied")
+        if isinstance(applied, int):
+            return f"{base}[{applied} page(s)]"
+        return base
 
 
 class MessageTrace:

@@ -1,0 +1,131 @@
+"""Tests for the static linter (repro.analysis.lint).
+
+Each rule is exercised against a fixture under ``tests/fixtures/lint``
+(kept as ``.py.txt`` so linting ``tests/`` does not pick them up);
+fixtures contain both a flagged construct and a suppressed one, so the
+tests pin down the rule AND the suppression syntax.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.lint import (
+    SourceFile,
+    lint_files,
+    lint_source,
+    main,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures" / "lint"
+
+
+def _fixture(name: str, fake_path: str) -> SourceFile:
+    source = (FIXTURES / name).read_text(encoding="utf-8")
+    return SourceFile.parse(fake_path, source)
+
+
+def _lint_fixture(name: str, fake_path: str):
+    return lint_files([_fixture(name, fake_path)])
+
+
+class TestBlockingCalls:
+    def test_flags_sleep_socket_open_but_not_suppressed(self):
+        findings = _lint_fixture(
+            "blocking.py.txt", "src/repro/core/fixture.py"
+        )
+        rules = [f.rule for f in findings]
+        assert rules == ["KHZ001"] * 4
+        messages = " ".join(f.message for f in findings)
+        assert "time.sleep" in messages
+        assert "socket.socket" in messages
+        assert "open" in messages
+
+    def test_scope_limited_to_sim_code(self):
+        findings = _lint_fixture(
+            "blocking.py.txt", "src/repro/bench/fixture.py"
+        )
+        assert findings == []
+
+
+class TestBroadExcept:
+    def test_flags_silent_handlers_only(self):
+        findings = _lint_fixture(
+            "broad_except.py.txt", "src/repro/consistency/fixture.py"
+        )
+        assert [f.rule for f in findings] == ["KHZ003", "KHZ003"]
+        assert "bare except" in findings[1].message
+
+    def test_scope_limited_to_repro(self):
+        findings = _lint_fixture("broad_except.py.txt", "elsewhere/fixture.py")
+        assert findings == []
+
+
+class TestStaleContexts:
+    def test_flags_use_after_unlock(self):
+        findings = _lint_fixture("stale_context.py.txt", "anywhere.py")
+        assert [f.rule for f in findings] == ["KHZ004"]
+        assert "'ctx'" in findings[0].message
+        assert "bad" in findings[0].message
+
+
+class TestErrorTaxonomy:
+    def test_flags_foreign_and_unbound_raises(self):
+        findings = _lint_fixture(
+            "taxonomy.py.txt", "src/repro/consistency/fixture.py"
+        )
+        assert [f.rule for f in findings] == ["KHZ005", "KHZ005"]
+        by_message = " ".join(f.message for f in findings)
+        assert "RuntimeError" in by_message
+        assert "never imported" in by_message
+
+    def test_scope_limited_to_protocol_code(self):
+        findings = _lint_fixture("taxonomy.py.txt", "src/repro/fs/fixture.py")
+        assert findings == []
+
+
+class TestMessageCompleteness:
+    def _files(self):
+        return [
+            _fixture("message.py.txt", "src/repro/net/message.py"),
+            _fixture("handlers.py.txt", "src/repro/consistency/handlers.py"),
+        ]
+
+    def test_flags_orphan_member_reply_class_and_missing_fallback(self):
+        findings = lint_files(self._files())
+        rules = sorted(f.message.split()[0] for f in findings)
+        assert len(findings) == 3
+        assert {f.rule for f in findings} == {"KHZ002"}
+        messages = " ".join(f.message for f in findings)
+        assert "MessageType.ORPHAN" in messages          # unhandled
+        assert "ORPHAN_ALLOWED" not in messages          # suppressed
+        assert "REPLY_TYPES" in messages                 # reply-class
+        assert "BatchOnlyManager" in messages            # missing-fallback
+        assert "CompleteManager" not in messages
+        assert rules  # keep flake-style vars used
+
+
+class TestSuppressions:
+    def test_empty_reason_is_itself_a_finding(self):
+        source = (
+            "import time\n\n\ndef f():\n"
+            "    time.sleep(1)  # khz: allow-blocking-call()\n"
+        )
+        findings = lint_source(source, path="src/repro/core/x.py")
+        assert len(findings) == 1
+        assert "needs a written reason" in findings[0].message
+
+    def test_wrong_slug_does_not_suppress(self):
+        source = (
+            "import time\n\n\ndef f():\n"
+            "    time.sleep(1)  # khz: allow-broad-except(wrong slug)\n"
+        )
+        findings = lint_source(source, path="src/repro/core/x.py")
+        assert len(findings) == 1
+        assert "time.sleep" in findings[0].message
+
+
+class TestTree:
+    def test_shipped_tree_is_clean(self):
+        # The repo's own source must lint clean — the CI gate.
+        assert main(["src/", "tests/", "examples/"]) == 0

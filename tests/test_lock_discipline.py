@@ -1,0 +1,67 @@
+"""Lock-context discipline is uniform across consistency protocols.
+
+Using a context after its unlock — including unlocking it twice — is a
+client bug and raises :class:`InvalidLockContext` regardless of which
+consistency manager owns the region.  This is acquire-side validation,
+distinct from release-type *network* failures, which are retried in
+the background and never surface (paper Section 3.5).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.attributes import RegionAttributes
+from repro.core.errors import InvalidLockContext
+from repro.core.locks import LockMode
+
+PROTOCOLS = ("crew", "release", "eventual", "mobile")
+
+
+@pytest.fixture(params=PROTOCOLS)
+def protocol(request):
+    return request.param
+
+
+def _region(cluster, protocol):
+    kz = cluster.client(node=1)
+    attrs = RegionAttributes(consistency_protocol=protocol)
+    desc = kz.reserve(2 * 4096, attrs)
+    kz.allocate(desc.rid)
+    kz.write_at(desc.rid, b"seed")
+    return kz, desc
+
+
+class TestLockDiscipline:
+    def test_double_unlock_raises(self, cluster, protocol):
+        kz, desc = _region(cluster, protocol)
+        ctx = kz.lock(desc.rid, 4096, LockMode.WRITE)
+        kz.write(ctx, desc.rid, b"x")
+        kz.unlock(ctx)
+        with pytest.raises(InvalidLockContext):
+            kz.unlock(ctx)
+
+    def test_read_after_unlock_raises(self, cluster, protocol):
+        kz, desc = _region(cluster, protocol)
+        ctx = kz.lock(desc.rid, 4096, LockMode.READ)
+        kz.unlock(ctx)
+        with pytest.raises(InvalidLockContext):
+            kz.read(ctx, desc.rid, 4)  # khz: allow-stale-context(this test proves the stale read raises)
+
+    def test_write_after_unlock_raises(self, cluster, protocol):
+        kz, desc = _region(cluster, protocol)
+        ctx = kz.lock(desc.rid, 4096, LockMode.WRITE)
+        kz.write(ctx, desc.rid, b"x")
+        kz.unlock(ctx)
+        with pytest.raises(InvalidLockContext):
+            kz.write(ctx, desc.rid, b"y")  # khz: allow-stale-context(this test proves the stale write raises)
+
+    def test_fresh_context_still_works_after_failure(self, cluster, protocol):
+        # The InvalidLockContext must not poison the region: a new
+        # lock/read cycle right after the client bug succeeds.
+        kz, desc = _region(cluster, protocol)
+        ctx = kz.lock(desc.rid, 4096, LockMode.READ)
+        kz.unlock(ctx)
+        with pytest.raises(InvalidLockContext):
+            kz.unlock(ctx)
+        assert kz.read_at(desc.rid, 4) == b"seed"

@@ -84,6 +84,22 @@ class TestFsck:
         text = check_cluster(cluster).render()
         assert "fsck:" in text and "map entries" in text
 
+    def test_strict_mode_passes_on_quiesced_cluster(self):
+        cluster, _descs = exercised_cluster()
+        report = check_cluster(cluster, strict=True)
+        assert report.ok, report.render()
+
+    def test_strict_mode_detects_unreachable_stored_page(self):
+        cluster, descs = exercised_cluster()
+        daemon = cluster.daemon(2)
+        # A stored page with no page-directory entry can never be
+        # invalidated or written back: strict-only corruption.
+        daemon.page_directory.drop(descs[0].rid)
+        report = check_cluster(cluster, strict=True)
+        assert any("no page-directory entry" in e for e in report.errors)
+        # The same cluster passes the non-strict checks.
+        assert check_cluster(cluster).ok
+
 
 class TestInspect:
     def test_cluster_summary(self):
