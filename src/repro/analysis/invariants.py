@@ -30,6 +30,7 @@ def check_pin_balance(daemons: Sequence[Any]) -> List[str]:
     """
     problems: List[str] = []
     for daemon in daemons:
+        open_ids = set(daemon.open_context_ids())
         table_ids = set()
         for ctx in daemon.lock_table.live_contexts():
             table_ids.add(ctx.ctx_id)
@@ -38,12 +39,12 @@ def check_pin_balance(daemons: Sequence[Any]) -> List[str]:
                     f"node {daemon.node_id}: closed context {ctx.ctx_id} "
                     "still registered in the lock table"
                 )
-            if ctx.ctx_id not in daemon._ctx_pages:
+            if ctx.ctx_id not in open_ids:
                 problems.append(
                     f"node {daemon.node_id}: context {ctx.ctx_id} is in "
                     "the lock table but unknown to the daemon"
                 )
-        for ctx_id in daemon._ctx_pages:
+        for ctx_id in open_ids:
             if ctx_id not in table_ids:
                 problems.append(
                     f"node {daemon.node_id}: context {ctx_id} maps pages "

@@ -29,12 +29,18 @@ cannot know:
   ``error_from_code``/``_typed_denial``), and the raised name must
   actually be bound in the module — catching the
   raise-an-unimported-name bug that only explodes on the error path.
+- **KHZ006 private-daemon-attr** — code outside ``repro/core`` may
+  not reach into ``_``-private attributes of a daemon/kernel/host
+  object.  Consistency managers, tools, analysis code, and tests must
+  use the :class:`~repro.core.cmhost.CMHost` surface or another
+  public kernel API; private state is free to move between the node
+  services without notice.
 
 Suppression: append ``# khz: allow-<slug>(reason)`` to the flagged
 line.  The reason is mandatory; an empty one is itself an error.
 Slugs: ``blocking-call``, ``unhandled-message``, ``missing-fallback``,
 ``reply-class``, ``broad-except``, ``stale-context``,
-``foreign-exception``.
+``foreign-exception``, ``private-daemon-attr``.
 """
 
 from __future__ import annotations
@@ -76,6 +82,13 @@ TAXONOMY_FILES = ("repro/core/daemon.py", "repro/core/locks.py")
 
 #: Names that construct taxonomy errors without naming a class.
 TAXONOMY_FACTORIES = {"error_from_code", "_typed_denial"}
+
+#: Variable names that (by convention) hold a daemon/kernel object.
+DAEMONISH_NAME_RE = re.compile(r"^(?:daemon|host|kernel)\w*$")
+
+#: Path substring marking the only package allowed to touch daemon
+#: internals (KHZ006).
+KERNEL_SCOPE = "repro/core/"
 
 
 @dataclass(frozen=True)
@@ -260,8 +273,13 @@ def check_message_completeness(files: Sequence[SourceFile],
             if not isinstance(node, ast.Call):
                 continue
             func = node.func
-            is_on = (isinstance(func, ast.Name) and func.id == "on") or (
-                isinstance(func, ast.Attribute) and func.attr == "on"
+            # `on(...)` is the raw RPC registration; `register`/`reg`
+            # are the MessageRouter's route registrations.
+            is_on = (
+                isinstance(func, ast.Name) and func.id in ("on", "reg")
+            ) or (
+                isinstance(func, ast.Attribute)
+                and func.attr in ("on", "register")
             )
             if is_on:
                 handled.update(_message_type_args(node))
@@ -499,6 +517,50 @@ def check_error_taxonomy(sf: SourceFile, reporter: _Reporter,
 
 
 # ---------------------------------------------------------------------------
+# KHZ006: private daemon attribute access outside repro/core
+# ---------------------------------------------------------------------------
+
+def _names_a_daemon(expr: ast.expr) -> bool:
+    """Heuristic: does this expression evaluate to a daemon/kernel?
+
+    Covers the three shapes that occur in practice: a local named
+    ``daemon``/``host``/``kernel`` (with suffixes, e.g. ``daemon2``),
+    an attribute of that name (``self.daemon``, ``cm.host``), and the
+    test-harness accessor ``cluster.daemon(0)``.
+    """
+    if isinstance(expr, ast.Name):
+        return bool(DAEMONISH_NAME_RE.match(expr.id))
+    if isinstance(expr, ast.Attribute):
+        return expr.attr in ("daemon", "host", "kernel")
+    if isinstance(expr, ast.Call):
+        func = expr.func
+        if isinstance(func, ast.Attribute):
+            return func.attr == "daemon"
+        if isinstance(func, ast.Name):
+            return func.id == "daemon"
+    return False
+
+
+def check_private_daemon_access(sf: SourceFile,
+                                reporter: _Reporter) -> None:
+    if KERNEL_SCOPE in sf.path:
+        return   # the kernel and its services own this state
+    for node in ast.walk(sf.tree):
+        if not isinstance(node, ast.Attribute):
+            continue
+        attr = node.attr
+        if not attr.startswith("_") or attr.startswith("__"):
+            continue
+        if _names_a_daemon(node.value):
+            reporter.flag(
+                sf, node.lineno, "KHZ006", "private-daemon-attr",
+                f"access to private daemon attribute .{attr} outside "
+                "repro/core; use the CMHost protocol or a public "
+                "kernel API instead",
+            )
+
+
+# ---------------------------------------------------------------------------
 # Driver
 # ---------------------------------------------------------------------------
 
@@ -511,6 +573,7 @@ def lint_files(files: Sequence[SourceFile]) -> List[Finding]:
         check_broad_except(sf, reporter)
         check_stale_contexts(sf, reporter)
         check_error_taxonomy(sf, reporter, taxonomy)
+        check_private_daemon_access(sf, reporter)
     check_message_completeness(files, reporter)
     return sorted(reporter.findings, key=lambda f: (f.path, f.line, f.rule))
 

@@ -118,6 +118,17 @@ class Probe:
     def region_seen(self, node_id: int, desc: Any) -> None:
         pass
 
+    # Message router --------------------------------------------------
+    def message_dispatched(self, node_id: int, msg: Any) -> None:
+        """A wire message is about to be handled at ``node_id``.
+
+        Fired by the MessageRouter's probe middleware before the
+        handler runs.  The RaceDetector deliberately does NOT override
+        this: its happens-before edges come from the network taps
+        (attach_network), and adding events here would change the
+        detector's event ordering.
+        """
+
     # Consistency managers --------------------------------------------
     def token_granted(self, home: int, page: int, holder: int) -> None:
         pass
@@ -439,7 +450,7 @@ class RaceDetector(Probe):
                 pages=(page,),
                 nodes=(holder,),
             )
-        live = [d for d in self._daemons if d._alive]
+        live = [d for d in self._daemons if d.alive]
         for problem in invariants.check_pin_balance(live):
             self._flag("pin-balance", problem)
         for problem in invariants.check_replica_floor(live):

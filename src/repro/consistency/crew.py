@@ -27,6 +27,8 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional
 
+from typing import TYPE_CHECKING
+
 from repro.consistency.manager import (
     ConsistencyManager,
     KeyedMutex,
@@ -46,6 +48,9 @@ from repro.net.message import Message, MessageType
 from repro.net.rpc import RemoteError, RetryPolicy, RpcTimeout
 from repro.net.tasks import Future, gather_settled
 
+if TYPE_CHECKING:
+    from repro.core.cmhost import CMHost
+
 #: Directory transactions can stall on a peer's open lock context, so
 #: their constituent RPCs tolerate long waits before retransmitting.
 TRANSACTION_POLICY = RetryPolicy(timeout=10.0, retries=2, backoff=1.5)
@@ -57,8 +62,8 @@ class CrewManager(ConsistencyManager):
 
     protocol_name = "crew"
 
-    def __init__(self, daemon: Any) -> None:
-        super().__init__(daemon)
+    def __init__(self, host: "CMHost") -> None:
+        super().__init__(host)
         #: Serialises home-side directory transactions per page.
         self._mutex = KeyedMutex()
 
@@ -79,7 +84,7 @@ class CrewManager(ConsistencyManager):
                 "use the release or eventual protocol"
             )
         state = self.page_state.get(page_addr, LocalPageState.INVALID)
-        resident = self.daemon.storage.contains(page_addr)
+        resident = self.host.storage.contains(page_addr)
 
         if mode is LockMode.READ:
             if state is not LocalPageState.INVALID and resident:
@@ -88,23 +93,23 @@ class CrewManager(ConsistencyManager):
             return
 
         # WRITE path
-        entry = self.daemon.page_directory.get(page_addr)
+        entry = self.host.page_directory.get(page_addr)
         if (
             state is LocalPageState.EXCLUSIVE
             and resident
             and entry is not None
-            and entry.owner == self.daemon.node_id
+            and entry.owner == self.host.node_id
         ):
             return  # already the exclusive owner
         yield from self._acquire_write(desc, page_addr, ctx.principal)
 
     def _acquire_read(self, desc: RegionDescriptor, page_addr: int,
                       principal: str) -> ProtocolGen:
-        me = self.daemon.node_id
+        me = self.host.node_id
         if me in desc.home_nodes and me == desc.primary_home:
             data = yield from self._home_grant(desc, page_addr, LockMode.READ, me)
             if data is not None:
-                yield from self.daemon.store_local_page(
+                yield from self.host.store_local_page(
                     desc, page_addr, data, dirty=False
                 )
             self.page_state[page_addr] = LocalPageState.SHARED
@@ -112,11 +117,11 @@ class CrewManager(ConsistencyManager):
 
         # Fast path (Figure 2): a page-directory hint names the owner;
         # ask it directly for a read copy.
-        hint = self.daemon.page_directory.get(page_addr)
+        hint = self.host.page_directory.get(page_addr)
         owner_hint = hint.owner if hint is not None else None
         if owner_hint is not None and owner_hint not in (me, desc.primary_home):
             try:
-                reply = yield self.daemon.rpc.request(
+                reply = yield self.host.rpc.request(
                     owner_hint,
                     MessageType.LOCK_REQUEST,
                     {"rid": desc.rid, "page": page_addr,
@@ -140,10 +145,10 @@ class CrewManager(ConsistencyManager):
     ) -> ProtocolGen:
         data = reply.payload.get("data")
         if data is not None:
-            yield from self.daemon.store_local_page(
+            yield from self.host.store_local_page(
                 desc, page_addr, data, dirty=False
             )
-        entry = self.daemon.page_directory.ensure(
+        entry = self.host.page_directory.ensure(
             page_addr, desc.rid, homed=False
         )
         owner = reply.payload.get("owner")
@@ -154,11 +159,11 @@ class CrewManager(ConsistencyManager):
 
     def _acquire_write(self, desc: RegionDescriptor, page_addr: int,
                        principal: str) -> ProtocolGen:
-        me = self.daemon.node_id
+        me = self.host.node_id
         if me == desc.primary_home:
             data = yield from self._home_grant(desc, page_addr, LockMode.WRITE, me)
             if data is not None:
-                yield from self.daemon.store_local_page(
+                yield from self.host.store_local_page(
                     desc, page_addr, data, dirty=True
                 )
             self.page_state[page_addr] = LocalPageState.EXCLUSIVE
@@ -167,15 +172,15 @@ class CrewManager(ConsistencyManager):
                                               LockMode.WRITE, principal)
         data = reply.payload.get("data")
         if data is not None:
-            yield from self.daemon.store_local_page(
+            yield from self.host.store_local_page(
                 desc, page_addr, data, dirty=True
             )
-        elif not self.daemon.storage.contains(page_addr):
+        elif not self.host.storage.contains(page_addr):
             raise KhazanaError(
                 f"write grant for page {page_addr:#x} carried no data and "
                 "no local copy exists"
             )
-        entry = self.daemon.page_directory.ensure(
+        entry = self.host.page_directory.ensure(
             page_addr, desc.rid, homed=False
         )
         entry.owner = me
@@ -189,10 +194,10 @@ class CrewManager(ConsistencyManager):
         """Ask the region's home nodes (in order) for a lock grant."""
         last_error: Optional[Exception] = None
         for home in desc.home_nodes:
-            if home == self.daemon.node_id:
+            if home == self.host.node_id:
                 continue
             try:
-                reply = yield self.daemon.rpc.request(
+                reply = yield self.host.rpc.request(
                     home,
                     MessageType.LOCK_REQUEST,
                     {"rid": desc.rid, "page": page_addr, "mode": mode.value,
@@ -224,15 +229,15 @@ class CrewManager(ConsistencyManager):
         """
         if page_addr not in ctx.dirty_pages:
             return
-        page = self.daemon.storage.peek(page_addr)
+        page = self.host.storage.peek(page_addr)
         if page is None:
             return
         pushes = []
         for home in desc.home_nodes:
-            if home == self.daemon.node_id:
+            if home == self.host.node_id:
                 continue
             pushes.append(
-                self.daemon.rpc.request(
+                self.host.rpc.request(
                     home,
                     MessageType.UPDATE_PUSH,
                     {
@@ -249,8 +254,8 @@ class CrewManager(ConsistencyManager):
             # replica maintenance loop, not by failing the unlock
             # (release-type errors never surface to clients, 3.5).
             yield gather_settled(pushes, label="crew-writeback")
-        if self.daemon.node_id == desc.primary_home:
-            self.daemon.storage.mark_clean(page_addr)
+        if self.host.node_id == desc.primary_home:
+            self.host.storage.mark_clean(page_addr)
 
     # ------------------------------------------------------------------
     # Batched multi-page path
@@ -269,19 +274,19 @@ class CrewManager(ConsistencyManager):
                 "CREW does not support write-shared intentions; "
                 "use the release or eventual protocol"
             )
-        me = self.daemon.node_id
+        me = self.host.node_id
         if (me == desc.primary_home or len(pages) <= 1
                 or not self.batching_enabled()):
             yield from super().acquire_many(desc, pages, mode, ctx,
                                             note_acquired)
             return
         for page_addr in pages:
-            yield from self.daemon._wait_local_conflicts(page_addr, mode)
+            yield from self.host.wait_local_conflicts(page_addr, mode)
         batched: List[int] = []
         for page_addr in pages:
             state = self.page_state.get(page_addr, LocalPageState.INVALID)
-            resident = self.daemon.storage.contains(page_addr)
-            entry = self.daemon.page_directory.get(page_addr)
+            resident = self.host.storage.contains(page_addr)
+            entry = self.host.page_directory.get(page_addr)
             if mode is LockMode.READ:
                 if state is not LocalPageState.INVALID and resident:
                     continue   # cached copy is valid for reading
@@ -314,10 +319,10 @@ class CrewManager(ConsistencyManager):
     ) -> ProtocolGen:
         last_error: Optional[Exception] = None
         for home in desc.home_nodes:
-            if home == self.daemon.node_id:
+            if home == self.host.node_id:
                 continue
             try:
-                reply = yield self.daemon.rpc.request(
+                reply = yield self.host.rpc.request(
                     home,
                     MessageType.TOKEN_ACQUIRE_BATCH,
                     {"rid": desc.rid, "pages": list(pages),
@@ -337,16 +342,16 @@ class CrewManager(ConsistencyManager):
     def _install_batch_grants(
         self, desc: RegionDescriptor, mode: LockMode, reply: Message
     ) -> ProtocolGen:
-        me = self.daemon.node_id
+        me = self.host.node_id
         for item in reply.payload.get("pages", []):
             page_addr = int(item["page"])
             data = item.get("data")
             if mode is LockMode.READ:
                 if data is not None:
-                    yield from self.daemon.store_local_page(
+                    yield from self.host.store_local_page(
                         desc, page_addr, data, dirty=False
                     )
-                entry = self.daemon.page_directory.ensure(
+                entry = self.host.page_directory.ensure(
                     page_addr, desc.rid, homed=False
                 )
                 owner = item.get("owner")
@@ -356,15 +361,15 @@ class CrewManager(ConsistencyManager):
                 self.page_state[page_addr] = LocalPageState.SHARED
             else:
                 if data is not None:
-                    yield from self.daemon.store_local_page(
+                    yield from self.host.store_local_page(
                         desc, page_addr, data, dirty=True
                     )
-                elif not self.daemon.storage.contains(page_addr):
+                elif not self.host.storage.contains(page_addr):
                     raise KhazanaError(
                         f"write grant for page {page_addr:#x} carried no "
                         "data and no local copy exists"
                     )
-                entry = self.daemon.page_directory.ensure(
+                entry = self.host.page_directory.ensure(
                     page_addr, desc.rid, homed=False
                 )
                 entry.owner = me
@@ -383,7 +388,7 @@ class CrewManager(ConsistencyManager):
         pages: List[int],
         ctx: LockContext,
     ) -> ProtocolGen:
-        me = self.daemon.node_id
+        me = self.host.node_id
         if len(pages) <= 1 or not self.batching_enabled():
             yield from super().release_many(desc, pages, ctx)
             return
@@ -391,7 +396,7 @@ class CrewManager(ConsistencyManager):
         for page_addr in pages:
             if page_addr not in ctx.dirty_pages:
                 continue
-            page = self.daemon.storage.peek(page_addr)
+            page = self.host.storage.peek(page_addr)
             if page is None:
                 continue
             updates.append({
@@ -405,7 +410,7 @@ class CrewManager(ConsistencyManager):
                 if home == me:
                     continue
                 pushes.append(
-                    self.daemon.rpc.request(
+                    self.host.rpc.request(
                         home,
                         MessageType.UPDATE_PUSH_BATCH,
                         {"rid": desc.rid, "updates": updates},
@@ -416,7 +421,7 @@ class CrewManager(ConsistencyManager):
                 yield gather_settled(pushes, label="crew-writeback-batch")
         if me == desc.primary_home:
             for update in updates:
-                self.daemon.storage.mark_clean(update["page"])
+                self.host.storage.mark_clean(update["page"])
 
     # ------------------------------------------------------------------
     # Home side
@@ -450,8 +455,8 @@ class CrewManager(ConsistencyManager):
         mode: LockMode,
         requester: int,
     ) -> ProtocolGen:
-        me = self.daemon.node_id
-        entry = self.daemon.page_directory.ensure(page_addr, desc.rid, homed=True)
+        me = self.host.node_id
+        entry = self.host.page_directory.ensure(page_addr, desc.rid, homed=True)
         if not entry.allocated:
             raise NotAllocated(
                 f"page {page_addr:#x} of region {desc.rid:#x} has no "
@@ -500,8 +505,8 @@ class CrewManager(ConsistencyManager):
         entry.sharers = {requester}
         if requester == me:
             entry.record_sharer(me)
-        if self.daemon.probe.enabled:
-            self.daemon.probe.exclusive_grant(me, page_addr, requester)
+        if self.host.probe.enabled:
+            self.host.probe.exclusive_grant(me, page_addr, requester)
         return data
 
     def _current_data_for_read(
@@ -509,26 +514,26 @@ class CrewManager(ConsistencyManager):
     ) -> ProtocolGen:
         """Bytes of the page, fetching from a remote owner if the home
         copy is stale (owner holds it EXCLUSIVE)."""
-        me = self.daemon.node_id
+        me = self.host.node_id
         page_addr = entry.address
         if entry.owner == me or me in entry.sharers:
             # A local write context is mid-modification; the CM
             # "delays granting the locks until the conflict is
             # resolved" (3.3) for remote readers too.
             yield from self._wait_local_unlocked(page_addr, LockMode.READ)
-            data = yield from self.daemon.local_page_bytes(desc, page_addr)
+            data = yield from self.host.local_page_bytes(desc, page_addr)
             if data is not None:
                 return data
         if entry.owner is not None and entry.owner != me:
             try:
-                reply = yield self.daemon.rpc.request(
+                reply = yield self.host.rpc.request(
                     entry.owner,
                     MessageType.PAGE_FETCH,
                     {"rid": desc.rid, "page": page_addr, "demote": True},
                     policy=TRANSACTION_POLICY,
                 )
                 data = reply.payload["data"]
-                yield from self.daemon.store_local_page(
+                yield from self.host.store_local_page(
                     desc, page_addr, data, dirty=False
                 )
                 entry.record_sharer(me)
@@ -537,7 +542,7 @@ class CrewManager(ConsistencyManager):
             except (RpcTimeout, RemoteError):
                 entry.forget_sharer(entry.owner)
         # Fall back to whatever the home has (zero-filled if untouched).
-        data = yield from self.daemon.local_page_bytes(desc, page_addr)
+        data = yield from self.host.local_page_bytes(desc, page_addr)
         if data is None:
             raise KhazanaError(
                 f"home node lost page {page_addr:#x} and owner is gone"
@@ -551,11 +556,11 @@ class CrewManager(ConsistencyManager):
     ) -> ProtocolGen:
         """Home surrenders its own copy (waiting out local locks)."""
         yield from self._wait_local_unlocked(page_addr, LockMode.WRITE)
-        data = yield from self.daemon.local_page_bytes(desc, page_addr)
+        data = yield from self.host.local_page_bytes(desc, page_addr)
         if data is None:
             raise KhazanaError(f"home has no copy of page {page_addr:#x}")
         if invalidate:
-            self.daemon.drop_local_page(page_addr)
+            self.host.drop_local_page(page_addr)
             self.page_state[page_addr] = LocalPageState.INVALID
         return data
 
@@ -563,7 +568,7 @@ class CrewManager(ConsistencyManager):
         self, desc: RegionDescriptor, entry: Any, page_addr: int, owner: int
     ) -> ProtocolGen:
         try:
-            reply = yield self.daemon.rpc.request(
+            reply = yield self.host.rpc.request(
                 owner,
                 MessageType.PAGE_FETCH,
                 {"rid": desc.rid, "page": page_addr, "revoke": True},
@@ -578,17 +583,17 @@ class CrewManager(ConsistencyManager):
         self, desc: RegionDescriptor, entry: Any, page_addr: int,
         victims: List[int],
     ) -> ProtocolGen:
-        me = self.daemon.node_id
+        me = self.host.node_id
         requests = []
         for node in victims:
             if node == me:
                 yield from self._wait_local_unlocked(page_addr, LockMode.WRITE)
-                self.daemon.drop_local_page(page_addr)
+                self.host.drop_local_page(page_addr)
                 self.page_state[page_addr] = LocalPageState.INVALID
                 entry.forget_sharer(me)
                 continue
             requests.append(
-                (node, self.daemon.rpc.request(
+                (node, self.host.rpc.request(
                     node,
                     MessageType.INVALIDATE,
                     {"rid": desc.rid, "page": page_addr},
@@ -606,7 +611,7 @@ class CrewManager(ConsistencyManager):
 
     def _wait_local_unlocked(self, page_addr: int, mode: LockMode) -> ProtocolGen:
         """Suspend until no local context conflicts with ``mode``."""
-        while self.daemon.lock_table.conflicts(page_addr, mode):
+        while self.host.lock_table.conflicts(page_addr, mode):
             gate = Future(label=f"local-unlock:{page_addr:#x}")
             self.defer_until_unlocked(page_addr, lambda: gate.set_result(None))
             yield gate
@@ -623,43 +628,43 @@ class CrewManager(ConsistencyManager):
         if msg.payload.get("direct"):
             self._handle_direct_read(desc, msg, page_addr)
             return
-        if self.daemon.node_id != desc.primary_home:
-            self.daemon.reply_error(msg, "not_responsible",
-                                    f"node {self.daemon.node_id} is not the "
+        if self.host.node_id != desc.primary_home:
+            self.host.reply_error(msg, "not_responsible",
+                                    f"node {self.host.node_id} is not the "
                                     f"primary home of region {desc.rid:#x}")
             return
 
         def transaction() -> ProtocolGen:
             data = yield from self._home_grant(desc, page_addr, mode, msg.src)
-            entry = self.daemon.page_directory.get(page_addr)
+            entry = self.host.page_directory.get(page_addr)
             owner = entry.owner if entry is not None else None
-            self.daemon.reply_request(
+            self.host.reply_request(
                 msg, MessageType.LOCK_REPLY,
                 {"data": data, "owner": owner},
             )
 
-        self.daemon.spawn_handler(msg, transaction(), label="crew-grant")
+        self.host.spawn_handler(msg, transaction(), label="crew-grant")
 
     def _handle_direct_read(
         self, desc: RegionDescriptor, msg: Message, page_addr: int
     ) -> None:
         """Fast-path read served straight from the owner (Figure 2)."""
-        entry = self.daemon.page_directory.get(page_addr)
+        entry = self.host.page_directory.get(page_addr)
         state = self.page_state.get(page_addr, LocalPageState.INVALID)
         if (
             entry is None
-            or entry.owner != self.daemon.node_id
+            or entry.owner != self.host.node_id
             or state is LocalPageState.INVALID
         ):
-            self.daemon.reply_error(msg, "not_responsible",
+            self.host.reply_error(msg, "not_responsible",
                                     "stale owner hint")
             return
 
         def serve() -> ProtocolGen:
             yield from self._wait_local_unlocked(page_addr, LockMode.READ)
-            data = yield from self.daemon.local_page_bytes(desc, page_addr)
+            data = yield from self.host.local_page_bytes(desc, page_addr)
             if data is None:
-                self.daemon.reply_error(msg, "not_responsible",
+                self.host.reply_error(msg, "not_responsible",
                                         "owner copy evicted")
                 return
             # Register the requester in the home's copyset *before*
@@ -667,28 +672,28 @@ class CrewManager(ConsistencyManager):
             # registration raced a later write's invalidation round,
             # the requester could keep a stale copy forever.
             home = desc.primary_home
-            if home != self.daemon.node_id:
+            if home != self.host.node_id:
                 try:
-                    yield self.daemon.rpc.request(
+                    yield self.host.rpc.request(
                         home, MessageType.SHARER_REGISTER,
                         {"rid": desc.rid, "page": page_addr,
                          "sharer": msg.src},
                         policy=TRANSACTION_POLICY,
                     )
                 except (RpcTimeout, RemoteError):
-                    self.daemon.reply_error(
+                    self.host.reply_error(
                         msg, "not_responsible",
                         "could not register the new sharer with the home"
                     )
                     return
             # Demote to shared, then grant.
             self.page_state[page_addr] = LocalPageState.SHARED
-            self.daemon.reply_request(
+            self.host.reply_request(
                 msg, MessageType.LOCK_REPLY,
-                {"data": data, "owner": self.daemon.node_id},
+                {"data": data, "owner": self.host.node_id},
             )
 
-        self.daemon.spawn_handler(msg, serve(), label="crew-direct-read")
+        self.host.spawn_handler(msg, serve(), label="crew-direct-read")
 
     def handle_page_fetch(self, desc: RegionDescriptor, msg: Message) -> None:
         page_addr = msg.payload["page"]
@@ -698,35 +703,35 @@ class CrewManager(ConsistencyManager):
         def serve() -> ProtocolGen:
             wait_mode = LockMode.WRITE if revoke else LockMode.READ
             yield from self._wait_local_unlocked(page_addr, wait_mode)
-            data = yield from self.daemon.local_page_bytes(desc, page_addr)
+            data = yield from self.host.local_page_bytes(desc, page_addr)
             if data is None:
-                self.daemon.reply_error(msg, "not_responsible",
+                self.host.reply_error(msg, "not_responsible",
                                         "no local copy")
                 return
             if revoke:
-                self.daemon.drop_local_page(page_addr)
+                self.host.drop_local_page(page_addr)
                 self.page_state[page_addr] = LocalPageState.INVALID
             elif demote:
                 self.page_state[page_addr] = LocalPageState.SHARED
-                self.daemon.storage.mark_clean(page_addr)
-            self.daemon.reply_request(
+                self.host.storage.mark_clean(page_addr)
+            self.host.reply_request(
                 msg, MessageType.PAGE_DATA, {"data": data}
             )
 
-        self.daemon.spawn_handler(msg, serve(), label="crew-fetch")
+        self.host.spawn_handler(msg, serve(), label="crew-fetch")
 
     def handle_invalidate(self, desc: RegionDescriptor, msg: Message) -> None:
         page_addr = msg.payload["page"]
 
         def apply() -> None:
-            self.daemon.drop_local_page(page_addr)
+            self.host.drop_local_page(page_addr)
             self.page_state[page_addr] = LocalPageState.INVALID
-            self.daemon.reply_request(msg, MessageType.INVALIDATE_ACK, {})
+            self.host.reply_request(msg, MessageType.INVALIDATE_ACK, {})
 
         # Paper 3.3: the CM "delays granting" conflicting operations;
         # symmetrically, an invalidation waits for local readers to
         # finish before the copy is destroyed.
-        if self.daemon.lock_table.page_locked(page_addr):
+        if self.host.lock_table.page_locked(page_addr):
             self.defer_until_unlocked(page_addr, apply)
         else:
             apply()
@@ -737,11 +742,11 @@ class CrewManager(ConsistencyManager):
         data = msg.payload["data"]
 
         def apply() -> ProtocolGen:
-            yield from self.daemon.store_local_page(
-                desc, page_addr, data, dirty=self.daemon.node_id != desc.primary_home
+            yield from self.host.store_local_page(
+                desc, page_addr, data, dirty=self.host.node_id != desc.primary_home
             )
-            entry = self.daemon.page_directory.ensure(
-                page_addr, desc.rid, homed=self.daemon.node_id in desc.home_nodes
+            entry = self.host.page_directory.ensure(
+                page_addr, desc.rid, homed=self.host.node_id in desc.home_nodes
             )
             entry.allocated = True
             if self.page_state.get(page_addr) in (None, LocalPageState.INVALID):
@@ -749,19 +754,19 @@ class CrewManager(ConsistencyManager):
                 # copy: the owner may keep writing without telling us, so
                 # we must not appear in the copyset.
                 self.page_state[page_addr] = LocalPageState.INVALID
-                entry.sharers.discard(self.daemon.node_id)
-            self.daemon.reply_request(msg, MessageType.UPDATE_ACK, {})
+                entry.sharers.discard(self.host.node_id)
+            self.host.reply_request(msg, MessageType.UPDATE_ACK, {})
 
-        self.daemon.spawn_handler(msg, apply(), label="crew-writeback")
+        self.host.spawn_handler(msg, apply(), label="crew-writeback")
 
     def handle_lock_request_batch(self, desc: RegionDescriptor,
                                   msg: Message) -> None:
         mode = LockMode(msg.payload["mode"])
         if not self.check_remote_access(desc, msg, mode):
             return
-        if self.daemon.node_id != desc.primary_home:
-            self.daemon.reply_error(msg, "not_responsible",
-                                    f"node {self.daemon.node_id} is not the "
+        if self.host.node_id != desc.primary_home:
+            self.host.reply_error(msg, "not_responsible",
+                                    f"node {self.host.node_id} is not the "
                                     f"primary home of region {desc.rid:#x}")
             return
         pages = [int(p) for p in msg.payload.get("pages", [])]
@@ -784,17 +789,17 @@ class CrewManager(ConsistencyManager):
                         "detail": str(error),
                     })
                     continue
-                entry = self.daemon.page_directory.get(page_addr)
+                entry = self.host.page_directory.get(page_addr)
                 owner = entry.owner if entry is not None else None
                 granted.append({
                     "page": page_addr, "data": data, "owner": owner,
                 })
-            self.daemon.reply_request(
+            self.host.reply_request(
                 msg, MessageType.TOKEN_GRANT_BATCH,
                 {"pages": granted, "errors": errors},
             )
 
-        self.daemon.spawn_handler(msg, transaction(), label="crew-grant-batch")
+        self.host.spawn_handler(msg, transaction(), label="crew-grant-batch")
 
     def handle_update_batch(self, desc: RegionDescriptor,
                             msg: Message) -> None:
@@ -802,14 +807,14 @@ class CrewManager(ConsistencyManager):
         updates = msg.payload.get("updates", [])
 
         def apply() -> ProtocolGen:
-            me = self.daemon.node_id
+            me = self.host.node_id
             for update in updates:
                 page_addr = int(update["page"])
-                yield from self.daemon.store_local_page(
+                yield from self.host.store_local_page(
                     desc, page_addr, update["data"],
                     dirty=me != desc.primary_home,
                 )
-                entry = self.daemon.page_directory.ensure(
+                entry = self.host.page_directory.ensure(
                     page_addr, desc.rid, homed=me in desc.home_nodes
                 )
                 entry.allocated = True
@@ -820,11 +825,11 @@ class CrewManager(ConsistencyManager):
                     # (same discipline as the per-page handler).
                     self.page_state[page_addr] = LocalPageState.INVALID
                     entry.sharers.discard(me)
-            self.daemon.reply_request(
+            self.host.reply_request(
                 msg, MessageType.UPDATE_ACK_BATCH, {"applied": len(updates)}
             )
 
-        self.daemon.spawn_handler(msg, apply(), label="crew-writeback-batch")
+        self.host.spawn_handler(msg, apply(), label="crew-writeback-batch")
 
     def on_node_failure(self, node_id: int) -> None:
-        self.daemon.page_directory.forget_node(node_id)
+        self.host.page_directory.forget_node(node_id)

@@ -26,6 +26,8 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
+from typing import TYPE_CHECKING
+
 from repro.consistency.manager import (
     ConsistencyManager,
     LocalPageState,
@@ -37,6 +39,9 @@ from repro.core.locks import LockContext, LockMode
 from repro.core.region import RegionDescriptor
 from repro.net.message import Message, MessageType
 from repro.net.rpc import RemoteError, RetryPolicy, RpcTimeout
+
+if TYPE_CHECKING:
+    from repro.core.cmhost import CMHost
 
 #: Maximum age (virtual seconds) a local replica may have before a
 #: read acquire refreshes it from the home node.
@@ -54,9 +59,9 @@ class EventualManager(ConsistencyManager):
 
     protocol_name = "eventual"
 
-    def __init__(self, daemon: Any,
+    def __init__(self, host: "CMHost",
                  staleness_bound: float = DEFAULT_STALENESS_BOUND) -> None:
-        super().__init__(daemon)
+        super().__init__(host)
         self.staleness_bound = staleness_bound
         self._versions: Dict[int, Tuple[int, int]] = {}  # page -> (ver, writer)
         self._refreshed_at: Dict[int, float] = {}        # page -> virtual time
@@ -74,16 +79,16 @@ class EventualManager(ConsistencyManager):
         mode: LockMode,
         ctx: LockContext,
     ) -> ProtocolGen:
-        me = self.daemon.node_id
+        me = self.host.node_id
         self._rids[page_addr] = desc.rid
         if me == desc.primary_home:
-            data = yield from self.daemon.local_page_bytes(desc, page_addr)
+            data = yield from self.host.local_page_bytes(desc, page_addr)
             if data is None:
                 raise KhazanaError(f"home lost page {page_addr:#x}")
             return
 
-        have_copy = self.daemon.storage.contains(page_addr)
-        age = self.daemon.scheduler.now - self._refreshed_at.get(
+        have_copy = self.host.storage.contains(page_addr)
+        age = self.host.scheduler.now - self._refreshed_at.get(
             page_addr, float("-inf")
         )
         if have_copy and age <= self.staleness_bound:
@@ -100,10 +105,10 @@ class EventualManager(ConsistencyManager):
                  principal: str = "_khazana") -> ProtocolGen:
         last_error: Optional[Exception] = None
         for home in desc.home_nodes:
-            if home == self.daemon.node_id:
+            if home == self.host.node_id:
                 continue
             try:
-                reply = yield self.daemon.rpc.request(
+                reply = yield self.host.rpc.request(
                     home,
                     MessageType.PAGE_FETCH,
                     {"rid": desc.rid, "page": page_addr, "register": True,
@@ -114,16 +119,16 @@ class EventualManager(ConsistencyManager):
                 last_error = error
                 continue
             data = reply.payload["data"]
-            yield from self.daemon.store_local_page(
+            yield from self.host.store_local_page(
                 desc, page_addr, data, dirty=False
             )
             self._versions[page_addr] = (
                 reply.payload.get("version", 0),
                 reply.payload.get("writer", 0),
             )
-            self._refreshed_at[page_addr] = self.daemon.scheduler.now
+            self._refreshed_at[page_addr] = self.host.scheduler.now
             self.page_state[page_addr] = LocalPageState.SHARED
-            entry = self.daemon.page_directory.ensure(
+            entry = self.host.page_directory.ensure(
                 page_addr, desc.rid, homed=False
             )
             entry.allocated = True
@@ -140,14 +145,14 @@ class EventualManager(ConsistencyManager):
     ) -> ProtocolGen:
         if page_addr not in ctx.dirty_pages:
             return
-        me = self.daemon.node_id
-        page = self.daemon.storage.peek(page_addr)
+        me = self.host.node_id
+        page = self.host.storage.peek(page_addr)
         if page is None:
             return
         version, _writer = self._versions.get(page_addr, (0, 0))
         version += 1
         self._versions[page_addr] = (version, me)
-        self._refreshed_at[page_addr] = self.daemon.scheduler.now
+        self._refreshed_at[page_addr] = self.host.scheduler.now
         if me == desc.primary_home:
             self._record_home_write(desc, page_addr, version, me)
             return
@@ -160,29 +165,29 @@ class EventualManager(ConsistencyManager):
             "release_token": False,
         }
         try:
-            yield self.daemon.rpc.request(
+            yield self.host.rpc.request(
                 desc.primary_home, MessageType.UPDATE_PUSH, payload,
                 policy=FETCH_POLICY,
             )
-            self.daemon.storage.mark_clean(page_addr)
+            self.host.storage.mark_clean(page_addr)
         except (RpcTimeout, RemoteError):
             # Release-type failure: hand to the background retry queue
             # (paper 3.5); the local copy stays dirty meanwhile.
-            self.daemon.retry_queue.enqueue(
+            self.host.retry_queue.enqueue(
                 lambda: self._retry_push(desc, payload),
                 label=f"eventual-push:{page_addr:#x}",
             )
 
     def _retry_push(self, desc: RegionDescriptor, payload: Dict[str, Any]) -> ProtocolGen:
-        yield self.daemon.rpc.request(
+        yield self.host.rpc.request(
             desc.primary_home, MessageType.UPDATE_PUSH, payload,
             policy=FETCH_POLICY,
         )
-        self.daemon.storage.mark_clean(payload["page"])
+        self.host.storage.mark_clean(payload["page"])
 
     def _record_home_write(self, desc: RegionDescriptor, page_addr: int,
                            version: int, writer: int) -> None:
-        entry = self.daemon.page_directory.ensure(page_addr, desc.rid, homed=True)
+        entry = self.host.page_directory.ensure(page_addr, desc.rid, homed=True)
         entry.allocated = True
         entry.version = version
         self._dirty_fanout.add(page_addr)
@@ -199,19 +204,19 @@ class EventualManager(ConsistencyManager):
         ctx: LockContext,
         note_acquired: Callable[[int], None],
     ) -> ProtocolGen:
-        me = self.daemon.node_id
+        me = self.host.node_id
         if (me == desc.primary_home or len(pages) <= 1
                 or not self.batching_enabled()):
             yield from super().acquire_many(desc, pages, mode, ctx,
                                             note_acquired)
             return
         for page_addr in pages:
-            yield from self.daemon._wait_local_conflicts(page_addr, mode)
+            yield from self.host.wait_local_conflicts(page_addr, mode)
             self._rids[page_addr] = desc.rid
-        now = self.daemon.scheduler.now
+        now = self.host.scheduler.now
         stale = [
             p for p in pages
-            if not (self.daemon.storage.contains(p)
+            if not (self.host.storage.contains(p)
                     and now - self._refreshed_at.get(p, float("-inf"))
                     <= self.staleness_bound)
         ]
@@ -221,7 +226,7 @@ class EventualManager(ConsistencyManager):
             except LockDenied:
                 # Home unreachable: stale copies may still serve, but a
                 # page we have never held is a hard failure.
-                if any(not self.daemon.storage.contains(p) for p in stale):
+                if any(not self.host.storage.contains(p) for p in stale):
                     raise
         for page_addr in pages:
             note_acquired(page_addr)
@@ -231,10 +236,10 @@ class EventualManager(ConsistencyManager):
         last_error: Optional[Exception] = None
         reply = None
         for home in desc.home_nodes:
-            if home == self.daemon.node_id:
+            if home == self.host.node_id:
                 continue
             try:
-                reply = yield self.daemon.rpc.request(
+                reply = yield self.host.rpc.request(
                     home,
                     MessageType.PAGE_FETCH_BATCH,
                     {"rid": desc.rid, "pages": list(pages), "register": True,
@@ -250,20 +255,20 @@ class EventualManager(ConsistencyManager):
             )
         for item in reply.payload.get("pages", []):
             page_addr = int(item["page"])
-            yield from self.daemon.store_local_page(
+            yield from self.host.store_local_page(
                 desc, page_addr, item["data"], dirty=False
             )
             self._versions[page_addr] = (
                 item.get("version", 0), item.get("writer", 0)
             )
-            self._refreshed_at[page_addr] = self.daemon.scheduler.now
+            self._refreshed_at[page_addr] = self.host.scheduler.now
             self.page_state[page_addr] = LocalPageState.SHARED
-            entry = self.daemon.page_directory.ensure(
+            entry = self.host.page_directory.ensure(
                 page_addr, desc.rid, homed=False
             )
             entry.allocated = True
         for err in reply.payload.get("errors") or []:
-            if not self.daemon.storage.contains(int(err["page"])):
+            if not self.host.storage.contains(int(err["page"])):
                 raise LockDenied(
                     f"home refused page {int(err['page']):#x}: "
                     f"{err.get('detail', err.get('code', ''))}"
@@ -275,7 +280,7 @@ class EventualManager(ConsistencyManager):
         pages: List[int],
         ctx: LockContext,
     ) -> ProtocolGen:
-        me = self.daemon.node_id
+        me = self.host.node_id
         if (me == desc.primary_home or len(pages) <= 1
                 or not self.batching_enabled()):
             yield from super().release_many(desc, pages, ctx)
@@ -284,13 +289,13 @@ class EventualManager(ConsistencyManager):
         for page_addr in pages:
             if page_addr not in ctx.dirty_pages:
                 continue
-            page = self.daemon.storage.peek(page_addr)
+            page = self.host.storage.peek(page_addr)
             if page is None:
                 continue
             version, _writer = self._versions.get(page_addr, (0, 0))
             version += 1
             self._versions[page_addr] = (version, me)
-            self._refreshed_at[page_addr] = self.daemon.scheduler.now
+            self._refreshed_at[page_addr] = self.host.scheduler.now
             updates.append({
                 "page": page_addr, "data": page.data,
                 "version": version, "writer": me,
@@ -299,7 +304,7 @@ class EventualManager(ConsistencyManager):
         if not updates:
             return
         try:
-            yield self.daemon.rpc.request(
+            yield self.host.rpc.request(
                 desc.primary_home, MessageType.UPDATE_PUSH_BATCH,
                 {"rid": desc.rid, "updates": updates},
                 policy=FETCH_POLICY,
@@ -309,13 +314,13 @@ class EventualManager(ConsistencyManager):
             # page; local copies stay dirty until each push lands.
             for update in updates:
                 payload = {"rid": desc.rid, **update}
-                self.daemon.retry_queue.enqueue(
+                self.host.retry_queue.enqueue(
                     lambda payload=payload: self._retry_push(desc, payload),
                     label=f"eventual-push:{payload['page']:#x}",
                 )
             return
         for update in updates:
-            self.daemon.storage.mark_clean(update["page"])
+            self.host.storage.mark_clean(update["page"])
 
     # ------------------------------------------------------------------
     # Home side
@@ -329,27 +334,27 @@ class EventualManager(ConsistencyManager):
         page_addr = msg.payload["page"]
 
         def serve() -> ProtocolGen:
-            data = yield from self.daemon.local_page_bytes(desc, page_addr)
+            data = yield from self.host.local_page_bytes(desc, page_addr)
             if data is None:
-                self.daemon.reply_error(msg, "not_allocated",
+                self.host.reply_error(msg, "not_allocated",
                                         f"page {page_addr:#x} has no storage")
                 return
             if msg.payload.get("register"):
-                entry = self.daemon.page_directory.ensure(
+                entry = self.host.page_directory.ensure(
                     page_addr, desc.rid, homed=True
                 )
                 entry.record_sharer(msg.src)
             version, writer = self._versions.get(page_addr, (0, 0))
-            self.daemon.reply_request(
+            self.host.reply_request(
                 msg, MessageType.PAGE_DATA,
                 {"data": data, "version": version, "writer": writer},
             )
 
-        self.daemon.spawn_handler(msg, serve(), label="eventual-fetch")
+        self.host.spawn_handler(msg, serve(), label="eventual-fetch")
 
     def handle_update(self, desc: RegionDescriptor, msg: Message) -> None:
         page_addr = msg.payload["page"]
-        if self.daemon.node_id == desc.primary_home:
+        if self.host.node_id == desc.primary_home:
             self._apply_at_home(desc, msg)
             return
         self._apply_replica_update(desc, msg)
@@ -366,7 +371,7 @@ class EventualManager(ConsistencyManager):
             served: List[Dict[str, Any]] = []
             errors: List[Dict[str, Any]] = []
             for page_addr in pages:
-                data = yield from self.daemon.local_page_bytes(desc, page_addr)
+                data = yield from self.host.local_page_bytes(desc, page_addr)
                 if data is None:
                     errors.append({
                         "page": page_addr, "code": "not_allocated",
@@ -374,7 +379,7 @@ class EventualManager(ConsistencyManager):
                     })
                     continue
                 if msg.payload.get("register"):
-                    entry = self.daemon.page_directory.ensure(
+                    entry = self.host.page_directory.ensure(
                         page_addr, desc.rid, homed=True
                     )
                     entry.record_sharer(msg.src)
@@ -383,17 +388,17 @@ class EventualManager(ConsistencyManager):
                     "page": page_addr, "data": data,
                     "version": version, "writer": writer,
                 })
-            self.daemon.reply_request(
+            self.host.reply_request(
                 msg, MessageType.PAGE_DATA_BATCH,
                 {"pages": served, "errors": errors},
             )
 
-        self.daemon.spawn_handler(msg, serve(), label="eventual-fetch-batch")
+        self.host.spawn_handler(msg, serve(), label="eventual-fetch-batch")
 
     def handle_update_batch(self, desc: RegionDescriptor,
                             msg: Message) -> None:
-        if self.daemon.node_id != desc.primary_home:
-            self.daemon.reply_error(msg, "not_responsible",
+        if self.host.node_id != desc.primary_home:
+            self.host.reply_error(msg, "not_responsible",
                                     "batched updates go to the primary home")
             return
         updates = msg.payload.get("updates", [])
@@ -405,25 +410,25 @@ class EventualManager(ConsistencyManager):
                 incoming = (update.get("version", 0), update.get("writer", 0))
                 # Same last-writer-wins rule as the per-page handler.
                 if incoming > self._versions.get(page_addr, (0, -1)):
-                    yield from self.daemon.store_local_page(
+                    yield from self.host.store_local_page(
                         desc, page_addr, update["data"], dirty=False
                     )
                     self._versions[page_addr] = incoming
                     self._record_home_write(
                         desc, page_addr, incoming[0], incoming[1]
                     )
-                    if self.daemon.probe.enabled:
-                        self.daemon.probe.remote_update(
-                            self.daemon.node_id, page_addr, msg.src,
+                    if self.host.probe.enabled:
+                        self.host.probe.remote_update(
+                            self.host.node_id, page_addr, msg.src,
                             desc.attrs.protocol,
                         )
                 self._rids[page_addr] = desc.rid
                 applied += 1
-            self.daemon.reply_request(
+            self.host.reply_request(
                 msg, MessageType.UPDATE_ACK_BATCH, {"applied": applied}
             )
 
-        self.daemon.spawn_handler(msg, apply(), label="eventual-apply-batch")
+        self.host.spawn_handler(msg, apply(), label="eventual-apply-batch")
 
     def _apply_at_home(self, desc: RegionDescriptor, msg: Message) -> None:
         page_addr = msg.payload["page"]
@@ -434,22 +439,22 @@ class EventualManager(ConsistencyManager):
             # Last-writer-wins by (version, writer id): concurrent
             # writers converge on a single winner everywhere.
             if incoming > current:
-                yield from self.daemon.store_local_page(
+                yield from self.host.store_local_page(
                     desc, page_addr, msg.payload["data"], dirty=False
                 )
                 self._versions[page_addr] = incoming
                 self._record_home_write(
                     desc, page_addr, incoming[0], incoming[1]
                 )
-                if self.daemon.probe.enabled:
-                    self.daemon.probe.remote_update(
-                        self.daemon.node_id, page_addr, msg.src,
+                if self.host.probe.enabled:
+                    self.host.probe.remote_update(
+                        self.host.node_id, page_addr, msg.src,
                         desc.attrs.protocol,
                     )
             self._rids[page_addr] = desc.rid
-            self.daemon.reply_request(msg, MessageType.UPDATE_ACK, {})
+            self.host.reply_request(msg, MessageType.UPDATE_ACK, {})
 
-        self.daemon.spawn_handler(msg, apply(), label="eventual-apply")
+        self.host.spawn_handler(msg, apply(), label="eventual-apply")
 
     def _apply_replica_update(self, desc: RegionDescriptor, msg: Message) -> None:
         page_addr = msg.payload["page"]
@@ -458,19 +463,19 @@ class EventualManager(ConsistencyManager):
         def apply() -> None:
             if incoming <= self._versions.get(page_addr, (0, -1)):
                 return
-            if not self.daemon.storage.contains(page_addr):
+            if not self.host.storage.contains(page_addr):
                 return
             self._versions[page_addr] = incoming
-            self._refreshed_at[page_addr] = self.daemon.scheduler.now
+            self._refreshed_at[page_addr] = self.host.scheduler.now
 
             def store() -> ProtocolGen:
-                yield from self.daemon.store_local_page(
+                yield from self.host.store_local_page(
                     desc, page_addr, msg.payload["data"], dirty=False
                 )
 
-            self.daemon.spawn(store(), label="eventual-replica-store")
+            self.host.spawn(store(), label="eventual-replica-store")
 
-        if self.daemon.lock_table.page_locked(page_addr):
+        if self.host.lock_table.page_locked(page_addr):
             self.defer_until_unlocked(page_addr, apply)
         else:
             apply()
@@ -485,16 +490,16 @@ class EventualManager(ConsistencyManager):
             return
         pages, self._dirty_fanout = self._dirty_fanout, set()
         for page_addr in sorted(pages):
-            page = self.daemon.storage.peek(page_addr)
-            entry = self.daemon.page_directory.get(page_addr)
+            page = self.host.storage.peek(page_addr)
+            entry = self.host.page_directory.get(page_addr)
             if page is None or entry is None:
                 continue
             version, writer = self._versions.get(page_addr, (0, 0))
-            for sharer in entry.copyset_excluding(self.daemon.node_id):
-                self.daemon.rpc.send(
+            for sharer in entry.copyset_excluding(self.host.node_id):
+                self.host.rpc.send(
                     Message(
                         msg_type=MessageType.UPDATE_PUSH,
-                        src=self.daemon.node_id,
+                        src=self.host.node_id,
                         dst=sharer,
                         payload={
                             "rid": entry.rid,
@@ -508,4 +513,4 @@ class EventualManager(ConsistencyManager):
                 )
 
     def on_node_failure(self, node_id: int) -> None:
-        self.daemon.page_directory.forget_node(node_id)
+        self.host.page_directory.forget_node(node_id)

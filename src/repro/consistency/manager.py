@@ -19,13 +19,16 @@ import abc
 import enum
 import logging
 from collections import deque
-from typing import Any, Callable, Deque, Dict, Generator, List, Type
+from typing import TYPE_CHECKING, Any, Callable, Deque, Dict, Generator, List, Type
 
 from repro.core.errors import ProtocolUnknown
 from repro.core.locks import LockContext, LockMode
 from repro.core.region import RegionDescriptor
 from repro.net.message import Message
 from repro.net.tasks import Future
+
+if TYPE_CHECKING:
+    from repro.core.cmhost import CMHost
 
 ProtocolGen = Generator[Future, Any, Any]
 
@@ -93,18 +96,19 @@ class KeyedMutex:
 class ConsistencyManager(abc.ABC):
     """Base class for consistency protocols.
 
-    ``daemon`` is the hosting :class:`~repro.core.daemon.KhazanaDaemon`;
-    the CM uses its RPC endpoint, page directory, lock table, and
-    storage hierarchy.  Subclasses implement the client-side
-    ``acquire``/``release``/``evict`` path and the home/replica-side
-    message handlers.
+    ``host`` is the hosting node, seen only through the
+    :class:`~repro.core.cmhost.CMHost` protocol — the RPC endpoint,
+    page directory, lock table, storage hierarchy, and the reply /
+    residency / conflict-wait helpers it names.  Subclasses implement
+    the client-side ``acquire``/``release``/``evict`` path and the
+    home/replica-side message handlers.
     """
 
     #: Registry name; subclasses must override.
     protocol_name = ""
 
-    def __init__(self, daemon: "Any") -> None:
-        self.daemon = daemon
+    def __init__(self, host: "CMHost") -> None:
+        self.host = host
         #: Local validity of cached pages under this protocol.
         self.page_state: Dict[int, LocalPageState] = {}
         #: Remote invalidations deferred because a local lock context
@@ -140,7 +144,7 @@ class ConsistencyManager(abc.ABC):
 
     def batching_enabled(self) -> bool:
         """Whether this daemon may coalesce multi-page protocol traffic."""
-        return bool(getattr(self.daemon.config, "enable_batching", True))
+        return bool(self.host.config.enable_batching)
 
     def acquire_many(
         self,
@@ -164,7 +168,7 @@ class ConsistencyManager(abc.ABC):
         failure).
         """
         for page_addr in pages:
-            yield from self.daemon._wait_local_conflicts(page_addr, mode)
+            yield from self.host.wait_local_conflicts(page_addr, mode)
             yield from self.acquire(desc, page_addr, mode, ctx)
             note_acquired(page_addr)
 
@@ -191,9 +195,9 @@ class ConsistencyManager(abc.ABC):
                 logger.warning(
                     "node %d: release of page %#x failed; queued for "
                     "background retry",
-                    self.daemon.node_id, page_addr, exc_info=True,
+                    self.host.node_id, page_addr, exc_info=True,
                 )
-                self.daemon.retry_queue.enqueue(
+                self.host.retry_queue.enqueue(
                     lambda page_addr=page_addr: self.release(
                         desc, page_addr, ctx
                     ),
@@ -214,10 +218,10 @@ class ConsistencyManager(abc.ABC):
         from repro.net.message import MessageType  # local import: no cycle
 
         home = desc.primary_home
-        if home == self.daemon.node_id:
+        if home == self.host.node_id:
             return
         if dirty:
-            yield self.daemon.rpc.request(
+            yield self.host.rpc.request(
                 home,
                 MessageType.UPDATE_PUSH,
                 {
@@ -227,10 +231,10 @@ class ConsistencyManager(abc.ABC):
                     "release_token": False,
                 },
             )
-        self.daemon.rpc.send(
+        self.host.rpc.send(
             Message(
                 msg_type=MessageType.SHARER_UNREGISTER,
-                src=self.daemon.node_id,
+                src=self.host.node_id,
                 dst=home,
                 payload={"rid": desc.rid, "page": page_addr},
             )
@@ -250,7 +254,7 @@ class ConsistencyManager(abc.ABC):
         """Called by the daemon whenever a lock context covering
         ``page_addr`` is released; drains deferred actions if the page
         is now free of conflicting contexts."""
-        if self.daemon.lock_table.page_locked(page_addr):
+        if self.host.lock_table.page_locked(page_addr):
             return
         actions = self._deferred.pop(page_addr, None)
         if not actions:
@@ -280,7 +284,7 @@ class ConsistencyManager(abc.ABC):
         needed = Right.WRITE if mode.is_write else Right.READ
         if desc.attrs.acl.allows(principal, needed):
             return True
-        self.daemon.reply_error(
+        self.host.reply_error(
             msg, "access_denied",
             f"principal {principal!r} lacks {needed} on region "
             f"{desc.rid:#x}",
@@ -291,31 +295,31 @@ class ConsistencyManager(abc.ABC):
     # Default implementations NAK; protocols override what they use.
 
     def handle_lock_request(self, desc: RegionDescriptor, msg: Message) -> None:
-        self.daemon.reply_error(msg, "unhandled", "lock_request")
+        self.host.reply_error(msg, "unhandled", "lock_request")
 
     def handle_page_fetch(self, desc: RegionDescriptor, msg: Message) -> None:
-        self.daemon.reply_error(msg, "unhandled", "page_fetch")
+        self.host.reply_error(msg, "unhandled", "page_fetch")
 
     def handle_invalidate(self, desc: RegionDescriptor, msg: Message) -> None:
-        self.daemon.reply_error(msg, "unhandled", "invalidate")
+        self.host.reply_error(msg, "unhandled", "invalidate")
 
     def handle_update(self, desc: RegionDescriptor, msg: Message) -> None:
-        self.daemon.reply_error(msg, "unhandled", "update_push")
+        self.host.reply_error(msg, "unhandled", "update_push")
 
     def handle_page_fetch_batch(self, desc: RegionDescriptor,
                                 msg: Message) -> None:
-        self.daemon.reply_error(msg, "unhandled", "page_fetch_batch")
+        self.host.reply_error(msg, "unhandled", "page_fetch_batch")
 
     def handle_lock_request_batch(self, desc: RegionDescriptor,
                                   msg: Message) -> None:
-        self.daemon.reply_error(msg, "unhandled", "token_acquire_batch")
+        self.host.reply_error(msg, "unhandled", "token_acquire_batch")
 
     def handle_update_batch(self, desc: RegionDescriptor,
                             msg: Message) -> None:
-        self.daemon.reply_error(msg, "unhandled", "update_push_batch")
+        self.host.reply_error(msg, "unhandled", "update_push_batch")
 
     def handle_sharer_register(self, desc: RegionDescriptor, msg: Message) -> None:
-        entry = self.daemon.page_directory.ensure(
+        entry = self.host.page_directory.ensure(
             msg.payload["page"], desc.rid, homed=True
         )
         # An owner serving a direct read registers the *requester* as
@@ -325,10 +329,10 @@ class ConsistencyManager(abc.ABC):
         if msg.request_id is not None:
             from repro.net.message import MessageType
 
-            self.daemon.reply_request(msg, MessageType.UPDATE_ACK, {})
+            self.host.reply_request(msg, MessageType.UPDATE_ACK, {})
 
     def handle_sharer_unregister(self, desc: RegionDescriptor, msg: Message) -> None:
-        entry = self.daemon.page_directory.get(msg.payload["page"])
+        entry = self.host.page_directory.get(msg.payload["page"])
         if entry is not None:
             entry.forget_sharer(msg.src)
 
@@ -358,15 +362,15 @@ def register_protocol(cls: Type[ConsistencyManager]) -> Type[ConsistencyManager]
     return cls
 
 
-def create_manager(name: str, daemon: Any) -> ConsistencyManager:
-    """Instantiate the CM registered under ``name`` for ``daemon``."""
+def create_manager(name: str, host: Any) -> ConsistencyManager:
+    """Instantiate the CM registered under ``name`` for ``host``."""
     cls = _REGISTRY.get(name)
     if cls is None:
         raise ProtocolUnknown(
             f"no consistency protocol registered under {name!r}; "
             f"known: {sorted(_REGISTRY)}"
         )
-    return cls(daemon)
+    return cls(host)
 
 
 def available_protocols() -> List[str]:

@@ -30,6 +30,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
+from typing import TYPE_CHECKING
+
 from repro.consistency.manager import (
     ConsistencyManager,
     LocalPageState,
@@ -41,6 +43,9 @@ from repro.core.locks import LockContext, LockMode
 from repro.core.region import RegionDescriptor
 from repro.net.message import Message, MessageType
 from repro.net.rpc import RemoteError, RetryPolicy, RpcTimeout
+
+if TYPE_CHECKING:
+    from repro.core.cmhost import CMHost
 
 Stamp = Tuple[int, int]   # (lamport counter, writer node id)
 
@@ -56,8 +61,8 @@ class MobileManager(ConsistencyManager):
 
     protocol_name = "mobile"
 
-    def __init__(self, daemon: Any) -> None:
-        super().__init__(daemon)
+    def __init__(self, host: "CMHost") -> None:
+        super().__init__(host)
         self._stamps: Dict[int, Stamp] = {}      # page -> newest stamp held
         self._rids: Dict[int, int] = {}          # page -> region id
         self._descs: Dict[int, RegionDescriptor] = {}
@@ -76,10 +81,10 @@ class MobileManager(ConsistencyManager):
     ) -> ProtocolGen:
         self._rids[page_addr] = desc.rid
         self._descs[desc.rid] = desc
-        if self.daemon.storage.contains(page_addr):
+        if self.host.storage.contains(page_addr):
             return   # disconnected or not, the local replica serves
-        if self.daemon.node_id in desc.home_nodes:
-            data = yield from self.daemon.local_page_bytes(desc, page_addr)
+        if self.host.node_id in desc.home_nodes:
+            data = yield from self.host.local_page_bytes(desc, page_addr)
             if data is not None:
                 return
         fetched = yield from self._fetch_from_anyone(desc, page_addr)
@@ -89,7 +94,7 @@ class MobileManager(ConsistencyManager):
             # Fully disconnected first touch: start from zeroes; the
             # write will be reconciled by stamp when connectivity
             # returns (Bayou's tentative-write spirit).
-            yield from self.daemon.store_local_page(
+            yield from self.host.store_local_page(
                 desc, page_addr, b"\x00" * desc.page_size, dirty=False
             )
             self.page_state[page_addr] = LocalPageState.SHARED
@@ -101,18 +106,18 @@ class MobileManager(ConsistencyManager):
     def _fetch_from_anyone(self, desc: RegionDescriptor,
                            page_addr: int) -> ProtocolGen:
         """Try the home nodes, then any hinted sharer."""
-        entry = self.daemon.page_directory.get(page_addr)
+        entry = self.host.page_directory.get(page_addr)
         candidates: List[int] = [
-            n for n in desc.home_nodes if n != self.daemon.node_id
+            n for n in desc.home_nodes if n != self.host.node_id
         ]
         if entry is not None:
             candidates.extend(
                 n for n in sorted(entry.sharers)
-                if n not in candidates and n != self.daemon.node_id
+                if n not in candidates and n != self.host.node_id
             )
         for peer in candidates:
             try:
-                reply = yield self.daemon.rpc.request(
+                reply = yield self.host.rpc.request(
                     peer, MessageType.PAGE_FETCH,
                     {"rid": desc.rid, "page": page_addr, "register": True},
                     policy=FETCH_POLICY,
@@ -120,14 +125,14 @@ class MobileManager(ConsistencyManager):
             except (RpcTimeout, RemoteError):
                 continue
             data = reply.payload["data"]
-            yield from self.daemon.store_local_page(
+            yield from self.host.store_local_page(
                 desc, page_addr, data, dirty=False
             )
             stamp = reply.payload.get("stamp")
             if stamp:
                 self._stamps[page_addr] = (int(stamp[0]), int(stamp[1]))
             self.page_state[page_addr] = LocalPageState.SHARED
-            pd = self.daemon.page_directory.ensure(
+            pd = self.host.page_directory.ensure(
                 page_addr, desc.rid, homed=False
             )
             pd.record_sharer(peer)
@@ -144,7 +149,7 @@ class MobileManager(ConsistencyManager):
         if page_addr not in ctx.dirty_pages:
             return
         counter, _node = self._stamps.get(page_addr, (0, 0))
-        stamp = (counter + 1, self.daemon.node_id)
+        stamp = (counter + 1, self.host.node_id)
         self._stamps[page_addr] = stamp
         # Eager best-effort gossip; unreachable peers catch up via the
         # anti-entropy tick once connectivity returns.
@@ -157,9 +162,9 @@ class MobileManager(ConsistencyManager):
     # ------------------------------------------------------------------
 
     def _peers_for(self, desc: RegionDescriptor, page_addr: int) -> List[int]:
-        me = self.daemon.node_id
+        me = self.host.node_id
         peers = [n for n in desc.home_nodes if n != me]
-        entry = self.daemon.page_directory.get(page_addr)
+        entry = self.host.page_directory.get(page_addr)
         if entry is not None:
             peers.extend(
                 n for n in sorted(entry.sharers)
@@ -169,7 +174,7 @@ class MobileManager(ConsistencyManager):
 
     def _gossip_page(self, desc: RegionDescriptor, page_addr: int,
                      targets: Optional[List[int]] = None) -> None:
-        page = self.daemon.storage.peek(page_addr)
+        page = self.host.storage.peek(page_addr)
         stamp = self._stamps.get(page_addr)
         if page is None or stamp is None:
             return
@@ -177,10 +182,10 @@ class MobileManager(ConsistencyManager):
             desc, page_addr
         )
         for peer in peers:
-            self.daemon.rpc.send(
+            self.host.rpc.send(
                 Message(
                     msg_type=MessageType.UPDATE_PUSH,
-                    src=self.daemon.node_id,
+                    src=self.host.node_id,
                     dst=peer,
                     payload={
                         "rid": desc.rid,
@@ -217,33 +222,33 @@ class MobileManager(ConsistencyManager):
         page_addr = msg.payload["page"]
 
         def serve() -> ProtocolGen:
-            data = yield from self.daemon.local_page_bytes(desc, page_addr)
+            data = yield from self.host.local_page_bytes(desc, page_addr)
             if data is None:
-                self.daemon.reply_error(msg, "not_allocated",
+                self.host.reply_error(msg, "not_allocated",
                                         f"no replica of {page_addr:#x}")
                 return
             if msg.payload.get("register"):
-                entry = self.daemon.page_directory.ensure(
+                entry = self.host.page_directory.ensure(
                     page_addr, desc.rid,
-                    homed=self.daemon.node_id in desc.home_nodes,
+                    homed=self.host.node_id in desc.home_nodes,
                 )
                 entry.record_sharer(msg.src)
             stamp = self._stamps.get(page_addr, (0, 0))
-            self.daemon.reply_request(
+            self.host.reply_request(
                 msg, MessageType.PAGE_DATA,
                 {"data": data, "stamp": list(stamp)},
             )
 
-        self.daemon.spawn_handler(msg, serve(), label="mobile-fetch")
+        self.host.spawn_handler(msg, serve(), label="mobile-fetch")
 
     def handle_update(self, desc: RegionDescriptor, msg: Message) -> None:
         page_addr = msg.payload["page"]
         incoming: Stamp = tuple(int(x) for x in msg.payload["stamp"])
         self._rids[page_addr] = desc.rid
         self._descs[desc.rid] = desc
-        entry = self.daemon.page_directory.ensure(
+        entry = self.host.page_directory.ensure(
             page_addr, desc.rid,
-            homed=self.daemon.node_id in desc.home_nodes,
+            homed=self.host.node_id in desc.home_nodes,
         )
         entry.record_sharer(msg.src)
         entry.allocated = True
@@ -254,33 +259,33 @@ class MobileManager(ConsistencyManager):
                 # Anti-entropy runs both ways: teach the sender.
                 self._gossip_page(desc, page_addr, targets=[msg.src])
             if msg.request_id is not None:
-                self.daemon.reply_request(msg, MessageType.UPDATE_ACK, {})
+                self.host.reply_request(msg, MessageType.UPDATE_ACK, {})
             return
 
         def apply() -> None:
             if incoming <= self._stamps.get(page_addr, (0, -1)):
                 return
             self._stamps[page_addr] = incoming
-            if self.daemon.probe.enabled:
-                self.daemon.probe.remote_update(
-                    self.daemon.node_id, page_addr, msg.src,
+            if self.host.probe.enabled:
+                self.host.probe.remote_update(
+                    self.host.node_id, page_addr, msg.src,
                     desc.attrs.protocol,
                 )
 
             def store() -> ProtocolGen:
-                yield from self.daemon.store_local_page(
+                yield from self.host.store_local_page(
                     desc, page_addr, msg.payload["data"], dirty=False
                 )
                 self.page_state[page_addr] = LocalPageState.SHARED
 
-            self.daemon.spawn(store(), label="mobile-apply")
+            self.host.spawn(store(), label="mobile-apply")
 
-        if self.daemon.lock_table.page_locked(page_addr):
+        if self.host.lock_table.page_locked(page_addr):
             self.defer_until_unlocked(page_addr, apply)
         else:
             apply()
         if msg.request_id is not None:
-            self.daemon.reply_request(msg, MessageType.UPDATE_ACK, {})
+            self.host.reply_request(msg, MessageType.UPDATE_ACK, {})
 
     def on_node_failure(self, node_id: int) -> None:
         # Mobile replicas expect peers to vanish and return; keep the

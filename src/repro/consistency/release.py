@@ -30,6 +30,8 @@ import logging
 
 from typing import Any, Dict, List, Optional, Tuple
 
+from typing import TYPE_CHECKING
+
 from repro.consistency.manager import (
     ConsistencyManager,
     KeyedMutex,
@@ -43,6 +45,9 @@ from repro.core.locks import LockContext, LockMode
 from repro.core.region import RegionDescriptor
 from repro.net.message import Message, MessageType
 from repro.net.rpc import RemoteError, RetryPolicy, RpcTimeout
+
+if TYPE_CHECKING:
+    from repro.core.cmhost import CMHost
 
 TOKEN_POLICY = RetryPolicy(timeout=10.0, retries=2, backoff=1.5)
 
@@ -88,8 +93,8 @@ class ReleaseManager(ConsistencyManager):
 
     protocol_name = "release"
 
-    def __init__(self, daemon: Any) -> None:
-        super().__init__(daemon)
+    def __init__(self, host: "CMHost") -> None:
+        super().__init__(host)
         self._tokens = KeyedMutex()        # home-side write tokens
         self._versions: Dict[int, int] = {}   # page -> version (home: authoritative)
         self._twins: Dict[Tuple[int, int], bytes] = {}  # (ctx, page) -> twin
@@ -105,14 +110,14 @@ class ReleaseManager(ConsistencyManager):
         mode: LockMode,
         ctx: LockContext,
     ) -> ProtocolGen:
-        me = self.daemon.node_id
+        me = self.host.node_id
         home = desc.primary_home
 
         if mode is LockMode.READ:
-            if self.daemon.storage.contains(page_addr):
+            if self.host.storage.contains(page_addr):
                 return  # any replica satisfies a read acquire
             if me == home:
-                data = yield from self.daemon.local_page_bytes(desc, page_addr)
+                data = yield from self.host.local_page_bytes(desc, page_addr)
                 if data is None:
                     raise KhazanaError(
                         f"home lost page {page_addr:#x} of region {desc.rid:#x}"
@@ -137,34 +142,34 @@ class ReleaseManager(ConsistencyManager):
              "principal": principal},
         )
         data = reply.payload["data"]
-        yield from self.daemon.store_local_page(desc, page_addr, data, dirty=False)
+        yield from self.host.store_local_page(desc, page_addr, data, dirty=False)
         self._versions[page_addr] = reply.payload.get("version", 0)
         self.page_state[page_addr] = LocalPageState.SHARED
-        entry = self.daemon.page_directory.ensure(page_addr, desc.rid, homed=False)
+        entry = self.host.page_directory.ensure(page_addr, desc.rid, homed=False)
         entry.allocated = True
 
     def _ensure_local_copy(self, desc: RegionDescriptor, page_addr: int) -> ProtocolGen:
-        if not self.daemon.storage.contains(page_addr):
-            if self.daemon.node_id == desc.primary_home:
-                data = yield from self.daemon.local_page_bytes(desc, page_addr)
+        if not self.host.storage.contains(page_addr):
+            if self.host.node_id == desc.primary_home:
+                data = yield from self.host.local_page_bytes(desc, page_addr)
                 if data is None:
                     raise KhazanaError(f"home lost page {page_addr:#x}")
                 return data
             yield from self._fetch_replica(desc, page_addr)
-        data = yield from self.daemon.local_page_bytes(desc, page_addr)
+        data = yield from self.host.local_page_bytes(desc, page_addr)
         return data
 
     def _acquire_token(self, desc: RegionDescriptor, page_addr: int,
                        principal: str = "_khazana") -> ProtocolGen:
-        me = self.daemon.node_id
+        me = self.host.node_id
         if me == desc.primary_home:
             yield self._tokens.acquire(page_addr)
-            data = yield from self.daemon.local_page_bytes(desc, page_addr)
+            data = yield from self.host.local_page_bytes(desc, page_addr)
             if data is None:
                 self._tokens.release(page_addr)
                 raise KhazanaError(f"home lost page {page_addr:#x}")
-            if self.daemon.probe.enabled:
-                self.daemon.probe.token_granted(me, page_addr, me)
+            if self.host.probe.enabled:
+                self.host.probe.token_granted(me, page_addr, me)
             self.page_state[page_addr] = LocalPageState.EXCLUSIVE
             return
         reply = yield from self._home_request(
@@ -173,20 +178,20 @@ class ReleaseManager(ConsistencyManager):
              "mode": LockMode.WRITE.value, "principal": principal},
         )
         data = reply.payload["data"]
-        yield from self.daemon.store_local_page(desc, page_addr, data, dirty=False)
+        yield from self.host.store_local_page(desc, page_addr, data, dirty=False)
         self._versions[page_addr] = reply.payload.get("version", 0)
         self.page_state[page_addr] = LocalPageState.EXCLUSIVE
-        entry = self.daemon.page_directory.ensure(page_addr, desc.rid, homed=False)
+        entry = self.host.page_directory.ensure(page_addr, desc.rid, homed=False)
         entry.allocated = True
 
     def _home_request(self, desc: RegionDescriptor, msg_type: MessageType,
                       payload: Dict[str, Any]) -> ProtocolGen:
         last_error: Optional[Exception] = None
         for home in desc.home_nodes:
-            if home == self.daemon.node_id:
+            if home == self.host.node_id:
                 continue
             try:
-                reply = yield self.daemon.rpc.request(
+                reply = yield self.host.rpc.request(
                     home, msg_type, payload, policy=TOKEN_POLICY
                 )
                 return reply
@@ -204,14 +209,14 @@ class ReleaseManager(ConsistencyManager):
         page_addr: int,
         ctx: LockContext,
     ) -> ProtocolGen:
-        me = self.daemon.node_id
+        me = self.host.node_id
         twin_key = (ctx.ctx_id, page_addr)
         twin = self._twins.pop(twin_key, None)
 
         if ctx.mode is LockMode.WRITE_SHARED:
             if twin is None:
                 return
-            page = self.daemon.storage.peek(page_addr)
+            page = self.host.storage.peek(page_addr)
             if page is None:
                 return
             diff = compute_diff(twin, page.data)
@@ -235,7 +240,7 @@ class ReleaseManager(ConsistencyManager):
         dirty = page_addr in ctx.dirty_pages
         if me == desc.primary_home:
             if dirty:
-                page = self.daemon.storage.peek(page_addr)
+                page = self.host.storage.peek(page_addr)
                 if page is not None:
                     yield from self._apply_update_at_home(
                         desc, page_addr, diff=None, data=page.data, writer=me
@@ -243,12 +248,12 @@ class ReleaseManager(ConsistencyManager):
             # Probe before the mutex release: releasing may resume the
             # next waiter synchronously, and its grant event must come
             # after this release event.
-            if self.daemon.probe.enabled:
-                self.daemon.probe.token_released(me, page_addr, me)
+            if self.host.probe.enabled:
+                self.host.probe.token_released(me, page_addr, me)
             self._tokens.release(page_addr)
             return
 
-        page = self.daemon.storage.peek(page_addr) if dirty else None
+        page = self.host.storage.peek(page_addr) if dirty else None
         payload: Dict[str, Any] = {
             "rid": desc.rid,
             "page": page_addr,
@@ -258,12 +263,12 @@ class ReleaseManager(ConsistencyManager):
             payload["data"] = page.data
         try:
             yield from self._push_home(desc, page_addr, payload)
-            self.daemon.storage.mark_clean(page_addr)
+            self.host.storage.mark_clean(page_addr)
         except LockDenied:
             # Token release must not be lost; hand it to the
             # background retry queue (paper 3.5: release-type errors
             # are retried until they succeed, never surfaced).
-            self.daemon.retry_queue.enqueue(
+            self.host.retry_queue.enqueue(
                 lambda: self._push_home(desc, page_addr, payload),
                 label=f"release-token:{page_addr:#x}",
             )
@@ -284,7 +289,7 @@ class ReleaseManager(ConsistencyManager):
         ctx: LockContext,
         note_acquired: Any,
     ) -> ProtocolGen:
-        me = self.daemon.node_id
+        me = self.host.node_id
         if (me == desc.primary_home or len(pages) <= 1
                 or not self.batching_enabled()):
             # Home-local or trivial ranges gain nothing from batching.
@@ -292,10 +297,10 @@ class ReleaseManager(ConsistencyManager):
                                             note_acquired)
             return
         for page_addr in pages:
-            yield from self.daemon._wait_local_conflicts(page_addr, mode)
+            yield from self.host.wait_local_conflicts(page_addr, mode)
         if mode is LockMode.READ:
             missing = [p for p in pages
-                       if not self.daemon.storage.contains(p)]
+                       if not self.host.storage.contains(p)]
             if missing:
                 yield from self._fetch_replica_batch(desc, missing,
                                                      ctx.principal)
@@ -303,12 +308,12 @@ class ReleaseManager(ConsistencyManager):
             yield from self._acquire_token_batch(desc, pages, ctx.principal)
         else:  # WRITE_SHARED: no tokens; twin every page for diffing.
             missing = [p for p in pages
-                       if not self.daemon.storage.contains(p)]
+                       if not self.host.storage.contains(p)]
             if missing:
                 yield from self._fetch_replica_batch(desc, missing,
                                                      ctx.principal)
             for page_addr in pages:
-                data = yield from self.daemon.local_page_bytes(desc, page_addr)
+                data = yield from self.host.local_page_bytes(desc, page_addr)
                 if data is None:
                     raise KhazanaError(
                         f"page {page_addr:#x} vanished during write-shared "
@@ -327,12 +332,12 @@ class ReleaseManager(ConsistencyManager):
         )
         for item in reply.payload.get("pages", []):
             page_addr = int(item["page"])
-            yield from self.daemon.store_local_page(
+            yield from self.host.store_local_page(
                 desc, page_addr, item["data"], dirty=False
             )
             self._versions[page_addr] = item.get("version", 0)
             self.page_state[page_addr] = LocalPageState.SHARED
-            entry = self.daemon.page_directory.ensure(
+            entry = self.host.page_directory.ensure(
                 page_addr, desc.rid, homed=False
             )
             entry.allocated = True
@@ -354,12 +359,12 @@ class ReleaseManager(ConsistencyManager):
         )
         for item in reply.payload.get("pages", []):
             page_addr = int(item["page"])
-            yield from self.daemon.store_local_page(
+            yield from self.host.store_local_page(
                 desc, page_addr, item["data"], dirty=False
             )
             self._versions[page_addr] = item.get("version", 0)
             self.page_state[page_addr] = LocalPageState.EXCLUSIVE
-            entry = self.daemon.page_directory.ensure(
+            entry = self.host.page_directory.ensure(
                 page_addr, desc.rid, homed=False
             )
             entry.allocated = True
@@ -370,7 +375,7 @@ class ReleaseManager(ConsistencyManager):
         pages: List[int],
         ctx: LockContext,
     ) -> ProtocolGen:
-        me = self.daemon.node_id
+        me = self.host.node_id
         if (me == desc.primary_home or len(pages) <= 1
                 or not self.batching_enabled()):
             yield from super().release_many(desc, pages, ctx)
@@ -398,7 +403,7 @@ class ReleaseManager(ConsistencyManager):
             )
             for update in updates:
                 payload = {"rid": desc.rid, **update}
-                self.daemon.retry_queue.enqueue(
+                self.host.retry_queue.enqueue(
                     lambda payload=payload: self._push_home(
                         desc, payload["page"], payload
                     ),
@@ -407,7 +412,7 @@ class ReleaseManager(ConsistencyManager):
             return
         for update in updates:
             if "data" in update or "diff" in update:
-                self.daemon.storage.mark_clean(update["page"])
+                self.host.storage.mark_clean(update["page"])
 
     def _release_update(self, desc: RegionDescriptor, page_addr: int,
                         ctx: LockContext) -> Optional[Dict[str, Any]]:
@@ -416,7 +421,7 @@ class ReleaseManager(ConsistencyManager):
         if ctx.mode is LockMode.WRITE_SHARED:
             if twin is None:
                 return None
-            page = self.daemon.storage.peek(page_addr)
+            page = self.host.storage.peek(page_addr)
             if page is None:
                 return None
             diff = compute_diff(twin, page.data)
@@ -427,7 +432,7 @@ class ReleaseManager(ConsistencyManager):
             return None
         update: Dict[str, Any] = {"page": page_addr, "release_token": True}
         if page_addr in ctx.dirty_pages:
-            page = self.daemon.storage.peek(page_addr)
+            page = self.host.storage.peek(page_addr)
             if page is not None:
                 update["data"] = page.data
         return update
@@ -437,8 +442,8 @@ class ReleaseManager(ConsistencyManager):
     # ------------------------------------------------------------------
 
     def handle_lock_request(self, desc: RegionDescriptor, msg: Message) -> None:
-        if self.daemon.node_id != desc.primary_home:
-            self.daemon.reply_error(msg, "not_responsible", "not primary home")
+        if self.host.node_id != desc.primary_home:
+            self.host.reply_error(msg, "not_responsible", "not primary home")
             return
         if not self.check_remote_access(desc, msg, LockMode.WRITE):
             return
@@ -447,7 +452,7 @@ class ReleaseManager(ConsistencyManager):
         def grant() -> ProtocolGen:
             yield self._tokens.acquire(page_addr)
             try:
-                data = yield from self.daemon.local_page_bytes(desc, page_addr)
+                data = yield from self.host.local_page_bytes(desc, page_addr)
             except BaseException:
                 # Cleanup-then-reraise: must also run when the handler
                 # task is killed (GeneratorExit), or the token leaks.
@@ -455,25 +460,25 @@ class ReleaseManager(ConsistencyManager):
                 raise
             if data is None:
                 self._tokens.release(page_addr)
-                self.daemon.reply_error(msg, "not_allocated",
+                self.host.reply_error(msg, "not_allocated",
                                         f"page {page_addr:#x} has no storage")
                 return
-            entry = self.daemon.page_directory.ensure(
+            entry = self.host.page_directory.ensure(
                 page_addr, desc.rid, homed=True
             )
             entry.record_sharer(msg.src)
-            self.daemon.reply_request(
+            self.host.reply_request(
                 msg, MessageType.LOCK_REPLY,
                 {"data": data, "version": self._versions.get(page_addr, 0)},
             )
             # Token now belongs to msg.src until its UPDATE_PUSH with
             # release_token=True arrives.
-            if self.daemon.probe.enabled:
-                self.daemon.probe.token_granted(
-                    self.daemon.node_id, page_addr, msg.src
+            if self.host.probe.enabled:
+                self.host.probe.token_granted(
+                    self.host.node_id, page_addr, msg.src
                 )
 
-        self.daemon.spawn_handler(msg, grant(), label="release-token-grant")
+        self.host.spawn_handler(msg, grant(), label="release-token-grant")
 
     def handle_page_fetch(self, desc: RegionDescriptor, msg: Message) -> None:
         if not self.check_remote_access(desc, msg, LockMode.READ):
@@ -481,26 +486,26 @@ class ReleaseManager(ConsistencyManager):
         page_addr = msg.payload["page"]
 
         def serve() -> ProtocolGen:
-            data = yield from self.daemon.local_page_bytes(desc, page_addr)
+            data = yield from self.host.local_page_bytes(desc, page_addr)
             if data is None:
-                self.daemon.reply_error(msg, "not_allocated",
+                self.host.reply_error(msg, "not_allocated",
                                         f"page {page_addr:#x} has no storage")
                 return
             if msg.payload.get("register"):
-                entry = self.daemon.page_directory.ensure(
+                entry = self.host.page_directory.ensure(
                     page_addr, desc.rid, homed=True
                 )
                 entry.record_sharer(msg.src)
-            self.daemon.reply_request(
+            self.host.reply_request(
                 msg, MessageType.PAGE_DATA,
                 {"data": data, "version": self._versions.get(page_addr, 0)},
             )
 
-        self.daemon.spawn_handler(msg, serve(), label="release-fetch")
+        self.host.spawn_handler(msg, serve(), label="release-fetch")
 
     def handle_update(self, desc: RegionDescriptor, msg: Message) -> None:
         page_addr = msg.payload["page"]
-        if self.daemon.node_id == desc.primary_home:
+        if self.host.node_id == desc.primary_home:
             def apply() -> ProtocolGen:
                 yield from self._apply_update_at_home(
                     desc,
@@ -512,14 +517,14 @@ class ReleaseManager(ConsistencyManager):
                 if msg.payload.get("release_token"):
                     # Probe before the mutex release (it may resume the
                     # next waiter synchronously).
-                    if self.daemon.probe.enabled:
-                        self.daemon.probe.token_released(
-                            self.daemon.node_id, page_addr, msg.src
+                    if self.host.probe.enabled:
+                        self.host.probe.token_released(
+                            self.host.node_id, page_addr, msg.src
                         )
                     self._tokens.release(page_addr)
-                self.daemon.reply_request(msg, MessageType.UPDATE_ACK, {})
+                self.host.reply_request(msg, MessageType.UPDATE_ACK, {})
 
-            self.daemon.spawn_handler(msg, apply(), label="release-apply")
+            self.host.spawn_handler(msg, apply(), label="release-apply")
             return
         # Replica side: a propagated update from the home node.
         self._apply_replica_update(desc, msg)
@@ -534,7 +539,7 @@ class ReleaseManager(ConsistencyManager):
             served: List[Dict[str, Any]] = []
             errors: List[Dict[str, Any]] = []
             for page_addr in pages:
-                data = yield from self.daemon.local_page_bytes(desc, page_addr)
+                data = yield from self.host.local_page_bytes(desc, page_addr)
                 if data is None:
                     errors.append({
                         "page": page_addr, "code": "not_allocated",
@@ -542,7 +547,7 @@ class ReleaseManager(ConsistencyManager):
                     })
                     continue
                 if msg.payload.get("register"):
-                    entry = self.daemon.page_directory.ensure(
+                    entry = self.host.page_directory.ensure(
                         page_addr, desc.rid, homed=True
                     )
                     entry.record_sharer(msg.src)
@@ -550,17 +555,17 @@ class ReleaseManager(ConsistencyManager):
                     "page": page_addr, "data": data,
                     "version": self._versions.get(page_addr, 0),
                 })
-            self.daemon.reply_request(
+            self.host.reply_request(
                 msg, MessageType.PAGE_DATA_BATCH,
                 {"pages": served, "errors": errors},
             )
 
-        self.daemon.spawn_handler(msg, serve(), label="release-fetch-batch")
+        self.host.spawn_handler(msg, serve(), label="release-fetch-batch")
 
     def handle_lock_request_batch(self, desc: RegionDescriptor,
                                   msg: Message) -> None:
-        if self.daemon.node_id != desc.primary_home:
-            self.daemon.reply_error(msg, "not_responsible", "not primary home")
+        if self.host.node_id != desc.primary_home:
+            self.host.reply_error(msg, "not_responsible", "not primary home")
             return
         if not self.check_remote_access(desc, msg, LockMode.WRITE):
             return
@@ -575,7 +580,7 @@ class ReleaseManager(ConsistencyManager):
                 for page_addr in pages:
                     yield self._tokens.acquire(page_addr)
                     held.append(page_addr)
-                    data = yield from self.daemon.local_page_bytes(
+                    data = yield from self.host.local_page_bytes(
                         desc, page_addr
                     )
                     if data is None:
@@ -583,7 +588,7 @@ class ReleaseManager(ConsistencyManager):
                         # far so a denied batch leaves no residue.
                         for token_page in held:
                             self._tokens.release(token_page)
-                        self.daemon.reply_error(
+                        self.host.reply_error(
                             msg, "not_allocated",
                             f"page {page_addr:#x} has no storage",
                         )
@@ -599,27 +604,27 @@ class ReleaseManager(ConsistencyManager):
                     self._tokens.release(token_page)
                 raise
             for page_addr in pages:
-                entry = self.daemon.page_directory.ensure(
+                entry = self.host.page_directory.ensure(
                     page_addr, desc.rid, homed=True
                 )
                 entry.record_sharer(msg.src)
-            self.daemon.reply_request(
+            self.host.reply_request(
                 msg, MessageType.TOKEN_GRANT_BATCH, {"pages": granted}
             )
             # Tokens now belong to msg.src until its UPDATE_PUSH_BATCH
             # with release_token=True arrives.
-            if self.daemon.probe.enabled:
+            if self.host.probe.enabled:
                 for page_addr in pages:
-                    self.daemon.probe.token_granted(
-                        self.daemon.node_id, page_addr, msg.src
+                    self.host.probe.token_granted(
+                        self.host.node_id, page_addr, msg.src
                     )
 
-        self.daemon.spawn_handler(msg, grant(), label="release-token-batch")
+        self.host.spawn_handler(msg, grant(), label="release-token-batch")
 
     def handle_update_batch(self, desc: RegionDescriptor,
                             msg: Message) -> None:
-        if self.daemon.node_id != desc.primary_home:
-            self.daemon.reply_error(msg, "not_responsible",
+        if self.host.node_id != desc.primary_home:
+            self.host.reply_error(msg, "not_responsible",
                                     "batched updates go to the primary home")
             return
         updates = msg.payload.get("updates", [])
@@ -637,17 +642,17 @@ class ReleaseManager(ConsistencyManager):
                 if update.get("release_token"):
                     # Probe before the mutex release (it may resume the
                     # next waiter synchronously).
-                    if self.daemon.probe.enabled:
-                        self.daemon.probe.token_released(
-                            self.daemon.node_id, page_addr, msg.src
+                    if self.host.probe.enabled:
+                        self.host.probe.token_released(
+                            self.host.node_id, page_addr, msg.src
                         )
                     self._tokens.release(page_addr)
                 applied += 1
-            self.daemon.reply_request(
+            self.host.reply_request(
                 msg, MessageType.UPDATE_ACK_BATCH, {"applied": applied}
             )
 
-        self.daemon.spawn_handler(msg, apply(), label="release-apply-batch")
+        self.host.spawn_handler(msg, apply(), label="release-apply-batch")
 
     def _apply_update_at_home(
         self,
@@ -658,27 +663,27 @@ class ReleaseManager(ConsistencyManager):
         writer: int,
     ) -> ProtocolGen:
         if data is None and diff is not None:
-            base = yield from self.daemon.local_page_bytes(desc, page_addr)
+            base = yield from self.host.local_page_bytes(desc, page_addr)
             if base is None:
                 base = b"\x00" * desc.page_size
             data = apply_diff(base, [(int(o), bytes(d)) for o, d in diff])
         if data is None:
             return
-        yield from self.daemon.store_local_page(desc, page_addr, data, dirty=False)
+        yield from self.host.store_local_page(desc, page_addr, data, dirty=False)
         version = self._versions.get(page_addr, 0) + 1
         self._versions[page_addr] = version
-        entry = self.daemon.page_directory.ensure(page_addr, desc.rid, homed=True)
+        entry = self.host.page_directory.ensure(page_addr, desc.rid, homed=True)
         entry.allocated = True
         entry.version = version
         # Propagate to every replica site except the writer (one-way;
         # replicas that miss an update catch up at their next fetch).
-        for sharer in entry.copyset_excluding(self.daemon.node_id):
+        for sharer in entry.copyset_excluding(self.host.node_id):
             if sharer == writer:
                 continue
-            self.daemon.rpc.send(
+            self.host.rpc.send(
                 Message(
                     msg_type=MessageType.UPDATE_PUSH,
-                    src=self.daemon.node_id,
+                    src=self.host.node_id,
                     dst=sharer,
                     payload={"rid": desc.rid, "page": page_addr,
                              "data": data, "version": version,
@@ -696,23 +701,23 @@ class ReleaseManager(ConsistencyManager):
         def apply() -> None:
             if version <= self._versions.get(page_addr, -1):
                 return  # stale fanout, already newer locally
-            if not self.daemon.storage.contains(page_addr):
+            if not self.host.storage.contains(page_addr):
                 # We no longer replicate this page; ignore.
                 return
             self._versions[page_addr] = version
 
             def store() -> ProtocolGen:
-                yield from self.daemon.store_local_page(
+                yield from self.host.store_local_page(
                     desc, page_addr, data, dirty=False
                 )
 
-            self.daemon.spawn(store(), label="release-replica-store")
+            self.host.spawn(store(), label="release-replica-store")
 
-        if self.daemon.lock_table.page_locked(page_addr):
+        if self.host.lock_table.page_locked(page_addr):
             # Never change a page under an open local context.
             self.defer_until_unlocked(page_addr, apply)
         else:
             apply()
 
     def on_node_failure(self, node_id: int) -> None:
-        self.daemon.page_directory.forget_node(node_id)
+        self.host.page_directory.forget_node(node_id)

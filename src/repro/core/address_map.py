@@ -49,6 +49,9 @@ SYSTEM_REGION_START = 0
 SYSTEM_REGION_SIZE = 16 * 1024 * 1024
 SYSTEM_REGION = AddressRange(SYSTEM_REGION_START, SYSTEM_REGION_SIZE)
 
+#: The region id of the well-known address-map region.
+SYSTEM_RID = SYSTEM_REGION.start
+
 #: The root tree node lives in the very first page.
 ROOT_PAGE = 0
 

@@ -78,7 +78,7 @@ class ClusterManagerRole:
         size = max(size, DEFAULT_CHUNK_SIZE)
 
         def grant() -> ProtocolGen:
-            chunk = yield from self._delegate_chunk(msg.src, size)
+            chunk = yield from self.delegate_chunk(msg.src, size)
             self.space_requests_served += 1
             self.daemon.reply_request(
                 msg, MessageType.SPACE_GRANT,
@@ -87,7 +87,7 @@ class ClusterManagerRole:
 
         self.daemon.spawn_handler(msg, grant(), label="space-grant")
 
-    def _delegate_chunk(self, node_id: int, size: int) -> ProtocolGen:
+    def delegate_chunk(self, node_id: int, size: int) -> ProtocolGen:
         """Find free space in the address map and delegate it.
 
         find_free and delegate are two map operations; the mutex keeps

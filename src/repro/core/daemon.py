@@ -7,552 +7,72 @@ notion of a 'server' in a Khazana system — all Khazana nodes are peers
 that cooperate to provide the illusion of a unified resource."
 (paper Section 2)
 
-Each daemon owns:
+:class:`KhazanaDaemon` is the client-facing facade over the layered
+node built by :class:`~repro.core.kernel.NodeKernel`:
 
-- a local storage hierarchy (RAM over disk) caching global pages,
-- the per-node region directory (descriptor cache) and page directory,
-- a lock table recording live lock contexts,
-- one consistency-manager instance per protocol in use,
-- a pool of delegated address space for servicing reserves,
-- the failure-handling machinery (retry queue, detector, replica
-  maintainer),
-- and, on designated nodes, the cluster-manager role.
+- :class:`~repro.core.location.LocationService` — the region-location
+  chain of Section 3.2 (directory → cluster manager → address-map
+  walk → cluster walk),
+- :class:`~repro.core.space.SpaceService` — region lifecycle and
+  address-space management (Section 3.1),
+- :class:`~repro.core.dataplane.DataPlane` — lock/read/write and
+  local page residency (Sections 3.3-3.4),
+- :class:`~repro.core.router.MessageRouter` — wire dispatch through
+  an interceptor chain (dedup, latency stats, trace, probes).
 
+Consistency managers see the node only through the
+:class:`~repro.core.cmhost.CMHost` protocol the kernel implements.
 Client operations are implemented as protocol generators (see
-:mod:`repro.net.tasks`); the region-location chain follows Section 3.2
-exactly: region directory, then cluster manager, then address-map tree
-walk, then the cluster-walk broadcast of Section 3.1.
+:mod:`repro.net.tasks`); this facade simply routes each paper
+Section 2 operation to the owning service.
 """
 
 from __future__ import annotations
 
 import logging
 
-from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, Generator, List, Optional, Set, Tuple
+from typing import Optional
 
-from collections import OrderedDict, deque
-
-from repro.consistency import create_manager
-from repro.consistency.manager import ConsistencyManager
-from repro.core.address_map import (
-    ROOT_PAGE,
-    SYSTEM_REGION,
-    AddressMap,
-    MapIO,
-    initial_root_node,
+from repro.core.address_map import SYSTEM_RID
+from repro.core.addressing import AddressRange
+from repro.core.attributes import RegionAttributes
+from repro.core.kernel import (
+    DaemonConfig,
+    DaemonStats,
+    NodeKernel,
+    OpLatency,
+    ProtocolGen,
 )
-from repro.core.addressing import AddressRange, DEFAULT_PAGE_SIZE
-from repro.core.allocator import DEFAULT_CHUNK_SIZE, LocalSpacePool
-from repro.core.attributes import ConsistencyLevel, RegionAttributes
-from repro.core.cluster import ClusterManagerRole
-from repro.core.errors import (
-    AccessDenied,
-    InvalidLockContext,
-    InvalidRange,
-    KhazanaError,
-    KhazanaTimeout,
-    LockDenied,
-    NodeUnavailable,
-    NotAllocated,
-    RegionInUse,
-    RegionNotFound,
-    error_from_code,
-)
-from repro.core.locks import LockContext, LockMode, LockTable
-from repro.core.page_directory import PageDirectory
+from repro.core.location import LOOKUP_POLICY
+from repro.core.locks import LockContext, LockMode
 from repro.core.region import RegionDescriptor
-from repro.core.region_directory import RegionDirectory
-from repro.core.security import Right, SYSTEM_PRINCIPAL, AccessControlList
-from repro.failure.detector import FailureDetector
-from repro.failure.replicas import ReplicaMaintainer
-from repro.failure.retry import RetryQueue
-from repro.net.clock import EventScheduler
-from repro.net.message import Message, MessageType
-from repro.net.rpc import RemoteError, RetryPolicy, RpcEndpoint, RpcTimeout
-from repro.net.sim import SimNetwork
-from repro.net.tasks import Future, TaskRunner
-from repro.storage.hierarchy import StorageHierarchy
-from repro.storage.memory import MemoryStore
-from repro.storage.disk import DiskStore
-from repro.storage.store import StoredPage
-
-ProtocolGen = Generator[Future, Any, Any]
+from repro.core.security import SYSTEM_PRINCIPAL
 
 logger = logging.getLogger(__name__)
 
-#: The region id of the well-known address-map region.
-SYSTEM_RID = SYSTEM_REGION.start
-
-LOOKUP_POLICY = RetryPolicy(timeout=1.0, retries=1, backoff=2.0)
-
-
-@dataclass
-class DaemonConfig:
-    """Tunables for one daemon."""
-
-    memory_bytes: int = 256 * DEFAULT_PAGE_SIZE
-    disk_bytes: int = 16384 * DEFAULT_PAGE_SIZE
-    #: Node hosting the cluster-manager role for this daemon's cluster.
-    cluster_manager_node: int = 0
-    #: Which cluster this daemon belongs to (paper 3.1: nodes are
-    #: "organized into a hierarchy" of clusters).
-    cluster_id: int = 0
-    #: Manager nodes of the *other* clusters, for inter-cluster
-    #: location queries ("representing the local cluster during
-    #: inter-cluster communication").
-    peer_managers: Tuple[int, ...] = ()
-    #: Node that bootstrapped the system region (home of the map).
-    bootstrap_node: int = 0
-    #: Give up waiting for a lock after this many virtual seconds.
-    lock_wait_timeout: float = 60.0
-    #: Housekeeping period (CM ticks, free-space reports).
-    housekeeping_period: float = 1.0
-    #: Run the failure detector / replica maintainer.
-    enable_failure_handling: bool = True
-    #: Coalesce multi-page lock/unlock traffic into one RPC per home
-    #: node (PAGE_FETCH_BATCH / TOKEN_ACQUIRE_BATCH / UPDATE_PUSH_BATCH).
-    #: Off forces the per-page protocol path everywhere.
-    enable_batching: bool = True
-    #: Region-directory capacity (ablation A1 shrinks this to 1).
-    region_directory_capacity: int = 1024
-    #: Disable the cluster-manager hint tier (ablation A1).
-    use_cluster_hints: bool = True
-    #: When set, the daemon's disk level is file-backed under
-    #: ``{spill_dir}/node{id}`` and homed-region metadata is journaled
-    #: there, so the daemon can be restarted with its state intact.
-    spill_dir: Optional[str] = None
-    #: Automatically migrate a region's home toward a node that
-    #: dominates its access traffic (future-work policy; see
-    #: repro/core/migration.py).
-    enable_auto_migration: bool = False
-    #: Run the dynamic race/invariant detector (repro.analysis.races)
-    #: against this daemon.  Within a Cluster all daemons share one
-    #: detector so cross-node races are visible.
-    detect_races: bool = False
+__all__ = [
+    "DaemonConfig",
+    "DaemonStats",
+    "KhazanaDaemon",
+    "LOOKUP_POLICY",
+    "NodeKernel",
+    "OpLatency",
+    "ProtocolGen",
+    "SYSTEM_RID",
+]
 
 
-@dataclass
-class DaemonStats:
-    """Per-daemon operation counters used by benchmarks."""
+class KhazanaDaemon(NodeKernel):
+    """One Khazana peer: the paper's client API over the node services."""
 
-    ops: Dict[str, int] = field(default_factory=dict)
-    #: How each successful region location was resolved:
-    #: "directory" | "cluster" | "map" | "walk".
-    lookup_tiers: Dict[str, int] = field(default_factory=dict)
-    lock_waits: int = 0
-    lock_timeouts: int = 0
-
-    def bump(self, op: str) -> None:
-        self.ops[op] = self.ops.get(op, 0) + 1
-
-    def tier(self, name: str) -> None:
-        self.lookup_tiers[name] = self.lookup_tiers.get(name, 0) + 1
-
-
-class _DaemonMapIO(MapIO):
-    """Adapter giving the address map access to system-region pages
-    through this daemon's ordinary lock/read/write path."""
-
-    def __init__(self, daemon: "KhazanaDaemon") -> None:
-        self.daemon = daemon
-        self.page_size = DEFAULT_PAGE_SIZE
-
-    def lock_page(self, page_addr: int, mode: LockMode) -> ProtocolGen:
-        ctx = yield from self.daemon.op_lock(
-            AddressRange(page_addr, self.page_size),
-            mode,
-            principal=SYSTEM_PRINCIPAL,
-        )
-        return ctx
-
-    def read_page(self, ctx: Any, page_addr: int) -> ProtocolGen:
-        data = yield from self.daemon.op_read(
-            ctx, AddressRange(page_addr, self.page_size)
-        )
-        return data
-
-    def write_page(self, ctx: Any, page_addr: int, data: bytes) -> ProtocolGen:
-        yield from self.daemon.op_write(
-            ctx, AddressRange(page_addr, self.page_size), data
-        )
-
-    def unlock_page(self, ctx: Any) -> ProtocolGen:
-        yield from self.daemon.op_unlock(ctx)
-
-
-class KhazanaDaemon:
-    """One Khazana peer."""
-
-    def __init__(
-        self,
-        node_id: int,
-        network: SimNetwork,
-        scheduler: EventScheduler,
-        config: Optional[DaemonConfig] = None,
-        probe: Optional["Any"] = None,
-    ) -> None:
-        self.node_id = node_id
-        self.network = network
-        self.scheduler = scheduler
-        self.config = config if config is not None else DaemonConfig()
-
-        from repro.analysis.races import NULL_PROBE, RaceDetector
-
-        if probe is None and self.config.detect_races:
-            # Standalone daemon with detection on: private detector.
-            # Clusters pass one shared detector instead.
-            probe = RaceDetector()
-        self.probe = probe if probe is not None else NULL_PROBE
-        if self.probe.enabled:
-            self.probe.attach_daemon(self)
-
-        self.rpc = RpcEndpoint(node_id, network, scheduler)
-        self.runner = TaskRunner()
-        self.stats = DaemonStats()
-
-        self.lock_table = LockTable()
-        if self.probe.enabled:
-            self.lock_table.probe = self.probe
-        self.region_directory = RegionDirectory(
-            capacity=self.config.region_directory_capacity
-        )
-        self.page_directory = PageDirectory(node_id)
-        self.journal = None
-        if self.config.spill_dir is not None:
-            import os
-
-            from repro.storage.disk import FileBackedDiskStore
-            from repro.storage.persistence import MetadataJournal
-
-            node_dir = os.path.join(self.config.spill_dir, f"node{node_id}")
-            disk = FileBackedDiskStore(node_dir, self.config.disk_bytes)
-            self.journal = MetadataJournal(node_dir)
-        else:
-            disk = DiskStore(self.config.disk_bytes)
-        self.storage = StorageHierarchy(
-            memory=MemoryStore(self.config.memory_bytes),
-            disk=disk,
-            is_pinned=self.lock_table.page_locked,
-            on_disk_evict=self._on_disk_evict,
-        )
-        self.space_pool = LocalSpacePool()
-        self.homed_regions: Dict[int, RegionDescriptor] = {}
-        self._cms: Dict[str, ConsistencyManager] = {}
-        self._ctx_pages: Dict[int, Tuple[RegionDescriptor, List[int]]] = {}
-        self._page_waiters: Dict[int, Deque[Future]] = {}
-        self._hinted_rids: Set[int] = set()
-        self._reply_cache: "OrderedDict[Tuple[int, int], Optional[Message]]" = (
-            OrderedDict()
-        )
-        self._alive = True
-
-        self.address_map = AddressMap(_DaemonMapIO(self))
-        self.retry_queue = RetryQueue(scheduler, self.spawn)
-        self.detector = FailureDetector(
-            self.rpc, scheduler, peers=[]
-        )
-        self.detector.on_death(self._on_peer_death)
-        self.replica_maintainer = ReplicaMaintainer(self)
-        from repro.core.migration import MigrationAdvisor
-
-        self.migration_advisor = MigrationAdvisor(self)
-        self.cluster_role: Optional[ClusterManagerRole] = None
-        if node_id == self.config.cluster_manager_node:
-            self.cluster_role = ClusterManagerRole(self)
-
-        self._wire_handlers()
-        self._schedule_housekeeping()
-
-    # ------------------------------------------------------------------
-    # Lifecycle / bootstrap
-    # ------------------------------------------------------------------
-
-    def bootstrap_system_region(self, peers: List[int]) -> None:
-        """Install the well-known address-map region (Section 3.1).
-
-        Every daemon pins the system descriptor; the bootstrap node
-        additionally homes the region and writes the initial root tree
-        node.  Must run before any client operation.
-        """
-        attrs = RegionAttributes(
-            consistency_level=ConsistencyLevel.RELEASE,
-            min_replicas=1,
-            page_size=DEFAULT_PAGE_SIZE,
-            acl=AccessControlList.private(SYSTEM_PRINCIPAL),
-        )
-        desc = RegionDescriptor(
-            range=SYSTEM_REGION,
-            attrs=attrs,
-            home_nodes=(self.config.bootstrap_node,),
-            allocated=True,
-            version=1,
-        )
-        self.region_directory.pin(desc)
-        for peer in peers:
-            self.detector.add_peer(peer)
-        if self.node_id == self.config.bootstrap_node:
-            self.homed_regions[SYSTEM_RID] = desc
-            if not self.storage.contains(ROOT_PAGE):
-                # A restarted bootstrap node already has the map on
-                # disk; only a truly fresh deployment initialises it.
-                root = initial_root_node()
-                self.storage.write_through(
-                    StoredPage(ROOT_PAGE, root.encode(DEFAULT_PAGE_SIZE),
-                               dirty=False)
-                )
-            entry = self.page_directory.ensure(ROOT_PAGE, SYSTEM_RID, homed=True)
-            entry.allocated = True
-            entry.owner = self.node_id
-            entry.record_sharer(self.node_id)
-        self._recover_from_journal()
-        if self.config.enable_failure_handling:
-            self.detector.start()
-            self.replica_maintainer.start()
-
-    def _recover_from_journal(self) -> None:
-        """Reload homed regions and page metadata after a restart."""
-        if self.journal is None:
-            return
-        for desc in self.journal.load_regions():
-            if desc.rid == SYSTEM_RID:
-                continue
-            self.region_directory.insert(desc)
-            if self.node_id in desc.home_nodes:
-                self.homed_regions[desc.rid] = desc
-        for entry in self.journal.load_page_entries(self.node_id):
-            if entry.rid == SYSTEM_RID:
-                continue
-            existing = self.page_directory.ensure(
-                entry.address, entry.rid, homed=True
-            )
-            existing.allocated = entry.allocated
-            existing.owner = entry.owner
-            existing.record_sharer(self.node_id)
-            existing.version = entry.version
-
-    def checkpoint(self) -> None:
-        """Flush homed-region metadata to the journal (no-op without
-        a spill directory)."""
-        if self.journal is None:
-            return
-        self.journal.save_regions(self.homed_regions)
-        self.journal.save_page_entries(self.page_directory)
-
-    def stop(self) -> None:
-        """Shut the daemon down (simulating a crash or clean exit)."""
-        self._alive = False
-        self.detector.stop()
-        self.replica_maintainer.stop()
-        self.rpc.shutdown()
-
-    @property
-    def cluster_manager_node(self) -> Optional[int]:
-        return self.config.cluster_manager_node
-
-    # ------------------------------------------------------------------
-    # Task plumbing
-    # ------------------------------------------------------------------
-
-    def spawn(self, task: ProtocolGen, label: str = "task") -> Future:
-        """Run a protocol generator under this daemon's task runner."""
-        return self.runner.spawn(task, label=f"n{self.node_id}:{label}")
-
-    def spawn_handler(self, msg: Message, task: ProtocolGen,
-                      label: str = "handler") -> None:
-        """Run a message-handler task; failures NAK the request."""
-        outcome = self.spawn(task, label=label)
-
-        def on_done(future: Future) -> None:
-            exc = future.exception()
-            if exc is None:
-                return
-            if msg.request_id is None:
-                return
-            if isinstance(exc, KhazanaError):
-                self.reply_error(msg, exc.code, str(exc))
-            else:
-                self.reply_error(msg, "khazana_error", repr(exc))
-
-        outcome.add_callback(on_done)
-
-    def sleep(self, seconds: float) -> Future:
-        """A future resolving after ``seconds`` of virtual time."""
-        future = Future(label=f"sleep:{seconds}")
-        if seconds <= 0:
-            future.set_result(None)
-        else:
-            self.scheduler.call_later(seconds, lambda: future.set_result(None))
-        return future
-
-    def _with_timeout(self, inner: Future, seconds: float,
-                      error: KhazanaError) -> Future:
-        """Wrap ``inner`` so it fails with ``error`` after ``seconds``."""
-        wrapper = Future(label=f"timeout:{inner.label}")
-        timer = self.scheduler.call_later(
-            seconds,
-            lambda: None if wrapper.done else wrapper.set_exception(error),
-        )
-
-        def forward(future: Future) -> None:
-            timer.cancel()
-            if wrapper.done:
-                return
-            exc = future.exception()
-            if exc is not None:
-                wrapper.set_exception(exc)
-            else:
-                wrapper.set_result(future.result())
-
-        inner.add_callback(forward)
-        return wrapper
-
-    # ------------------------------------------------------------------
-    # Region location (paper Section 3.2)
-    # ------------------------------------------------------------------
+    # --- Region location (paper Section 3.2) ---------------------------
 
     def locate_region(self, address: int,
                       skip_directory: bool = False) -> ProtocolGen:
-        """Resolve the region descriptor covering ``address``.
+        return self.location.locate_region(address,
+                                           skip_directory=skip_directory)
 
-        Tier 1: the local region directory.  Tier 2: the cluster
-        manager's hint cache.  Tier 3: the address-map tree walk plus a
-        descriptor fetch from a home node.  Tier 4 (failure fallback,
-        Section 3.1): the cluster walk, asking every known peer.
-        """
-        if not skip_directory:
-            cached = self.region_directory.find_covering(address)
-            if cached is not None:
-                self.stats.tier("directory")
-                return cached
-
-        if self.config.use_cluster_hints:
-            found = yield from self._locate_via_cluster_manager(address)
-            if found is not None:
-                desc, via = found
-                self.stats.tier(
-                    "intercluster" if via == "intercluster" else "cluster"
-                )
-                self.region_directory.insert(desc)
-                return desc
-
-        desc = yield from self._locate_via_address_map(address)
-        if desc is not None:
-            self.stats.tier("map")
-            self.region_directory.insert(desc)
-            self._advertise_caching(desc)
-            return desc
-
-        desc = yield from self._cluster_walk(address)
-        if desc is not None:
-            self.stats.tier("walk")
-            self.region_directory.insert(desc)
-            return desc
-
-        raise RegionNotFound(
-            f"no reserved region covers address {address:#x}"
-        )
-
-    def _locate_via_cluster_manager(self, address: int) -> ProtocolGen:
-        """Tiers 2-3: local cluster manager, then peer clusters.
-
-        Returns ``(descriptor, via)`` or None; ``via`` distinguishes a
-        local-cluster hint from an inter-cluster answer for the stats.
-        """
-        if self.cluster_role is not None:
-            hint = self.cluster_role.lookup_hint(address)
-            if hint is not None:
-                return hint[0], "local"
-            # This node IS the manager: ask peer-cluster managers.
-            for manager in self.config.peer_managers:
-                try:
-                    reply = yield self.rpc.request(
-                        manager, MessageType.CM_HINT_QUERY,
-                        {"address": address, "no_forward": True},
-                        policy=LOOKUP_POLICY,
-                    )
-                except (RpcTimeout, RemoteError):
-                    continue
-                desc = RegionDescriptor.from_wire(reply.payload["descriptor"])
-                for node in reply.payload.get("nodes", []):
-                    self.cluster_role.note_region_cached(desc, int(node))
-                return desc, "intercluster"
-            return None
-        manager = self.config.cluster_manager_node
-        try:
-            reply = yield self.rpc.request(
-                manager, MessageType.CM_HINT_QUERY, {"address": address},
-                policy=LOOKUP_POLICY,
-            )
-        except (RpcTimeout, RemoteError):
-            return None
-        return (
-            RegionDescriptor.from_wire(reply.payload["descriptor"]),
-            reply.payload.get("via", "local"),
-        )
-
-    def _locate_via_address_map(self, address: int) -> ProtocolGen:
-        try:
-            entry = yield from self.address_map.lookup(address)
-        except KhazanaError:
-            return None
-        from repro.core.address_map import EntryState
-
-        if entry.state is not EntryState.RESERVED:
-            return None
-        for home in entry.home_nodes:
-            if home == self.node_id:
-                desc = self.homed_regions.get(entry.range.start)
-                if desc is not None:
-                    return desc
-                continue
-            try:
-                reply = yield self.rpc.request(
-                    home, MessageType.DESCRIPTOR_FETCH,
-                    {"rid": entry.range.start},
-                    policy=LOOKUP_POLICY,
-                )
-                return RegionDescriptor.from_wire(reply.payload["descriptor"])
-            except (RpcTimeout, RemoteError):
-                continue
-        return None
-
-    def _cluster_walk(self, address: int) -> ProtocolGen:
-        """Ask every known peer whether it can name the region."""
-        peers = [n for n in self.network.node_ids() if n != self.node_id]
-        for peer in peers:
-            try:
-                reply = yield self.rpc.request(
-                    peer, MessageType.REGION_LOOKUP, {"address": address},
-                    policy=LOOKUP_POLICY,
-                )
-            except (RpcTimeout, RemoteError):
-                continue
-            return RegionDescriptor.from_wire(reply.payload["descriptor"])
-        return None
-
-    def _advertise_caching(self, desc: RegionDescriptor) -> None:
-        """Lazily tell the cluster manager we now cache this region."""
-        if not self.config.use_cluster_hints:
-            return
-        if desc.rid in self._hinted_rids:
-            return
-        self._hinted_rids.add(desc.rid)
-        if self.cluster_role is not None:
-            self.cluster_role.note_region_cached(desc, self.node_id)
-            return
-        self.rpc.send(
-            Message(
-                msg_type=MessageType.CM_HINT_UPDATE,
-                src=self.node_id,
-                dst=self.config.cluster_manager_node,
-                payload={"descriptor": desc.to_wire()},
-            )
-        )
-
-    # ------------------------------------------------------------------
-    # Client operations (paper Section 2's API)
-    # ------------------------------------------------------------------
+    # --- Region lifecycle (paper Section 2's API) ----------------------
 
     def op_reserve(
         self,
@@ -560,215 +80,40 @@ class KhazanaDaemon:
         attrs: RegionAttributes,
         principal: str = SYSTEM_PRINCIPAL,
     ) -> ProtocolGen:
-        """Reserve a contiguous range of global address space."""
-        self.stats.bump("reserve")
-        if size <= 0:
-            raise InvalidRange(f"reserve size must be positive, got {size}")
-        page_size = attrs.page_size
-        size = -(-size // page_size) * page_size
-
-        carved = self.space_pool.carve(size, alignment=page_size)
-        if carved is None:
-            yield from self._refill_pool(max(size, DEFAULT_CHUNK_SIZE))
-            carved = self.space_pool.carve(size, alignment=page_size)
-            if carved is None:
-                raise KhazanaError(
-                    "space pool empty immediately after a chunk grant"
-                )
-
-        homes = self._choose_homes(attrs.min_replicas)
-        desc = RegionDescriptor(
-            range=carved, attrs=attrs, home_nodes=homes, allocated=False
-        )
-        yield from self.address_map.reserve(carved, homes)
-        self.adopt_descriptor(desc)
-        for home in homes:
-            if home == self.node_id:
-                continue
-            self.rpc.send(
-                Message(
-                    msg_type=MessageType.DESCRIPTOR_UPDATE,
-                    src=self.node_id,
-                    dst=home,
-                    payload={"descriptor": desc.to_wire()},
-                )
-            )
-        self._advertise_caching(desc)
-        return desc
-
-    def _refill_pool(self, size: int) -> ProtocolGen:
-        """Obtain a chunk of unreserved space (Section 3.1)."""
-        manager = self.config.cluster_manager_node
-        if self.cluster_role is not None:
-            chunk = yield from self.cluster_role._delegate_chunk(
-                self.node_id, max(size, DEFAULT_CHUNK_SIZE)
-            )
-            self.space_pool.add(chunk)
-            return
-        try:
-            reply = yield self.rpc.request(
-                manager, MessageType.SPACE_REQUEST, {"size": size},
-                # Generous retransmission: losing address space grants
-                # to a lossy link would fail reserves spuriously (3.5:
-                # "tried ... until they succeed or timeout").
-                policy=RetryPolicy(timeout=2.0, retries=6, backoff=1.5),
-            )
-        except RpcTimeout as error:
-            raise KhazanaTimeout(
-                f"cluster manager {manager} unreachable for a space "
-                f"grant: {error}"
-            ) from error
-        except RemoteError as error:
-            raise error_from_code(error.code, error.detail) from error
-        chunk = AddressRange(
-            int(reply.payload["start"]), int(reply.payload["length"])
-        )
-        self.space_pool.add(chunk)
-
-    def _choose_homes(self, min_replicas: int) -> Tuple[int, ...]:
-        """Pick home nodes: this node first, then alive peers."""
-        homes: List[int] = [self.node_id]
-        for peer in self.detector.alive_peers():
-            if len(homes) >= min_replicas:
-                break
-            if peer != self.node_id:
-                homes.append(peer)
-        return tuple(homes)
+        return self.space.op_reserve(size, attrs, principal=principal)
 
     def op_unreserve(self, rid: int) -> ProtocolGen:
-        """Release a region and reclaim its storage (release-type)."""
-        self.stats.bump("unreserve")
-        desc = yield from self.locate_region(rid)
-        if desc.rid != rid:
-            raise InvalidRange(
-                f"{rid:#x} is inside region {desc.rid:#x}, not its start"
-            )
-        for ctx_id, (ctx_desc, _pages) in self._ctx_pages.items():
-            if ctx_desc.rid == rid:
-                raise RegionInUse(
-                    f"region {rid:#x} has live lock context {ctx_id}"
-                )
-        # Address-map release and per-home teardown are release-type:
-        # failures retry in the background, never surface (3.5).
-        self.retry_queue.enqueue(
-            lambda: self.address_map.release(desc.range),
-            label=f"unreserve-map:{rid:#x}",
-        )
-        for home in desc.home_nodes:
-            if home == self.node_id:
-                self._teardown_region(rid)
-                continue
-            payload = {"rid": rid}
-            self.retry_queue.enqueue(
-                lambda home=home, payload=payload: self._request_once(
-                    home, MessageType.REGION_UNRESERVE, payload
-                ),
-                label=f"unreserve:{rid:#x}@{home}",
-            )
-        self.region_directory.invalidate(rid)
-        self.homed_regions.pop(rid, None)
-        if rid in self._hinted_rids:
-            self._hinted_rids.discard(rid)
-            if self.cluster_role is not None:
-                self.cluster_role.note_region_dropped(rid, self.node_id)
-            else:
-                self.rpc.send(
-                    Message(
-                        msg_type=MessageType.CM_HINT_UPDATE,
-                        src=self.node_id,
-                        dst=self.config.cluster_manager_node,
-                        payload={"descriptor": desc.to_wire(), "dropped": True},
-                    )
-                )
-        return None
-
-    def _request_once(self, dst: int, msg_type: MessageType,
-                      payload: Dict[str, Any]) -> ProtocolGen:
-        yield self.rpc.request(dst, msg_type, payload, policy=LOOKUP_POLICY)
+        return self.space.op_unreserve(rid)
 
     def op_allocate(self, rid: int,
                     subrange: Optional[AddressRange] = None) -> ProtocolGen:
-        """Allocate physical storage for a region (or part of one)."""
-        self.stats.bump("allocate")
-        desc = yield from self.locate_region(rid)
-        target = subrange if subrange is not None else desc.range
-        if not desc.range.contains_range(target):
-            raise InvalidRange(f"{target} not inside region {desc.range}")
-        pages = desc.pages_covering(target)
-        for home in desc.home_nodes:
-            if home == self.node_id:
-                self._allocate_local(desc, pages)
-                continue
-            try:
-                yield self.rpc.request(
-                    home, MessageType.ALLOC_REQUEST,
-                    {"rid": desc.rid, "start": target.start,
-                     "length": target.length,
-                     # The descriptor rides along: a newly chosen home
-                     # may not have processed its DESCRIPTOR_UPDATE yet.
-                     "descriptor": desc.to_wire()},
-                    policy=RetryPolicy(timeout=2.0, retries=2, backoff=2.0),
-                )
-            except RpcTimeout as error:
-                raise error_from_code(
-                    "allocation_failed",
-                    f"home {home} unreachable: {error}",
-                ) from error
-            except RemoteError as error:
-                raise error_from_code(error.code, error.detail) from error
-        if not desc.allocated:
-            new_desc = desc.with_allocated(True)
-            self.adopt_descriptor(new_desc)
-            for home in desc.home_nodes:
-                if home == self.node_id:
-                    continue
-                self.rpc.send(
-                    Message(
-                        msg_type=MessageType.DESCRIPTOR_UPDATE,
-                        src=self.node_id,
-                        dst=home,
-                        payload={"descriptor": new_desc.to_wire()},
-                    )
-                )
-            # Refresh the cluster manager's hint so later lookups from
-            # other nodes see the allocated descriptor.
-            self._hinted_rids.discard(new_desc.rid)
-            self._advertise_caching(new_desc)
-        return None
-
-    def _allocate_local(self, desc: RegionDescriptor, pages: List[int]) -> None:
-        primary = desc.primary_home
-        for page_addr in pages:
-            entry = self.page_directory.ensure(page_addr, desc.rid, homed=True)
-            entry.allocated = True
-            if entry.owner is None and self.node_id == primary:
-                entry.owner = primary
-                entry.record_sharer(primary)
+        return self.space.op_allocate(rid, subrange)
 
     def op_free(self, rid: int, subrange: AddressRange) -> ProtocolGen:
-        """Release physical storage for part of a region (release-type)."""
-        self.stats.bump("free")
-        desc = yield from self.locate_region(rid)
-        if not desc.range.contains_range(subrange):
-            raise InvalidRange(f"{subrange} not inside region {desc.range}")
-        payload = {"rid": rid, "start": subrange.start,
-                   "length": subrange.length}
-        for home in desc.home_nodes:
-            if home == self.node_id:
-                self._free_local(desc, subrange)
-                continue
-            self.retry_queue.enqueue(
-                lambda home=home: self._request_once(
-                    home, MessageType.FREE_REQUEST, payload
-                ),
-                label=f"free:{rid:#x}@{home}",
-            )
-        return None
+        return self.space.op_free(rid, subrange)
 
-    def _free_local(self, desc: RegionDescriptor, subrange: AddressRange) -> None:
-        for page_addr in desc.pages_covering(subrange):
-            self.storage.drop(page_addr)
-            self.page_directory.drop(page_addr)
+    def op_resize_region(self, rid: int, new_size: int) -> ProtocolGen:
+        return self.space.op_resize_region(rid, new_size)
+
+    def op_migrate_region(self, rid: int, new_primary: int) -> ProtocolGen:
+        return self.space.op_migrate_region(rid, new_primary)
+
+    def migrate_region_local(self, desc: RegionDescriptor,
+                             new_primary: int) -> ProtocolGen:
+        return self.space.migrate_region_local(desc, new_primary)
+
+    def push_region_to(self, desc: RegionDescriptor,
+                       target: int) -> ProtocolGen:
+        return self.space.push_region_to(desc, target)
+
+    def op_get_attributes(self, rid: int) -> ProtocolGen:
+        return self.space.op_get_attributes(rid)
+
+    def op_set_attributes(self, rid: int, attrs: RegionAttributes,
+                          principal: str = SYSTEM_PRINCIPAL) -> ProtocolGen:
+        return self.space.op_set_attributes(rid, attrs, principal=principal)
+
+    # --- Data plane (lock / read / write) ------------------------------
 
     def op_lock(
         self,
@@ -776,811 +121,14 @@ class KhazanaDaemon:
         mode: LockMode,
         principal: str = SYSTEM_PRINCIPAL,
     ) -> ProtocolGen:
-        """Lock part of a region; returns a :class:`LockContext`."""
-        self.stats.bump("lock")
-        desc = yield from self.locate_region(target.start)
-        if not desc.range.contains_range(target):
-            raise InvalidRange(
-                f"lock range {target} crosses the boundary of region "
-                f"{desc.range}; lock each region separately"
-            )
-        if not desc.allocated:
-            # The cached descriptor may predate allocation; confirm
-            # with a home node before failing (stale hints are normal,
-            # Section 3.2).
-            desc = yield from self._refresh_descriptor(desc)
-            if not desc.allocated:
-                raise NotAllocated(
-                    f"region {desc.rid:#x} has no allocated storage"
-                )
-        needed = Right.WRITE if mode.is_write else Right.READ
-        if not desc.attrs.acl.allows(principal, needed):
-            raise AccessDenied(
-                f"principal {principal!r} lacks {needed} on region "
-                f"{desc.rid:#x}"
-            )
-
-        ctx = LockContext(
-            rid=desc.rid, range=target, mode=mode,
-            node_id=self.node_id, principal=principal,
-        )
-        if self.probe.enabled:
-            self.probe.region_seen(self.node_id, desc)
-        pages = desc.pages_covering(target)
-        cm = self.consistency_manager(desc.attrs.protocol)
-        acquired: List[int] = []
-
-        def note_acquired(page_addr: int) -> None:
-            # Pin the page the moment its acquisition is final so a
-            # later failure in the same range rolls back exactly the
-            # pages we hold.
-            self.lock_table.register(ctx, [page_addr])
-            acquired.append(page_addr)
-
-        try:
-            try:
-                yield from cm.acquire_many(desc, pages, mode, ctx,
-                                           note_acquired)
-            except RemoteError as error:
-                raise error_from_code(error.code, error.detail) from error
-        except BaseException:
-            # Roll back partial acquisition so no page stays pinned.
-            if acquired:
-                self.lock_table.release(ctx, acquired)
-                for page_addr in acquired:
-                    self._wake_page(page_addr, cm)
-            raise
-        self._ctx_pages[ctx.ctx_id] = (desc, pages)
-        return ctx
-
-    def _refresh_descriptor(self, desc: RegionDescriptor) -> ProtocolGen:
-        """Fetch the authoritative descriptor from a home node."""
-        for home in desc.home_nodes:
-            if home == self.node_id:
-                return self.homed_regions.get(desc.rid, desc)
-            try:
-                reply = yield self.rpc.request(
-                    home, MessageType.DESCRIPTOR_FETCH, {"rid": desc.rid},
-                    policy=LOOKUP_POLICY,
-                )
-            except (RpcTimeout, RemoteError):
-                continue
-            fresh = RegionDescriptor.from_wire(reply.payload["descriptor"])
-            self.adopt_descriptor(fresh)
-            return fresh
-        return desc
-
-    def _wait_local_conflicts(self, page_addr: int, mode: LockMode) -> ProtocolGen:
-        """Block until no live local context conflicts with ``mode``."""
-        deadline_exc = LockDenied(
-            f"timed out waiting {self.config.lock_wait_timeout}s for a "
-            f"conflicting local lock on page {page_addr:#x}"
-        )
-        while self.lock_table.conflicts(page_addr, mode):
-            self.stats.lock_waits += 1
-            gate = Future(label=f"lockwait:{page_addr:#x}")
-            self._page_waiters.setdefault(page_addr, deque()).append(gate)
-            try:
-                yield self._with_timeout(
-                    gate, self.config.lock_wait_timeout, deadline_exc
-                )
-            except LockDenied:
-                self.stats.lock_timeouts += 1
-                raise
+        return self.data.op_lock(target, mode, principal=principal)
 
     def op_unlock(self, ctx: LockContext) -> ProtocolGen:
-        """Release a lock context.
-
-        The *network* side is release-type and never raises (push
-        failures go to the background retry queue, paper 3.5) — but
-        presenting an already-unlocked or foreign context is a client
-        bug, surfaced as ``InvalidLockContext`` like any other misuse
-        of a closed context.
-        """
-        self.stats.bump("unlock")
-        mapping = self._ctx_pages.pop(ctx.ctx_id, None)
-        if mapping is None:
-            ctx.check_open()   # raises InvalidLockContext when closed
-            raise InvalidLockContext(
-                f"lock context {ctx.ctx_id} unknown to node {self.node_id}"
-            )
-        desc, pages = mapping
-        cm = self.consistency_manager(desc.attrs.protocol)
-        try:
-            yield from cm.release_many(desc, pages, ctx)
-        except Exception:
-            # Backstop: release_many already routes per-page failures
-            # to the retry queue, but unlock itself must never raise.
-            logger.warning(
-                "node %d: release_many for context %d failed; retrying "
-                "per page in the background", self.node_id, ctx.ctx_id,
-                exc_info=True,
-            )
-            for page_addr in pages:
-                self.retry_queue.enqueue(
-                    lambda cm=cm, page_addr=page_addr: cm.release(
-                        desc, page_addr, ctx
-                    ),
-                    label=f"cm-release:{page_addr:#x}",
-                )
-        self.lock_table.release(ctx, pages)
-        for page_addr in pages:
-            self._wake_page(page_addr, cm)
-        return None
-
-    def _wake_page(self, page_addr: int, cm: ConsistencyManager) -> None:
-        cm.notify_unlocked(page_addr)
-        waiters = self._page_waiters.pop(page_addr, None)
-        if waiters:
-            for gate in waiters:
-                if not gate.done:
-                    gate.set_result(None)
+        return self.data.op_unlock(ctx)
 
     def op_read(self, ctx: LockContext, target: AddressRange) -> ProtocolGen:
-        """Read bytes under a lock context."""
-        self.stats.bump("read")
-        ctx.check_covers(target, for_write=False)
-        desc, _pages = self._require_ctx(ctx)
-        if self.probe.enabled:
-            self.probe.page_read(self.node_id, ctx,
-                                 desc.pages_covering(target),
-                                 desc.attrs.protocol)
-        chunks: List[bytes] = []
-        for page_addr in desc.pages_covering(target):
-            data = yield from self.local_page_bytes(desc, page_addr)
-            if data is None:
-                raise KhazanaError(
-                    f"page {page_addr:#x} vanished under lock context "
-                    f"{ctx.ctx_id}"
-                )
-            page_range = AddressRange(page_addr, desc.page_size)
-            overlap = page_range.intersection(target)
-            assert overlap is not None
-            lo = overlap.start - page_addr
-            chunks.append(data[lo : lo + overlap.length])
-        return b"".join(chunks)
+        return self.data.op_read(ctx, target)
 
     def op_write(self, ctx: LockContext, target: AddressRange,
                  data: bytes) -> ProtocolGen:
-        """Write bytes under a lock context."""
-        self.stats.bump("write")
-        ctx.check_covers(target, for_write=True)
-        if len(data) != target.length:
-            raise InvalidRange(
-                f"write of {len(data)} bytes into range of {target.length}"
-            )
-        desc, _pages = self._require_ctx(ctx)
-        if self.probe.enabled:
-            self.probe.page_write(self.node_id, ctx,
-                                  desc.pages_covering(target),
-                                  desc.attrs.protocol)
-        for page_addr in desc.pages_covering(target):
-            page_range = AddressRange(page_addr, desc.page_size)
-            overlap = page_range.intersection(target)
-            assert overlap is not None
-            lo = overlap.start - page_addr
-            src_lo = overlap.start - target.start
-            if overlap.length == desc.page_size:
-                # Full-page write: every byte is replaced, so skip the
-                # read-modify-write (which may fetch the stale page
-                # over the network just to discard it).
-                updated = bytes(data[src_lo : src_lo + overlap.length])
-            else:
-                current = yield from self.local_page_bytes(desc, page_addr)
-                if current is None:
-                    current = b"\x00" * desc.page_size
-                updated = (
-                    current[:lo]
-                    + data[src_lo : src_lo + overlap.length]
-                    + current[lo + overlap.length :]
-                )
-            yield from self.store_local_page(desc, page_addr, updated,
-                                             dirty=True)
-            ctx.dirty_pages.add(page_addr)
-        return None
-
-    def _require_ctx(self, ctx: LockContext) -> Tuple[RegionDescriptor, List[int]]:
-        mapping = self._ctx_pages.get(ctx.ctx_id)
-        if mapping is None:
-            ctx.check_open()   # raises if closed
-            raise KhazanaError(
-                f"lock context {ctx.ctx_id} unknown to node {self.node_id}"
-            )
-        return mapping
-
-    def op_resize_region(self, rid: int, new_size: int) -> ProtocolGen:
-        """Grow or shrink a region in place.
-
-        Implements Section 4.1's alternative layout need ("resize the
-        region whenever the file size changes").  Growth claims the
-        free address space directly after the region (raising
-        ``AddressSpaceExhausted`` when it is taken); shrinking frees
-        the tail pages.  Returns the new descriptor.
-        """
-        self.stats.bump("resize")
-        desc = yield from self.locate_region(rid)
-        if desc.rid != rid:
-            raise InvalidRange(
-                f"{rid:#x} is inside region {desc.rid:#x}, not its start"
-            )
-        page_size = desc.attrs.page_size
-        if new_size <= 0:
-            raise InvalidRange(f"size must be positive, got {new_size}")
-        new_size = -(-new_size // page_size) * page_size
-        if new_size == desc.range.length:
-            return desc
-        for ctx_id, (ctx_desc, _pages) in self._ctx_pages.items():
-            if ctx_desc.rid == rid:
-                raise RegionInUse(
-                    f"region {rid:#x} has live lock context {ctx_id}"
-                )
-
-        old_range = desc.range
-        new_range = AddressRange(old_range.start, new_size)
-        if new_size > old_range.length:
-            yield from self.address_map.extend(
-                old_range, new_size, requester=self.node_id
-            )
-            # The growth may have consumed part of this node's own
-            # delegated pool; stop offering those addresses.
-            self.space_pool.remove_overlap(
-                AddressRange.from_bounds(old_range.end, new_range.end)
-            )
-        else:
-            tail = AddressRange.from_bounds(new_range.end, old_range.end)
-            yield from self.address_map.release(tail)
-
-        new_desc = desc.with_range(new_range)
-        self.adopt_descriptor(new_desc)
-
-        if new_size > old_range.length:
-            grown = AddressRange.from_bounds(old_range.end, new_range.end)
-            yield from self.op_allocate(rid, grown)
-        else:
-            tail = AddressRange.from_bounds(new_range.end, old_range.end)
-            for home in desc.home_nodes:
-                if home == self.node_id:
-                    self._free_local(desc, tail)
-                    continue
-                payload = {"rid": rid, "start": tail.start,
-                           "length": tail.length}
-                self.retry_queue.enqueue(
-                    lambda home=home, payload=payload: self._request_once(
-                        home, MessageType.FREE_REQUEST, payload
-                    ),
-                    label=f"shrink:{rid:#x}@{home}",
-                )
-        for home in new_desc.home_nodes:
-            if home == self.node_id:
-                continue
-            self.rpc.send(
-                Message(
-                    msg_type=MessageType.DESCRIPTOR_UPDATE,
-                    src=self.node_id,
-                    dst=home,
-                    payload={"descriptor": new_desc.to_wire()},
-                )
-            )
-        self._hinted_rids.discard(rid)
-        self._advertise_caching(new_desc)
-        final = self.homed_regions.get(rid, new_desc)
-        return final
-
-    def op_migrate_region(self, rid: int, new_primary: int) -> ProtocolGen:
-        """Move a region's primary home to ``new_primary``.
-
-        The actual transfer runs at the current primary (it holds the
-        authoritative pages and directory); other nodes forward the
-        request there.  Returns the new descriptor.
-        """
-        self.stats.bump("migrate")
-        desc = yield from self.locate_region(rid)
-        if desc.rid != rid:
-            raise InvalidRange(
-                f"{rid:#x} is inside region {desc.rid:#x}, not its start"
-            )
-        if desc.primary_home == new_primary:
-            return desc
-        if desc.primary_home == self.node_id:
-            new_desc = yield from self.migrate_region_local(desc, new_primary)
-            return new_desc
-        try:
-            reply = yield self.rpc.request(
-                desc.primary_home, MessageType.REGION_MIGRATE,
-                {"rid": rid, "new_primary": new_primary},
-                policy=RetryPolicy(timeout=5.0, retries=1, backoff=2.0),
-            )
-        except RpcTimeout as error:
-            raise NodeUnavailable(
-                f"primary home {desc.primary_home} unreachable: {error}"
-            ) from error
-        except RemoteError as error:
-            raise error_from_code(error.code, error.detail) from error
-        new_desc = RegionDescriptor.from_wire(reply.payload["descriptor"])
-        self.adopt_descriptor(new_desc)
-        return new_desc
-
-    def migrate_region_local(self, desc: RegionDescriptor,
-                             new_primary: int) -> ProtocolGen:
-        """Primary-side migration: push pages, republish the descriptor."""
-        new_homes = (new_primary,) + tuple(
-            h for h in desc.home_nodes if h != new_primary
-        )
-        # Keep the home count stable: with min_replicas satisfied, the
-        # old primary drops off the end; otherwise it stays as a
-        # secondary replica.
-        keep = max(desc.attrs.min_replicas, 1)
-        new_homes = new_homes[:max(keep, 1)]
-        new_desc = desc.with_homes(new_homes)
-        if new_primary not in desc.home_nodes:
-            # The pushes carry the *new* descriptor, so the receiver
-            # has adopted its home role by the time they are acked.
-            yield from self.push_region_to(new_desc, new_primary)
-        self.adopt_descriptor(new_desc)
-        for node in set(new_homes) | set(desc.home_nodes):
-            if node == self.node_id:
-                continue
-            self.rpc.send(
-                Message(
-                    msg_type=MessageType.DESCRIPTOR_UPDATE,
-                    src=self.node_id,
-                    dst=node,
-                    payload={"descriptor": new_desc.to_wire()},
-                )
-            )
-        manager = self.cluster_manager_node
-        if manager is not None and manager != self.node_id:
-            self.rpc.send(
-                Message(
-                    msg_type=MessageType.CM_HINT_UPDATE,
-                    src=self.node_id,
-                    dst=manager,
-                    payload={"descriptor": new_desc.to_wire()},
-                )
-            )
-        elif self.cluster_role is not None:
-            self.cluster_role.note_region_cached(new_desc, new_primary)
-        self.retry_queue.enqueue(
-            lambda: self.address_map.update_homes(new_desc.range, new_homes),
-            label=f"map-migrate:{desc.rid:#x}",
-        )
-        self.migration_advisor.forget_region(desc.rid)
-        return new_desc
-
-    def push_region_to(self, desc: RegionDescriptor, target: int) -> ProtocolGen:
-        """Copy every allocated page of a homed region to ``target``."""
-        from repro.net.tasks import gather_settled
-
-        pushes = []
-        for entry in self.page_directory.entries_for_region(desc.rid):
-            if not entry.allocated:
-                continue
-            data = yield from self.local_page_bytes(desc, entry.address)
-            if data is None:
-                # Allocated but never written: the page is still
-                # logically all-zeroes; hand the target a real page so
-                # its 'allocated' marker transfers.
-                data = b"\x00" * desc.page_size
-            pushes.append(
-                self.rpc.request(
-                    target,
-                    MessageType.REPLICA_CREATE,
-                    {"rid": desc.rid, "page": entry.address, "data": data,
-                     "descriptor": desc.to_wire(),
-                     # Hand over the coherence directory too, so the
-                     # receiving home knows the true owner and copyset.
-                     "owner": entry.owner,
-                     "sharers": sorted(entry.sharers)},
-                    policy=RetryPolicy(timeout=2.0, retries=1, backoff=2.0),
-                )
-            )
-        if pushes:
-            outcomes = yield gather_settled(pushes, label="migrate-push")
-            failures = [exc for ok, exc in outcomes if not ok]
-            if failures:
-                raise NodeUnavailable(
-                    f"could not push region {desc.rid:#x} to node "
-                    f"{target}: {failures[0]}"
-                )
-
-    def op_get_attributes(self, rid: int) -> ProtocolGen:
-        """Fetch a region's current attributes (get-attributes op)."""
-        self.stats.bump("get_attrs")
-        desc = yield from self.locate_region(rid, skip_directory=True)
-        return desc.attrs
-
-    def op_set_attributes(self, rid: int, attrs: RegionAttributes,
-                          principal: str = SYSTEM_PRINCIPAL) -> ProtocolGen:
-        """Update a region's attributes (set-attributes op)."""
-        self.stats.bump("set_attrs")
-        desc = yield from self.locate_region(rid)
-        if not desc.attrs.acl.allows(principal, Right.ADMIN):
-            raise AccessDenied(
-                f"principal {principal!r} lacks admin rights on region "
-                f"{rid:#x}"
-            )
-        if attrs.page_size != desc.attrs.page_size:
-            raise InvalidRange(
-                "page size is fixed at reserve time and cannot change"
-            )
-        new_desc = desc.with_attrs(attrs)
-        self.adopt_descriptor(new_desc)
-        for home in new_desc.home_nodes:
-            if home == self.node_id:
-                continue
-            self.rpc.send(
-                Message(
-                    msg_type=MessageType.DESCRIPTOR_UPDATE,
-                    src=self.node_id,
-                    dst=home,
-                    payload={"descriptor": new_desc.to_wire()},
-                )
-            )
-        return new_desc
-
-    # ------------------------------------------------------------------
-    # Page-level services used by consistency managers
-    # ------------------------------------------------------------------
-
-    def consistency_manager(self, protocol: str) -> ConsistencyManager:
-        cm = self._cms.get(protocol)
-        if cm is None:
-            cm = create_manager(protocol, self)
-            self._cms[protocol] = cm
-        return cm
-
-    def local_page_bytes(self, desc: RegionDescriptor,
-                         page_addr: int) -> ProtocolGen:
-        """Bytes of a locally stored page, charging simulated disk time.
-
-        At a home node, an allocated-but-never-written page zero-fills
-        on demand (backing store is materialised lazily).
-        Returns None when the page is simply not here.
-        """
-        page, cost = self.storage.load(page_addr)
-        if cost > 0:
-            yield self.sleep(cost)
-        if page is not None:
-            return page.data
-        if self.node_id in desc.home_nodes:
-            entry = self.page_directory.get(page_addr)
-            implicitly_allocated = desc.rid == SYSTEM_RID
-            if implicitly_allocated or (entry is not None and entry.allocated):
-                data = b"\x00" * desc.page_size
-                yield from self.store_local_page(desc, page_addr, data,
-                                                 dirty=False)
-                entry = self.page_directory.ensure(
-                    page_addr, desc.rid, homed=True
-                )
-                entry.allocated = True
-                return data
-        return None
-
-    def store_local_page(self, desc: RegionDescriptor, page_addr: int,
-                         data: bytes, dirty: bool) -> ProtocolGen:
-        """Cache page bytes locally, charging victimization I/O time.
-
-        Address-map pages are written through to disk at their home:
-        the paper (3.5) requires the metadata needed to access a region
-        to be at least as available as the region itself, so a crashed
-        bootstrap node must recover the map from its persistent store.
-        """
-        page = StoredPage(page_addr, data, dirty=dirty)
-        is_home = self.node_id in desc.home_nodes
-        durable = self.journal is not None
-        if is_home and (desc.rid == SYSTEM_RID or durable):
-            # Home copies of the address map are always persistent;
-            # on durable deployments every homed page writes through,
-            # so a restarted daemon recovers its regions' contents.
-            cost = self.storage.write_through(page)
-        else:
-            cost = self.storage.store(page)
-        if cost > 0:
-            yield self.sleep(cost)
-        entry = self.page_directory.ensure(
-            page_addr, desc.rid, homed=self.node_id in desc.home_nodes
-        )
-        entry.record_sharer(self.node_id)
-
-    def drop_local_page(self, page_addr: int) -> None:
-        self.storage.drop(page_addr)
-
-    def adopt_descriptor(self, desc: RegionDescriptor) -> None:
-        """Install a (possibly newer) descriptor locally."""
-        if self.probe.enabled:
-            self.probe.region_seen(self.node_id, desc)
-        self.region_directory.insert(desc)
-        if self.node_id in desc.home_nodes:
-            known = self.homed_regions.get(desc.rid)
-            if known is None or desc.version >= known.version:
-                self.homed_regions[desc.rid] = desc
-        else:
-            was_home = self.homed_regions.pop(desc.rid, None) is not None
-            if was_home:
-                # Demoted (e.g. after a migration): our page entries
-                # become hints.  Owner/copyset values stay — the new
-                # primary received the same directory state with the
-                # pushed pages, so coherence authority moved intact.
-                for entry in self.page_directory.entries_for_region(desc.rid):
-                    entry.homed = False
-                self.migration_advisor.forget_region(desc.rid)
-
-    def _on_disk_evict(self, page: StoredPage) -> bool:
-        """Consistency hook before a page leaves this node (3.4)."""
-        entry = self.page_directory.get(page.address)
-        if entry is None:
-            return not page.dirty   # unknown dirty page: refuse to lose it
-        if entry.homed:
-            return False   # never evict authoritative home copies
-        desc = self.region_directory.find_covering(page.address)
-        if desc is None:
-            return not page.dirty
-        cm = self.consistency_manager(desc.attrs.protocol)
-        self.spawn(
-            cm.evict(desc, page.address, page.data, page.dirty),
-            label=f"evict:{page.address:#x}",
-        )
-        self.page_directory.drop(page.address)
-        cm.page_state.pop(page.address, None)
-        return True
-
-    # ------------------------------------------------------------------
-    # Message dispatch
-    # ------------------------------------------------------------------
-
-    def _wire_handlers(self) -> None:
-        on = self.rpc.on
-        on(MessageType.REGION_LOOKUP, self._dedup(self._h_region_lookup))
-        on(MessageType.DESCRIPTOR_FETCH, self._dedup(self._h_descriptor_fetch))
-        on(MessageType.DESCRIPTOR_UPDATE, self._h_descriptor_update)
-        on(MessageType.REGION_UNRESERVE, self._dedup(self._h_region_unreserve))
-        on(MessageType.ALLOC_REQUEST, self._dedup(self._h_alloc_request))
-        on(MessageType.FREE_REQUEST, self._dedup(self._h_free_request))
-        on(MessageType.LOCK_REQUEST, self._dedup(self._cm_dispatch("handle_lock_request")))
-        on(MessageType.PAGE_FETCH, self._dedup(self._cm_dispatch("handle_page_fetch")))
-        on(MessageType.INVALIDATE, self._dedup(self._cm_dispatch("handle_invalidate")))
-        on(MessageType.UPDATE_PUSH, self._dedup(self._cm_dispatch("handle_update")))
-        on(MessageType.PAGE_FETCH_BATCH,
-           self._dedup(self._cm_dispatch("handle_page_fetch_batch")))
-        on(MessageType.TOKEN_ACQUIRE_BATCH,
-           self._dedup(self._cm_dispatch("handle_lock_request_batch")))
-        on(MessageType.UPDATE_PUSH_BATCH,
-           self._dedup(self._cm_dispatch("handle_update_batch")))
-        on(MessageType.SHARER_REGISTER, self._cm_dispatch("handle_sharer_register"))
-        on(MessageType.SHARER_UNREGISTER, self._cm_dispatch("handle_sharer_unregister"))
-        on(MessageType.REPLICA_CREATE, self._dedup(self._h_replica_create))
-        on(MessageType.REGION_MIGRATE, self._dedup(self._h_region_migrate))
-        if self.cluster_role is not None:
-            on(MessageType.SPACE_REQUEST,
-               self._dedup(self.cluster_role.handle_space_request))
-            on(MessageType.CM_HINT_QUERY,
-               self._dedup(self.cluster_role.handle_hint_query))
-            on(MessageType.CM_HINT_UPDATE, self.cluster_role.handle_hint_update)
-            on(MessageType.FREE_SPACE_REPORT,
-               self.cluster_role.handle_free_space_report)
-
-    def _dedup(self, handler):
-        """Wrap a request handler with duplicate suppression.
-
-        Retransmitted requests must not start a second transaction:
-        in-progress duplicates are dropped (the eventual reply matches
-        either transmission); completed ones get the cached reply.
-        """
-
-        def wrapped(msg: Message) -> None:
-            if msg.request_id is None:
-                handler(msg)
-                return
-            key = (msg.src, msg.request_id)
-            if key in self._reply_cache:
-                cached = self._reply_cache[key]
-                if cached is not None:
-                    self.rpc.send(cached)
-                return   # in progress or already answered
-            self._reply_cache[key] = None
-            while len(self._reply_cache) > 2048:
-                self._reply_cache.popitem(last=False)
-            handler(msg)
-
-        return wrapped
-
-    def reply_request(self, msg: Message, msg_type: MessageType,
-                      payload: Optional[Dict[str, Any]] = None) -> None:
-        """Send (and cache) the reply to a request."""
-        reply = msg.reply(msg_type, payload or {})
-        if msg.request_id is not None:
-            self._reply_cache[(msg.src, msg.request_id)] = reply
-        self.rpc.send(reply)
-
-    def reply_error(self, msg: Message, code: str, detail: str = "") -> None:
-        reply = msg.error_reply(code, detail)
-        if msg.request_id is not None:
-            self._reply_cache[(msg.src, msg.request_id)] = reply
-        self.rpc.send(reply)
-
-    def _cm_dispatch(self, method_name: str):
-        """Route a consistency message to the region's CM."""
-
-        def handler(msg: Message) -> None:
-            rid = msg.payload.get("rid")
-            if rid is not None and rid in self.homed_regions:
-                # Feed the load-aware migration policy: consistency
-                # traffic reveals who actually uses this region.
-                self.migration_advisor.note_access(rid, msg.src)
-            desc = self.homed_regions.get(rid)
-            if desc is None:
-                desc = self.region_directory.get(rid)
-            if desc is None and "descriptor" in msg.payload:
-                desc = RegionDescriptor.from_wire(msg.payload["descriptor"])
-                self.adopt_descriptor(desc)
-            if desc is None:
-                if msg.request_id is not None:
-                    self.reply_error(msg, "region_not_found",
-                                     f"node {self.node_id} does not know "
-                                     f"region {rid:#x}")
-                return
-            cm = self.consistency_manager(desc.attrs.protocol)
-            getattr(cm, method_name)(desc, msg)
-
-        return handler
-
-    def _h_region_lookup(self, msg: Message) -> None:
-        address = int(msg.payload["address"])
-        desc = self.homed_regions.get(address)
-        if desc is None:
-            for candidate in self.homed_regions.values():
-                if candidate.range.contains(address):
-                    desc = candidate
-                    break
-        if desc is None:
-            cached = self.region_directory.find_covering(address)
-            if cached is not None and cached.rid != SYSTEM_RID:
-                desc = cached
-        if desc is None:
-            self.reply_error(msg, "region_not_found",
-                             f"node {self.node_id} cannot resolve "
-                             f"{address:#x}")
-            return
-        self.reply_request(
-            msg, MessageType.REGION_LOOKUP_REPLY,
-            {"descriptor": desc.to_wire()},
-        )
-
-    def _h_descriptor_fetch(self, msg: Message) -> None:
-        rid = int(msg.payload["rid"])
-        desc = self.homed_regions.get(rid)
-        if desc is None:
-            self.reply_error(msg, "not_responsible",
-                             f"node {self.node_id} is not a home of region "
-                             f"{rid:#x}")
-            return
-        self.reply_request(
-            msg, MessageType.DESCRIPTOR_REPLY, {"descriptor": desc.to_wire()}
-        )
-
-    def _h_descriptor_update(self, msg: Message) -> None:
-        desc = RegionDescriptor.from_wire(msg.payload["descriptor"])
-        self.adopt_descriptor(desc)
-
-    def _h_region_unreserve(self, msg: Message) -> None:
-        rid = int(msg.payload["rid"])
-        self._teardown_region(rid)
-        self.reply_request(msg, MessageType.FREE_REPLY, {})
-
-    def _teardown_region(self, rid: int) -> None:
-        for entry in self.page_directory.entries_for_region(rid):
-            self.storage.drop(entry.address)
-        self.page_directory.drop_region(rid)
-        self.homed_regions.pop(rid, None)
-        self.region_directory.invalidate(rid)
-
-    def _h_alloc_request(self, msg: Message) -> None:
-        rid = int(msg.payload["rid"])
-        desc = self.homed_regions.get(rid)
-        if desc is None and "descriptor" in msg.payload:
-            self.adopt_descriptor(
-                RegionDescriptor.from_wire(msg.payload["descriptor"])
-            )
-            desc = self.homed_regions.get(rid)
-        if desc is None:
-            self.reply_error(msg, "not_responsible",
-                             f"node {self.node_id} is not a home of region "
-                             f"{rid:#x}")
-            return
-        target = AddressRange(int(msg.payload["start"]),
-                              int(msg.payload["length"]))
-        self._allocate_local(desc, desc.pages_covering(target))
-        if not desc.allocated:
-            self.adopt_descriptor(desc.with_allocated(True))
-        self.reply_request(msg, MessageType.ALLOC_REPLY, {})
-
-    def _h_free_request(self, msg: Message) -> None:
-        rid = int(msg.payload["rid"])
-        desc = self.homed_regions.get(rid)
-        if desc is not None:
-            target = AddressRange(int(msg.payload["start"]),
-                                  int(msg.payload["length"]))
-            self._free_local(desc, target)
-        self.reply_request(msg, MessageType.FREE_REPLY, {})
-
-    def _h_region_migrate(self, msg: Message) -> None:
-        rid = int(msg.payload["rid"])
-        new_primary = int(msg.payload["new_primary"])
-        desc = self.homed_regions.get(rid)
-        if desc is None or desc.primary_home != self.node_id:
-            self.reply_error(msg, "not_responsible",
-                             f"node {self.node_id} is not the primary home "
-                             f"of region {rid:#x}")
-            return
-
-        def serve() -> ProtocolGen:
-            new_desc = yield from self.migrate_region_local(desc, new_primary)
-            self.reply_request(
-                msg, MessageType.DESCRIPTOR_REPLY,
-                {"descriptor": new_desc.to_wire()},
-            )
-
-        self.spawn_handler(msg, serve(), label="migrate")
-
-    def _h_replica_create(self, msg: Message) -> None:
-        desc = RegionDescriptor.from_wire(msg.payload["descriptor"])
-        self.adopt_descriptor(desc)
-        page_addr = int(msg.payload["page"])
-        data = msg.payload["data"]
-
-        def store() -> ProtocolGen:
-            yield from self.store_local_page(desc, page_addr, data,
-                                             dirty=False)
-            entry = self.page_directory.ensure(page_addr, desc.rid,
-                                               homed=True)
-            entry.allocated = True
-            if msg.payload.get("owner") is not None:
-                entry.owner = int(msg.payload["owner"])
-            for sharer in msg.payload.get("sharers", ()):
-                entry.record_sharer(int(sharer))
-            self.reply_request(msg, MessageType.REPLICA_ACK, {})
-
-        self.spawn_handler(msg, store(), label="replica-create")
-
-    # ------------------------------------------------------------------
-    # Housekeeping
-    # ------------------------------------------------------------------
-
-    def _schedule_housekeeping(self) -> None:
-        if not self._alive:
-            return
-        self.scheduler.call_later(
-            self.config.housekeeping_period, self._housekeeping
-        )
-
-    def _housekeeping(self) -> None:
-        if not self._alive:
-            return
-        for cm in self._cms.values():
-            cm.tick()
-        if self.config.enable_auto_migration:
-            self.migration_advisor.tick()
-        self.checkpoint()
-        if (
-            self.cluster_role is None
-            and self.config.use_cluster_hints
-            and self.space_pool.total_free() > 0
-        ):
-            self.rpc.send(
-                Message(
-                    msg_type=MessageType.FREE_SPACE_REPORT,
-                    src=self.node_id,
-                    dst=self.config.cluster_manager_node,
-                    payload={
-                        "total_free": self.space_pool.total_free(),
-                        "max_contiguous": self.space_pool.max_contiguous(),
-                    },
-                )
-            )
-        self._schedule_housekeeping()
-
-    def _on_peer_death(self, node_id: int) -> None:
-        for cm in self._cms.values():
-            cm.on_node_failure(node_id)
-        if self.cluster_role is not None:
-            self.cluster_role.forget_node(node_id)
+        return self.data.op_write(ctx, target, data)

@@ -183,3 +183,21 @@ class Message:
         return (
             f"<Message {self.msg_type.value} {self.src}->{self.dst}{rid}{rto}>"
         )
+
+
+def wire_label(message: "Message") -> str:
+    """Human-readable label for a message: the type, annotated with a
+    page count for batch envelopes so a trace (or a dispatch log line)
+    shows how much work one RPC carries."""
+    base = message.msg_type.value
+    payload = message.payload
+    if not isinstance(payload, dict):
+        return base
+    for key in ("pages", "updates"):
+        batch = payload.get(key)
+        if isinstance(batch, list):
+            return f"{base}[{len(batch)} page(s)]"
+    applied = payload.get("applied")
+    if isinstance(applied, int):
+        return f"{base}[{applied} page(s)]"
+    return base

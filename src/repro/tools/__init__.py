@@ -7,12 +7,18 @@ that summarize a running cluster's state.
 """
 
 from repro.tools.fsck import FsckReport, check_cluster
-from repro.tools.inspect import cluster_summary, region_report, storage_report
+from repro.tools.inspect import (
+    cluster_summary,
+    latency_report,
+    region_report,
+    storage_report,
+)
 
 __all__ = [
     "FsckReport",
     "check_cluster",
     "cluster_summary",
+    "latency_report",
     "region_report",
     "storage_report",
 ]

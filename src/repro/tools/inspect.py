@@ -44,6 +44,18 @@ def cluster_summary(cluster) -> Dict[str, Any]:
                 info["cached_on"].append(node)
     for info in regions.values():
         info.pop("_version", None)
+    latency: Dict[str, Dict[str, float]] = {}
+    for node in cluster.node_ids():
+        for op, lat in cluster.daemon(node).stats.op_latency.items():
+            if not lat.count:
+                continue
+            agg = latency.setdefault(op, {"count": 0, "total": 0.0,
+                                          "max": 0.0})
+            agg["count"] += lat.count
+            agg["total"] += lat.total
+            agg["max"] = max(agg["max"], lat.max)
+    for agg in latency.values():
+        agg["mean"] = agg.pop("total") / agg["count"]
     stats = cluster.stats
     return {
         "nodes": len(cluster.node_ids()),
@@ -51,6 +63,7 @@ def cluster_summary(cluster) -> Dict[str, Any]:
         "regions": sorted(regions.values(), key=lambda r: r["rid"]),
         "messages_sent": stats.messages_sent,
         "bytes_sent": stats.bytes_sent,
+        "op_latency": {op: latency[op] for op in sorted(latency)},
     }
 
 
@@ -76,6 +89,30 @@ def region_report(cluster, rid: int) -> Dict[str, Any]:
         if daemon.storage.contains(rid):
             report["cached_on"].append(node)
     return report
+
+
+def latency_report(cluster) -> List[Dict[str, Any]]:
+    """Per-node request-handling latency, by wire operation.
+
+    Latencies are virtual-clock seconds between a request arriving at
+    a node's :class:`~repro.core.router.MessageRouter` and its reply
+    (or error reply) being sent, as recorded by the router's latency
+    interceptor.  Requests that never got a reply are not counted.
+    """
+    rows = []
+    for node in cluster.node_ids():
+        daemon = cluster.daemon(node)
+        ops = {
+            op: {
+                "count": lat.count,
+                "mean": lat.mean,
+                "max": lat.max,
+            }
+            for op, lat in sorted(daemon.stats.op_latency.items())
+            if lat.count
+        }
+        rows.append({"node": node, "ops": ops})
+    return rows
 
 
 def storage_report(cluster) -> List[Dict[str, Any]]:

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
-from repro.net.message import Message, MessageType
+from repro.net.message import Message, MessageType, wire_label
 
 
 @dataclass
@@ -24,19 +24,9 @@ class TracedMessage:
     @property
     def label(self) -> str:
         """Message type, annotated with a page count for batch
-        envelopes so a trace shows how much work one RPC carries."""
-        base = self.message.msg_type.value
-        payload = self.message.payload
-        if not isinstance(payload, dict):
-            return base
-        for key in ("pages", "updates"):
-            batch = payload.get(key)
-            if isinstance(batch, list):
-                return f"{base}[{len(batch)} page(s)]"
-        applied = payload.get("applied")
-        if isinstance(applied, int):
-            return f"{base}[{applied} page(s)]"
-        return base
+        envelopes so a trace shows how much work one RPC carries.
+        Shared with the MessageRouter's dispatch logging."""
+        return wire_label(self.message)
 
 
 class MessageTrace:

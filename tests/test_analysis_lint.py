@@ -105,6 +105,27 @@ class TestMessageCompleteness:
         assert rules  # keep flake-style vars used
 
 
+class TestPrivateDaemonAccess:
+    def test_flags_private_access_outside_core(self):
+        findings = _lint_fixture(
+            "private_attr.py.txt", "src/repro/consistency/fixture.py"
+        )
+        assert [f.rule for f in findings] == ["KHZ006"] * 4
+        messages = " ".join(f.message for f in findings)
+        assert "._hinted_rids" in messages      # Name base
+        assert "._ctx_pages" in messages        # daemon2 local
+        assert "._alive" in messages            # cluster.daemon(1) call base
+        assert "._page_waiters" in messages     # cm.host attribute base
+        assert "__dict__" not in messages       # dunders exempt
+        assert "._internal" not in messages     # non-daemon base exempt
+
+    def test_core_package_is_exempt(self):
+        findings = _lint_fixture(
+            "private_attr.py.txt", "src/repro/core/fixture.py"
+        )
+        assert findings == []
+
+
 class TestSuppressions:
     def test_empty_reason_is_itself_a_finding(self):
         source = (

@@ -1,0 +1,86 @@
+"""Tests for the structural guards (repro.analysis.structure)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.structure import (
+    MAX_MODULE_LINES,
+    build_import_graph,
+    check_module_sizes,
+    check_tree,
+    find_cycle,
+    main,
+)
+
+REPRO_ROOT = Path(__file__).parent.parent / "src" / "repro"
+
+
+class TestModuleSizes:
+    def test_flags_oversized_module(self, tmp_path):
+        pkg = tmp_path / "repro"
+        pkg.mkdir()
+        (pkg / "huge.py").write_text(
+            "\n".join(f"x{i} = {i}" for i in range(MAX_MODULE_LINES + 1))
+        )
+        (pkg / "small.py").write_text("x = 1\n")
+        problems = check_module_sizes(pkg)
+        assert len(problems) == 1
+        assert "huge.py" in problems[0]
+        assert str(MAX_MODULE_LINES) in problems[0]
+
+
+class TestImportCycles:
+    def test_finds_a_cycle(self):
+        graph = {
+            "repro.core.a": {"repro.net.b"},
+            "repro.net.b": {"repro.consistency.c"},
+            "repro.consistency.c": {"repro.core.a"},
+        }
+        cycle = find_cycle(graph)
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+        assert set(cycle) == set(graph)
+
+    def test_acyclic_graph_passes(self):
+        graph = {
+            "repro.core.a": {"repro.net.b"},
+            "repro.net.b": set(),
+        }
+        assert find_cycle(graph) is None
+
+    def test_detects_cycle_in_real_files(self, tmp_path):
+        root = tmp_path / "repro"
+        core = root / "core"
+        net = root / "net"
+        core.mkdir(parents=True)
+        net.mkdir()
+        for pkg in (root, core, net):
+            (pkg / "__init__.py").write_text("")
+        (core / "a.py").write_text("from repro.net.b import thing\n")
+        (net / "b.py").write_text(
+            "from typing import TYPE_CHECKING\n"
+            "if TYPE_CHECKING:\n"
+            "    from repro.core.a import other\n"
+        )
+        # TYPE_CHECKING import does not close the cycle...
+        assert check_tree(root) == []
+        # ...an unconditional one does.
+        (net / "b.py").write_text("from repro.core.a import other\n")
+        problems = check_tree(root)
+        assert len(problems) == 1
+        assert "import cycle" in problems[0]
+        assert "repro.core.a" in problems[0]
+
+    def test_real_tree_has_edges_and_no_cycle(self):
+        graph = build_import_graph(REPRO_ROOT)
+        # The guard is not vacuous: the layered packages really do
+        # import each other (downward).
+        assert any(edges for edges in graph.values())
+        assert find_cycle(graph) is None
+
+
+class TestTree:
+    def test_shipped_tree_is_clean(self):
+        # The CI gate.
+        assert main([str(REPRO_ROOT)]) == 0

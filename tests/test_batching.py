@@ -206,22 +206,22 @@ class TestFullPageWriteFastPath:
         owner.allocate(desc.rid)
         ctx = owner.lock(desc.rid, 2 * PAGE, LockMode.WRITE)
 
-        daemon = cluster.daemon(1)
+        data_plane = cluster.daemon(1).data
         calls = []
-        original = daemon.local_page_bytes
+        original = data_plane.local_page_bytes
 
         def counting(desc_, page_addr):
             calls.append(page_addr)
             return original(desc_, page_addr)
 
-        daemon.local_page_bytes = counting
+        data_plane.local_page_bytes = counting
         try:
             owner.write(ctx, desc.rid, b"f" * PAGE)   # exactly one page
             assert calls == []
             owner.write(ctx, desc.rid + PAGE, b"g" * 10)   # partial page
             assert len(calls) >= 1
         finally:
-            daemon.local_page_bytes = original
+            data_plane.local_page_bytes = original
         owner.unlock(ctx)
         assert owner.read_at(desc.rid, PAGE) == b"f" * PAGE
         assert owner.read_at(desc.rid + PAGE, 10) == b"g" * 10

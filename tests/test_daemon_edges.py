@@ -62,7 +62,7 @@ class TestDuplicateSuppression:
             calls.append(msg)
             daemon2.reply_request(msg, MessageType.PONG, {"n": len(calls)})
 
-        daemon2.rpc.on(MessageType.PING, daemon2._dedup(handler))
+        daemon2.rpc.on(MessageType.PING, daemon2.router.dedup(handler))
         # Hand-craft two identical transmissions of one request.
         request = Message(MessageType.PING, src=1, dst=2, request_id=4242)
         cluster.network.send(request)
@@ -85,7 +85,7 @@ class TestDuplicateSuppression:
             started.append(msg)
             # Never replies: simulates a long transaction in progress.
 
-        daemon2.rpc.on(MessageType.PAGE_FETCH, daemon2._dedup(slow_handler))
+        daemon2.rpc.on(MessageType.PAGE_FETCH, daemon2.router.dedup(slow_handler))
         for _ in range(3):
             cluster.network.send(
                 Message(MessageType.PAGE_FETCH, src=1, dst=2,
@@ -99,7 +99,7 @@ class TestTimeouts:
     def test_with_timeout_fires(self, cluster):
         daemon = cluster.daemon(1)
         never = Future("never")
-        wrapped = daemon._with_timeout(never, 0.5, KhazanaTimeout("late"))
+        wrapped = daemon.with_timeout(never, 0.5, KhazanaTimeout("late"))
         cluster.run(1.0)
         with pytest.raises(KhazanaTimeout):
             wrapped.result()
@@ -107,7 +107,7 @@ class TestTimeouts:
     def test_with_timeout_passthrough(self, cluster):
         daemon = cluster.daemon(1)
         inner = Future("quick")
-        wrapped = daemon._with_timeout(inner, 5.0, KhazanaTimeout("late"))
+        wrapped = daemon.with_timeout(inner, 5.0, KhazanaTimeout("late"))
         inner.set_result("value")
         assert wrapped.result() == "value"
         cluster.run(10.0)   # timer fires later; must be harmless

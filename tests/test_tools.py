@@ -5,7 +5,13 @@ import pytest
 
 from repro.api import create_cluster
 from repro.core.attributes import ConsistencyLevel, RegionAttributes
-from repro.tools import check_cluster, cluster_summary, region_report, storage_report
+from repro.tools import (
+    check_cluster,
+    cluster_summary,
+    latency_report,
+    region_report,
+    storage_report,
+)
 
 
 def exercised_cluster():
@@ -122,6 +128,25 @@ class TestInspect:
         assert descs[0].rid in pages
         # Node 2 wrote last, so the home's entry says node 2 owns it.
         assert pages[descs[0].rid][1]["owner"] == 2
+
+    def test_latency_report(self):
+        cluster, _ = exercised_cluster()
+        rows = latency_report(cluster)
+        assert len(rows) == 4
+        # Node 1 homes the regions, so it answered remote requests.
+        node1 = next(r for r in rows if r["node"] == 1)
+        assert node1["ops"], "home node should have replied to requests"
+        for op, rec in node1["ops"].items():
+            assert rec["count"] > 0
+            assert 0.0 <= rec["mean"] <= rec["max"]
+        # The summary aggregate agrees on total counts per op.
+        summary = cluster_summary(cluster)
+        totals = {}
+        for row in rows:
+            for op, rec in row["ops"].items():
+                totals[op] = totals.get(op, 0) + rec["count"]
+        assert {op: rec["count"]
+                for op, rec in summary["op_latency"].items()} == totals
 
     def test_storage_report(self):
         cluster, _ = exercised_cluster()
