@@ -79,6 +79,32 @@ def check_replica_floor(daemons: Sequence[Any]) -> List[str]:
     return problems
 
 
+def check_token_ledgers(daemons: Sequence[Any]) -> List[str]:
+    """Token conservation: every granted write token's mutex is held.
+
+    The protocol engine's CopysetLedger pairs a per-page token mutex
+    with a record of which node each token was granted to.  A recorded
+    holder whose mutex is free means a release path gave back the
+    mutex without clearing the grant (or a grant leaked past an
+    abort); the page can then be granted twice.
+    """
+    problems: List[str] = []
+    for daemon in daemons:
+        for protocol, cm in daemon.consistency_managers().items():
+            engine = getattr(cm, "engine", None)
+            if engine is None:
+                continue
+            ledger = engine.ledger
+            for page_addr, holder in sorted(ledger.holders().items()):
+                if not ledger.locked(page_addr):
+                    problems.append(
+                        f"node {daemon.node_id} [{protocol}]: page "
+                        f"{page_addr:#x} token is recorded for node "
+                        f"{holder} but its mutex is not held"
+                    )
+    return problems
+
+
 def check_directory_store_agreement(daemons: Sequence[Any]) -> List[str]:
     """Every stored page is known to its node's page directory.
 

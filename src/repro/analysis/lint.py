@@ -35,12 +35,19 @@ cannot know:
   use the :class:`~repro.core.cmhost.CMHost` surface or another
   public kernel API; private state is free to move between the node
   services without notice.
+- **KHZ007 direct-wire** — consistency *policy* modules (everything
+  under ``repro/consistency/`` outside ``repro/consistency/engine/``)
+  may not touch ``host.rpc`` or call ``host.reply_request`` /
+  ``host.reply_error`` directly; all wire traffic goes through the
+  :class:`~repro.consistency.engine.ProtocolEngine` primitives so
+  retry policies, NAK classification, counters, and task labels stay
+  uniform across protocols.
 
 Suppression: append ``# khz: allow-<slug>(reason)`` to the flagged
 line.  The reason is mandatory; an empty one is itself an error.
 Slugs: ``blocking-call``, ``unhandled-message``, ``missing-fallback``,
 ``reply-class``, ``broad-except``, ``stale-context``,
-``foreign-exception``, ``private-daemon-attr``.
+``foreign-exception``, ``private-daemon-attr``, ``direct-wire``.
 """
 
 from __future__ import annotations
@@ -81,7 +88,7 @@ TAXONOMY_SCOPES = ("repro/consistency/",)
 TAXONOMY_FILES = ("repro/core/daemon.py", "repro/core/locks.py")
 
 #: Names that construct taxonomy errors without naming a class.
-TAXONOMY_FACTORIES = {"error_from_code", "_typed_denial"}
+TAXONOMY_FACTORIES = {"error_from_code", "_typed_denial", "typed_denial"}
 
 #: Variable names that (by convention) hold a daemon/kernel object.
 DAEMONISH_NAME_RE = re.compile(r"^(?:daemon|host|kernel)\w*$")
@@ -89,6 +96,14 @@ DAEMONISH_NAME_RE = re.compile(r"^(?:daemon|host|kernel)\w*$")
 #: Path substring marking the only package allowed to touch daemon
 #: internals (KHZ006).
 KERNEL_SCOPE = "repro/core/"
+
+#: Paths where KHZ007 applies (policy side of the consistency layer).
+POLICY_SCOPE = "repro/consistency/"
+#: ... except the engine, which *is* the wire layer.
+ENGINE_SCOPE = "repro/consistency/engine/"
+
+#: Reply methods a policy must reach via engine.reply / engine.nak.
+REPLY_METHODS = ("reply_request", "reply_error")
 
 
 @dataclass(frozen=True)
@@ -561,6 +576,34 @@ def check_private_daemon_access(sf: SourceFile,
 
 
 # ---------------------------------------------------------------------------
+# KHZ007: policy modules reach the wire only through the engine
+# ---------------------------------------------------------------------------
+
+def check_direct_wire(sf: SourceFile, reporter: _Reporter) -> None:
+    if POLICY_SCOPE not in sf.path or ENGINE_SCOPE in sf.path:
+        return
+    for node in ast.walk(sf.tree):
+        if (isinstance(node, ast.Attribute)
+                and node.attr == "rpc"
+                and _names_a_daemon(node.value)):
+            reporter.flag(
+                sf, node.lineno, "KHZ007", "direct-wire",
+                "policy code touches host.rpc directly; go through "
+                "engine.request/engine.send so retry policies and "
+                "counters stay uniform",
+            )
+        elif (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in REPLY_METHODS
+                and _names_a_daemon(node.func.value)):
+            reporter.flag(
+                sf, node.lineno, "KHZ007", "direct-wire",
+                f"policy code calls host.{node.func.attr} directly; "
+                "go through engine.reply/engine.nak",
+            )
+
+
+# ---------------------------------------------------------------------------
 # Driver
 # ---------------------------------------------------------------------------
 
@@ -574,6 +617,7 @@ def lint_files(files: Sequence[SourceFile]) -> List[Finding]:
         check_stale_contexts(sf, reporter)
         check_error_taxonomy(sf, reporter, taxonomy)
         check_private_daemon_access(sf, reporter)
+        check_direct_wire(sf, reporter)
     check_message_completeness(files, reporter)
     return sorted(reporter.findings, key=lambda f: (f.path, f.line, f.rule))
 

@@ -457,6 +457,8 @@ class RaceDetector(Probe):
             self._flag("replica-floor", problem)
         for problem in invariants.check_directory_store_agreement(live):
             self._flag("directory-store", problem)
+        for problem in invariants.check_token_ledgers(live):
+            self._flag("token-conservation", problem)
         return self.violations
 
     def report(self) -> str:

@@ -1,26 +1,19 @@
 """CREW: the Concurrent Read Exclusive Write protocol.
 
 "The only consistency model we currently support is a Concurrent Read
-Exclusive Write (CREW) protocol [Lamport 1979]" (paper Section 5).
-This is the strict protocol behind ``ConsistencyLevel.STRICT``: many
-nodes may cache a page for reading; a writer invalidates every cached
-copy and becomes the page's exclusive owner, giving sequentially
-consistent data.
-
-The directory lives at the page's *home node* (the region's primary
-home): its page-directory entry authoritatively records the current
-owner and copyset, exactly as "each region has a home node that ...
-keeps track of all the nodes maintaining copies of the region's data"
-(Section 3.1).  Requesters with a cached owner hint may contact the
-owner directly (the fast path of Figure 2); otherwise the home node
-mediates.
+Exclusive Write (CREW) protocol [Lamport 1979]" (paper Section 5) —
+the strict protocol behind ``ConsistencyLevel.STRICT``.  The page's
+home node keeps the authoritative owner/copyset entry (Section 3.1);
+requesters with a cached owner hint may contact the owner directly
+(the fast path of Figure 2).  The copy movement itself — demote or
+revoke the owner, invalidate the copyset, wait out local contexts —
+is the engine's :class:`~repro.consistency.engine.DirectoryCoherence`;
+this module keeps only the CREW policy decisions.
 
 Durability addition: because Khazana is a *persistent* store, dirty
 pages are written back to every home node at lock release, so a
 region with ``min_replicas`` > 1 home nodes survives the loss of any
-owner or home (Section 3.5's availability goal).  Between writes and
-release, data newer than the home copies exists only at the owner —
-the same window the paper's prototype has.
+owner or home (Section 3.5's availability goal).
 """
 
 from __future__ import annotations
@@ -29,24 +22,18 @@ from typing import Any, Callable, Dict, List, Optional
 
 from typing import TYPE_CHECKING
 
+from repro.consistency.engine import PageEvent
 from repro.consistency.manager import (
     ConsistencyManager,
-    KeyedMutex,
     LocalPageState,
     ProtocolGen,
-    _typed_denial,
     register_protocol,
 )
-from repro.core.errors import (
-    KhazanaError,
-    LockDenied,
-    NotAllocated,
-)
+from repro.core.errors import KhazanaError, LockDenied
 from repro.core.locks import LockContext, LockMode
 from repro.core.region import RegionDescriptor
 from repro.net.message import Message, MessageType
 from repro.net.rpc import RemoteError, RetryPolicy, RpcTimeout
-from repro.net.tasks import Future, gather_settled
 
 if TYPE_CHECKING:
     from repro.core.cmhost import CMHost
@@ -62,14 +49,43 @@ class CrewManager(ConsistencyManager):
 
     protocol_name = "crew"
 
+    #: Full MSI: read copies are SHARED, a write grant is EXCLUSIVE,
+    #: handing out a read copy demotes, invalidations and durability
+    #: write-backs leave the page INVALID locally.
+    TRANSITIONS = {
+        PageEvent.READ_FILL: LocalPageState.SHARED,
+        PageEvent.WRITE_GRANT: LocalPageState.EXCLUSIVE,
+        PageEvent.DEMOTE: LocalPageState.SHARED,
+        PageEvent.INVALIDATE: LocalPageState.INVALID,
+        PageEvent.WRITEBACK_COPY: LocalPageState.INVALID,
+    }
+
     def __init__(self, host: "CMHost") -> None:
         super().__init__(host)
-        #: Serialises home-side directory transactions per page.
-        self._mutex = KeyedMutex()
+        self.engine.directory.policy = TRANSACTION_POLICY
 
     # ------------------------------------------------------------------
     # Client side
     # ------------------------------------------------------------------
+
+    @staticmethod
+    def _reject_write_shared(mode: LockMode) -> None:
+        if mode is LockMode.WRITE_SHARED:
+            raise LockDenied(
+                "CREW does not support write-shared intentions; "
+                "use the release or eventual protocol"
+            )
+
+    def _satisfied_locally(self, desc: RegionDescriptor, page_addr: int,
+                           mode: LockMode) -> bool:
+        state = self.pages.state(page_addr)
+        resident = self.host.storage.contains(page_addr)
+        if mode is LockMode.READ:
+            return state is not LocalPageState.INVALID and resident
+        entry = self.host.page_directory.get(page_addr)
+        return (state is LocalPageState.EXCLUSIVE and resident
+                and entry is not None
+                and entry.owner == self.host.node_id)
 
     def acquire(
         self,
@@ -78,140 +94,99 @@ class CrewManager(ConsistencyManager):
         mode: LockMode,
         ctx: LockContext,
     ) -> ProtocolGen:
-        if mode is LockMode.WRITE_SHARED:
-            raise LockDenied(
-                "CREW does not support write-shared intentions; "
-                "use the release or eventual protocol"
-            )
-        state = self.page_state.get(page_addr, LocalPageState.INVALID)
-        resident = self.host.storage.contains(page_addr)
-
-        if mode is LockMode.READ:
-            if state is not LocalPageState.INVALID and resident:
-                return  # cached copy is valid for reading
-            yield from self._acquire_read(desc, page_addr, ctx.principal)
+        self._reject_write_shared(mode)
+        if self._satisfied_locally(desc, page_addr, mode):
             return
+        yield from self._acquire(desc, page_addr, mode, ctx.principal)
 
-        # WRITE path
-        entry = self.host.page_directory.get(page_addr)
-        if (
-            state is LocalPageState.EXCLUSIVE
-            and resident
-            and entry is not None
-            and entry.owner == self.host.node_id
-        ):
-            return  # already the exclusive owner
-        yield from self._acquire_write(desc, page_addr, ctx.principal)
-
-    def _acquire_read(self, desc: RegionDescriptor, page_addr: int,
-                      principal: str) -> ProtocolGen:
-        me = self.host.node_id
-        if me in desc.home_nodes and me == desc.primary_home:
-            data = yield from self._home_grant(desc, page_addr, LockMode.READ, me)
-            if data is not None:
-                yield from self.host.store_local_page(
-                    desc, page_addr, data, dirty=False
-                )
-            self.page_state[page_addr] = LocalPageState.SHARED
-            return
-
-        # Fast path (Figure 2): a page-directory hint names the owner;
-        # ask it directly for a read copy.
-        hint = self.host.page_directory.get(page_addr)
-        owner_hint = hint.owner if hint is not None else None
-        if owner_hint is not None and owner_hint not in (me, desc.primary_home):
-            try:
-                reply = yield self.host.rpc.request(
-                    owner_hint,
-                    MessageType.LOCK_REQUEST,
-                    {"rid": desc.rid, "page": page_addr,
-                     "mode": LockMode.READ.value, "direct": True,
-                     "principal": principal},
-                    policy=TRANSACTION_POLICY,
-                )
-            except (RpcTimeout, RemoteError):
-                reply = None   # stale hint; fall back to the home node
-            if reply is not None:
-                yield from self._install_read_copy(desc, page_addr, reply)
-                return
-
-        reply = yield from self._request_home(
-            desc, page_addr, LockMode.READ, principal
-        )
-        yield from self._install_read_copy(desc, page_addr, reply)
-
-    def _install_read_copy(
-        self, desc: RegionDescriptor, page_addr: int, reply: Message
-    ) -> ProtocolGen:
-        data = reply.payload.get("data")
-        if data is not None:
-            yield from self.host.store_local_page(
-                desc, page_addr, data, dirty=False
-            )
-        entry = self.host.page_directory.ensure(
-            page_addr, desc.rid, homed=False
-        )
-        owner = reply.payload.get("owner")
-        if owner is not None:
-            entry.owner = owner
-        entry.allocated = True
-        self.page_state[page_addr] = LocalPageState.SHARED
-
-    def _acquire_write(self, desc: RegionDescriptor, page_addr: int,
-                       principal: str) -> ProtocolGen:
+    def _acquire(self, desc: RegionDescriptor, page_addr: int,
+                 mode: LockMode, principal: str) -> ProtocolGen:
         me = self.host.node_id
         if me == desc.primary_home:
-            data = yield from self._home_grant(desc, page_addr, LockMode.WRITE, me)
+            data = yield from self._home_grant(desc, page_addr, mode, me)
             if data is not None:
                 yield from self.host.store_local_page(
-                    desc, page_addr, data, dirty=True
+                    desc, page_addr, data, dirty=mode is not LockMode.READ
                 )
-            self.page_state[page_addr] = LocalPageState.EXCLUSIVE
+            self.pages.fire(
+                page_addr,
+                PageEvent.READ_FILL if mode is LockMode.READ
+                else PageEvent.WRITE_GRANT,
+            )
             return
-        reply = yield from self._request_home(desc, page_addr,
-                                              LockMode.WRITE, principal)
-        data = reply.payload.get("data")
+        if mode is LockMode.READ:
+            served = yield from self._direct_read(desc, page_addr, principal)
+            if served:
+                return
+        reply = yield from self.engine.request_home(
+            desc,
+            MessageType.LOCK_REQUEST,
+            {"rid": desc.rid, "page": page_addr,
+             "mode": mode.value, "principal": principal},
+            policy=TRANSACTION_POLICY,
+            fail="no home node of region {rid:#x} granted the lock: {error}",
+        )
+        yield from self._install_grant(
+            desc, page_addr, mode,
+            reply.payload.get("data"), reply.payload.get("owner"),
+        )
+
+    def _direct_read(self, desc: RegionDescriptor, page_addr: int,
+                     principal: str) -> ProtocolGen:
+        """Fast path (Figure 2): a page-directory hint names the
+        owner; ask it directly for a read copy."""
+        me = self.host.node_id
+        hint = self.host.page_directory.get(page_addr)
+        owner = hint.owner if hint is not None else None
+        if owner is None or owner in (me, desc.primary_home):
+            return False
+        try:
+            reply = yield self.engine.request(
+                owner,
+                MessageType.LOCK_REQUEST,
+                {"rid": desc.rid, "page": page_addr,
+                 "mode": LockMode.READ.value, "direct": True,
+                 "principal": principal},
+                policy=TRANSACTION_POLICY,
+            )
+        except (RpcTimeout, RemoteError):
+            return False   # stale hint; fall back to the home node
+        yield from self._install_grant(
+            desc, page_addr, LockMode.READ,
+            reply.payload.get("data"), reply.payload.get("owner"),
+        )
+        return True
+
+    def _install_grant(
+        self,
+        desc: RegionDescriptor,
+        page_addr: int,
+        mode: LockMode,
+        data: Optional[bytes],
+        owner: Optional[int],
+    ) -> ProtocolGen:
+        """Install a home/owner grant locally (read copy or write
+        ownership); shared by the per-page and batched paths."""
+        write = mode is not LockMode.READ
         if data is not None:
             yield from self.host.store_local_page(
-                desc, page_addr, data, dirty=True
+                desc, page_addr, data, dirty=write
             )
-        elif not self.host.storage.contains(page_addr):
+        elif write and not self.host.storage.contains(page_addr):
             raise KhazanaError(
                 f"write grant for page {page_addr:#x} carried no data and "
                 "no local copy exists"
             )
-        entry = self.host.page_directory.ensure(
-            page_addr, desc.rid, homed=False
-        )
-        entry.owner = me
+        entry = self.host.page_directory.ensure(page_addr, desc.rid,
+                                                homed=False)
+        if write:
+            entry.owner = self.host.node_id
+        elif owner is not None:
+            entry.owner = owner
         entry.allocated = True
-        self.page_state[page_addr] = LocalPageState.EXCLUSIVE
-
-    def _request_home(
-        self, desc: RegionDescriptor, page_addr: int, mode: LockMode,
-        principal: str,
-    ) -> ProtocolGen:
-        """Ask the region's home nodes (in order) for a lock grant."""
-        last_error: Optional[Exception] = None
-        for home in desc.home_nodes:
-            if home == self.host.node_id:
-                continue
-            try:
-                reply = yield self.host.rpc.request(
-                    home,
-                    MessageType.LOCK_REQUEST,
-                    {"rid": desc.rid, "page": page_addr, "mode": mode.value,
-                     "principal": principal},
-                    policy=TRANSACTION_POLICY,
-                )
-                return reply
-            except RpcTimeout as error:
-                last_error = error   # try the next home (Section 3.5)
-            except RemoteError as error:
-                raise _typed_denial(error) from error
-        raise LockDenied(
-            f"no home node of region {desc.rid:#x} granted the lock: "
-            f"{last_error}"
+        self.pages.fire(
+            page_addr,
+            PageEvent.WRITE_GRANT if write else PageEvent.READ_FILL,
         )
 
     def release(
@@ -223,37 +198,23 @@ class CrewManager(ConsistencyManager):
         """Write dirty data back to every home node at unlock.
 
         CREW itself moves data only on demand; the write-back provides
-        the persistence/availability the paper requires of Khazana's
-        storage (home copies stay current so a crashed owner loses at
-        most the current lock generation's writes).
+        the persistence the paper requires of Khazana's storage.  Best
+        effort: unreachable homes are repaired by the replica
+        maintenance loop, not by failing the unlock (3.5).
         """
         if page_addr not in ctx.dirty_pages:
             return
         page = self.host.storage.peek(page_addr)
         if page is None:
             return
-        pushes = []
-        for home in desc.home_nodes:
-            if home == self.host.node_id:
-                continue
-            pushes.append(
-                self.host.rpc.request(
-                    home,
-                    MessageType.UPDATE_PUSH,
-                    {
-                        "rid": desc.rid,
-                        "page": page_addr,
-                        "data": page.data,
-                        "release_token": False,
-                    },
-                    policy=TRANSACTION_POLICY,
-                )
-            )
-        if pushes:
-            # Best effort: unreachable homes are repaired by the
-            # replica maintenance loop, not by failing the unlock
-            # (release-type errors never surface to clients, 3.5).
-            yield gather_settled(pushes, label="crew-writeback")
+        yield from self.engine.push_homes(
+            desc,
+            MessageType.UPDATE_PUSH,
+            {"rid": desc.rid, "page": page_addr, "data": page.data,
+             "release_token": False},
+            policy=TRANSACTION_POLICY,
+            label="crew-writeback",
+        )
         if self.host.node_id == desc.primary_home:
             self.host.storage.mark_clean(page_addr)
 
@@ -269,118 +230,45 @@ class CrewManager(ConsistencyManager):
         ctx: LockContext,
         note_acquired: Callable[[int], None],
     ) -> ProtocolGen:
-        if mode is LockMode.WRITE_SHARED:
-            raise LockDenied(
-                "CREW does not support write-shared intentions; "
-                "use the release or eventual protocol"
-            )
+        self._reject_write_shared(mode)
         me = self.host.node_id
-        if (me == desc.primary_home or len(pages) <= 1
-                or not self.batching_enabled()):
+        if not self.engine.batch.use_batch(desc, pages):
             yield from super().acquire_many(desc, pages, mode, ctx,
                                             note_acquired)
             return
-        for page_addr in pages:
-            yield from self.host.wait_local_conflicts(page_addr, mode)
+        yield from self.engine.batch.wait_conflicts(pages, mode)
         batched: List[int] = []
         for page_addr in pages:
-            state = self.page_state.get(page_addr, LocalPageState.INVALID)
-            resident = self.host.storage.contains(page_addr)
+            if self._satisfied_locally(desc, page_addr, mode):
+                continue
             entry = self.host.page_directory.get(page_addr)
-            if mode is LockMode.READ:
-                if state is not LocalPageState.INVALID and resident:
-                    continue   # cached copy is valid for reading
-                owner_hint = entry.owner if entry is not None else None
-                if owner_hint is not None and owner_hint not in (
-                    me, desc.primary_home
-                ):
-                    # Figure 2's direct-owner fast path stays per-page;
-                    # only home-mediated pages join the batch.
-                    yield from self._acquire_read(desc, page_addr,
-                                                  ctx.principal)
-                    continue
-                batched.append(page_addr)
-            else:
-                if (state is LocalPageState.EXCLUSIVE and resident
-                        and entry is not None and entry.owner == me):
-                    continue   # already the exclusive owner
-                batched.append(page_addr)
+            owner_hint = entry.owner if entry is not None else None
+            if (mode is LockMode.READ and owner_hint is not None
+                    and owner_hint not in (me, desc.primary_home)):
+                # Figure 2's direct-owner fast path stays per-page;
+                # only home-mediated pages join the batch.
+                yield from self._acquire(desc, page_addr, mode,
+                                         ctx.principal)
+                continue
+            batched.append(page_addr)
         if batched:
-            reply = yield from self._request_home_batch(
-                desc, batched, mode, ctx.principal
+            reply = yield from self.engine.request_home(
+                desc,
+                MessageType.TOKEN_ACQUIRE_BATCH,
+                {"rid": desc.rid, "pages": list(batched),
+                 "mode": mode.value, "principal": ctx.principal},
+                policy=TRANSACTION_POLICY,
+                fail=("no home node of region {rid:#x} granted the batch: "
+                      "{error}"),
             )
-            yield from self._install_batch_grants(desc, mode, reply)
+            for item in reply.payload.get("pages", []):
+                yield from self._install_grant(
+                    desc, int(item["page"]), mode,
+                    item.get("data"), item.get("owner"),
+                )
+            self.engine.raise_batch_errors(reply)
         for page_addr in pages:
             note_acquired(page_addr)
-
-    def _request_home_batch(
-        self, desc: RegionDescriptor, pages: List[int], mode: LockMode,
-        principal: str,
-    ) -> ProtocolGen:
-        last_error: Optional[Exception] = None
-        for home in desc.home_nodes:
-            if home == self.host.node_id:
-                continue
-            try:
-                reply = yield self.host.rpc.request(
-                    home,
-                    MessageType.TOKEN_ACQUIRE_BATCH,
-                    {"rid": desc.rid, "pages": list(pages),
-                     "mode": mode.value, "principal": principal},
-                    policy=TRANSACTION_POLICY,
-                )
-                return reply
-            except RpcTimeout as error:
-                last_error = error   # try the next home (Section 3.5)
-            except RemoteError as error:
-                raise _typed_denial(error) from error
-        raise LockDenied(
-            f"no home node of region {desc.rid:#x} granted the batch: "
-            f"{last_error}"
-        )
-
-    def _install_batch_grants(
-        self, desc: RegionDescriptor, mode: LockMode, reply: Message
-    ) -> ProtocolGen:
-        me = self.host.node_id
-        for item in reply.payload.get("pages", []):
-            page_addr = int(item["page"])
-            data = item.get("data")
-            if mode is LockMode.READ:
-                if data is not None:
-                    yield from self.host.store_local_page(
-                        desc, page_addr, data, dirty=False
-                    )
-                entry = self.host.page_directory.ensure(
-                    page_addr, desc.rid, homed=False
-                )
-                owner = item.get("owner")
-                if owner is not None:
-                    entry.owner = owner
-                entry.allocated = True
-                self.page_state[page_addr] = LocalPageState.SHARED
-            else:
-                if data is not None:
-                    yield from self.host.store_local_page(
-                        desc, page_addr, data, dirty=True
-                    )
-                elif not self.host.storage.contains(page_addr):
-                    raise KhazanaError(
-                        f"write grant for page {page_addr:#x} carried no "
-                        "data and no local copy exists"
-                    )
-                entry = self.host.page_directory.ensure(
-                    page_addr, desc.rid, homed=False
-                )
-                entry.owner = me
-                entry.allocated = True
-                self.page_state[page_addr] = LocalPageState.EXCLUSIVE
-        errors = reply.payload.get("errors") or []
-        if errors:
-            from repro.core.errors import error_from_code
-
-            first = errors[0]
-            raise error_from_code(first["code"], first.get("detail", ""))
 
     def release_many(
         self,
@@ -389,7 +277,10 @@ class CrewManager(ConsistencyManager):
         ctx: LockContext,
     ) -> ProtocolGen:
         me = self.host.node_id
-        if len(pages) <= 1 or not self.batching_enabled():
+        # CREW's write-back goes to the *other* homes even from the
+        # primary, so there is no home-local fallback here.
+        if not self.engine.batch.use_batch(desc, pages,
+                                           home_local_fallback=False):
             yield from super().release_many(desc, pages, ctx)
             return
         updates: List[Dict[str, Any]] = []
@@ -399,26 +290,17 @@ class CrewManager(ConsistencyManager):
             page = self.host.storage.peek(page_addr)
             if page is None:
                 continue
-            updates.append({
-                "page": page_addr, "data": page.data,
-                "release_token": False,
-            })
+            updates.append({"page": page_addr, "data": page.data,
+                            "release_token": False})
         if updates:
             # One coalesced write-back per home; distinct homes overlap.
-            pushes = []
-            for home in desc.home_nodes:
-                if home == me:
-                    continue
-                pushes.append(
-                    self.host.rpc.request(
-                        home,
-                        MessageType.UPDATE_PUSH_BATCH,
-                        {"rid": desc.rid, "updates": updates},
-                        policy=TRANSACTION_POLICY,
-                    )
-                )
-            if pushes:
-                yield gather_settled(pushes, label="crew-writeback-batch")
+            yield from self.engine.push_homes(
+                desc,
+                MessageType.UPDATE_PUSH_BATCH,
+                {"rid": desc.rid, "updates": updates},
+                policy=TRANSACTION_POLICY,
+                label="crew-writeback-batch",
+            )
         if me == desc.primary_home:
             for update in updates:
                 self.host.storage.mark_clean(update["page"])
@@ -434,191 +316,27 @@ class CrewManager(ConsistencyManager):
         mode: LockMode,
         requester: int,
     ) -> ProtocolGen:
-        """Run a directory transaction at the home node.
-
-        Returns the page bytes the requester needs (None when the
-        requester already holds a current copy).
-        """
-        yield self._mutex.acquire(page_addr)
-        try:
-            result = yield from self._home_grant_locked(
-                desc, page_addr, mode, requester
-            )
-            return result
-        finally:
-            self._mutex.release(page_addr)
-
-    def _home_grant_locked(
-        self,
-        desc: RegionDescriptor,
-        page_addr: int,
-        mode: LockMode,
-        requester: int,
-    ) -> ProtocolGen:
-        me = self.host.node_id
-        entry = self.host.page_directory.ensure(page_addr, desc.rid, homed=True)
-        if not entry.allocated:
-            raise NotAllocated(
-                f"page {page_addr:#x} of region {desc.rid:#x} has no "
-                "allocated storage"
-            )
-        if entry.owner is None:
-            entry.owner = me
-            entry.record_sharer(me)
-
-        if mode is LockMode.READ:
-            data = yield from self._current_data_for_read(desc, entry)
-            entry.record_sharer(requester)
-            if requester != me and self.page_state.get(page_addr) is (
-                LocalPageState.EXCLUSIVE
-            ):
-                # Handing out a read copy ends our exclusivity; a later
-                # local write must invalidate the new sharer.
-                self.page_state[page_addr] = LocalPageState.SHARED
-            return data
-
-        # WRITE: invalidate every cached copy except the requester's,
-        # then move ownership (and data, if needed) to the requester.
-        data: Optional[bytes] = None
-        victims = [
-            node for node in sorted(entry.sharers)
-            if node not in (requester, entry.owner)
-        ]
-        yield from self._invalidate_nodes(desc, entry, page_addr, victims)
-
-        owner = entry.owner
-        if owner == requester:
-            pass   # upgrade: requester's copy is already current
-        elif owner == me:
-            data = yield from self._take_local_copy(desc, page_addr,
-                                                    invalidate=requester != me)
-        else:
-            data = yield from self._revoke_owner(desc, entry, page_addr, owner)
-            if data is None:
-                # Owner unreachable: fall back to the home's write-back
-                # copy (paper 3.5: operations retried on known nodes,
-                # availability preferred).
-                data = yield from self._take_local_copy(
-                    desc, page_addr, invalidate=requester != me
-                )
-        entry.owner = requester
-        entry.sharers = {requester}
-        if requester == me:
-            entry.record_sharer(me)
-        if self.host.probe.enabled:
-            self.host.probe.exclusive_grant(me, page_addr, requester)
-        return data
-
-    def _current_data_for_read(
-        self, desc: RegionDescriptor, entry: Any
-    ) -> ProtocolGen:
-        """Bytes of the page, fetching from a remote owner if the home
-        copy is stale (owner holds it EXCLUSIVE)."""
-        me = self.host.node_id
-        page_addr = entry.address
-        if entry.owner == me or me in entry.sharers:
-            # A local write context is mid-modification; the CM
-            # "delays granting the locks until the conflict is
-            # resolved" (3.3) for remote readers too.
-            yield from self._wait_local_unlocked(page_addr, LockMode.READ)
-            data = yield from self.host.local_page_bytes(desc, page_addr)
-            if data is not None:
-                return data
-        if entry.owner is not None and entry.owner != me:
-            try:
-                reply = yield self.host.rpc.request(
-                    entry.owner,
-                    MessageType.PAGE_FETCH,
-                    {"rid": desc.rid, "page": page_addr, "demote": True},
-                    policy=TRANSACTION_POLICY,
-                )
-                data = reply.payload["data"]
-                yield from self.host.store_local_page(
-                    desc, page_addr, data, dirty=False
-                )
-                entry.record_sharer(me)
-                self.page_state[page_addr] = LocalPageState.SHARED
-                return data
-            except (RpcTimeout, RemoteError):
-                entry.forget_sharer(entry.owner)
-        # Fall back to whatever the home has (zero-filled if untouched).
-        data = yield from self.host.local_page_bytes(desc, page_addr)
-        if data is None:
-            raise KhazanaError(
-                f"home node lost page {page_addr:#x} and owner is gone"
-            )
-        entry.owner = me
-        entry.record_sharer(me)
-        return data
-
-    def _take_local_copy(
-        self, desc: RegionDescriptor, page_addr: int, invalidate: bool
-    ) -> ProtocolGen:
-        """Home surrenders its own copy (waiting out local locks)."""
-        yield from self._wait_local_unlocked(page_addr, LockMode.WRITE)
-        data = yield from self.host.local_page_bytes(desc, page_addr)
-        if data is None:
-            raise KhazanaError(f"home has no copy of page {page_addr:#x}")
-        if invalidate:
-            self.host.drop_local_page(page_addr)
-            self.page_state[page_addr] = LocalPageState.INVALID
-        return data
-
-    def _revoke_owner(
-        self, desc: RegionDescriptor, entry: Any, page_addr: int, owner: int
-    ) -> ProtocolGen:
-        try:
-            reply = yield self.host.rpc.request(
-                owner,
-                MessageType.PAGE_FETCH,
-                {"rid": desc.rid, "page": page_addr, "revoke": True},
-                policy=TRANSACTION_POLICY,
-            )
-            return reply.payload["data"]
-        except (RpcTimeout, RemoteError):
-            entry.forget_sharer(owner)
-            return None
-
-    def _invalidate_nodes(
-        self, desc: RegionDescriptor, entry: Any, page_addr: int,
-        victims: List[int],
-    ) -> ProtocolGen:
-        me = self.host.node_id
-        requests = []
-        for node in victims:
-            if node == me:
-                yield from self._wait_local_unlocked(page_addr, LockMode.WRITE)
-                self.host.drop_local_page(page_addr)
-                self.page_state[page_addr] = LocalPageState.INVALID
-                entry.forget_sharer(me)
-                continue
-            requests.append(
-                (node, self.host.rpc.request(
-                    node,
-                    MessageType.INVALIDATE,
-                    {"rid": desc.rid, "page": page_addr},
-                    policy=TRANSACTION_POLICY,
-                ))
-            )
-        if requests:
-            outcomes = yield gather_settled(
-                [future for _node, future in requests], label="invalidate"
-            )
-            for (node, _future), (ok, _value) in zip(requests, outcomes):
-                # Whether acked or unreachable, the node no longer
-                # counts as a sharer; a crashed node's copy dies with it.
-                entry.forget_sharer(node)
-
-    def _wait_local_unlocked(self, page_addr: int, mode: LockMode) -> ProtocolGen:
-        """Suspend until no local context conflicts with ``mode``."""
-        while self.host.lock_table.conflicts(page_addr, mode):
-            gate = Future(label=f"local-unlock:{page_addr:#x}")
-            self.defer_until_unlocked(page_addr, lambda: gate.set_result(None))
-            yield gate
+        """Serialized directory transaction at the home node; returns
+        the page bytes the requester needs (None when the requester
+        already holds a current copy)."""
+        result = yield from self.engine.home.run(
+            page_addr,
+            self.engine.directory.home_grant(desc, page_addr, mode,
+                                             requester),
+        )
+        return result
 
     # ------------------------------------------------------------------
     # Message handlers
     # ------------------------------------------------------------------
+
+    def _primary_only(self, desc: RegionDescriptor, msg: Message) -> bool:
+        if self.host.node_id == desc.primary_home:
+            return True
+        self.engine.nak(msg, "not_responsible",
+                        f"node {self.host.node_id} is not the "
+                        f"primary home of region {desc.rid:#x}")
+        return False
 
     def handle_lock_request(self, desc: RegionDescriptor, msg: Message) -> None:
         mode = LockMode(msg.payload["mode"])
@@ -626,148 +344,62 @@ class CrewManager(ConsistencyManager):
         if not self.check_remote_access(desc, msg, mode):
             return
         if msg.payload.get("direct"):
-            self._handle_direct_read(desc, msg, page_addr)
+            self.engine.directory.serve_owner_read(desc, msg, page_addr)
             return
-        if self.host.node_id != desc.primary_home:
-            self.host.reply_error(msg, "not_responsible",
-                                    f"node {self.host.node_id} is not the "
-                                    f"primary home of region {desc.rid:#x}")
+        if not self._primary_only(desc, msg):
             return
 
         def transaction() -> ProtocolGen:
             data = yield from self._home_grant(desc, page_addr, mode, msg.src)
             entry = self.host.page_directory.get(page_addr)
             owner = entry.owner if entry is not None else None
-            self.host.reply_request(
-                msg, MessageType.LOCK_REPLY,
-                {"data": data, "owner": owner},
-            )
+            self.engine.reply(msg, MessageType.LOCK_REPLY,
+                              {"data": data, "owner": owner})
 
-        self.host.spawn_handler(msg, transaction(), label="crew-grant")
-
-    def _handle_direct_read(
-        self, desc: RegionDescriptor, msg: Message, page_addr: int
-    ) -> None:
-        """Fast-path read served straight from the owner (Figure 2)."""
-        entry = self.host.page_directory.get(page_addr)
-        state = self.page_state.get(page_addr, LocalPageState.INVALID)
-        if (
-            entry is None
-            or entry.owner != self.host.node_id
-            or state is LocalPageState.INVALID
-        ):
-            self.host.reply_error(msg, "not_responsible",
-                                    "stale owner hint")
-            return
-
-        def serve() -> ProtocolGen:
-            yield from self._wait_local_unlocked(page_addr, LockMode.READ)
-            data = yield from self.host.local_page_bytes(desc, page_addr)
-            if data is None:
-                self.host.reply_error(msg, "not_responsible",
-                                        "owner copy evicted")
-                return
-            # Register the requester in the home's copyset *before*
-            # handing out the copy (steps 7-9 of Figure 2): if the
-            # registration raced a later write's invalidation round,
-            # the requester could keep a stale copy forever.
-            home = desc.primary_home
-            if home != self.host.node_id:
-                try:
-                    yield self.host.rpc.request(
-                        home, MessageType.SHARER_REGISTER,
-                        {"rid": desc.rid, "page": page_addr,
-                         "sharer": msg.src},
-                        policy=TRANSACTION_POLICY,
-                    )
-                except (RpcTimeout, RemoteError):
-                    self.host.reply_error(
-                        msg, "not_responsible",
-                        "could not register the new sharer with the home"
-                    )
-                    return
-            # Demote to shared, then grant.
-            self.page_state[page_addr] = LocalPageState.SHARED
-            self.host.reply_request(
-                msg, MessageType.LOCK_REPLY,
-                {"data": data, "owner": self.host.node_id},
-            )
-
-        self.host.spawn_handler(msg, serve(), label="crew-direct-read")
+        self.engine.spawn_handler(msg, transaction(), "grant")
 
     def handle_page_fetch(self, desc: RegionDescriptor, msg: Message) -> None:
-        page_addr = msg.payload["page"]
-        revoke = bool(msg.payload.get("revoke"))
-        demote = bool(msg.payload.get("demote"))
-
-        def serve() -> ProtocolGen:
-            wait_mode = LockMode.WRITE if revoke else LockMode.READ
-            yield from self._wait_local_unlocked(page_addr, wait_mode)
-            data = yield from self.host.local_page_bytes(desc, page_addr)
-            if data is None:
-                self.host.reply_error(msg, "not_responsible",
-                                        "no local copy")
-                return
-            if revoke:
-                self.host.drop_local_page(page_addr)
-                self.page_state[page_addr] = LocalPageState.INVALID
-            elif demote:
-                self.page_state[page_addr] = LocalPageState.SHARED
-                self.host.storage.mark_clean(page_addr)
-            self.host.reply_request(
-                msg, MessageType.PAGE_DATA, {"data": data}
-            )
-
-        self.host.spawn_handler(msg, serve(), label="crew-fetch")
+        self.engine.directory.serve_owner_fetch(desc, msg)
 
     def handle_invalidate(self, desc: RegionDescriptor, msg: Message) -> None:
-        page_addr = msg.payload["page"]
+        self.engine.directory.serve_invalidate(desc, msg)
 
-        def apply() -> None:
-            self.host.drop_local_page(page_addr)
-            self.page_state[page_addr] = LocalPageState.INVALID
-            self.host.reply_request(msg, MessageType.INVALIDATE_ACK, {})
-
-        # Paper 3.3: the CM "delays granting" conflicting operations;
-        # symmetrically, an invalidation waits for local readers to
-        # finish before the copy is destroyed.
-        if self.host.lock_table.page_locked(page_addr):
-            self.defer_until_unlocked(page_addr, apply)
-        else:
-            apply()
+    def _install_writeback(
+        self, desc: RegionDescriptor, page_addr: int, data: bytes
+    ) -> ProtocolGen:
+        """Apply one owner write-back at a home (per-page and batched)."""
+        me = self.host.node_id
+        yield from self.host.store_local_page(
+            desc, page_addr, data, dirty=me != desc.primary_home
+        )
+        entry = self.host.page_directory.ensure(
+            page_addr, desc.rid, homed=me in desc.home_nodes
+        )
+        entry.allocated = True
+        if self.pages.state(page_addr) is LocalPageState.INVALID:
+            # This is a durability write-back, not a coherent cached
+            # copy: the owner may keep writing without telling us, so
+            # we must not appear in the copyset.
+            self.pages.fire(page_addr, PageEvent.WRITEBACK_COPY)
+            entry.sharers.discard(me)
 
     def handle_update(self, desc: RegionDescriptor, msg: Message) -> None:
         """Write-back from an owner at lock release (home side)."""
-        page_addr = msg.payload["page"]
-        data = msg.payload["data"]
 
         def apply() -> ProtocolGen:
-            yield from self.host.store_local_page(
-                desc, page_addr, data, dirty=self.host.node_id != desc.primary_home
+            yield from self._install_writeback(
+                desc, msg.payload["page"], msg.payload["data"]
             )
-            entry = self.host.page_directory.ensure(
-                page_addr, desc.rid, homed=self.host.node_id in desc.home_nodes
-            )
-            entry.allocated = True
-            if self.page_state.get(page_addr) in (None, LocalPageState.INVALID):
-                # This is a durability write-back, not a coherent cached
-                # copy: the owner may keep writing without telling us, so
-                # we must not appear in the copyset.
-                self.page_state[page_addr] = LocalPageState.INVALID
-                entry.sharers.discard(self.host.node_id)
-            self.host.reply_request(msg, MessageType.UPDATE_ACK, {})
+            self.engine.reply(msg, MessageType.UPDATE_ACK, {})
 
-        self.host.spawn_handler(msg, apply(), label="crew-writeback")
+        self.engine.spawn_handler(msg, apply(), "writeback")
 
     def handle_lock_request_batch(self, desc: RegionDescriptor,
                                   msg: Message) -> None:
         mode = LockMode(msg.payload["mode"])
         if not self.check_remote_access(desc, msg, mode):
             return
-        if self.host.node_id != desc.primary_home:
-            self.host.reply_error(msg, "not_responsible",
-                                    f"node {self.host.node_id} is not the "
-                                    f"primary home of region {desc.rid:#x}")
+        if not self._primary_only(desc, msg):
             return
         pages = [int(p) for p in msg.payload.get("pages", [])]
 
@@ -783,23 +415,18 @@ class CrewManager(ConsistencyManager):
                         desc, page_addr, mode, msg.src
                     )
                 except KhazanaError as error:
-                    errors.append({
-                        "page": page_addr,
-                        "code": getattr(error, "code", "khazana_error"),
-                        "detail": str(error),
-                    })
+                    errors.append(self.engine.batch.error_item(
+                        page_addr, error
+                    ))
                     continue
                 entry = self.host.page_directory.get(page_addr)
                 owner = entry.owner if entry is not None else None
-                granted.append({
-                    "page": page_addr, "data": data, "owner": owner,
-                })
-            self.host.reply_request(
-                msg, MessageType.TOKEN_GRANT_BATCH,
-                {"pages": granted, "errors": errors},
-            )
+                granted.append({"page": page_addr, "data": data,
+                                "owner": owner})
+            self.engine.reply(msg, MessageType.TOKEN_GRANT_BATCH,
+                              {"pages": granted, "errors": errors})
 
-        self.host.spawn_handler(msg, transaction(), label="crew-grant-batch")
+        self.engine.spawn_handler(msg, transaction(), "grant-batch")
 
     def handle_update_batch(self, desc: RegionDescriptor,
                             msg: Message) -> None:
@@ -807,29 +434,15 @@ class CrewManager(ConsistencyManager):
         updates = msg.payload.get("updates", [])
 
         def apply() -> ProtocolGen:
-            me = self.host.node_id
             for update in updates:
-                page_addr = int(update["page"])
-                yield from self.host.store_local_page(
-                    desc, page_addr, update["data"],
-                    dirty=me != desc.primary_home,
+                yield from self._install_writeback(
+                    desc, int(update["page"]), update["data"]
                 )
-                entry = self.host.page_directory.ensure(
-                    page_addr, desc.rid, homed=me in desc.home_nodes
-                )
-                entry.allocated = True
-                if self.page_state.get(page_addr) in (
-                    None, LocalPageState.INVALID
-                ):
-                    # Durability write-back, not a coherent cached copy
-                    # (same discipline as the per-page handler).
-                    self.page_state[page_addr] = LocalPageState.INVALID
-                    entry.sharers.discard(me)
-            self.host.reply_request(
+            self.engine.reply(
                 msg, MessageType.UPDATE_ACK_BATCH, {"applied": len(updates)}
             )
 
-        self.host.spawn_handler(msg, apply(), label="crew-writeback-batch")
+        self.engine.spawn_handler(msg, apply(), "writeback-batch")
 
     def on_node_failure(self, node_id: int) -> None:
         self.host.page_directory.forget_node(node_id)

@@ -1,0 +1,75 @@
+"""Twin/diff machinery for write-shared updates.
+
+The classic Munin-style mechanism: a writer keeps a *twin* (pristine
+copy) of each page it write-shares, and at release pushes only the
+byte ranges that differ; the home applies those runs to its own copy,
+so non-overlapping concurrent writes both survive.  Kept independent
+of any one protocol so future write-shared or entry-consistency
+policies can reuse it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+
+def compute_diff(twin: bytes, current: bytes) -> List[Tuple[int, bytes]]:
+    """Byte ranges of ``current`` that differ from ``twin``.
+
+    Returns maximal runs as ``(offset, data)`` pairs — the classic
+    twin/diff mechanism used by write-shared protocols.
+    """
+    if len(twin) != len(current):
+        return [(0, current)]
+    runs: List[Tuple[int, bytes]] = []
+    start: Optional[int] = None
+    for i in range(len(current)):
+        if twin[i] != current[i]:
+            if start is None:
+                start = i
+        elif start is not None:
+            runs.append((start, current[start:i]))
+            start = None
+    if start is not None:
+        runs.append((start, current[start:]))
+    return runs
+
+
+def apply_diff(base: bytes, diff: List[Tuple[int, bytes]]) -> bytes:
+    """Apply ``(offset, data)`` runs to ``base``."""
+    page = bytearray(base)
+    for offset, data in diff:
+        end = offset + len(data)
+        if end > len(page):
+            page.extend(b"\x00" * (end - len(page)))
+        page[offset:end] = data
+    return bytes(page)
+
+
+class TwinStore:
+    """Per-(context, page) twins for write-shared lock ranges."""
+
+    def __init__(self) -> None:
+        self._twins: Dict[Tuple[int, int], bytes] = {}
+
+    def remember(self, ctx_id: int, page_addr: int, data: bytes) -> None:
+        self._twins[(ctx_id, page_addr)] = data
+
+    def pop(self, ctx_id: int, page_addr: int) -> Optional[bytes]:
+        return self._twins.pop((ctx_id, page_addr), None)
+
+    def diff_update(self, storage: Any, ctx_id: int,
+                    page_addr: int) -> Optional[Dict[str, Any]]:
+        """The update-push item for one write-shared release: pop the
+        twin, diff it against the current bytes, or None when nothing
+        changed (or the page vanished)."""
+        twin = self.pop(ctx_id, page_addr)
+        if twin is None:
+            return None
+        page = storage.peek(page_addr)
+        if page is None:
+            return None
+        diff = compute_diff(twin, page.data)
+        if not diff:
+            return None
+        return {"page": page_addr, "diff": diff, "release_token": False}

@@ -1,0 +1,62 @@
+"""The consistency protocol engine.
+
+Shared mechanism under the four policy modules (crew, release,
+eventual, mobile): every protocol is a thin, declarative layer over
+the primitives exported here —
+
+- :class:`PageStateMachine` / :class:`PageEvent` / :class:`LocalPageState`
+  — explicit per-protocol MSI transition tables (``engine.state``);
+- :class:`KeyedMutex` / :class:`HomeTransactions` — serialised
+  home-side directory transactions (``engine.home``);
+- :class:`CopysetLedger` — write-token bookkeeping with the
+  probe-before-mutex-release ordering built in (``engine.ledger``);
+- :class:`BatchPlanner` — group-by-home batching, per-page retry
+  fallback, partial-failure error items (``engine.batch``);
+- :class:`DirectoryCoherence` — owner/copyset copy movement
+  (``engine.directory``);
+- :func:`install_replica_update` — the defer-while-locked replica
+  install shared by the update-propagating protocols
+  (``engine.replicas``);
+- :class:`ProtocolEngine` — the wire primitives (request, send,
+  reply, NAK, home failover, batch fan-out) that KHZ007 makes the
+  only road from consistency code to ``host.rpc`` (``engine.wire``).
+"""
+
+from repro.consistency.engine.batch import BatchPlanner
+from repro.consistency.engine.counters import EngineCounters
+from repro.consistency.engine.directory import DirectoryCoherence
+from repro.consistency.engine.home import HomeTransactions, KeyedMutex
+from repro.consistency.engine.ledger import CopysetLedger
+from repro.consistency.engine.replicas import install_replica_update
+from repro.consistency.engine.state import (
+    LocalPageState,
+    PageEvent,
+    PageStateMachine,
+)
+from repro.consistency.engine.wire import (
+    BATCH_REQUESTS,
+    WIRE_OPS,
+    ProtocolEngine,
+    transaction_label,
+    typed_denial,
+    wire_op,
+)
+
+__all__ = [
+    "BATCH_REQUESTS",
+    "BatchPlanner",
+    "CopysetLedger",
+    "DirectoryCoherence",
+    "EngineCounters",
+    "HomeTransactions",
+    "KeyedMutex",
+    "LocalPageState",
+    "PageEvent",
+    "PageStateMachine",
+    "ProtocolEngine",
+    "WIRE_OPS",
+    "install_replica_update",
+    "transaction_label",
+    "typed_denial",
+    "wire_op",
+]

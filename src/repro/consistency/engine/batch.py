@@ -1,0 +1,152 @@
+"""Batching decisions and fallbacks shared by every protocol.
+
+The planner answers one question — "is this multi-page operation
+worth a coalesced RPC?" — and owns the two recovery shapes batching
+needs: the per-page background retry after an unreachable home, and
+the per-page error items a home puts in a partial batch reply.  It
+also serves the home side of ``PAGE_FETCH`` / ``PAGE_FETCH_BATCH``,
+which is identical across protocols up to the reply payload.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.locks import LockMode
+from repro.core.region import RegionDescriptor
+from repro.net.message import Message, MessageType
+
+ProtocolGen = Any   # Generator[Future, Any, Any]; kept loose to avoid churn
+
+
+class BatchPlanner:
+    """Group-by-home batching plans for ``acquire_many``/``release_many``."""
+
+    def __init__(self, engine: Any) -> None:
+        self.engine = engine
+
+    def use_batch(self, desc: RegionDescriptor, pages: List[int],
+                  *, home_local_fallback: bool = True) -> bool:
+        """Whether a multi-page operation should coalesce its traffic.
+
+        Home-local and trivial (single-page) ranges gain nothing from
+        batching, and a daemon may disable it outright.  Protocols
+        whose release path still batches at the home (CREW's
+        write-back goes to the *other* homes) pass
+        ``home_local_fallback=False``.
+        """
+        cm = self.engine.cm
+        if home_local_fallback and cm.host.node_id == desc.primary_home:
+            return False
+        if len(pages) <= 1 or not cm.batching_enabled():
+            return False
+        return True
+
+    def wait_conflicts(self, pages: List[int], mode: LockMode) -> ProtocolGen:
+        """Wait out local lock-table conflicts for the whole range."""
+        for page_addr in pages:
+            yield from self.engine.host.wait_local_conflicts(page_addr, mode)
+
+    def retry_per_page(
+        self,
+        desc: RegionDescriptor,
+        updates: List[Dict[str, Any]],
+        push: Callable[[RegionDescriptor, Dict[str, Any]], Any],
+        label_prefix: str,
+    ) -> None:
+        """Queue one background push per update after a failed batch.
+
+        ``push(desc, payload)`` is the protocol's single-page push
+        generator; each payload is the batch item plus the region id.
+        """
+        for update in updates:
+            payload = {"rid": desc.rid, **update}
+            self.engine.counters.per_page_fallbacks += 1
+            self.engine.host.retry_queue.enqueue(
+                lambda payload=payload: push(desc, payload),
+                label=f"{label_prefix}:{payload['page']:#x}",
+            )
+
+    @staticmethod
+    def error_item(page_addr: int, error: Exception) -> Dict[str, Any]:
+        """The per-page error entry of a partial batch reply."""
+        return {
+            "page": page_addr,
+            "code": getattr(error, "code", "khazana_error"),
+            "detail": str(error),
+        }
+
+    # -- home-side fetch service (shared shape) -------------------------
+
+    def serve_fetch(
+        self,
+        desc: RegionDescriptor,
+        msg: Message,
+        item_payload: Callable[[int, bytes], Dict[str, Any]],
+        *,
+        missing_detail: Optional[Callable[[int], str]] = None,
+        homed: bool = True,
+    ) -> None:
+        """Serve a single PAGE_FETCH: reply PAGE_DATA or NAK."""
+        engine = self.engine
+        host = engine.host
+        page_addr = msg.payload["page"]
+        if missing_detail is None:
+            missing_detail = _no_storage_detail
+
+        def serve() -> ProtocolGen:
+            data = yield from host.local_page_bytes(desc, page_addr)
+            if data is None:
+                engine.nak(msg, "not_allocated", missing_detail(page_addr))
+                return
+            if msg.payload.get("register"):
+                entry = host.page_directory.ensure(
+                    page_addr, desc.rid, homed=homed
+                )
+                entry.record_sharer(msg.src)
+            engine.reply(
+                msg, MessageType.PAGE_DATA, item_payload(page_addr, data)
+            )
+
+        engine.spawn_handler(msg, serve(), "fetch")
+
+    def serve_fetch_batch(
+        self,
+        desc: RegionDescriptor,
+        msg: Message,
+        item_payload: Callable[[int, bytes], Dict[str, Any]],
+        *,
+        homed: bool = True,
+    ) -> None:
+        """Serve a PAGE_FETCH_BATCH: per-page items plus error items."""
+        engine = self.engine
+        host = engine.host
+        pages = [int(p) for p in msg.payload.get("pages", [])]
+
+        def serve() -> ProtocolGen:
+            served: List[Dict[str, Any]] = []
+            errors: List[Dict[str, Any]] = []
+            for page_addr in pages:
+                data = yield from host.local_page_bytes(desc, page_addr)
+                if data is None:
+                    errors.append({
+                        "page": page_addr, "code": "not_allocated",
+                        "detail": _no_storage_detail(page_addr),
+                    })
+                    continue
+                if msg.payload.get("register"):
+                    entry = host.page_directory.ensure(
+                        page_addr, desc.rid, homed=homed
+                    )
+                    entry.record_sharer(msg.src)
+                served.append(item_payload(page_addr, data))
+            engine.reply(
+                msg, MessageType.PAGE_DATA_BATCH,
+                {"pages": served, "errors": errors},
+            )
+
+        engine.spawn_handler(msg, serve(), "fetch-batch")
+
+
+def _no_storage_detail(page_addr: int) -> str:
+    return f"page {page_addr:#x} has no storage"

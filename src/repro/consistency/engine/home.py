@@ -1,0 +1,78 @@
+"""Home-side transaction serialisation.
+
+:class:`KeyedMutex` is the per-key FIFO mutex the protocols have
+always used; :class:`HomeTransactions` packages the acquire /
+``try``-``finally`` release discipline every home-side directory
+transaction needs, so a policy can run its critical section as a
+plain generator.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, Generator
+
+from repro.net.tasks import Future
+
+ProtocolGen = Generator[Future, Any, Any]
+
+
+class KeyedMutex:
+    """Per-key FIFO mutex for serialising directory transactions.
+
+    Home nodes must not interleave two ownership transfers for the
+    same page; each transaction acquires the page's mutex first.
+    """
+
+    def __init__(self) -> None:
+        self._waiting: Dict[Any, Deque[Future]] = {}
+        self._held: Dict[Any, bool] = {}
+
+    def acquire(self, key: Any) -> Future:
+        """Future resolving when the caller holds the mutex for key."""
+        future = Future(label=f"mutex:{key}")
+        if not self._held.get(key):
+            self._held[key] = True
+            future.set_result(None)
+        else:
+            self._waiting.setdefault(key, deque()).append(future)
+        return future
+
+    def release(self, key: Any) -> None:
+        queue = self._waiting.get(key)
+        if queue:
+            next_holder = queue.popleft()
+            if not queue:
+                del self._waiting[key]
+            # Resolve last: the next holder's callbacks run
+            # synchronously and may re-enter release() for this key.
+            next_holder.set_result(None)
+        else:
+            self._held.pop(key, None)
+
+    def locked(self, key: Any) -> bool:
+        return bool(self._held.get(key))
+
+
+class HomeTransactions:
+    """Run home-side directory transactions one at a time per page."""
+
+    def __init__(self) -> None:
+        self._mutex = KeyedMutex()
+
+    def run(self, key: Any, gen: ProtocolGen) -> ProtocolGen:
+        """Drive ``gen`` while holding the mutex for ``key``.
+
+        The mutex is released on every exit path — including the
+        handler task being killed (GeneratorExit) — so a crashed
+        transaction never wedges the page.
+        """
+        yield self._mutex.acquire(key)
+        try:
+            result = yield from gen
+            return result
+        finally:
+            self._mutex.release(key)
+
+    def locked(self, key: Any) -> bool:
+        return self._mutex.locked(key)

@@ -1,0 +1,66 @@
+"""Write-token and copyset bookkeeping in one place.
+
+The ledger owns the per-page write-token mutex *and* the record of
+who holds each token, and it fires the race-detector probes in the
+one order that is safe: ``token_released`` strictly before the mutex
+release (releasing may resume the next waiter synchronously, and its
+``token_granted`` must come after).  ``analysis/invariants.py`` reads
+``holders()`` to check token conservation instead of re-deriving it
+per protocol.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict
+
+from repro.consistency.engine.home import KeyedMutex
+from repro.net.tasks import Future
+
+if TYPE_CHECKING:
+    from repro.core.cmhost import CMHost
+
+
+class CopysetLedger:
+    """Per-page write tokens plus the holder each was granted to."""
+
+    def __init__(self, host: "CMHost") -> None:
+        self.host = host
+        self._mutex = KeyedMutex()
+        self._holders: Dict[int, int] = {}   # page -> holder node
+
+    def acquire(self, page_addr: int) -> Future:
+        """Future resolving when the token mutex is held locally."""
+        return self._mutex.acquire(page_addr)
+
+    def grant(self, page_addr: int, holder: int) -> None:
+        """Record the token as belonging to ``holder`` (probe fires
+        here, so call only after any reply the grant rides on)."""
+        self._holders[page_addr] = holder
+        if self.host.probe.enabled:
+            self.host.probe.token_granted(
+                self.host.node_id, page_addr, holder
+            )
+
+    def release(self, page_addr: int, holder: int) -> None:
+        """Return ``holder``'s token and wake the next waiter."""
+        self._holders.pop(page_addr, None)
+        # Probe before the mutex release: releasing may resume the
+        # next waiter synchronously, and its grant event must come
+        # after this release event.
+        if self.host.probe.enabled:
+            self.host.probe.token_released(
+                self.host.node_id, page_addr, holder
+            )
+        self._mutex.release(page_addr)
+
+    def abort(self, page_addr: int) -> None:
+        """Give back a mutex acquired for a grant that never happened
+        (denied or crashed transaction) — no probe, no holder."""
+        self._mutex.release(page_addr)
+
+    def locked(self, page_addr: int) -> bool:
+        return self._mutex.locked(page_addr)
+
+    def holders(self) -> Dict[int, int]:
+        """Snapshot of page -> holder for the conservation invariant."""
+        return dict(self._holders)

@@ -1,0 +1,63 @@
+"""Shared replica-update install path.
+
+Release, eventual, and mobile all apply pushed updates to replica
+sites the same way: never under an open local lock context (defer
+until unlocked), re-check recency at apply time, record the new
+version/stamp, then store the bytes in a background task.  Only the
+recency rule and the bookkeeping differ per protocol, so they arrive
+as callbacks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.core.region import RegionDescriptor
+
+ProtocolGen = Any   # Generator[Future, Any, Any]
+
+
+def install_replica_update(
+    cm: Any,
+    desc: RegionDescriptor,
+    page_addr: int,
+    data: bytes,
+    *,
+    fresh: Callable[[], bool],
+    commit: Callable[[], None],
+    require_resident: bool = True,
+    op: str = "replica-store",
+    on_stored: Optional[Callable[[], None]] = None,
+) -> None:
+    """Apply a propagated update to the local replica of ``page_addr``.
+
+    ``fresh()`` re-checks recency at apply time (the local copy may
+    have advanced while the update waited out a lock context);
+    ``commit()`` records the new version/stamp before the store task
+    runs; ``on_stored()`` runs after the bytes land.  With
+    ``require_resident`` (the home-centred protocols), pages this node
+    no longer replicates are ignored.
+    """
+    host = cm.host
+
+    def apply() -> None:
+        if not fresh():
+            return   # stale push, already newer locally
+        if require_resident and not host.storage.contains(page_addr):
+            return   # we no longer replicate this page; ignore
+        commit()
+
+        def store() -> ProtocolGen:
+            yield from host.store_local_page(
+                desc, page_addr, data, dirty=False
+            )
+            if on_stored is not None:
+                on_stored()
+
+        cm.engine.spawn(store(), op)
+
+    if host.lock_table.page_locked(page_addr):
+        # Never change a page under an open local context.
+        cm.defer_until_unlocked(page_addr, apply)
+    else:
+        apply()

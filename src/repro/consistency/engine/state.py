@@ -1,0 +1,70 @@
+"""Local page-state machine shared by every consistency protocol.
+
+Each protocol declares an explicit MSI-style transition table — a
+mapping from :class:`PageEvent` to the :class:`LocalPageState` the
+page enters — instead of assigning ``page_state`` entries ad hoc.
+The table *is* the protocol's coherence summary (docs/protocols.md
+renders one per protocol), and an event a protocol never declared
+fails loudly instead of silently corrupting the state map.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Mapping
+
+
+class LocalPageState(enum.Enum):
+    """Validity of this node's local copy of a page (MSI-style)."""
+
+    INVALID = "invalid"
+    SHARED = "shared"
+    EXCLUSIVE = "exclusive"
+
+
+class PageEvent(enum.Enum):
+    """Protocol-independent events that move a page between states."""
+
+    #: A readable copy was installed or confirmed locally.
+    READ_FILL = "read_fill"
+    #: This node was granted exclusive write access.
+    WRITE_GRANT = "write_grant"
+    #: An exclusive copy was demoted to shared (a reader appeared).
+    DEMOTE = "demote"
+    #: The local copy was destroyed or declared stale.
+    INVALIDATE = "invalidate"
+    #: A durability write-back landed — bytes are stored but the copy
+    #: is *not* coherent (the owner may keep writing silently).
+    WRITEBACK_COPY = "writeback_copy"
+    #: A peer's propagated update was applied to the local replica.
+    REPLICA_APPLY = "replica_apply"
+
+
+class PageStateMachine:
+    """Explicit transition table over a CM's page-state dict.
+
+    The dict itself stays owned by the CM — the data plane pops
+    evicted pages straight out of ``cm.page_state`` — so the machine
+    wraps that same object rather than keeping a private copy.
+    """
+
+    def __init__(
+        self,
+        pages: Dict[int, LocalPageState],
+        table: Mapping[PageEvent, LocalPageState],
+    ) -> None:
+        self.pages = pages
+        self.table = dict(table)
+
+    def state(self, page_addr: int) -> LocalPageState:
+        return self.pages.get(page_addr, LocalPageState.INVALID)
+
+    def fire(self, page_addr: int, event: PageEvent) -> LocalPageState:
+        # An event missing from the protocol's declared table is a
+        # protocol-author bug; the KeyError names the event.
+        state = self.table[event]
+        self.pages[page_addr] = state
+        return state
+
+    def drop(self, page_addr: int) -> None:
+        self.pages.pop(page_addr, None)

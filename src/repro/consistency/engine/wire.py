@@ -1,0 +1,297 @@
+"""Wire primitives: the only road from a consistency policy to the
+network.
+
+Lint rule KHZ007 forbids policy modules (everything under
+``repro/consistency/`` outside this package) from touching
+``host.rpc`` or ``host.reply_*`` directly; every request, one-way
+send, reply, and NAK goes through a :class:`ProtocolEngine` primitive
+so that retry policies, home failover, NAK classification
+(:func:`typed_denial`), batching counters, and task labels are
+uniform across protocols.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional
+
+from repro.consistency.engine.batch import BatchPlanner
+from repro.consistency.engine.counters import EngineCounters
+from repro.consistency.engine.directory import DirectoryCoherence
+from repro.consistency.engine.home import HomeTransactions
+from repro.consistency.engine.ledger import CopysetLedger
+from repro.core.errors import ERROR_CODES, LockDenied, error_from_code
+from repro.core.region import RegionDescriptor
+from repro.net.message import Message, MessageType
+from repro.net.rpc import RemoteError, RetryPolicy, RpcTimeout
+from repro.net.tasks import Future, gather_settled
+
+if TYPE_CHECKING:
+    from repro.core.cmhost import CMHost
+
+ProtocolGen = Generator[Future, Any, Any]
+
+#: Coalesced request kinds, counted as batch fan-outs.
+BATCH_REQUESTS = frozenset({
+    MessageType.PAGE_FETCH_BATCH,
+    MessageType.TOKEN_ACQUIRE_BATCH,
+    MessageType.UPDATE_PUSH_BATCH,
+})
+
+#: Wire message kind -> engine operation, for uniform trace grouping.
+WIRE_OPS: Dict[MessageType, str] = {
+    MessageType.LOCK_REQUEST: "grant",
+    MessageType.LOCK_REPLY: "grant",
+    MessageType.TOKEN_ACQUIRE_BATCH: "grant",
+    MessageType.TOKEN_GRANT_BATCH: "grant",
+    MessageType.PAGE_FETCH: "fetch",
+    MessageType.PAGE_DATA: "fetch",
+    MessageType.PAGE_FETCH_BATCH: "fetch",
+    MessageType.PAGE_DATA_BATCH: "fetch",
+    MessageType.UPDATE_PUSH: "update",
+    MessageType.UPDATE_ACK: "update",
+    MessageType.UPDATE_PUSH_BATCH: "update",
+    MessageType.UPDATE_ACK_BATCH: "update",
+    MessageType.INVALIDATE: "invalidate",
+    MessageType.INVALIDATE_ACK: "invalidate",
+    MessageType.SHARER_REGISTER: "copyset",
+    MessageType.SHARER_UNREGISTER: "copyset",
+}
+
+
+def wire_op(msg_type: MessageType) -> Optional[str]:
+    """The engine operation a wire message kind belongs to, if any."""
+    return WIRE_OPS.get(msg_type)
+
+
+def transaction_label(protocol: str, op: str) -> str:
+    """Uniform task label for engine-run protocol transactions."""
+    return f"cm:{protocol}:{op}"
+
+
+def typed_denial(error: Any) -> Exception:
+    """Turn a peer's NAK into the most specific client-facing error.
+
+    Known Khazana codes (access_denied, not_allocated, ...) surface as
+    their typed exceptions; anything else becomes LockDenied.
+    """
+    if getattr(error, "code", None) in ERROR_CODES:
+        return error_from_code(error.code, error.detail)
+    return LockDenied(str(error))
+
+
+class ProtocolEngine:
+    """Shared mechanism under one consistency manager.
+
+    One engine per (daemon, protocol); the policy reaches every
+    subsystem through it: ``engine.home`` (per-page transaction
+    mutex), ``engine.ledger`` (write tokens + probe ordering),
+    ``engine.batch`` (multi-page planning), ``engine.directory``
+    (owner/copyset coherence), plus the wire primitives below.
+    """
+
+    def __init__(self, cm: Any) -> None:
+        self.cm = cm
+        self.host: "CMHost" = cm.host
+        self.counters = EngineCounters()
+        self.home = HomeTransactions()
+        self.ledger = CopysetLedger(self.host)
+        self.batch = BatchPlanner(self)
+        self.directory = DirectoryCoherence(self)
+
+    # -- outbound --------------------------------------------------------
+
+    def request(self, dst: int, msg_type: MessageType,
+                payload: Optional[Dict[str, Any]] = None,
+                policy: Optional[RetryPolicy] = None) -> Future:
+        """An acknowledged request to one peer."""
+        if msg_type in BATCH_REQUESTS:
+            self.counters.batch_fanouts += 1
+        return self.host.rpc.request(dst, msg_type, payload, policy=policy)
+
+    def send(self, dst: int, msg_type: MessageType,
+             payload: Dict[str, Any]) -> None:
+        """A one-way (fire-and-forget) message to one peer."""
+        self.host.rpc.send(
+            Message(
+                msg_type=msg_type,
+                src=self.host.node_id,
+                dst=dst,
+                payload=payload,
+            )
+        )
+
+    # -- replies ---------------------------------------------------------
+
+    def reply(self, msg: Message, msg_type: MessageType,
+              payload: Optional[Dict[str, Any]] = None) -> None:
+        """Answer a request (no-op for one-way messages)."""
+        self.host.reply_request(msg, msg_type, payload)
+
+    def nak(self, msg: Message, code: str, detail: str = "") -> None:
+        """Refuse a request with a typed error code."""
+        self.host.reply_error(msg, code, detail)
+
+    # -- home fan-out ----------------------------------------------------
+
+    def request_home(
+        self,
+        desc: RegionDescriptor,
+        msg_type: MessageType,
+        payload: Dict[str, Any],
+        *,
+        policy: Optional[RetryPolicy],
+        fail: str,
+        nak: str = "raise",
+    ) -> ProtocolGen:
+        """Ask the region's home nodes (in order) until one answers.
+
+        Timeouts always fail over to the next home (paper 3.5).  A NAK
+        either surfaces immediately as its typed denial
+        (``nak="raise"``, the token protocols) or also fails over
+        (``nak="skip"``, availability-first protocols).  ``fail`` is
+        the LockDenied template for total failure, formatted with
+        ``rid`` and ``error``.
+        """
+        last_error: Optional[Exception] = None
+        for home in desc.home_nodes:
+            if home == self.host.node_id:
+                continue
+            try:
+                reply = yield self.request(
+                    home, msg_type, payload, policy=policy
+                )
+                return reply
+            except RpcTimeout as error:
+                last_error = error   # try the next home (Section 3.5)
+            except RemoteError as error:
+                if nak == "skip":
+                    last_error = error
+                    continue
+                raise typed_denial(error) from error
+        raise LockDenied(fail.format(rid=desc.rid, error=last_error))
+
+    def request_any(
+        self,
+        candidates: List[int],
+        msg_type: MessageType,
+        payload: Dict[str, Any],
+        *,
+        policy: Optional[RetryPolicy] = None,
+    ) -> ProtocolGen:
+        """Try each candidate peer in order; None when all fail."""
+        for peer in candidates:
+            try:
+                reply = yield self.request(
+                    peer, msg_type, payload, policy=policy
+                )
+                return reply
+            except (RpcTimeout, RemoteError):
+                continue
+        return None
+
+    def push_homes(
+        self,
+        desc: RegionDescriptor,
+        msg_type: MessageType,
+        payload: Dict[str, Any],
+        *,
+        policy: Optional[RetryPolicy],
+        label: str,
+    ) -> ProtocolGen:
+        """Best-effort push to every non-self home, settled together.
+
+        Unreachable homes are repaired by replica maintenance, not by
+        failing the caller (release-type errors never surface, 3.5).
+        """
+        pushes = []
+        for home in desc.home_nodes:
+            if home == self.host.node_id:
+                continue
+            pushes.append(self.request(home, msg_type, payload, policy=policy))
+        if pushes:
+            yield gather_settled(pushes, label=label)
+
+    def fanout_update(self, entry: Any, payload: Dict[str, Any],
+                      exclude: Any) -> None:
+        """One-way UPDATE_PUSH to every copyset member except those in
+        ``exclude`` (replicas that miss one catch up at next fetch)."""
+        for sharer in entry.copyset_excluding(self.host.node_id):
+            if sharer in exclude:
+                continue
+            self.send(sharer, MessageType.UPDATE_PUSH, payload)
+
+    def serve_token_grants(
+        self,
+        desc: RegionDescriptor,
+        msg: Message,
+        pages: List[int],
+        item_payload: Any,
+        reply: Any,
+        op: str,
+    ) -> None:
+        """Home-side all-or-nothing token grant over the ledger.
+
+        Acquire every page's write token in order, serve the current
+        bytes (``item_payload(page, data)`` builds each granted item),
+        send ``reply(granted)``, then record the grants — the grant
+        probe must fire *after* the reply it rides on.  Any failure
+        aborts every token held so far: a denied or killed grant
+        leaves no residue (token conservation).
+        """
+        ledger = self.ledger
+        host = self.host
+
+        def grant() -> ProtocolGen:
+            held: List[int] = []
+            granted: List[Dict[str, Any]] = []
+            try:
+                for page_addr in pages:
+                    yield ledger.acquire(page_addr)
+                    held.append(page_addr)
+                    data = yield from host.local_page_bytes(desc, page_addr)
+                    if data is None:
+                        for token_page in held:
+                            ledger.abort(token_page)
+                        self.nak(msg, "not_allocated",
+                                 f"page {page_addr:#x} has no storage")
+                        return
+                    granted.append(item_payload(page_addr, data))
+            except BaseException:
+                # Cleanup-then-reraise: must also run when the handler
+                # task is killed (GeneratorExit), or held tokens leak.
+                for token_page in held:
+                    ledger.abort(token_page)
+                raise
+            for page_addr in pages:
+                entry = host.page_directory.ensure(page_addr, desc.rid,
+                                                   homed=True)
+                entry.record_sharer(msg.src)
+            reply(granted)
+            # Tokens now belong to msg.src until its update push with
+            # release_token=True arrives.
+            for page_addr in pages:
+                ledger.grant(page_addr, msg.src)
+
+        self.spawn_handler(msg, grant(), op)
+
+    def raise_batch_errors(self, reply: Message) -> None:
+        """Surface the first per-page error of a partial batch reply."""
+        errors = reply.payload.get("errors") or []
+        if errors:
+            first = errors[0]
+            raise error_from_code(first["code"], first.get("detail", ""))
+
+    # -- task plumbing ---------------------------------------------------
+
+    def spawn(self, gen: ProtocolGen, op: str) -> None:
+        """Run a background protocol task under a uniform label."""
+        self.host.spawn(
+            gen, label=transaction_label(self.cm.protocol_name, op)
+        )
+
+    def spawn_handler(self, msg: Message, gen: ProtocolGen, op: str) -> None:
+        """Run a request handler; uncaught errors NAK the request."""
+        self.counters.home_transactions += 1
+        self.host.spawn_handler(
+            msg, gen, label=transaction_label(self.cm.protocol_name, op)
+        )

@@ -24,10 +24,11 @@ Semantics:
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, List, Set, Tuple
 
 from typing import TYPE_CHECKING
 
+from repro.consistency.engine import PageEvent, install_replica_update
 from repro.consistency.manager import (
     ConsistencyManager,
     LocalPageState,
@@ -58,6 +59,13 @@ class EventualManager(ConsistencyManager):
     """Consistency manager implementing bounded-staleness replication."""
 
     protocol_name = "eventual"
+
+    #: Replicas are only ever SHARED: writes apply locally without a
+    #: grant, and staleness is tracked by time/version, not by an
+    #: EXCLUSIVE or INVALID state.
+    TRANSITIONS = {
+        PageEvent.READ_FILL: LocalPageState.SHARED,
+    }
 
     def __init__(self, host: "CMHost",
                  staleness_bound: float = DEFAULT_STALENESS_BOUND) -> None:
@@ -101,40 +109,36 @@ class EventualManager(ConsistencyManager):
             # Home unreachable: serve the stale copy rather than fail
             # (availability over freshness for this protocol).
 
+    def _install_refresh(self, desc: RegionDescriptor, page_addr: int,
+                         data: bytes, version: int,
+                         writer: int) -> ProtocolGen:
+        """Install one home-served page and stamp its freshness."""
+        yield from self.host.store_local_page(
+            desc, page_addr, data, dirty=False
+        )
+        self._versions[page_addr] = (version, writer)
+        self._refreshed_at[page_addr] = self.host.scheduler.now
+        self.pages.fire(page_addr, PageEvent.READ_FILL)
+        entry = self.host.page_directory.ensure(
+            page_addr, desc.rid, homed=False
+        )
+        entry.allocated = True
+
     def _refresh(self, desc: RegionDescriptor, page_addr: int,
                  principal: str = "_khazana") -> ProtocolGen:
-        last_error: Optional[Exception] = None
-        for home in desc.home_nodes:
-            if home == self.host.node_id:
-                continue
-            try:
-                reply = yield self.host.rpc.request(
-                    home,
-                    MessageType.PAGE_FETCH,
-                    {"rid": desc.rid, "page": page_addr, "register": True,
-                     "principal": principal},
-                    policy=FETCH_POLICY,
-                )
-            except (RpcTimeout, RemoteError) as error:
-                last_error = error
-                continue
-            data = reply.payload["data"]
-            yield from self.host.store_local_page(
-                desc, page_addr, data, dirty=False
-            )
-            self._versions[page_addr] = (
-                reply.payload.get("version", 0),
-                reply.payload.get("writer", 0),
-            )
-            self._refreshed_at[page_addr] = self.host.scheduler.now
-            self.page_state[page_addr] = LocalPageState.SHARED
-            entry = self.host.page_directory.ensure(
-                page_addr, desc.rid, homed=False
-            )
-            entry.allocated = True
-            return
-        raise LockDenied(
-            f"no home of region {desc.rid:#x} reachable: {last_error}"
+        # NAKs fail over to the next home just like timeouts: this
+        # protocol prefers availability over surfacing a denial.
+        reply = yield from self.engine.request_home(
+            desc, MessageType.PAGE_FETCH,
+            {"rid": desc.rid, "page": page_addr, "register": True,
+             "principal": principal},
+            policy=FETCH_POLICY,
+            fail="no home of region {rid:#x} reachable: {error}",
+            nak="skip",
+        )
+        yield from self._install_refresh(
+            desc, page_addr, reply.payload["data"],
+            reply.payload.get("version", 0), reply.payload.get("writer", 0),
         )
 
     def release(
@@ -165,7 +169,7 @@ class EventualManager(ConsistencyManager):
             "release_token": False,
         }
         try:
-            yield self.host.rpc.request(
+            yield self.engine.request(
                 desc.primary_home, MessageType.UPDATE_PUSH, payload,
                 policy=FETCH_POLICY,
             )
@@ -179,7 +183,7 @@ class EventualManager(ConsistencyManager):
             )
 
     def _retry_push(self, desc: RegionDescriptor, payload: Dict[str, Any]) -> ProtocolGen:
-        yield self.host.rpc.request(
+        yield self.engine.request(
             desc.primary_home, MessageType.UPDATE_PUSH, payload,
             policy=FETCH_POLICY,
         )
@@ -204,9 +208,7 @@ class EventualManager(ConsistencyManager):
         ctx: LockContext,
         note_acquired: Callable[[int], None],
     ) -> ProtocolGen:
-        me = self.host.node_id
-        if (me == desc.primary_home or len(pages) <= 1
-                or not self.batching_enabled()):
+        if not self.engine.batch.use_batch(desc, pages):
             yield from super().acquire_many(desc, pages, mode, ctx,
                                             note_acquired)
             return
@@ -233,40 +235,22 @@ class EventualManager(ConsistencyManager):
 
     def _refresh_batch(self, desc: RegionDescriptor, pages: List[int],
                        principal: str = "_khazana") -> ProtocolGen:
-        last_error: Optional[Exception] = None
-        reply = None
-        for home in desc.home_nodes:
-            if home == self.host.node_id:
-                continue
-            try:
-                reply = yield self.host.rpc.request(
-                    home,
-                    MessageType.PAGE_FETCH_BATCH,
-                    {"rid": desc.rid, "pages": list(pages), "register": True,
-                     "principal": principal},
-                    policy=FETCH_POLICY,
-                )
-                break
-            except (RpcTimeout, RemoteError) as error:
-                last_error = error
-        if reply is None:
-            raise LockDenied(
-                f"no home of region {desc.rid:#x} reachable: {last_error}"
-            )
+        reply = yield from self.engine.request_home(
+            desc, MessageType.PAGE_FETCH_BATCH,
+            {"rid": desc.rid, "pages": list(pages), "register": True,
+             "principal": principal},
+            policy=FETCH_POLICY,
+            fail="no home of region {rid:#x} reachable: {error}",
+            nak="skip",
+        )
         for item in reply.payload.get("pages", []):
-            page_addr = int(item["page"])
-            yield from self.host.store_local_page(
-                desc, page_addr, item["data"], dirty=False
+            yield from self._install_refresh(
+                desc, int(item["page"]), item["data"],
+                item.get("version", 0), item.get("writer", 0),
             )
-            self._versions[page_addr] = (
-                item.get("version", 0), item.get("writer", 0)
-            )
-            self._refreshed_at[page_addr] = self.host.scheduler.now
-            self.page_state[page_addr] = LocalPageState.SHARED
-            entry = self.host.page_directory.ensure(
-                page_addr, desc.rid, homed=False
-            )
-            entry.allocated = True
+        # Per-page errors are tolerable for pages we already replicate
+        # (stale serve); not for pages we have never held.  This is a
+        # softer rule than engine.raise_batch_errors.
         for err in reply.payload.get("errors") or []:
             if not self.host.storage.contains(int(err["page"])):
                 raise LockDenied(
@@ -281,8 +265,7 @@ class EventualManager(ConsistencyManager):
         ctx: LockContext,
     ) -> ProtocolGen:
         me = self.host.node_id
-        if (me == desc.primary_home or len(pages) <= 1
-                or not self.batching_enabled()):
+        if not self.engine.batch.use_batch(desc, pages):
             yield from super().release_many(desc, pages, ctx)
             return
         updates: List[Dict[str, Any]] = []
@@ -304,7 +287,7 @@ class EventualManager(ConsistencyManager):
         if not updates:
             return
         try:
-            yield self.host.rpc.request(
+            yield self.engine.request(
                 desc.primary_home, MessageType.UPDATE_PUSH_BATCH,
                 {"rid": desc.rid, "updates": updates},
                 policy=FETCH_POLICY,
@@ -312,12 +295,9 @@ class EventualManager(ConsistencyManager):
         except (RpcTimeout, RemoteError):
             # Home unreachable: fall back to one background retry per
             # page; local copies stay dirty until each push lands.
-            for update in updates:
-                payload = {"rid": desc.rid, **update}
-                self.host.retry_queue.enqueue(
-                    lambda payload=payload: self._retry_push(desc, payload),
-                    label=f"eventual-push:{payload['page']:#x}",
-                )
+            self.engine.batch.retry_per_page(
+                desc, updates, self._retry_push, "eventual-push"
+            )
             return
         for update in updates:
             self.host.storage.mark_clean(update["page"])
@@ -327,33 +307,16 @@ class EventualManager(ConsistencyManager):
     # ------------------------------------------------------------------
 
     def handle_page_fetch(self, desc: RegionDescriptor, msg: Message) -> None:
-        from repro.core.locks import LockMode as _LM
-
-        if not self.check_remote_access(desc, msg, _LM.READ):
+        if not self.check_remote_access(desc, msg, LockMode.READ):
             return
-        page_addr = msg.payload["page"]
 
-        def serve() -> ProtocolGen:
-            data = yield from self.host.local_page_bytes(desc, page_addr)
-            if data is None:
-                self.host.reply_error(msg, "not_allocated",
-                                        f"page {page_addr:#x} has no storage")
-                return
-            if msg.payload.get("register"):
-                entry = self.host.page_directory.ensure(
-                    page_addr, desc.rid, homed=True
-                )
-                entry.record_sharer(msg.src)
+        def item_payload(page_addr: int, data: bytes) -> Dict[str, Any]:
             version, writer = self._versions.get(page_addr, (0, 0))
-            self.host.reply_request(
-                msg, MessageType.PAGE_DATA,
-                {"data": data, "version": version, "writer": writer},
-            )
+            return {"data": data, "version": version, "writer": writer}
 
-        self.host.spawn_handler(msg, serve(), label="eventual-fetch")
+        self.engine.batch.serve_fetch(desc, msg, item_payload)
 
     def handle_update(self, desc: RegionDescriptor, msg: Message) -> None:
-        page_addr = msg.payload["page"]
         if self.host.node_id == desc.primary_home:
             self._apply_at_home(desc, msg)
             return
@@ -361,45 +324,21 @@ class EventualManager(ConsistencyManager):
 
     def handle_page_fetch_batch(self, desc: RegionDescriptor,
                                 msg: Message) -> None:
-        from repro.core.locks import LockMode as _LM
-
-        if not self.check_remote_access(desc, msg, _LM.READ):
+        if not self.check_remote_access(desc, msg, LockMode.READ):
             return
-        pages = [int(p) for p in msg.payload.get("pages", [])]
 
-        def serve() -> ProtocolGen:
-            served: List[Dict[str, Any]] = []
-            errors: List[Dict[str, Any]] = []
-            for page_addr in pages:
-                data = yield from self.host.local_page_bytes(desc, page_addr)
-                if data is None:
-                    errors.append({
-                        "page": page_addr, "code": "not_allocated",
-                        "detail": f"page {page_addr:#x} has no storage",
-                    })
-                    continue
-                if msg.payload.get("register"):
-                    entry = self.host.page_directory.ensure(
-                        page_addr, desc.rid, homed=True
-                    )
-                    entry.record_sharer(msg.src)
-                version, writer = self._versions.get(page_addr, (0, 0))
-                served.append({
-                    "page": page_addr, "data": data,
-                    "version": version, "writer": writer,
-                })
-            self.host.reply_request(
-                msg, MessageType.PAGE_DATA_BATCH,
-                {"pages": served, "errors": errors},
-            )
+        def item_payload(page_addr: int, data: bytes) -> Dict[str, Any]:
+            version, writer = self._versions.get(page_addr, (0, 0))
+            return {"page": page_addr, "data": data,
+                    "version": version, "writer": writer}
 
-        self.host.spawn_handler(msg, serve(), label="eventual-fetch-batch")
+        self.engine.batch.serve_fetch_batch(desc, msg, item_payload)
 
     def handle_update_batch(self, desc: RegionDescriptor,
                             msg: Message) -> None:
         if self.host.node_id != desc.primary_home:
-            self.host.reply_error(msg, "not_responsible",
-                                    "batched updates go to the primary home")
+            self.engine.nak(msg, "not_responsible",
+                            "batched updates go to the primary home")
             return
         updates = msg.payload.get("updates", [])
 
@@ -424,11 +363,11 @@ class EventualManager(ConsistencyManager):
                         )
                 self._rids[page_addr] = desc.rid
                 applied += 1
-            self.host.reply_request(
+            self.engine.reply(
                 msg, MessageType.UPDATE_ACK_BATCH, {"applied": applied}
             )
 
-        self.host.spawn_handler(msg, apply(), label="eventual-apply-batch")
+        self.engine.spawn_handler(msg, apply(), "apply-batch")
 
     def _apply_at_home(self, desc: RegionDescriptor, msg: Message) -> None:
         page_addr = msg.payload["page"]
@@ -452,33 +391,24 @@ class EventualManager(ConsistencyManager):
                         desc.attrs.protocol,
                     )
             self._rids[page_addr] = desc.rid
-            self.host.reply_request(msg, MessageType.UPDATE_ACK, {})
+            self.engine.reply(msg, MessageType.UPDATE_ACK, {})
 
-        self.host.spawn_handler(msg, apply(), label="eventual-apply")
+        self.engine.spawn_handler(msg, apply(), "apply")
 
     def _apply_replica_update(self, desc: RegionDescriptor, msg: Message) -> None:
         page_addr = msg.payload["page"]
         incoming = (msg.payload.get("version", 0), msg.payload.get("writer", 0))
 
-        def apply() -> None:
-            if incoming <= self._versions.get(page_addr, (0, -1)):
-                return
-            if not self.host.storage.contains(page_addr):
-                return
+        def commit() -> None:
             self._versions[page_addr] = incoming
             self._refreshed_at[page_addr] = self.host.scheduler.now
 
-            def store() -> ProtocolGen:
-                yield from self.host.store_local_page(
-                    desc, page_addr, msg.payload["data"], dirty=False
-                )
-
-            self.host.spawn(store(), label="eventual-replica-store")
-
-        if self.host.lock_table.page_locked(page_addr):
-            self.defer_until_unlocked(page_addr, apply)
-        else:
-            apply()
+        install_replica_update(
+            self, desc, page_addr, msg.payload["data"],
+            fresh=lambda: incoming > self._versions.get(page_addr, (0, -1)),
+            commit=commit,
+            op="replica-store",
+        )
 
     # ------------------------------------------------------------------
     # Anti-entropy
@@ -496,20 +426,17 @@ class EventualManager(ConsistencyManager):
                 continue
             version, writer = self._versions.get(page_addr, (0, 0))
             for sharer in entry.copyset_excluding(self.host.node_id):
-                self.host.rpc.send(
-                    Message(
-                        msg_type=MessageType.UPDATE_PUSH,
-                        src=self.host.node_id,
-                        dst=sharer,
-                        payload={
-                            "rid": entry.rid,
-                            "page": page_addr,
-                            "data": page.data,
-                            "version": version,
-                            "writer": writer,
-                            "fanout": True,
-                        },
-                    )
+                self.engine.send(
+                    sharer,
+                    MessageType.UPDATE_PUSH,
+                    {
+                        "rid": entry.rid,
+                        "page": page_addr,
+                        "data": page.data,
+                        "version": version,
+                        "writer": writer,
+                        "fanout": True,
+                    },
                 )
 
     def on_node_failure(self, node_id: int) -> None:

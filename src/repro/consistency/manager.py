@@ -11,16 +11,28 @@ the conflict is resolved." (paper Section 3.3)
 A CM instance exists per (daemon, protocol).  All methods that may
 need remote communication are protocol generators (they yield
 Futures and are driven by the daemon's task runner).
+
+Every CM owns a :class:`~repro.consistency.engine.ProtocolEngine`
+(``self.engine``): the shared mechanism layer that carries all wire
+traffic, home-side transactions, token bookkeeping, and batching.
+Policy modules never touch ``host.rpc`` / ``host.reply_*`` directly
+(lint rule KHZ007).
 """
 
 from __future__ import annotations
 
 import abc
-import enum
 import logging
-from collections import deque
-from typing import TYPE_CHECKING, Any, Callable, Deque, Dict, Generator, List, Type
+from typing import TYPE_CHECKING, Any, Callable, Dict, Generator, List, Mapping, Type
 
+from repro.consistency.engine import (
+    KeyedMutex,
+    LocalPageState,
+    PageEvent,
+    PageStateMachine,
+    ProtocolEngine,
+    typed_denial,
+)
 from repro.core.errors import ProtocolUnknown
 from repro.core.locks import LockContext, LockMode
 from repro.core.region import RegionDescriptor
@@ -34,63 +46,19 @@ ProtocolGen = Generator[Future, Any, Any]
 
 logger = logging.getLogger(__name__)
 
+#: Engine-layer name; re-exported for callers predating the engine.
+_typed_denial = typed_denial
 
-def _typed_denial(error: "Any") -> Exception:
-    """Turn a peer's NAK into the most specific client-facing error.
-
-    Known Khazana codes (access_denied, not_allocated, ...) surface as
-    their typed exceptions; anything else becomes LockDenied.
-    """
-    from repro.core.errors import ERROR_CODES, LockDenied, error_from_code
-
-    if getattr(error, "code", None) in ERROR_CODES:
-        return error_from_code(error.code, error.detail)
-    return LockDenied(str(error))
-
-
-class LocalPageState(enum.Enum):
-    """Validity of this node's local copy of a page (MSI-style)."""
-
-    INVALID = "invalid"
-    SHARED = "shared"
-    EXCLUSIVE = "exclusive"
-
-
-class KeyedMutex:
-    """Per-key FIFO mutex for serialising directory transactions.
-
-    Home nodes must not interleave two ownership transfers for the
-    same page; each transaction acquires the page's mutex first.
-    """
-
-    def __init__(self) -> None:
-        self._waiting: Dict[Any, Deque[Future]] = {}
-        self._held: Dict[Any, bool] = {}
-
-    def acquire(self, key: Any) -> Future:
-        """Future resolving when the caller holds the mutex for key."""
-        future = Future(label=f"mutex:{key}")
-        if not self._held.get(key):
-            self._held[key] = True
-            future.set_result(None)
-        else:
-            self._waiting.setdefault(key, deque()).append(future)
-        return future
-
-    def release(self, key: Any) -> None:
-        queue = self._waiting.get(key)
-        if queue:
-            next_holder = queue.popleft()
-            if not queue:
-                del self._waiting[key]
-            # Resolve last: the next holder's callbacks run
-            # synchronously and may re-enter release() for this key.
-            next_holder.set_result(None)
-        else:
-            self._held.pop(key, None)
-
-    def locked(self, key: Any) -> bool:
-        return bool(self._held.get(key))
+__all__ = [
+    "ConsistencyManager",
+    "KeyedMutex",
+    "LocalPageState",
+    "ProtocolGen",
+    "available_protocols",
+    "create_manager",
+    "register_protocol",
+    "_typed_denial",
+]
 
 
 class ConsistencyManager(abc.ABC):
@@ -101,16 +69,26 @@ class ConsistencyManager(abc.ABC):
     page directory, lock table, storage hierarchy, and the reply /
     residency / conflict-wait helpers it names.  Subclasses implement
     the client-side ``acquire``/``release``/``evict`` path and the
-    home/replica-side message handlers.
+    home/replica-side message handlers, reaching the wire only through
+    ``self.engine``.
     """
 
     #: Registry name; subclasses must override.
     protocol_name = ""
 
+    #: The protocol's page-state transition table: which
+    #: :class:`PageEvent` moves a page into which
+    #: :class:`LocalPageState`.  Subclasses declare theirs.
+    TRANSITIONS: Mapping[PageEvent, LocalPageState] = {}
+
     def __init__(self, host: "CMHost") -> None:
         self.host = host
         #: Local validity of cached pages under this protocol.
         self.page_state: Dict[int, LocalPageState] = {}
+        #: The explicit transition machine over ``page_state``.
+        self.pages = PageStateMachine(self.page_state, self.TRANSITIONS)
+        #: Shared mechanism: wire, home transactions, tokens, batching.
+        self.engine = ProtocolEngine(self)
         #: Remote invalidations deferred because a local lock context
         #: still covers the page; drained by :meth:`notify_unlocked`.
         self._deferred: Dict[int, List[Callable[[], None]]] = {}
@@ -221,7 +199,7 @@ class ConsistencyManager(abc.ABC):
         if home == self.host.node_id:
             return
         if dirty:
-            yield self.host.rpc.request(
+            yield self.engine.request(
                 home,
                 MessageType.UPDATE_PUSH,
                 {
@@ -231,15 +209,12 @@ class ConsistencyManager(abc.ABC):
                     "release_token": False,
                 },
             )
-        self.host.rpc.send(
-            Message(
-                msg_type=MessageType.SHARER_UNREGISTER,
-                src=self.host.node_id,
-                dst=home,
-                payload={"rid": desc.rid, "page": page_addr},
-            )
+        self.engine.send(
+            home,
+            MessageType.SHARER_UNREGISTER,
+            {"rid": desc.rid, "page": page_addr},
         )
-        self.page_state.pop(page_addr, None)
+        self.pages.drop(page_addr)
 
     # --- Deferred-conflict machinery ---------------------------------------
 
@@ -284,7 +259,7 @@ class ConsistencyManager(abc.ABC):
         needed = Right.WRITE if mode.is_write else Right.READ
         if desc.attrs.acl.allows(principal, needed):
             return True
-        self.host.reply_error(
+        self.engine.nak(
             msg, "access_denied",
             f"principal {principal!r} lacks {needed} on region "
             f"{desc.rid:#x}",
@@ -295,28 +270,28 @@ class ConsistencyManager(abc.ABC):
     # Default implementations NAK; protocols override what they use.
 
     def handle_lock_request(self, desc: RegionDescriptor, msg: Message) -> None:
-        self.host.reply_error(msg, "unhandled", "lock_request")
+        self.engine.nak(msg, "unhandled", "lock_request")
 
     def handle_page_fetch(self, desc: RegionDescriptor, msg: Message) -> None:
-        self.host.reply_error(msg, "unhandled", "page_fetch")
+        self.engine.nak(msg, "unhandled", "page_fetch")
 
     def handle_invalidate(self, desc: RegionDescriptor, msg: Message) -> None:
-        self.host.reply_error(msg, "unhandled", "invalidate")
+        self.engine.nak(msg, "unhandled", "invalidate")
 
     def handle_update(self, desc: RegionDescriptor, msg: Message) -> None:
-        self.host.reply_error(msg, "unhandled", "update_push")
+        self.engine.nak(msg, "unhandled", "update_push")
 
     def handle_page_fetch_batch(self, desc: RegionDescriptor,
                                 msg: Message) -> None:
-        self.host.reply_error(msg, "unhandled", "page_fetch_batch")
+        self.engine.nak(msg, "unhandled", "page_fetch_batch")
 
     def handle_lock_request_batch(self, desc: RegionDescriptor,
                                   msg: Message) -> None:
-        self.host.reply_error(msg, "unhandled", "token_acquire_batch")
+        self.engine.nak(msg, "unhandled", "token_acquire_batch")
 
     def handle_update_batch(self, desc: RegionDescriptor,
                             msg: Message) -> None:
-        self.host.reply_error(msg, "unhandled", "update_push_batch")
+        self.engine.nak(msg, "unhandled", "update_push_batch")
 
     def handle_sharer_register(self, desc: RegionDescriptor, msg: Message) -> None:
         entry = self.host.page_directory.ensure(
@@ -329,7 +304,7 @@ class ConsistencyManager(abc.ABC):
         if msg.request_id is not None:
             from repro.net.message import MessageType
 
-            self.host.reply_request(msg, MessageType.UPDATE_ACK, {})
+            self.engine.reply(msg, MessageType.UPDATE_ACK, {})
 
     def handle_sharer_unregister(self, desc: RegionDescriptor, msg: Message) -> None:
         entry = self.host.page_directory.get(msg.payload["page"])

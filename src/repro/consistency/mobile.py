@@ -24,14 +24,20 @@ This module adds that protocol.  Semantics:
   propagation is home-centred).
 - **Conflicts** resolve last-writer-wins by stamp, Bayou's default
   when no application merge procedure is supplied.
+
+Multi-page lock ranges use the engine's
+:class:`~repro.consistency.engine.BatchPlanner`: one
+``PAGE_FETCH_BATCH`` per reachable peer instead of one ``PAGE_FETCH``
+per page, and one ``UPDATE_PUSH_BATCH`` per gossip peer at release.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from typing import TYPE_CHECKING
 
+from repro.consistency.engine import PageEvent, install_replica_update
 from repro.consistency.manager import (
     ConsistencyManager,
     LocalPageState,
@@ -60,6 +66,13 @@ class MobileManager(ConsistencyManager):
     """Consistency manager for disconnected (mobile) data."""
 
     protocol_name = "mobile"
+
+    #: Replicas are only ever SHARED — writes never need a grant, and
+    #: nothing is ever invalidated, only overwritten by newer stamps.
+    TRANSITIONS = {
+        PageEvent.READ_FILL: LocalPageState.SHARED,
+        PageEvent.REPLICA_APPLY: LocalPageState.SHARED,
+    }
 
     def __init__(self, host: "CMHost") -> None:
         super().__init__(host)
@@ -91,54 +104,67 @@ class MobileManager(ConsistencyManager):
         if fetched:
             return
         if mode.is_write:
-            # Fully disconnected first touch: start from zeroes; the
-            # write will be reconciled by stamp when connectivity
-            # returns (Bayou's tentative-write spirit).
-            yield from self.host.store_local_page(
-                desc, page_addr, b"\x00" * desc.page_size, dirty=False
-            )
-            self.page_state[page_addr] = LocalPageState.SHARED
+            yield from self._first_touch(desc, page_addr)
             return
         raise LockDenied(
             f"page {page_addr:#x}: no local replica and no reachable peer"
         )
 
+    def _first_touch(self, desc: RegionDescriptor,
+                     page_addr: int) -> ProtocolGen:
+        """Fully disconnected first touch: start from zeroes; the
+        write will be reconciled by stamp when connectivity returns
+        (Bayou's tentative-write spirit)."""
+        yield from self.host.store_local_page(
+            desc, page_addr, b"\x00" * desc.page_size, dirty=False
+        )
+        self.pages.fire(page_addr, PageEvent.READ_FILL)
+
+    def _candidates(self, desc: RegionDescriptor,
+                    pages: List[int]) -> List[int]:
+        """Home nodes first, then any sharer hinted for the pages."""
+        me = self.host.node_id
+        candidates: List[int] = [n for n in desc.home_nodes if n != me]
+        for page_addr in pages:
+            entry = self.host.page_directory.get(page_addr)
+            if entry is not None:
+                candidates.extend(
+                    n for n in sorted(entry.sharers)
+                    if n not in candidates and n != me
+                )
+        return candidates
+
+    def _install_fetched(self, desc: RegionDescriptor, page_addr: int,
+                         data: bytes, stamp: Optional[List[int]],
+                         peer: int) -> ProtocolGen:
+        yield from self.host.store_local_page(
+            desc, page_addr, data, dirty=False
+        )
+        if stamp:
+            self._stamps[page_addr] = (int(stamp[0]), int(stamp[1]))
+        self.pages.fire(page_addr, PageEvent.READ_FILL)
+        pd = self.host.page_directory.ensure(
+            page_addr, desc.rid, homed=False
+        )
+        pd.record_sharer(peer)
+        pd.allocated = True
+
     def _fetch_from_anyone(self, desc: RegionDescriptor,
                            page_addr: int) -> ProtocolGen:
         """Try the home nodes, then any hinted sharer."""
-        entry = self.host.page_directory.get(page_addr)
-        candidates: List[int] = [
-            n for n in desc.home_nodes if n != self.host.node_id
-        ]
-        if entry is not None:
-            candidates.extend(
-                n for n in sorted(entry.sharers)
-                if n not in candidates and n != self.host.node_id
-            )
-        for peer in candidates:
-            try:
-                reply = yield self.host.rpc.request(
-                    peer, MessageType.PAGE_FETCH,
-                    {"rid": desc.rid, "page": page_addr, "register": True},
-                    policy=FETCH_POLICY,
-                )
-            except (RpcTimeout, RemoteError):
-                continue
-            data = reply.payload["data"]
-            yield from self.host.store_local_page(
-                desc, page_addr, data, dirty=False
-            )
-            stamp = reply.payload.get("stamp")
-            if stamp:
-                self._stamps[page_addr] = (int(stamp[0]), int(stamp[1]))
-            self.page_state[page_addr] = LocalPageState.SHARED
-            pd = self.host.page_directory.ensure(
-                page_addr, desc.rid, homed=False
-            )
-            pd.record_sharer(peer)
-            pd.allocated = True
-            return True
-        return False
+        reply = yield from self.engine.request_any(
+            self._candidates(desc, [page_addr]),
+            MessageType.PAGE_FETCH,
+            {"rid": desc.rid, "page": page_addr, "register": True},
+            policy=FETCH_POLICY,
+        )
+        if reply is None:
+            return False
+        yield from self._install_fetched(
+            desc, page_addr, reply.payload["data"],
+            reply.payload.get("stamp"), reply.src,
+        )
+        return True
 
     def release(
         self,
@@ -148,12 +174,116 @@ class MobileManager(ConsistencyManager):
     ) -> ProtocolGen:
         if page_addr not in ctx.dirty_pages:
             return
-        counter, _node = self._stamps.get(page_addr, (0, 0))
-        stamp = (counter + 1, self.host.node_id)
-        self._stamps[page_addr] = stamp
+        self._stamp_write(page_addr)
         # Eager best-effort gossip; unreachable peers catch up via the
         # anti-entropy tick once connectivity returns.
         self._gossip_page(desc, page_addr)
+        return
+        yield  # pragma: no cover - generator form required
+
+    def _stamp_write(self, page_addr: int) -> Stamp:
+        counter, _node = self._stamps.get(page_addr, (0, 0))
+        stamp = (counter + 1, self.host.node_id)
+        self._stamps[page_addr] = stamp
+        return stamp
+
+    # ------------------------------------------------------------------
+    # Batched multi-page path
+    # ------------------------------------------------------------------
+
+    def acquire_many(
+        self,
+        desc: RegionDescriptor,
+        pages: List[int],
+        mode: LockMode,
+        ctx: LockContext,
+        note_acquired: Callable[[int], None],
+    ) -> ProtocolGen:
+        # Mobile has no home-mediated path: even a home node fetches
+        # from peers, so only range size / config gate the batch.
+        if not self.engine.batch.use_batch(desc, pages,
+                                           home_local_fallback=False):
+            yield from super().acquire_many(desc, pages, mode, ctx,
+                                            note_acquired)
+            return
+        yield from self.engine.batch.wait_conflicts(pages, mode)
+        self._descs[desc.rid] = desc
+        missing: List[int] = []
+        for page_addr in pages:
+            self._rids[page_addr] = desc.rid
+            if self.host.storage.contains(page_addr):
+                continue
+            if self.host.node_id in desc.home_nodes:
+                data = yield from self.host.local_page_bytes(desc, page_addr)
+                if data is not None:
+                    continue
+            missing.append(page_addr)
+        # One batched fetch per peer, narrowing to the still-missing
+        # pages — a peer that replicates only part of the range serves
+        # what it has and the next candidate fills the rest.
+        remaining = list(missing)
+        for peer in self._candidates(desc, missing):
+            if not remaining:
+                break
+            try:
+                reply = yield self.engine.request(
+                    peer, MessageType.PAGE_FETCH_BATCH,
+                    {"rid": desc.rid, "pages": list(remaining),
+                     "register": True},
+                    policy=FETCH_POLICY,
+                )
+            except (RpcTimeout, RemoteError):
+                continue
+            for item in reply.payload.get("pages", []):
+                page_addr = int(item["page"])
+                yield from self._install_fetched(
+                    desc, page_addr, item["data"], item.get("stamp"), peer
+                )
+                remaining.remove(page_addr)
+        for page_addr in remaining:
+            if mode.is_write:
+                yield from self._first_touch(desc, page_addr)
+            else:
+                raise LockDenied(
+                    f"page {page_addr:#x}: no local replica and no "
+                    "reachable peer"
+                )
+        for page_addr in pages:
+            note_acquired(page_addr)
+
+    def release_many(
+        self,
+        desc: RegionDescriptor,
+        pages: List[int],
+        ctx: LockContext,
+    ) -> ProtocolGen:
+        if not self.engine.batch.use_batch(desc, pages,
+                                           home_local_fallback=False):
+            yield from super().release_many(desc, pages, ctx)
+            return
+        # One UPDATE_PUSH_BATCH per gossip peer instead of one
+        # UPDATE_PUSH per (page, peer); each peer gets only the pages
+        # it would have been gossiped under the per-page path.
+        per_peer: Dict[int, List[Dict[str, Any]]] = {}
+        for page_addr in pages:
+            if page_addr not in ctx.dirty_pages:
+                continue
+            page = self.host.storage.peek(page_addr)
+            if page is None:
+                continue
+            stamp = self._stamp_write(page_addr)
+            update = {
+                "page": page_addr, "data": page.data,
+                "stamp": list(stamp), "gossip": True,
+            }
+            for peer in self._peers_for(desc, page_addr):
+                per_peer.setdefault(peer, []).append(update)
+        for peer in sorted(per_peer):
+            self.engine.send(
+                peer,
+                MessageType.UPDATE_PUSH_BATCH,
+                {"rid": desc.rid, "updates": per_peer[peer]},
+            )
         return
         yield  # pragma: no cover - generator form required
 
@@ -182,19 +312,16 @@ class MobileManager(ConsistencyManager):
             desc, page_addr
         )
         for peer in peers:
-            self.host.rpc.send(
-                Message(
-                    msg_type=MessageType.UPDATE_PUSH,
-                    src=self.host.node_id,
-                    dst=peer,
-                    payload={
-                        "rid": desc.rid,
-                        "page": page_addr,
-                        "data": page.data,
-                        "stamp": list(stamp),
-                        "gossip": True,
-                    },
-                )
+            self.engine.send(
+                peer,
+                MessageType.UPDATE_PUSH,
+                {
+                    "rid": desc.rid,
+                    "page": page_addr,
+                    "data": page.data,
+                    "stamp": list(stamp),
+                    "gossip": True,
+                },
             )
 
     def tick(self) -> None:
@@ -219,73 +346,87 @@ class MobileManager(ConsistencyManager):
     # ------------------------------------------------------------------
 
     def handle_page_fetch(self, desc: RegionDescriptor, msg: Message) -> None:
-        page_addr = msg.payload["page"]
-
-        def serve() -> ProtocolGen:
-            data = yield from self.host.local_page_bytes(desc, page_addr)
-            if data is None:
-                self.host.reply_error(msg, "not_allocated",
-                                        f"no replica of {page_addr:#x}")
-                return
-            if msg.payload.get("register"):
-                entry = self.host.page_directory.ensure(
-                    page_addr, desc.rid,
-                    homed=self.host.node_id in desc.home_nodes,
-                )
-                entry.record_sharer(msg.src)
+        def item_payload(page_addr: int, data: bytes) -> Dict[str, Any]:
             stamp = self._stamps.get(page_addr, (0, 0))
-            self.host.reply_request(
-                msg, MessageType.PAGE_DATA,
-                {"data": data, "stamp": list(stamp)},
-            )
+            return {"data": data, "stamp": list(stamp)}
 
-        self.host.spawn_handler(msg, serve(), label="mobile-fetch")
+        self.engine.batch.serve_fetch(
+            desc, msg, item_payload,
+            missing_detail=lambda page_addr: f"no replica of {page_addr:#x}",
+            homed=self.host.node_id in desc.home_nodes,
+        )
 
-    def handle_update(self, desc: RegionDescriptor, msg: Message) -> None:
-        page_addr = msg.payload["page"]
-        incoming: Stamp = tuple(int(x) for x in msg.payload["stamp"])
+    def handle_page_fetch_batch(self, desc: RegionDescriptor,
+                                msg: Message) -> None:
+        def item_payload(page_addr: int, data: bytes) -> Dict[str, Any]:
+            stamp = self._stamps.get(page_addr, (0, 0))
+            return {"page": page_addr, "data": data, "stamp": list(stamp)}
+
+        self.engine.batch.serve_fetch_batch(
+            desc, msg, item_payload,
+            homed=self.host.node_id in desc.home_nodes,
+        )
+
+    def _apply_gossip(self, desc: RegionDescriptor, page_addr: int,
+                      data: bytes, incoming: Stamp, src: int) -> None:
+        """LWW-apply one gossiped page version (shared by the per-page
+        and batched update handlers)."""
         self._rids[page_addr] = desc.rid
         self._descs[desc.rid] = desc
         entry = self.host.page_directory.ensure(
             page_addr, desc.rid,
             homed=self.host.node_id in desc.home_nodes,
         )
-        entry.record_sharer(msg.src)
+        entry.record_sharer(src)
         entry.allocated = True
         local = self._stamps.get(page_addr, (0, -1))
 
         if incoming <= local:
             if incoming < local:
                 # Anti-entropy runs both ways: teach the sender.
-                self._gossip_page(desc, page_addr, targets=[msg.src])
-            if msg.request_id is not None:
-                self.host.reply_request(msg, MessageType.UPDATE_ACK, {})
+                self._gossip_page(desc, page_addr, targets=[src])
             return
 
-        def apply() -> None:
-            if incoming <= self._stamps.get(page_addr, (0, -1)):
-                return
+        def commit() -> None:
             self._stamps[page_addr] = incoming
             if self.host.probe.enabled:
                 self.host.probe.remote_update(
-                    self.host.node_id, page_addr, msg.src,
+                    self.host.node_id, page_addr, src,
                     desc.attrs.protocol,
                 )
 
-            def store() -> ProtocolGen:
-                yield from self.host.store_local_page(
-                    desc, page_addr, msg.payload["data"], dirty=False
-                )
-                self.page_state[page_addr] = LocalPageState.SHARED
+        install_replica_update(
+            self, desc, page_addr, data,
+            fresh=lambda: incoming > self._stamps.get(page_addr, (0, -1)),
+            commit=commit,
+            require_resident=False,   # gossip may seed a new replica
+            op="apply",
+            on_stored=lambda: self.pages.fire(
+                page_addr, PageEvent.REPLICA_APPLY
+            ),
+        )
 
-            self.host.spawn(store(), label="mobile-apply")
-
-        if self.host.lock_table.page_locked(page_addr):
-            self.defer_until_unlocked(page_addr, apply)
-        else:
-            apply()
+    def handle_update(self, desc: RegionDescriptor, msg: Message) -> None:
+        page_addr = msg.payload["page"]
+        incoming: Stamp = tuple(int(x) for x in msg.payload["stamp"])
+        self._apply_gossip(
+            desc, page_addr, msg.payload["data"], incoming, msg.src
+        )
         if msg.request_id is not None:
-            self.host.reply_request(msg, MessageType.UPDATE_ACK, {})
+            self.engine.reply(msg, MessageType.UPDATE_ACK, {})
+
+    def handle_update_batch(self, desc: RegionDescriptor,
+                            msg: Message) -> None:
+        updates = msg.payload.get("updates", [])
+        for update in updates:
+            incoming: Stamp = tuple(int(x) for x in update["stamp"])
+            self._apply_gossip(
+                desc, int(update["page"]), update["data"], incoming, msg.src
+            )
+        if msg.request_id is not None:
+            self.engine.reply(
+                msg, MessageType.UPDATE_ACK_BATCH, {"applied": len(updates)}
+            )
 
     def on_node_failure(self, node_id: int) -> None:
         # Mobile replicas expect peers to vanish and return; keep the

@@ -2,49 +2,42 @@
 
 "For example, for the address map tree nodes, we use a release
 consistent protocol" (paper Section 3.3, citing Gharachorloo et al.).
+In the DSM tradition the authors come from (Munin/TreadMarks):
 
-Semantics implemented here, in the DSM tradition the authors come
-from (Munin/TreadMarks):
+a *read* lock is satisfied from any local replica, however stale; a
+*write* lock acquires a per-page write token from the home node (which
+also supplies the latest contents, so writers serialize); a
+*write-shared* lock takes no token — concurrent writers keep a twin
+and push byte-range diffs at release, which the home merges.  At
+*release*, dirty data goes to the home, which bumps the page version
+and propagates the update to every registered replica site (3.3);
+updates arriving under an open local context are deferred until that
+context is released.
 
-- A *read* lock is satisfied from any local replica, however stale;
-  a node with no replica fetches one from the home node.
-- A *write* lock acquires a per-page write token from the home node,
-  which also supplies the latest page contents — so writers are
-  serialised and always start from the newest version.
-- A *write-shared* lock takes no token: concurrent writers keep a twin
-  of the page and push byte-range diffs at release, which the home
-  merges — non-overlapping concurrent writes both survive.
-- At *release*, dirty data goes to the home node, which bumps the page
-  version and propagates the update to every registered replica site
-  ("Eventually, the other CMs notify their Khazana daemon of the
-  change, causing it to update its replica", Section 3.3).
-
-Updates arriving at a replica while a local context covers the page
-are deferred until that context is released, so a reader never sees a
-page change underneath an open lock.
+The write tokens live in the engine's
+:class:`~repro.consistency.engine.CopysetLedger` (probe ordering +
+conservation invariant); twins/diffs in :mod:`repro.consistency.diffs`.
 """
 
 from __future__ import annotations
 
 import logging
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
-from typing import TYPE_CHECKING
-
+from repro.consistency.diffs import TwinStore, apply_diff, compute_diff
+from repro.consistency.engine import PageEvent, install_replica_update
 from repro.consistency.manager import (
     ConsistencyManager,
-    KeyedMutex,
     LocalPageState,
     ProtocolGen,
-    _typed_denial,
     register_protocol,
 )
 from repro.core.errors import KhazanaError, LockDenied
 from repro.core.locks import LockContext, LockMode
 from repro.core.region import RegionDescriptor
 from repro.net.message import Message, MessageType
-from repro.net.rpc import RemoteError, RetryPolicy, RpcTimeout
+from repro.net.rpc import RetryPolicy
 
 if TYPE_CHECKING:
     from repro.core.cmhost import CMHost
@@ -53,38 +46,7 @@ TOKEN_POLICY = RetryPolicy(timeout=10.0, retries=2, backoff=1.5)
 
 logger = logging.getLogger(__name__)
 
-
-def compute_diff(twin: bytes, current: bytes) -> List[Tuple[int, bytes]]:
-    """Byte ranges of ``current`` that differ from ``twin``.
-
-    Returns maximal runs as ``(offset, data)`` pairs — the classic
-    twin/diff mechanism used by write-shared protocols.
-    """
-    if len(twin) != len(current):
-        return [(0, current)]
-    runs: List[Tuple[int, bytes]] = []
-    start: Optional[int] = None
-    for i in range(len(current)):
-        if twin[i] != current[i]:
-            if start is None:
-                start = i
-        elif start is not None:
-            runs.append((start, current[start:i]))
-            start = None
-    if start is not None:
-        runs.append((start, current[start:]))
-    return runs
-
-
-def apply_diff(base: bytes, diff: List[Tuple[int, bytes]]) -> bytes:
-    """Apply ``(offset, data)`` runs to ``base``."""
-    page = bytearray(base)
-    for offset, data in diff:
-        end = offset + len(data)
-        if end > len(page):
-            page.extend(b"\x00" * (end - len(page)))
-        page[offset:end] = data
-    return bytes(page)
+__all__ = ["ReleaseManager", "TOKEN_POLICY", "apply_diff", "compute_diff"]
 
 
 @register_protocol
@@ -93,30 +55,28 @@ class ReleaseManager(ConsistencyManager):
 
     protocol_name = "release"
 
+    #: Replicas are SHARED (stale reads allowed); the write token is
+    #: EXCLUSIVE.  Pushed updates refresh replicas, never invalidate.
+    TRANSITIONS = {
+        PageEvent.READ_FILL: LocalPageState.SHARED,
+        PageEvent.WRITE_GRANT: LocalPageState.EXCLUSIVE,
+    }
+
     def __init__(self, host: "CMHost") -> None:
         super().__init__(host)
-        self._tokens = KeyedMutex()        # home-side write tokens
         self._versions: Dict[int, int] = {}   # page -> version (home: authoritative)
-        self._twins: Dict[Tuple[int, int], bytes] = {}  # (ctx, page) -> twin
+        self._twins = TwinStore()
 
     # ------------------------------------------------------------------
     # Client side
     # ------------------------------------------------------------------
 
-    def acquire(
-        self,
-        desc: RegionDescriptor,
-        page_addr: int,
-        mode: LockMode,
-        ctx: LockContext,
-    ) -> ProtocolGen:
-        me = self.host.node_id
-        home = desc.primary_home
-
+    def acquire(self, desc: RegionDescriptor, page_addr: int,
+                mode: LockMode, ctx: LockContext) -> ProtocolGen:
         if mode is LockMode.READ:
             if self.host.storage.contains(page_addr):
                 return  # any replica satisfies a read acquire
-            if me == home:
+            if self.host.node_id == desc.primary_home:
                 data = yield from self.host.local_page_bytes(desc, page_addr)
                 if data is None:
                     raise KhazanaError(
@@ -125,28 +85,48 @@ class ReleaseManager(ConsistencyManager):
                 return
             yield from self._fetch_replica(desc, page_addr, ctx.principal)
             return
-
         if mode is LockMode.WRITE:
             yield from self._acquire_token(desc, page_addr, ctx.principal)
             return
-
         # WRITE_SHARED: no token; remember a twin for diffing.
         data = yield from self._ensure_local_copy(desc, page_addr)
-        self._twins[(ctx.ctx_id, page_addr)] = data
+        self._twins.remember(ctx.ctx_id, page_addr, data)
+
+    def _install_page(self, desc: RegionDescriptor, page_addr: int,
+                      data: bytes, version: int,
+                      event: PageEvent) -> ProtocolGen:
+        """Store a home-served page locally and record its version;
+        shared by the replica-fetch and token-acquire installs."""
+        yield from self.host.store_local_page(desc, page_addr, data, dirty=False)
+        self._versions[page_addr] = version
+        self.pages.fire(page_addr, event)
+        entry = self.host.page_directory.ensure(page_addr, desc.rid, homed=False)
+        entry.allocated = True
+
+    def _install_items(self, desc: RegionDescriptor, reply: Message,
+                       event: PageEvent) -> ProtocolGen:
+        for item in reply.payload.get("pages", []):
+            yield from self._install_page(
+                desc, int(item["page"]), item["data"],
+                item.get("version", 0), event,
+            )
+
+    def _grant_from_home(self, desc: RegionDescriptor, page_addr: int,
+                         msg_type: MessageType, payload: Dict[str, Any],
+                         event: PageEvent) -> ProtocolGen:
+        reply = yield from self._home_request(desc, msg_type, payload)
+        yield from self._install_page(
+            desc, page_addr, reply.payload["data"],
+            reply.payload.get("version", 0), event)
 
     def _fetch_replica(self, desc: RegionDescriptor, page_addr: int,
                        principal: str = "_khazana") -> ProtocolGen:
-        reply = yield from self._home_request(
-            desc, MessageType.PAGE_FETCH,
+        yield from self._grant_from_home(
+            desc, page_addr, MessageType.PAGE_FETCH,
             {"rid": desc.rid, "page": page_addr, "register": True,
              "principal": principal},
+            PageEvent.READ_FILL,
         )
-        data = reply.payload["data"]
-        yield from self.host.store_local_page(desc, page_addr, data, dirty=False)
-        self._versions[page_addr] = reply.payload.get("version", 0)
-        self.page_state[page_addr] = LocalPageState.SHARED
-        entry = self.host.page_directory.ensure(page_addr, desc.rid, homed=False)
-        entry.allocated = True
 
     def _ensure_local_copy(self, desc: RegionDescriptor, page_addr: int) -> ProtocolGen:
         if not self.host.storage.contains(page_addr):
@@ -163,111 +143,47 @@ class ReleaseManager(ConsistencyManager):
                        principal: str = "_khazana") -> ProtocolGen:
         me = self.host.node_id
         if me == desc.primary_home:
-            yield self._tokens.acquire(page_addr)
+            yield self.engine.ledger.acquire(page_addr)
             data = yield from self.host.local_page_bytes(desc, page_addr)
             if data is None:
-                self._tokens.release(page_addr)
+                self.engine.ledger.abort(page_addr)
                 raise KhazanaError(f"home lost page {page_addr:#x}")
-            if self.host.probe.enabled:
-                self.host.probe.token_granted(me, page_addr, me)
-            self.page_state[page_addr] = LocalPageState.EXCLUSIVE
+            self.engine.ledger.grant(page_addr, me)
+            self.pages.fire(page_addr, PageEvent.WRITE_GRANT)
             return
-        reply = yield from self._home_request(
-            desc, MessageType.LOCK_REQUEST,
+        yield from self._grant_from_home(
+            desc, page_addr, MessageType.LOCK_REQUEST,
             {"rid": desc.rid, "page": page_addr,
              "mode": LockMode.WRITE.value, "principal": principal},
+            PageEvent.WRITE_GRANT,
         )
-        data = reply.payload["data"]
-        yield from self.host.store_local_page(desc, page_addr, data, dirty=False)
-        self._versions[page_addr] = reply.payload.get("version", 0)
-        self.page_state[page_addr] = LocalPageState.EXCLUSIVE
-        entry = self.host.page_directory.ensure(page_addr, desc.rid, homed=False)
-        entry.allocated = True
 
     def _home_request(self, desc: RegionDescriptor, msg_type: MessageType,
                       payload: Dict[str, Any]) -> ProtocolGen:
-        last_error: Optional[Exception] = None
-        for home in desc.home_nodes:
-            if home == self.host.node_id:
-                continue
-            try:
-                reply = yield self.host.rpc.request(
-                    home, msg_type, payload, policy=TOKEN_POLICY
-                )
-                return reply
-            except RpcTimeout as error:
-                last_error = error
-            except RemoteError as error:
-                raise _typed_denial(error) from error
-        raise LockDenied(
-            f"no home node of region {desc.rid:#x} answered: {last_error}"
-        )
+        return (yield from self.engine.request_home(
+            desc, msg_type, payload, policy=TOKEN_POLICY,
+            fail="no home node of region {rid:#x} answered: {error}",
+        ))
 
-    def release(
-        self,
-        desc: RegionDescriptor,
-        page_addr: int,
-        ctx: LockContext,
-    ) -> ProtocolGen:
-        me = self.host.node_id
-        twin_key = (ctx.ctx_id, page_addr)
-        twin = self._twins.pop(twin_key, None)
-
+    def release(self, desc: RegionDescriptor, page_addr: int,
+                ctx: LockContext) -> ProtocolGen:
+        update = self._release_update(desc, page_addr, ctx)
+        if update is None:
+            return
+        if self.host.node_id == desc.primary_home:
+            yield from self._apply_pushed(desc, page_addr, update,
+                                          self.host.node_id)
+            return
+        payload: Dict[str, Any] = {"rid": desc.rid, **update}
         if ctx.mode is LockMode.WRITE_SHARED:
-            if twin is None:
-                return
-            page = self.host.storage.peek(page_addr)
-            if page is None:
-                return
-            diff = compute_diff(twin, page.data)
-            if not diff:
-                return
-            if me == desc.primary_home:
-                yield from self._apply_update_at_home(
-                    desc, page_addr, diff=diff, data=None, writer=me
-                )
-            else:
-                yield from self._push_home(
-                    desc, page_addr,
-                    {"rid": desc.rid, "page": page_addr, "diff": diff,
-                     "release_token": False},
-                )
+            yield from self._push_home(desc, page_addr, payload)
             return
-
-        if ctx.mode is not LockMode.WRITE:
-            return
-
-        dirty = page_addr in ctx.dirty_pages
-        if me == desc.primary_home:
-            if dirty:
-                page = self.host.storage.peek(page_addr)
-                if page is not None:
-                    yield from self._apply_update_at_home(
-                        desc, page_addr, diff=None, data=page.data, writer=me
-                    )
-            # Probe before the mutex release: releasing may resume the
-            # next waiter synchronously, and its grant event must come
-            # after this release event.
-            if self.host.probe.enabled:
-                self.host.probe.token_released(me, page_addr, me)
-            self._tokens.release(page_addr)
-            return
-
-        page = self.host.storage.peek(page_addr) if dirty else None
-        payload: Dict[str, Any] = {
-            "rid": desc.rid,
-            "page": page_addr,
-            "release_token": True,
-        }
-        if page is not None:
-            payload["data"] = page.data
         try:
             yield from self._push_home(desc, page_addr, payload)
             self.host.storage.mark_clean(page_addr)
         except LockDenied:
-            # Token release must not be lost; hand it to the
-            # background retry queue (paper 3.5: release-type errors
-            # are retried until they succeed, never surfaced).
+            # Token release must not be lost; retry in the background
+            # (3.5: release-type errors never surface to clients).
             self.host.retry_queue.enqueue(
                 lambda: self._push_home(desc, page_addr, payload),
                 label=f"release-token:{page_addr:#x}",
@@ -277,49 +193,50 @@ class ReleaseManager(ConsistencyManager):
                    payload: Dict[str, Any]) -> ProtocolGen:
         yield from self._home_request(desc, MessageType.UPDATE_PUSH, payload)
 
+    def _retry_push(self, desc: RegionDescriptor,
+                    payload: Dict[str, Any]) -> ProtocolGen:
+        yield from self._push_home(desc, payload["page"], payload)
+
     # ------------------------------------------------------------------
     # Batched multi-page path
     # ------------------------------------------------------------------
 
-    def acquire_many(
-        self,
-        desc: RegionDescriptor,
-        pages: List[int],
-        mode: LockMode,
-        ctx: LockContext,
-        note_acquired: Any,
-    ) -> ProtocolGen:
-        me = self.host.node_id
-        if (me == desc.primary_home or len(pages) <= 1
-                or not self.batching_enabled()):
+    def acquire_many(self, desc: RegionDescriptor, pages: List[int],
+                     mode: LockMode, ctx: LockContext,
+                     note_acquired: Any) -> ProtocolGen:
+        if not self.engine.batch.use_batch(desc, pages):
             # Home-local or trivial ranges gain nothing from batching.
             yield from super().acquire_many(desc, pages, mode, ctx,
                                             note_acquired)
             return
-        for page_addr in pages:
-            yield from self.host.wait_local_conflicts(page_addr, mode)
-        if mode is LockMode.READ:
+        yield from self.engine.batch.wait_conflicts(pages, mode)
+        if mode is LockMode.WRITE:
+            # The home grants all tokens or none (it NAKs the whole
+            # batch), so a denial leaves nothing to roll back remotely.
+            reply = yield from self._home_request(
+                desc, MessageType.TOKEN_ACQUIRE_BATCH,
+                {"rid": desc.rid, "pages": list(pages),
+                 "mode": LockMode.WRITE.value, "principal": ctx.principal},
+            )
+            yield from self._install_items(desc, reply,
+                                           PageEvent.WRITE_GRANT)
+        else:
             missing = [p for p in pages
                        if not self.host.storage.contains(p)]
             if missing:
                 yield from self._fetch_replica_batch(desc, missing,
                                                      ctx.principal)
-        elif mode is LockMode.WRITE:
-            yield from self._acquire_token_batch(desc, pages, ctx.principal)
-        else:  # WRITE_SHARED: no tokens; twin every page for diffing.
-            missing = [p for p in pages
-                       if not self.host.storage.contains(p)]
-            if missing:
-                yield from self._fetch_replica_batch(desc, missing,
-                                                     ctx.principal)
-            for page_addr in pages:
-                data = yield from self.host.local_page_bytes(desc, page_addr)
-                if data is None:
-                    raise KhazanaError(
-                        f"page {page_addr:#x} vanished during write-shared "
-                        f"acquire"
+            if mode is LockMode.WRITE_SHARED:   # twin every page
+                for page_addr in pages:
+                    data = yield from self.host.local_page_bytes(
+                        desc, page_addr
                     )
-                self._twins[(ctx.ctx_id, page_addr)] = data
+                    if data is None:
+                        raise KhazanaError(
+                            f"page {page_addr:#x} vanished during "
+                            f"write-shared acquire"
+                        )
+                    self._twins.remember(ctx.ctx_id, page_addr, data)
         for page_addr in pages:
             note_acquired(page_addr)
 
@@ -330,54 +247,12 @@ class ReleaseManager(ConsistencyManager):
             {"rid": desc.rid, "pages": list(pages), "register": True,
              "principal": principal},
         )
-        for item in reply.payload.get("pages", []):
-            page_addr = int(item["page"])
-            yield from self.host.store_local_page(
-                desc, page_addr, item["data"], dirty=False
-            )
-            self._versions[page_addr] = item.get("version", 0)
-            self.page_state[page_addr] = LocalPageState.SHARED
-            entry = self.host.page_directory.ensure(
-                page_addr, desc.rid, homed=False
-            )
-            entry.allocated = True
-        errors = reply.payload.get("errors") or []
-        if errors:
-            from repro.core.errors import error_from_code
+        yield from self._install_items(desc, reply, PageEvent.READ_FILL)
+        self.engine.raise_batch_errors(reply)
 
-            first = errors[0]
-            raise error_from_code(first["code"], first.get("detail", ""))
-
-    def _acquire_token_batch(self, desc: RegionDescriptor, pages: List[int],
-                             principal: str = "_khazana") -> ProtocolGen:
-        # The home grants all tokens or none (it NAKs the whole batch),
-        # so a denial leaves nothing to roll back remotely.
-        reply = yield from self._home_request(
-            desc, MessageType.TOKEN_ACQUIRE_BATCH,
-            {"rid": desc.rid, "pages": list(pages),
-             "mode": LockMode.WRITE.value, "principal": principal},
-        )
-        for item in reply.payload.get("pages", []):
-            page_addr = int(item["page"])
-            yield from self.host.store_local_page(
-                desc, page_addr, item["data"], dirty=False
-            )
-            self._versions[page_addr] = item.get("version", 0)
-            self.page_state[page_addr] = LocalPageState.EXCLUSIVE
-            entry = self.host.page_directory.ensure(
-                page_addr, desc.rid, homed=False
-            )
-            entry.allocated = True
-
-    def release_many(
-        self,
-        desc: RegionDescriptor,
-        pages: List[int],
-        ctx: LockContext,
-    ) -> ProtocolGen:
-        me = self.host.node_id
-        if (me == desc.primary_home or len(pages) <= 1
-                or not self.batching_enabled()):
+    def release_many(self, desc: RegionDescriptor, pages: List[int],
+                     ctx: LockContext) -> ProtocolGen:
+        if not self.engine.batch.use_batch(desc, pages):
             yield from super().release_many(desc, pages, ctx)
             return
         updates = []
@@ -401,14 +276,9 @@ class ReleaseManager(ConsistencyManager):
                 "%d page(s) individually in the background",
                 desc.rid, len(updates), exc_info=True,
             )
-            for update in updates:
-                payload = {"rid": desc.rid, **update}
-                self.host.retry_queue.enqueue(
-                    lambda payload=payload: self._push_home(
-                        desc, payload["page"], payload
-                    ),
-                    label=f"release-token:{payload['page']:#x}",
-                )
+            self.engine.batch.retry_per_page(
+                desc, updates, self._retry_push, "release-token"
+            )
             return
         for update in updates:
             if "data" in update or "diff" in update:
@@ -416,18 +286,11 @@ class ReleaseManager(ConsistencyManager):
 
     def _release_update(self, desc: RegionDescriptor, page_addr: int,
                         ctx: LockContext) -> Optional[Dict[str, Any]]:
-        """The per-page entry of an UPDATE_PUSH_BATCH, or None."""
-        twin = self._twins.pop((ctx.ctx_id, page_addr), None)
+        """The per-page entry of an update push, or None."""
         if ctx.mode is LockMode.WRITE_SHARED:
-            if twin is None:
-                return None
-            page = self.host.storage.peek(page_addr)
-            if page is None:
-                return None
-            diff = compute_diff(twin, page.data)
-            if not diff:
-                return None
-            return {"page": page_addr, "diff": diff, "release_token": False}
+            return self._twins.diff_update(self.host.storage, ctx.ctx_id,
+                                           page_addr)
+        self._twins.pop(ctx.ctx_id, page_addr)
         if ctx.mode is not LockMode.WRITE:
             return None
         update: Dict[str, Any] = {"page": page_addr, "release_token": True}
@@ -441,226 +304,108 @@ class ReleaseManager(ConsistencyManager):
     # Home side
     # ------------------------------------------------------------------
 
+    def _primary_only(self, desc: RegionDescriptor, msg: Message,
+                      detail: str = "not primary home") -> bool:
+        if self.host.node_id == desc.primary_home:
+            return True
+        self.engine.nak(msg, "not_responsible", detail)
+        return False
+
     def handle_lock_request(self, desc: RegionDescriptor, msg: Message) -> None:
-        if self.host.node_id != desc.primary_home:
-            self.host.reply_error(msg, "not_responsible", "not primary home")
+        if not self._primary_only(desc, msg):
             return
         if not self.check_remote_access(desc, msg, LockMode.WRITE):
             return
-        page_addr = msg.payload["page"]
-
-        def grant() -> ProtocolGen:
-            yield self._tokens.acquire(page_addr)
-            try:
-                data = yield from self.host.local_page_bytes(desc, page_addr)
-            except BaseException:
-                # Cleanup-then-reraise: must also run when the handler
-                # task is killed (GeneratorExit), or the token leaks.
-                self._tokens.release(page_addr)
-                raise
-            if data is None:
-                self._tokens.release(page_addr)
-                self.host.reply_error(msg, "not_allocated",
-                                        f"page {page_addr:#x} has no storage")
-                return
-            entry = self.host.page_directory.ensure(
-                page_addr, desc.rid, homed=True
-            )
-            entry.record_sharer(msg.src)
-            self.host.reply_request(
-                msg, MessageType.LOCK_REPLY,
-                {"data": data, "version": self._versions.get(page_addr, 0)},
-            )
-            # Token now belongs to msg.src until its UPDATE_PUSH with
-            # release_token=True arrives.
-            if self.host.probe.enabled:
-                self.host.probe.token_granted(
-                    self.host.node_id, page_addr, msg.src
-                )
-
-        self.host.spawn_handler(msg, grant(), label="release-token-grant")
-
-    def handle_page_fetch(self, desc: RegionDescriptor, msg: Message) -> None:
-        if not self.check_remote_access(desc, msg, LockMode.READ):
-            return
-        page_addr = msg.payload["page"]
-
-        def serve() -> ProtocolGen:
-            data = yield from self.host.local_page_bytes(desc, page_addr)
-            if data is None:
-                self.host.reply_error(msg, "not_allocated",
-                                        f"page {page_addr:#x} has no storage")
-                return
-            if msg.payload.get("register"):
-                entry = self.host.page_directory.ensure(
-                    page_addr, desc.rid, homed=True
-                )
-                entry.record_sharer(msg.src)
-            self.host.reply_request(
-                msg, MessageType.PAGE_DATA,
-                {"data": data, "version": self._versions.get(page_addr, 0)},
-            )
-
-        self.host.spawn_handler(msg, serve(), label="release-fetch")
-
-    def handle_update(self, desc: RegionDescriptor, msg: Message) -> None:
-        page_addr = msg.payload["page"]
-        if self.host.node_id == desc.primary_home:
-            def apply() -> ProtocolGen:
-                yield from self._apply_update_at_home(
-                    desc,
-                    page_addr,
-                    diff=msg.payload.get("diff"),
-                    data=msg.payload.get("data"),
-                    writer=msg.src,
-                )
-                if msg.payload.get("release_token"):
-                    # Probe before the mutex release (it may resume the
-                    # next waiter synchronously).
-                    if self.host.probe.enabled:
-                        self.host.probe.token_released(
-                            self.host.node_id, page_addr, msg.src
-                        )
-                    self._tokens.release(page_addr)
-                self.host.reply_request(msg, MessageType.UPDATE_ACK, {})
-
-            self.host.spawn_handler(msg, apply(), label="release-apply")
-            return
-        # Replica side: a propagated update from the home node.
-        self._apply_replica_update(desc, msg)
-
-    def handle_page_fetch_batch(self, desc: RegionDescriptor,
-                                msg: Message) -> None:
-        if not self.check_remote_access(desc, msg, LockMode.READ):
-            return
-        pages = [int(p) for p in msg.payload.get("pages", [])]
-
-        def serve() -> ProtocolGen:
-            served: List[Dict[str, Any]] = []
-            errors: List[Dict[str, Any]] = []
-            for page_addr in pages:
-                data = yield from self.host.local_page_bytes(desc, page_addr)
-                if data is None:
-                    errors.append({
-                        "page": page_addr, "code": "not_allocated",
-                        "detail": f"page {page_addr:#x} has no storage",
-                    })
-                    continue
-                if msg.payload.get("register"):
-                    entry = self.host.page_directory.ensure(
-                        page_addr, desc.rid, homed=True
-                    )
-                    entry.record_sharer(msg.src)
-                served.append({
-                    "page": page_addr, "data": data,
-                    "version": self._versions.get(page_addr, 0),
-                })
-            self.host.reply_request(
-                msg, MessageType.PAGE_DATA_BATCH,
-                {"pages": served, "errors": errors},
-            )
-
-        self.host.spawn_handler(msg, serve(), label="release-fetch-batch")
+        self.engine.serve_token_grants(
+            desc, msg, [msg.payload["page"]],
+            lambda p, d: {"data": d, "version": self._versions.get(p, 0)},
+            lambda granted: self.engine.reply(msg, MessageType.LOCK_REPLY,
+                                              granted[0]),
+            "grant",
+        )
 
     def handle_lock_request_batch(self, desc: RegionDescriptor,
                                   msg: Message) -> None:
-        if self.host.node_id != desc.primary_home:
-            self.host.reply_error(msg, "not_responsible", "not primary home")
+        if not self._primary_only(desc, msg):
             return
         if not self.check_remote_access(desc, msg, LockMode.WRITE):
             return
         # Ascending order everywhere → concurrent batches cannot
         # deadlock on each other's tokens.
         pages = sorted(int(p) for p in msg.payload.get("pages", []))
-
-        def grant() -> ProtocolGen:
-            held: List[int] = []
-            granted: List[Dict[str, Any]] = []
-            try:
-                for page_addr in pages:
-                    yield self._tokens.acquire(page_addr)
-                    held.append(page_addr)
-                    data = yield from self.host.local_page_bytes(
-                        desc, page_addr
-                    )
-                    if data is None:
-                        # All-or-nothing: give back every token held so
-                        # far so a denied batch leaves no residue.
-                        for token_page in held:
-                            self._tokens.release(token_page)
-                        self.host.reply_error(
-                            msg, "not_allocated",
-                            f"page {page_addr:#x} has no storage",
-                        )
-                        return
-                    granted.append({
-                        "page": page_addr, "data": data,
-                        "version": self._versions.get(page_addr, 0),
-                    })
-            except BaseException:
-                # Cleanup-then-reraise: must also run when the handler
-                # task is killed (GeneratorExit), or held tokens leak.
-                for token_page in held:
-                    self._tokens.release(token_page)
-                raise
-            for page_addr in pages:
-                entry = self.host.page_directory.ensure(
-                    page_addr, desc.rid, homed=True
-                )
-                entry.record_sharer(msg.src)
-            self.host.reply_request(
+        self.engine.serve_token_grants(
+            desc, msg, pages,
+            lambda p, d: {"page": p, "data": d,
+                          "version": self._versions.get(p, 0)},
+            lambda granted: self.engine.reply(
                 msg, MessageType.TOKEN_GRANT_BATCH, {"pages": granted}
-            )
-            # Tokens now belong to msg.src until its UPDATE_PUSH_BATCH
-            # with release_token=True arrives.
-            if self.host.probe.enabled:
-                for page_addr in pages:
-                    self.host.probe.token_granted(
-                        self.host.node_id, page_addr, msg.src
-                    )
+            ),
+            "grant-batch",
+        )
 
-        self.host.spawn_handler(msg, grant(), label="release-token-batch")
+    def handle_page_fetch(self, desc: RegionDescriptor, msg: Message) -> None:
+        if not self.check_remote_access(desc, msg, LockMode.READ):
+            return
+        self.engine.batch.serve_fetch(
+            desc, msg,
+            lambda p, d: {"data": d, "version": self._versions.get(p, 0)},
+        )
+
+    def handle_page_fetch_batch(self, desc: RegionDescriptor,
+                                msg: Message) -> None:
+        if not self.check_remote_access(desc, msg, LockMode.READ):
+            return
+        self.engine.batch.serve_fetch_batch(
+            desc, msg,
+            lambda p, d: {"page": p, "data": d,
+                          "version": self._versions.get(p, 0)},
+        )
+
+    def _apply_pushed(self, desc: RegionDescriptor, page_addr: int,
+                      update: Dict[str, Any], writer: int) -> ProtocolGen:
+        """One pushed update at the home, plus its token release."""
+        yield from self._apply_update_at_home(
+            desc, page_addr, diff=update.get("diff"),
+            data=update.get("data"), writer=writer,
+        )
+        if update.get("release_token"):
+            self.engine.ledger.release(page_addr, writer)
+
+    def handle_update(self, desc: RegionDescriptor, msg: Message) -> None:
+        page_addr = msg.payload["page"]
+        if self.host.node_id == desc.primary_home:
+            def apply() -> ProtocolGen:
+                yield from self._apply_pushed(desc, page_addr, msg.payload,
+                                              msg.src)
+                self.engine.reply(msg, MessageType.UPDATE_ACK, {})
+
+            self.engine.spawn_handler(msg, apply(), "apply")
+            return
+        # Replica side: a propagated update from the home node.
+        self._apply_replica_update(desc, msg)
 
     def handle_update_batch(self, desc: RegionDescriptor,
                             msg: Message) -> None:
-        if self.host.node_id != desc.primary_home:
-            self.host.reply_error(msg, "not_responsible",
-                                    "batched updates go to the primary home")
+        if not self._primary_only(desc, msg,
+                                  "batched updates go to the primary home"):
             return
         updates = msg.payload.get("updates", [])
 
         def apply() -> ProtocolGen:
-            applied = 0
             for update in updates:
-                page_addr = int(update["page"])
-                yield from self._apply_update_at_home(
-                    desc, page_addr,
-                    diff=update.get("diff"),
-                    data=update.get("data"),
-                    writer=msg.src,
-                )
-                if update.get("release_token"):
-                    # Probe before the mutex release (it may resume the
-                    # next waiter synchronously).
-                    if self.host.probe.enabled:
-                        self.host.probe.token_released(
-                            self.host.node_id, page_addr, msg.src
-                        )
-                    self._tokens.release(page_addr)
-                applied += 1
-            self.host.reply_request(
-                msg, MessageType.UPDATE_ACK_BATCH, {"applied": applied}
+                yield from self._apply_pushed(desc, int(update["page"]),
+                                              update, msg.src)
+            self.engine.reply(
+                msg, MessageType.UPDATE_ACK_BATCH,
+                {"applied": len(updates)},
             )
 
-        self.host.spawn_handler(msg, apply(), label="release-apply-batch")
+        self.engine.spawn_handler(msg, apply(), "apply-batch")
 
     def _apply_update_at_home(
-        self,
-        desc: RegionDescriptor,
-        page_addr: int,
+        self, desc: RegionDescriptor, page_addr: int,
         diff: Optional[List[Tuple[int, bytes]]],
-        data: Optional[bytes],
-        writer: int,
+        data: Optional[bytes], writer: int,
     ) -> ProtocolGen:
         if data is None and diff is not None:
             base = yield from self.host.local_page_bytes(desc, page_addr)
@@ -677,19 +422,12 @@ class ReleaseManager(ConsistencyManager):
         entry.version = version
         # Propagate to every replica site except the writer (one-way;
         # replicas that miss an update catch up at their next fetch).
-        for sharer in entry.copyset_excluding(self.host.node_id):
-            if sharer == writer:
-                continue
-            self.host.rpc.send(
-                Message(
-                    msg_type=MessageType.UPDATE_PUSH,
-                    src=self.host.node_id,
-                    dst=sharer,
-                    payload={"rid": desc.rid, "page": page_addr,
-                             "data": data, "version": version,
-                             "fanout": True},
-                )
-            )
+        self.engine.fanout_update(
+            entry,
+            {"rid": desc.rid, "page": page_addr,
+             "data": data, "version": version, "fanout": True},
+            exclude=(writer,),
+        )
 
     def _apply_replica_update(self, desc: RegionDescriptor, msg: Message) -> None:
         page_addr = msg.payload["page"]
@@ -698,26 +436,15 @@ class ReleaseManager(ConsistencyManager):
         if data is None:
             return
 
-        def apply() -> None:
-            if version <= self._versions.get(page_addr, -1):
-                return  # stale fanout, already newer locally
-            if not self.host.storage.contains(page_addr):
-                # We no longer replicate this page; ignore.
-                return
+        def commit() -> None:
             self._versions[page_addr] = version
 
-            def store() -> ProtocolGen:
-                yield from self.host.store_local_page(
-                    desc, page_addr, data, dirty=False
-                )
-
-            self.host.spawn(store(), label="release-replica-store")
-
-        if self.host.lock_table.page_locked(page_addr):
-            # Never change a page under an open local context.
-            self.defer_until_unlocked(page_addr, apply)
-        else:
-            apply()
+        install_replica_update(
+            self, desc, page_addr, data,
+            fresh=lambda: version > self._versions.get(page_addr, -1),
+            commit=commit,
+            op="replica-store",
+        )
 
     def on_node_failure(self, node_id: int) -> None:
         self.host.page_directory.forget_node(node_id)

@@ -14,7 +14,11 @@ A :class:`~repro.core.kernel.NodeKernel` implements this protocol;
 receive their host typed as :class:`CMHost` and must not reach past
 it.  Lint rule KHZ006 enforces the complement: outside ``repro/core``
 no code may touch a ``_``-private attribute of a daemon/kernel/host
-object.
+object.  Within the consistency layer the surface narrows once more:
+KHZ007 forbids protocol *policy* modules from calling ``host.rpc`` or
+``host.reply_*`` themselves — every wire interaction goes through a
+:class:`~repro.consistency.engine.wire.ProtocolEngine` primitive, so
+only the engine package uses this protocol's messaging rows directly.
 
 The surface, by concern:
 

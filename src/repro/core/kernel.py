@@ -436,6 +436,11 @@ class NodeKernel:
             self._cms[protocol] = cm
         return cm
 
+    def consistency_managers(self) -> Dict[str, Any]:
+        """The CMs instantiated on this node so far, keyed by protocol
+        name (inspection surface; does not instantiate anything)."""
+        return dict(self._cms)
+
     def adopt_descriptor(self, desc: RegionDescriptor) -> None:
         """Install a (possibly newer) descriptor locally."""
         if self.probe.enabled:

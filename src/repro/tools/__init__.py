@@ -9,6 +9,7 @@ that summarize a running cluster's state.
 from repro.tools.fsck import FsckReport, check_cluster
 from repro.tools.inspect import (
     cluster_summary,
+    engine_report,
     latency_report,
     region_report,
     storage_report,
@@ -18,6 +19,7 @@ __all__ = [
     "FsckReport",
     "check_cluster",
     "cluster_summary",
+    "engine_report",
     "latency_report",
     "region_report",
     "storage_report",

@@ -98,8 +98,9 @@ def check_cluster(cluster, strict: bool = False) -> FsckReport:
     """Run every invariant check against ``cluster``.
 
     ``strict`` adds the quiesced-state invariants (pin balance,
-    replica floors, directory/store agreement); only use it when no
-    lock contexts are open and repair has had time to converge.
+    replica floors, directory/store agreement, token conservation);
+    only use it when no lock contexts are open and repair has had
+    time to converge.
     """
     report = FsckReport()
     _check_map_partition(cluster, report)
@@ -122,6 +123,8 @@ def _check_strict_invariants(cluster, report: FsckReport) -> None:
     for problem in invariants.check_replica_floor(live):
         report.error(f"strict: {problem}")
     for problem in invariants.check_directory_store_agreement(live):
+        report.error(f"strict: {problem}")
+    for problem in invariants.check_token_ledgers(live):
         report.error(f"strict: {problem}")
 
 

@@ -115,6 +115,28 @@ def latency_report(cluster) -> List[Dict[str, Any]]:
     return rows
 
 
+def engine_report(cluster) -> List[Dict[str, Any]]:
+    """Per-node, per-protocol counters from the consistency engines.
+
+    Shows how each protocol used the shared engine: home transactions
+    served, batch fan-outs sent, per-page fallbacks after a failed
+    batch, and acquire rollbacks.  Nodes that never instantiated a CM
+    for a protocol simply have no row for it.
+    """
+    rows = []
+    for node in cluster.node_ids():
+        daemon = cluster.daemon(node)
+        protocols = {
+            protocol: engine.counters.snapshot()
+            for protocol, cm in sorted(
+                daemon.consistency_managers().items()
+            )
+            if (engine := getattr(cm, "engine", None)) is not None
+        }
+        rows.append({"node": node, "protocols": protocols})
+    return rows
+
+
 def storage_report(cluster) -> List[Dict[str, Any]]:
     """Per-node storage-hierarchy utilisation."""
     rows = []

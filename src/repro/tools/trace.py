@@ -9,7 +9,7 @@ consistency protocols.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.net.message import Message, MessageType, wire_label
 
@@ -86,6 +86,19 @@ class MessageTrace:
 
     def filter(self, predicate: Callable[[Message], bool]) -> List[TracedMessage]:
         return [e for e in self.events if predicate(e.message)]
+
+    def by_engine_op(self) -> Dict[str, int]:
+        """Counts grouped by the protocol-engine operation each wire
+        message belongs to (``grant`` / ``fetch`` / ``update`` /
+        ``invalidate`` / ``copyset``); traffic outside the engine's
+        wire surface lands under ``other``."""
+        from repro.consistency.engine.wire import wire_op
+
+        counts: Dict[str, int] = {}
+        for e in self.events:
+            op = wire_op(e.message.msg_type) or "other"
+            counts[op] = counts.get(op, 0) + 1
+        return counts
 
     # --- Rendering ------------------------------------------------------------
 

@@ -126,6 +126,33 @@ class TestPrivateDaemonAccess:
         assert findings == []
 
 
+class TestEngineWire:
+    def test_flags_direct_wire_access_in_policy_code(self):
+        findings = _lint_fixture(
+            "engine_wire.py.txt", "src/repro/consistency/fixture.py"
+        )
+        assert [f.rule for f in findings] == ["KHZ007"] * 3
+        messages = " ".join(f.message for f in findings)
+        assert "host.rpc" in messages
+        assert "host.reply_request" in messages
+        assert "host.reply_error" in messages
+        # Only the three direct calls flag: the suppressed reply, the
+        # engine-primitive calls, and the non-daemon base stay clean.
+        assert {f.line for f in findings} == {11, 13, 15}
+
+    def test_engine_package_is_exempt(self):
+        findings = _lint_fixture(
+            "engine_wire.py.txt", "src/repro/consistency/engine/fixture.py"
+        )
+        assert [f.rule for f in findings] == []
+
+    def test_scope_limited_to_consistency_layer(self):
+        findings = _lint_fixture(
+            "engine_wire.py.txt", "src/repro/core/fixture.py"
+        )
+        assert findings == []
+
+
 class TestSuppressions:
     def test_empty_reason_is_itself_a_finding(self):
         source = (

@@ -5,11 +5,13 @@ from __future__ import annotations
 from pathlib import Path
 
 from repro.analysis.structure import (
+    CONSISTENCY_MODULE_LINES,
     MAX_MODULE_LINES,
     build_import_graph,
     check_module_sizes,
     check_tree,
     find_cycle,
+    line_ceiling,
     main,
 )
 
@@ -28,6 +30,26 @@ class TestModuleSizes:
         assert len(problems) == 1
         assert "huge.py" in problems[0]
         assert str(MAX_MODULE_LINES) in problems[0]
+
+    def test_consistency_layer_has_tighter_ceiling(self, tmp_path):
+        pkg = tmp_path / "repro" / "consistency"
+        pkg.mkdir(parents=True)
+        body = "\n".join(
+            f"x{i} = {i}" for i in range(CONSISTENCY_MODULE_LINES + 1)
+        )
+        (pkg / "bloated.py").write_text(body)
+        problems = check_module_sizes(tmp_path)
+        assert len(problems) == 1
+        assert str(CONSISTENCY_MODULE_LINES) in problems[0]
+
+    def test_ceiling_selection(self):
+        assert (line_ceiling(Path("src/repro/consistency/crew.py"))
+                == CONSISTENCY_MODULE_LINES)
+        assert (line_ceiling(Path("src/repro/consistency/engine/wire.py"))
+                == CONSISTENCY_MODULE_LINES)
+        assert line_ceiling(Path("src/repro/core/kernel.py")) == (
+            MAX_MODULE_LINES
+        )
 
 
 class TestImportCycles:
@@ -78,6 +100,23 @@ class TestImportCycles:
         # import each other (downward).
         assert any(edges for edges in graph.values())
         assert find_cycle(graph) is None
+
+    def test_engine_subpackage_is_in_the_cycle_check(self):
+        graph = build_import_graph(REPRO_ROOT)
+        engine_modules = [
+            module for module in graph
+            if module.startswith("repro.consistency.engine")
+        ]
+        # The engine rides under repro.consistency in LAYERED_PACKAGES;
+        # its modules must appear in the graph with their policy<->
+        # mechanism edges tracked.
+        assert "repro.consistency.engine.wire" in engine_modules
+        assert any(
+            dep.startswith("repro.consistency.engine")
+            for module in ("repro.consistency.crew",
+                           "repro.consistency.release")
+            for dep in graph.get(module, ())
+        )
 
 
 class TestTree:

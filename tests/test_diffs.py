@@ -1,0 +1,119 @@
+"""Direct unit tests for the twin/diff machinery (consistency/diffs.py)."""
+
+from repro.consistency.diffs import TwinStore, apply_diff, compute_diff
+
+PAGE = 4096
+
+
+class TestComputeDiff:
+    def test_identical_pages_yield_empty_diff(self):
+        page = bytes(range(256)) * 16
+        assert compute_diff(page, page) == []
+
+    def test_fully_changed_page_is_one_run(self):
+        twin = b"\x00" * PAGE
+        current = b"\xff" * PAGE
+        assert compute_diff(twin, current) == [(0, current)]
+
+    def test_interleaved_runs(self):
+        twin = bytearray(b"\x00" * 16)
+        current = bytearray(twin)
+        current[2:4] = b"ab"
+        current[7:8] = b"c"
+        current[12:15] = b"def"
+        assert compute_diff(bytes(twin), bytes(current)) == [
+            (2, b"ab"),
+            (7, b"c"),
+            (12, b"def"),
+        ]
+
+    def test_run_reaching_end_of_page(self):
+        twin = b"\x00" * 8
+        current = b"\x00" * 6 + b"zz"
+        assert compute_diff(twin, current) == [(6, b"zz")]
+
+    def test_mismatched_length_base_falls_back_to_full_copy(self):
+        twin = b"\x00" * 8
+        current = b"grown beyond the twin"
+        assert compute_diff(twin, current) == [(0, current)]
+
+
+class TestApplyDiff:
+    def test_empty_diff_is_identity(self):
+        base = b"unchanged"
+        assert apply_diff(base, []) == base
+
+    def test_roundtrip_recovers_current(self):
+        twin = bytes(range(256)) * 4
+        current = bytearray(twin)
+        current[0:3] = b"xyz"
+        current[100:104] = b"\x00\x00\x00\x00"
+        current[1020:1024] = b"tail"
+        diff = compute_diff(twin, bytes(current))
+        assert apply_diff(twin, diff) == bytes(current)
+
+    def test_non_overlapping_diffs_merge(self):
+        # Two writers diff against the same twin; both survive (Munin).
+        twin = b"\x00" * 16
+        a = compute_diff(twin, b"AA" + twin[2:])
+        b = compute_diff(twin, twin[:14] + b"BB")
+        merged = apply_diff(apply_diff(twin, a), b)
+        assert merged == b"AA" + b"\x00" * 12 + b"BB"
+
+    def test_run_past_end_extends_base(self):
+        assert apply_diff(b"abcd", [(6, b"zz")]) == b"abcd\x00\x00zz"
+
+
+class _FakePage:
+    def __init__(self, data):
+        self.data = data
+
+
+class _FakeStorage:
+    def __init__(self, pages):
+        self._pages = pages
+
+    def peek(self, page_addr):
+        return self._pages.get(page_addr)
+
+
+class TestTwinStore:
+    def test_pop_returns_remembered_twin_once(self):
+        twins = TwinStore()
+        twins.remember(1, 0x1000, b"twin")
+        assert twins.pop(1, 0x1000) == b"twin"
+        assert twins.pop(1, 0x1000) is None
+
+    def test_twins_are_scoped_per_context(self):
+        twins = TwinStore()
+        twins.remember(1, 0x1000, b"ctx-1")
+        twins.remember(2, 0x1000, b"ctx-2")
+        assert twins.pop(2, 0x1000) == b"ctx-2"
+        assert twins.pop(1, 0x1000) == b"ctx-1"
+
+    def test_diff_update_builds_update_item(self):
+        twins = TwinStore()
+        twins.remember(7, 0x2000, b"\x00" * 8)
+        storage = _FakeStorage({0x2000: _FakePage(b"\x00\x00ab\x00\x00\x00\x00")})
+        update = twins.diff_update(storage, 7, 0x2000)
+        assert update == {
+            "page": 0x2000,
+            "diff": [(2, b"ab")],
+            "release_token": False,
+        }
+
+    def test_diff_update_none_without_twin(self):
+        twins = TwinStore()
+        storage = _FakeStorage({0x2000: _FakePage(b"data")})
+        assert twins.diff_update(storage, 7, 0x2000) is None
+
+    def test_diff_update_none_when_page_vanished(self):
+        twins = TwinStore()
+        twins.remember(7, 0x2000, b"twin")
+        assert twins.diff_update(_FakeStorage({}), 7, 0x2000) is None
+
+    def test_diff_update_none_when_nothing_changed(self):
+        twins = TwinStore()
+        twins.remember(7, 0x2000, b"same")
+        storage = _FakeStorage({0x2000: _FakePage(b"same")})
+        assert twins.diff_update(storage, 7, 0x2000) is None

@@ -1,0 +1,165 @@
+"""Cross-protocol conformance matrix.
+
+Every consistency manager rides the same protocol engine
+(``repro.consistency.engine``); this suite runs one scenario matrix —
+single-page read/write, multi-page batch cycles, conflicting writers,
+node failure mid-acquire, unlock-after-close — across all four
+registered protocols and pins down where their guarantees agree
+(client-side lock discipline, home failover, convergence) and where
+they deliberately differ (token protocols serialize writers,
+availability-first protocols do not).
+"""
+
+import pytest
+
+from repro.core.addressing import AddressRange
+from repro.core.attributes import RegionAttributes
+from repro.core.errors import InvalidLockContext
+from repro.core.locks import LockMode
+
+PROTOCOLS = ["crew", "release", "eventual", "mobile"]
+
+#: Protocols whose write grant is a globally exclusive token: a second
+#: writer blocks until the first releases.  The availability-first
+#: protocols (bounded staleness, epidemic) never block a writer.
+SERIALIZED = {"crew", "release"}
+
+PAGE = 4096
+
+
+def make_region(cluster, protocol, size=PAGE, node=1, min_replicas=1):
+    kz = cluster.client(node=node)
+    desc = kz.reserve(
+        size,
+        RegionAttributes(
+            consistency_protocol=protocol, min_replicas=min_replicas
+        ),
+    )
+    kz.allocate(desc.rid)
+    return kz, desc
+
+
+def locked_write(session, desc, payload, length=PAGE):
+    """Protocol generator: full lock-write-unlock cycle on the daemon."""
+    daemon = session.daemon
+    target = AddressRange(desc.rid, length)
+
+    def task():
+        ctx = yield from daemon.op_lock(target, LockMode.WRITE,
+                                        session.principal)
+        yield from daemon.op_write(
+            ctx, AddressRange(desc.rid, len(payload)), payload
+        )
+        yield from daemon.op_unlock(ctx)
+
+    return task()
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+class TestSinglePage:
+    def test_read_your_writes(self, cluster, protocol):
+        kz, desc = make_region(cluster, protocol)
+        kz.write_at(desc.rid, b"local")
+        assert kz.read_at(desc.rid, 5) == b"local"
+
+    def test_remote_read_sees_released_write(self, cluster, protocol):
+        kz, desc = make_region(cluster, protocol)
+        kz.write_at(desc.rid, b"published")
+        cluster.run(2.0)   # weak protocols: let the push/gossip land
+        assert cluster.client(node=3).read_at(desc.rid, 9) == b"published"
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+class TestMultiPageBatch:
+    PAGES = 4
+    SIZE = PAGES * PAGE
+
+    def test_remote_multi_page_cycle_converges(self, cluster, protocol):
+        kz1, desc = make_region(cluster, protocol, size=self.SIZE)
+        kz1.write_at(desc.rid, b"a" * self.SIZE)
+        cluster.run(2.0)
+
+        kz3 = cluster.client(node=3)
+        ctx = kz3.lock(desc.rid, self.SIZE, LockMode.WRITE)
+        assert kz3.read(ctx, desc.rid, self.SIZE) == b"a" * self.SIZE
+        kz3.write(ctx, desc.rid, b"b" * self.SIZE)
+        kz3.unlock(ctx)
+        assert kz3.read_at(desc.rid, self.SIZE) == b"b" * self.SIZE
+
+        cluster.run(4.0)   # write-back / anti-entropy rounds
+        assert cluster.client(node=0).read_at(desc.rid, 4) == b"bbbb"
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+class TestConflictingWriters:
+    def test_second_writer_blocks_iff_token_protocol(self, cluster, protocol):
+        kz1, desc = make_region(cluster, protocol)
+        kz1.write_at(desc.rid, b"base")
+        kz3 = cluster.client(node=3)
+        kz3.read_at(desc.rid, 4)   # node 3 holds a replica
+
+        ctx = kz1.lock(desc.rid, PAGE, LockMode.WRITE)
+        future = kz3.submit(locked_write(kz3, desc, b"from-3"), "bg-write")
+        cluster.run(2.0)
+
+        if protocol in SERIALIZED:
+            # Exclusive token: writer 3 waits for writer 1's release.
+            assert not future.done
+        else:
+            # Availability first: writer 3 proceeds against its replica.
+            assert future.done and future.exception() is None
+        kz1.write(ctx, desc.rid, b"from-1")
+        kz1.unlock(ctx)
+        cluster.run(30.0)
+        assert future.done and future.exception() is None
+        if protocol in SERIALIZED:
+            # Writer 3 was granted after writer 1 released: last write
+            # wins everywhere, and both cycles completed cleanly.
+            assert kz3.read_at(desc.rid, 6) == b"from-3"
+
+
+#: Protocols that replicate released writes to every home node, so a
+#: failover read still sees the payload.  Release and eventual push
+#: updates to the primary home only; their failover grant serves the
+#: secondary's (possibly untouched) copy — availability over recency.
+DURABLE_ON_FAILOVER = {"crew", "mobile"}
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+class TestNodeFailureMidAcquire:
+    def test_acquire_fails_over_to_secondary_home(self, big_cluster,
+                                                  protocol):
+        cluster = big_cluster
+        kz1, desc = make_region(cluster, protocol, min_replicas=2)
+        writer = cluster.client(node=3)
+        writer.write_at(desc.rid, b"durable")
+        cluster.run(2.0)   # write-back reaches the home(s)
+        assert len(desc.home_nodes) >= 2
+
+        cluster.crash(desc.home_nodes[0])
+        # No failure-detection grace period: the very next acquire must
+        # time out on the dead primary and fail over mid-transaction.
+        # Every protocol's engine completes the acquire on a survivor.
+        data = cluster.client(node=5).read_at(desc.rid, 7)
+        if protocol in DURABLE_ON_FAILOVER:
+            assert data == b"durable"
+        else:
+            assert len(data) == 7
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+class TestUnlockAfterClose:
+    def test_double_unlock_raises(self, cluster, protocol):
+        kz, desc = make_region(cluster, protocol)
+        ctx = kz.lock(desc.rid, PAGE, LockMode.READ)
+        kz.unlock(ctx)
+        with pytest.raises(InvalidLockContext):
+            kz.unlock(ctx)
+
+    def test_closed_context_rejects_io(self, cluster, protocol):
+        kz, desc = make_region(cluster, protocol)
+        ctx = kz.lock(desc.rid, PAGE, LockMode.WRITE)
+        kz.write(ctx, desc.rid, b"ok")
+        kz.unlock(ctx)
+        with pytest.raises(InvalidLockContext):
+            kz.read(ctx, desc.rid, 2)  # khz: allow-stale-context(conformance: stale handles must raise under every protocol)

@@ -8,6 +8,7 @@ from repro.core.attributes import ConsistencyLevel, RegionAttributes
 from repro.tools import (
     check_cluster,
     cluster_summary,
+    engine_report,
     latency_report,
     region_report,
     storage_report,
@@ -155,3 +156,41 @@ class TestInspect:
         node1 = next(r for r in rows if r["node"] == 1)
         assert node1["ram_used"] > 0
         assert node1["ram_used"] <= node1["ram_capacity"]
+
+    def test_engine_report(self):
+        cluster, _ = exercised_cluster()
+        rows = engine_report(cluster)
+        assert len(rows) == 4
+        node1 = next(r for r in rows if r["node"] == 1)
+        # Node 1 homes regions under every consistency level, so its
+        # engines served home transactions.
+        assert set(node1["protocols"]) >= {"crew", "release", "eventual"}
+        assert all(
+            set(counters) == {"home_transactions", "batch_fanouts",
+                              "per_page_fallbacks", "rollbacks"}
+            for counters in node1["protocols"].values()
+        )
+        total_home = sum(
+            counters["home_transactions"]
+            for row in rows
+            for counters in row["protocols"].values()
+        )
+        assert total_home > 0
+
+
+class TestTokenLedgerInvariant:
+    def test_leaked_grant_is_flagged(self):
+        from repro.analysis.invariants import check_token_ledgers
+
+        cluster, descs = exercised_cluster()
+        daemons = [cluster.daemon(n) for n in cluster.node_ids()]
+        assert check_token_ledgers(daemons) == []
+        # Corrupt one ledger: record a holder without its mutex held.
+        cm = cluster.daemon(1).consistency_manager("release")
+        cm.engine.ledger._holders[descs[1].rid] = 3
+        problems = check_token_ledgers(daemons)
+        assert len(problems) == 1
+        assert "mutex is not held" in problems[0]
+        # fsck --strict surfaces the same corruption.
+        report = check_cluster(cluster, strict=True)
+        assert any("token" in e for e in report.errors)

@@ -64,6 +64,17 @@ class TestCollection:
         trace.clear()
         assert trace.count() == 0
 
+    def test_by_engine_op_groups_wire_traffic(self, traced):
+        cluster, trace = traced
+        with trace:
+            do_remote_read(cluster)
+        groups = trace.by_engine_op()
+        # The remote read is a grant transaction (LOCK_REQUEST /
+        # LOCK_REPLY); location traffic falls outside the engine.
+        assert groups.get("grant", 0) >= 2
+        assert groups.get("other", 0) >= 1
+        assert sum(groups.values()) == trace.count()
+
 
 class TestRendering:
     def test_sequence_diagram_structure(self, traced):
