@@ -1,0 +1,69 @@
+"""Schedule-space exploration (model checking) for Khazana protocols.
+
+Layer 3 of the analysis stack: where ``lint`` reads the source and
+``races`` watches one execution, the explorer *drives* executions —
+re-running a scenario under systematically or randomly perturbed
+message-delivery orders and bounded fault injections, checking the
+shared invariants after every step, and shrinking + recording any
+violating schedule for deterministic replay.
+
+Entry points:
+
+- ``python -m repro.analysis.explore`` — CLI (explore / replay /
+  dump interleaving points).
+- :class:`~repro.analysis.explore.runner.Explorer` — programmatic.
+"""
+
+from repro.analysis.explore.controller import (
+    DEFAULT_HORIZON,
+    Decision,
+    FaultBudget,
+    ScheduleController,
+)
+from repro.analysis.explore.points import (
+    CoverageMap,
+    InterleavePoint,
+    default_coverage_map,
+    extract_points,
+    instrumentation_map,
+)
+from repro.analysis.explore.runner import (
+    ExploreConfig,
+    ExploreResult,
+    Explorer,
+    RunOutcome,
+    ScheduleViolation,
+)
+from repro.analysis.explore.scenarios import PROTOCOLS, SCENARIOS, Scenario
+from repro.analysis.explore.strategies import (
+    DFSStrategy,
+    DelayBoundingStrategy,
+    RandomStrategy,
+    ReplayStrategy,
+    Strategy,
+)
+
+__all__ = [
+    "DEFAULT_HORIZON",
+    "Decision",
+    "FaultBudget",
+    "ScheduleController",
+    "CoverageMap",
+    "InterleavePoint",
+    "default_coverage_map",
+    "extract_points",
+    "instrumentation_map",
+    "ExploreConfig",
+    "ExploreResult",
+    "Explorer",
+    "RunOutcome",
+    "ScheduleViolation",
+    "PROTOCOLS",
+    "SCENARIOS",
+    "Scenario",
+    "DFSStrategy",
+    "DelayBoundingStrategy",
+    "RandomStrategy",
+    "ReplayStrategy",
+    "Strategy",
+]

@@ -1,0 +1,181 @@
+"""CLI for the schedule explorer.
+
+Explore a (protocol, scenario) matrix under a chosen strategy::
+
+    python -m repro.analysis.explore --protocol crew \\
+        --scenario conflicting_writers --strategy dfs --budget 2000
+
+Replay a recorded violating schedule deterministically::
+
+    python -m repro.analysis.explore --replay schedule.json
+
+Dump the static interleaving-point map::
+
+    python -m repro.analysis.explore --points
+
+Exit status is 1 when any explored run violated an invariant, when a
+replay failed to reproduce its recorded violation, or when yield-point
+coverage fell below ``--min-coverage``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.explore.controller import DEFAULT_HORIZON, Decision, \
+    FaultBudget
+from repro.analysis.explore.points import default_coverage_map, \
+    extract_points, instrumentation_map
+from repro.analysis.explore.runner import ExploreConfig, Explorer
+from repro.analysis.explore.scenarios import PROTOCOLS, SCENARIOS
+from repro.analysis.explore.strategies import DFSStrategy, \
+    DelayBoundingStrategy, RandomStrategy, ReplayStrategy, Strategy
+from repro.tools.inspect import schedule_report
+
+
+def _build_strategy(name: str, seed: int) -> Strategy:
+    if name == "dfs":
+        return DFSStrategy()
+    if name == "random":
+        return RandomStrategy(seed)
+    if name == "delay":
+        return DelayBoundingStrategy(seed)
+    raise ValueError(f"unknown strategy {name!r}")
+
+
+def _dump_points(out: Optional[str]) -> int:
+    import repro
+    from repro.analysis.explore.points import collect_sources
+
+    package_root = Path(repro.__file__).parent
+    payload = instrumentation_map(
+        extract_points(collect_sources([str(package_root)]))
+    )
+    text = json.dumps(payload, indent=2)
+    if out:
+        Path(out).write_text(text + "\n")
+        print(f"wrote {payload['counts']} interleaving points to {out}")
+    else:
+        print(text)
+    return 0
+
+
+def _replay(path: str) -> int:
+    schedule = json.loads(Path(path).read_text())
+    decisions = [Decision.from_json(d) for d in schedule["decisions"]]
+    config = ExploreConfig(
+        protocol=schedule["protocol"],
+        scenario=schedule["scenario"],
+        seed=int(schedule.get("seed", 0)),
+        num_nodes=int(schedule.get("num_nodes", 3)),
+        horizon=float(schedule.get("horizon", DEFAULT_HORIZON)),
+        mutations=tuple(schedule.get("mutations") or ()),
+    )
+    explorer = Explorer(config)
+    outcome = explorer.run_once(ReplayStrategy(decisions))
+    expected = (schedule.get("violation") or {}).get("rule")
+    print(schedule_report(schedule))
+    if outcome.violation is None:
+        print("replay: violation did NOT reproduce")
+        return 1
+    print(f"replay: reproduced {outcome.violation.rule}: "
+          f"{outcome.violation.detail}")
+    if expected and outcome.violation.rule != expected:
+        print(f"replay: rule mismatch (recorded {expected})")
+        return 1
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.explore",
+        description="Schedule-space exploration for Khazana protocols.",
+    )
+    parser.add_argument("--protocol", default="all",
+                        choices=PROTOCOLS + ["all"])
+    parser.add_argument("--scenario", default="all",
+                        choices=sorted(SCENARIOS) + ["all"])
+    parser.add_argument("--strategy", default="random",
+                        choices=["dfs", "random", "delay"])
+    parser.add_argument("--budget", type=int, default=200,
+                        help="max schedules per (protocol, scenario)")
+    parser.add_argument("--nodes", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--horizon", type=float, default=DEFAULT_HORIZON)
+    parser.add_argument("--mutate", action="append", default=[],
+                        help="re-introduce a known bug (mutation proof)")
+    parser.add_argument("--loss", type=int, default=0,
+                        help="message-loss fault budget per run")
+    parser.add_argument("--crash", type=int, default=0,
+                        help="node-crash fault budget per run")
+    parser.add_argument("--partition", type=int, default=0,
+                        help="partition fault budget per run")
+    parser.add_argument("--replay", metavar="FILE",
+                        help="replay a recorded schedule file")
+    parser.add_argument("--out", metavar="FILE",
+                        help="where to write a violating schedule")
+    parser.add_argument("--points", action="store_true",
+                        help="dump the interleaving-point map and exit")
+    parser.add_argument("--min-coverage", type=float, default=0.0,
+                        help="fail when yield coverage is below this")
+    args = parser.parse_args(argv)
+
+    if args.points:
+        return _dump_points(args.out)
+    if args.replay:
+        return _replay(args.replay)
+
+    protocols = PROTOCOLS if args.protocol == "all" else [args.protocol]
+    scenarios = (sorted(SCENARIOS) if args.scenario == "all"
+                 else [args.scenario])
+    coverage = default_coverage_map()
+    faults = FaultBudget(loss=args.loss, crash=args.crash,
+                         partition=args.partition)
+
+    failures: List[str] = []
+    for protocol in protocols:
+        for scenario in scenarios:
+            config = ExploreConfig(
+                protocol=protocol,
+                scenario=scenario,
+                seed=args.seed,
+                num_nodes=args.nodes,
+                horizon=args.horizon,
+                faults=faults,
+                mutations=tuple(args.mutate),
+            )
+            explorer = Explorer(config, coverage=coverage)
+            strategy = _build_strategy(args.strategy, args.seed)
+            result = explorer.explore(strategy, args.budget)
+            status = "clean" if result.clean else "VIOLATION"
+            print(f"{protocol}/{scenario}: {result.runs} run(s), "
+                  f"max {result.decision_points} decision point(s): "
+                  f"{status}")
+            if result.schedule is not None:
+                failures.append(f"{protocol}/{scenario}")
+                print(schedule_report(result.schedule))
+                if args.out:
+                    Path(args.out).write_text(
+                        json.dumps(result.schedule, indent=2) + "\n"
+                    )
+                    print(f"schedule written to {args.out}")
+
+    report = coverage.report()
+    print(report.render())
+    if failures:
+        print(f"{len(failures)} violating pair(s): "
+              + ", ".join(failures))
+        return 1
+    if report.ratio < args.min_coverage:
+        print(f"coverage {report.ratio:.1%} below required "
+              f"{args.min_coverage:.1%}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,253 @@
+"""Static extraction of interleaving points in protocol code.
+
+A schedule explorer is only as honest as its notion of "where can the
+protocol interleave".  This pass walks the same parsed sources as
+``repro.analysis.lint`` and records every point where a tasklet can
+lose control:
+
+- ``yield`` / ``yield from`` sites inside generators (a task parks on
+  a Future and anything may run before it resumes),
+- ``spawn`` / ``spawn_handler`` calls (a new labelled task enters the
+  runner),
+- raw ``call_at``/``call_later``/``call_soon`` timers (which KHZ008
+  bans from the consistency layer precisely so this map stays small).
+
+The yield points double as the denominator of the explorer's coverage
+report: :class:`CoverageMap` matches the runtime suspension hook
+(``TaskRunner.yield_observer``) against them and reports which
+yield-points a set of runs actually exercised.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.lint import SCHEDULER_METHODS, SourceFile, _collect
+
+KIND_YIELD = "yield"        # bare ``yield fut`` — a real suspension point
+KIND_DELEGATE = "delegate"  # ``yield from`` — suspends only transitively
+KIND_SPAWN = "spawn"
+KIND_TIMER = "timer"
+
+SPAWN_METHODS = ("spawn", "spawn_handler")
+
+#: Path prefix of the protocol code whose yield points make up the
+#: coverage denominator.
+CONSISTENCY_SCOPE = "repro/consistency/"
+
+
+def normalize_path(path: str) -> str:
+    """Project-relative posix path, keyed from the ``repro/`` package.
+
+    Maps both static lint paths (``src/repro/consistency/crew.py``)
+    and runtime code objects (``/abs/.../src/repro/consistency/crew.py``)
+    onto one spelling so they can be compared.
+    """
+    posix = Path(path).as_posix()
+    index = posix.rfind("repro/")
+    return posix[index:] if index >= 0 else posix
+
+
+@dataclass(frozen=True)
+class InterleavePoint:
+    """One static point where protocol code can interleave."""
+
+    kind: str       # KIND_YIELD | KIND_SPAWN | KIND_TIMER
+    path: str       # normalized (repro/...) posix path
+    line: int
+    end_line: int
+    func: str
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "path": self.path,
+            "line": self.line,
+            "end_line": self.end_line,
+            "func": self.func,
+        }
+
+
+class _PointVisitor(ast.NodeVisitor):
+    def __init__(self, path: str, source_lines: Sequence[str] = ()) -> None:
+        self.path = path
+        self.source_lines = source_lines
+        self.points: List[InterleavePoint] = []
+        self._stack: List[str] = ["<module>"]
+
+    def _add(self, kind: str, node: ast.AST) -> None:
+        line = getattr(node, "lineno", 0)
+        if kind == KIND_YIELD and 0 < line <= len(self.source_lines) \
+                and "pragma: no cover" in self.source_lines[line - 1]:
+            # ``return`` followed by a bare ``yield`` marked no-cover is
+            # the repo's generator-form idiom: dead code, not a point.
+            return
+        self.points.append(
+            InterleavePoint(
+                kind=kind,
+                path=self.path,
+                line=line,
+                end_line=getattr(node, "end_lineno", line) or line,
+                func=self._stack[-1],
+            )
+        )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._stack.append(node.name)
+        self.generic_visit(node)
+        self._stack.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Yield(self, node: ast.Yield) -> None:
+        self._add(KIND_YIELD, node)
+        self.generic_visit(node)
+
+    def visit_YieldFrom(self, node: ast.YieldFrom) -> None:
+        self._add(KIND_DELEGATE, node)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Attribute):
+            if node.func.attr in SPAWN_METHODS:
+                self._add(KIND_SPAWN, node)
+            elif node.func.attr in SCHEDULER_METHODS:
+                self._add(KIND_TIMER, node)
+        self.generic_visit(node)
+
+
+def extract_points(files: Sequence[SourceFile]) -> List[InterleavePoint]:
+    """Every interleaving point in the given parsed sources."""
+    points: List[InterleavePoint] = []
+    for sf in files:
+        visitor = _PointVisitor(normalize_path(sf.path),
+                                sf.source.splitlines())
+        visitor.visit(sf.tree)
+        points.extend(visitor.points)
+    return sorted(points, key=lambda p: (p.path, p.line, p.kind))
+
+
+def collect_sources(paths: Sequence[str]) -> List[SourceFile]:
+    """Parse a tree of sources (shared with the lint's collector)."""
+    return _collect(paths)
+
+
+def instrumentation_map(points: Sequence[InterleavePoint]) -> Dict[str, object]:
+    """JSON-able dump of all interleaving points, grouped by kind."""
+    by_kind: Dict[str, int] = {}
+    for point in points:
+        by_kind[point.kind] = by_kind.get(point.kind, 0) + 1
+    return {
+        "counts": by_kind,
+        "points": [point.to_json() for point in points],
+    }
+
+
+@dataclass
+class CoverageReport:
+    """Yield-point coverage over one or more explored runs."""
+
+    total: int
+    hit: int
+    per_file: Dict[str, Tuple[int, int]]   # path -> (hit, total)
+    missing: List[InterleavePoint] = field(default_factory=list)
+    delegate_total: int = 0
+    delegate_hit: int = 0
+
+    @property
+    def ratio(self) -> float:
+        return self.hit / self.total if self.total else 1.0
+
+    def render(self) -> str:
+        lines = [
+            f"yield-point coverage: {self.hit}/{self.total} "
+            f"({self.ratio:.1%}); suspended through "
+            f"{self.delegate_hit}/{self.delegate_total} "
+            "delegation (yield from) sites"
+        ]
+        for path in sorted(self.per_file):
+            file_hit, file_total = self.per_file[path]
+            lines.append(f"  {path}: {file_hit}/{file_total}")
+        if self.missing:
+            lines.append("missed yield points:")
+            for point in self.missing:
+                lines.append(f"  {point.path}:{point.line} in {point.func}")
+        return "\n".join(lines)
+
+
+class CoverageMap:
+    """Matches runtime suspensions against the static yield points.
+
+    Install :meth:`observe` as ``TaskRunner.yield_observer`` on every
+    daemon's runner; the observer receives the code object's filename
+    and the suspended frame's line, which is mapped back to the static
+    point spanning that line.  One map may be shared across every run
+    of a scenario/protocol matrix to accumulate coverage.
+
+    The coverage denominator is the bare ``yield`` sites only: a task
+    can lose control exactly where a Future is actually yielded, and a
+    ``yield from`` line suspends only transitively — when its inner
+    chain blocks.  Delegation chains that complete without blocking
+    (e.g. a RAM-hit page load charging zero simulated time) never
+    suspend, so counting them would make full coverage unreachable by
+    construction.  Delegation sites the runs did suspend through are
+    still tallied separately (:attr:`delegate_hits`).
+    """
+
+    def __init__(self, points: Sequence[InterleavePoint],
+                 scope: str = CONSISTENCY_SCOPE) -> None:
+        self.scope = scope
+        self.points = [
+            p for p in points
+            if p.kind == KIND_YIELD and p.path.startswith(scope)
+        ]
+        self.delegates = [
+            p for p in points
+            if p.kind == KIND_DELEGATE and p.path.startswith(scope)
+        ]
+        self._by_line: Dict[Tuple[str, int], InterleavePoint] = {}
+        for point in self.delegates + self.points:
+            for line in range(point.line, point.end_line + 1):
+                self._by_line[(point.path, line)] = point
+        self.hits: Set[InterleavePoint] = set()
+        self.delegate_hits: Set[InterleavePoint] = set()
+
+    def observe(self, filename: str, lineno: int, label: str) -> None:
+        point = self._by_line.get((normalize_path(filename), lineno))
+        if point is None:
+            return
+        if point.kind == KIND_YIELD:
+            self.hits.add(point)
+        else:
+            self.delegate_hits.add(point)
+
+    def report(self) -> CoverageReport:
+        per_file: Dict[str, Tuple[int, int]] = {}
+        missing: List[InterleavePoint] = []
+        for point in self.points:
+            file_hit, file_total = per_file.get(point.path, (0, 0))
+            hit = point in self.hits
+            per_file[point.path] = (file_hit + (1 if hit else 0),
+                                    file_total + 1)
+            if not hit:
+                missing.append(point)
+        return CoverageReport(
+            total=len(self.points),
+            hit=len(self.hits),
+            per_file=per_file,
+            missing=missing,
+            delegate_total=len(self.delegates),
+            delegate_hit=len(self.delegate_hits),
+        )
+
+
+def default_coverage_map() -> CoverageMap:
+    """Coverage map over the installed ``repro`` package sources."""
+    import repro
+
+    package_root = Path(repro.__file__).parent
+    files = collect_sources([str(package_root)])
+    return CoverageMap(extract_points(files))

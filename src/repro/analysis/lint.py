@@ -42,12 +42,20 @@ cannot know:
   :class:`~repro.consistency.engine.ProtocolEngine` primitives so
   retry policies, NAK classification, counters, and task labels stay
   uniform across protocols.
+- **KHZ008 direct-scheduler** — no code under ``repro/consistency/``
+  (policies *or* engine clients) may call the raw scheduler timer
+  surface ``call_at``/``call_later``/``call_soon``.  Timers in the
+  consistency layer must ride ``host.sleep``/``host.with_timeout`` or
+  a labelled engine spawn, so every consistency-layer event carries a
+  stable label the schedule explorer (``repro.analysis.explore``) can
+  see and reorder.
 
 Suppression: append ``# khz: allow-<slug>(reason)`` to the flagged
 line.  The reason is mandatory; an empty one is itself an error.
 Slugs: ``blocking-call``, ``unhandled-message``, ``missing-fallback``,
 ``reply-class``, ``broad-except``, ``stale-context``,
-``foreign-exception``, ``private-daemon-attr``, ``direct-wire``.
+``foreign-exception``, ``private-daemon-attr``, ``direct-wire``,
+``direct-scheduler``.
 """
 
 from __future__ import annotations
@@ -104,6 +112,11 @@ ENGINE_SCOPE = "repro/consistency/engine/"
 
 #: Reply methods a policy must reach via engine.reply / engine.nak.
 REPLY_METHODS = ("reply_request", "reply_error")
+
+#: Raw scheduler timer methods (KHZ008): consistency code must not
+#: schedule unlabelled events; use host.sleep / host.with_timeout or a
+#: labelled engine spawn instead.
+SCHEDULER_METHODS = ("call_at", "call_later", "call_soon")
 
 
 @dataclass(frozen=True)
@@ -604,6 +617,26 @@ def check_direct_wire(sf: SourceFile, reporter: _Reporter) -> None:
 
 
 # ---------------------------------------------------------------------------
+# KHZ008: consistency code never touches the raw scheduler timers
+# ---------------------------------------------------------------------------
+
+def check_direct_scheduler(sf: SourceFile, reporter: _Reporter) -> None:
+    if POLICY_SCOPE not in sf.path:
+        return
+    for node in ast.walk(sf.tree):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in SCHEDULER_METHODS):
+            reporter.flag(
+                sf, node.lineno, "KHZ008", "direct-scheduler",
+                f"consistency code calls .{node.func.attr} on the "
+                "scheduler directly; use host.sleep/host.with_timeout "
+                "or a labelled engine spawn so the event carries a "
+                "label the schedule explorer can see",
+            )
+
+
+# ---------------------------------------------------------------------------
 # Driver
 # ---------------------------------------------------------------------------
 
@@ -618,6 +651,7 @@ def lint_files(files: Sequence[SourceFile]) -> List[Finding]:
         check_error_taxonomy(sf, reporter, taxonomy)
         check_private_daemon_access(sf, reporter)
         check_direct_wire(sf, reporter)
+        check_direct_scheduler(sf, reporter)
     check_message_completeness(files, reporter)
     return sorted(reporter.findings, key=lambda f: (f.path, f.line, f.rule))
 

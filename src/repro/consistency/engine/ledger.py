@@ -11,13 +11,29 @@ per protocol.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict
+from typing import TYPE_CHECKING, Dict, Set
 
 from repro.consistency.engine.home import KeyedMutex
 from repro.net.tasks import Future
 
 if TYPE_CHECKING:
     from repro.core.cmhost import CMHost
+
+#: Test-only fault switches for the schedule explorer's mutation proof
+#: (``repro.analysis.explore``).  Each name re-introduces a known,
+#: previously-fixed ordering bug so the explorer can demonstrate it
+#: finds and replays the violation.  Production code never adds to
+#: this set; the explorer clears it in a ``finally``.
+ACTIVE_MUTATIONS: Set[str] = set()
+
+#: Releases the per-page token mutex *before* clearing the holder
+#: record and firing the release probe — the exact bug the detector
+#: caught during its own bring-up: the release resumes the next
+#: waiter synchronously, so its grant lands while the old holder is
+#: still recorded (a double grant, schedule permitting).
+MUTATE_EARLY_MUTEX_RELEASE = "early-mutex-release"
+
+KNOWN_MUTATIONS = frozenset({MUTATE_EARLY_MUTEX_RELEASE})
 
 
 class CopysetLedger:
@@ -43,6 +59,8 @@ class CopysetLedger:
 
     def release(self, page_addr: int, holder: int) -> None:
         """Return ``holder``'s token and wake the next waiter."""
+        if MUTATE_EARLY_MUTEX_RELEASE in ACTIVE_MUTATIONS:
+            self._mutex.release(page_addr)
         self._holders.pop(page_addr, None)
         # Probe before the mutex release: releasing may resume the
         # next waiter synchronously, and its grant event must come
@@ -51,7 +69,8 @@ class CopysetLedger:
             self.host.probe.token_released(
                 self.host.node_id, page_addr, holder
             )
-        self._mutex.release(page_addr)
+        if MUTATE_EARLY_MUTEX_RELEASE not in ACTIVE_MUTATIONS:
+            self._mutex.release(page_addr)
 
     def abort(self, page_addr: int) -> None:
         """Give back a mutex acquired for a grant that never happened

@@ -63,9 +63,16 @@ def wire_op(msg_type: MessageType) -> Optional[str]:
     return WIRE_OPS.get(msg_type)
 
 
-def transaction_label(protocol: str, op: str) -> str:
-    """Uniform task label for engine-run protocol transactions."""
-    return f"cm:{protocol}:{op}"
+def transaction_label(protocol: str, op: str, detail: str = "") -> str:
+    """Uniform task label for engine-run protocol transactions.
+
+    ``detail`` (e.g. the wire message kind a handler serves) keeps
+    labels distinguishable for the schedule explorer's coverage and
+    trace grouping without breaking the stable ``cm:{protocol}:{op}``
+    prefix.
+    """
+    label = f"cm:{protocol}:{op}"
+    return f"{label}:{detail}" if detail else label
 
 
 def typed_denial(error: Any) -> Exception:
@@ -293,5 +300,7 @@ class ProtocolEngine:
         """Run a request handler; uncaught errors NAK the request."""
         self.counters.home_transactions += 1
         self.host.spawn_handler(
-            msg, gen, label=transaction_label(self.cm.protocol_name, op)
+            msg, gen,
+            label=transaction_label(self.cm.protocol_name, op,
+                                    detail=msg.msg_type.value),
         )

@@ -187,6 +187,32 @@ class MobileManager(ConsistencyManager):
         self._stamps[page_addr] = stamp
         return stamp
 
+    def evict(
+        self, desc: RegionDescriptor, page_addr: int, data: bytes, dirty: bool
+    ) -> ProtocolGen:
+        # The default evict pushes without a stamp, which a mobile peer
+        # cannot order under last-writer-wins; gossip the replica's
+        # stamped bytes one last time instead.
+        if dirty:
+            stamp = self._stamps.get(page_addr, (0, 0))
+            yield self.engine.request(
+                desc.primary_home,
+                MessageType.UPDATE_PUSH,
+                {
+                    "rid": desc.rid,
+                    "page": page_addr,
+                    "data": data,
+                    "stamp": list(stamp),
+                },
+            )
+        self.engine.send(
+            desc.primary_home,
+            MessageType.SHARER_UNREGISTER,
+            {"rid": desc.rid, "page": page_addr},
+        )
+        self._stamps.pop(page_addr, None)
+        self.pages.drop(page_addr)
+
     # ------------------------------------------------------------------
     # Batched multi-page path
     # ------------------------------------------------------------------

@@ -398,7 +398,8 @@ class NodeKernel:
             future.set_result(None)
         else:
             self.scheduler.call_later(seconds,
-                                      lambda: future.set_result(None))
+                                      lambda: future.set_result(None),
+                                      label=f"n{self.node_id}:sleep")
         return future
 
     def with_timeout(self, inner: Future, seconds: float,
@@ -408,6 +409,7 @@ class NodeKernel:
         timer = self.scheduler.call_later(
             seconds,
             lambda: None if wrapper.done else wrapper.set_exception(error),
+            label=f"n{self.node_id}:timeout:{inner.label}",
         )
 
         def forward(future: Future) -> None:
@@ -499,7 +501,8 @@ class NodeKernel:
         if not self._alive:
             return
         self.scheduler.call_later(
-            self.config.housekeeping_period, self._housekeeping
+            self.config.housekeeping_period, self._housekeeping,
+            label=f"n{self.node_id}:housekeeping",
         )
 
     def _housekeeping(self) -> None:

@@ -119,7 +119,10 @@ class FailureDetector:
     def _schedule_round(self) -> None:
         if not self._running:
             return
-        self._timer = self.scheduler.call_later(self.period, self._round)
+        self._timer = self.scheduler.call_later(
+            self.period, self._round,
+            label=f"n{self.rpc.node_id}:failure-detector",
+        )
 
     def _round(self) -> None:
         if not self._running:

@@ -71,7 +71,8 @@ class RetryQueue:
         item = _RetryItem(factory=factory, label=label)
         self._items[item_id] = item
         self.stats.enqueued += 1
-        self._scheduler.call_soon(lambda: self._attempt(item_id))
+        self._scheduler.call_soon(lambda: self._attempt(item_id),
+                                  label=f"retry-first:{label}")
         return item_id
 
     def cancel(self, item_id: int) -> bool:
@@ -96,4 +97,5 @@ class RetryQueue:
         self.stats.failed_attempts += 1
         delay = item.backoff
         item.backoff = min(item.backoff * 2.0, MAX_BACKOFF)
-        self._scheduler.call_later(delay, lambda: self._attempt(item_id))
+        self._scheduler.call_later(delay, lambda: self._attempt(item_id),
+                                   label=f"retry-backoff:{item.label}")

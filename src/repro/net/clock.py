@@ -41,16 +41,21 @@ class VirtualClock:
 class _Event:
     """A scheduled callback; orderable by (time, sequence number)."""
 
-    __slots__ = ("when", "seq", "callback", "cancelled")
+    __slots__ = ("when", "seq", "callback", "cancelled", "label")
 
-    def __init__(self, when: float, seq: int, callback: Callable[[], None]):
+    def __init__(self, when: float, seq: int, callback: Callable[[], None],
+                 label: str = ""):
         self.when = when
         self.seq = seq
         self.callback = callback
         self.cancelled = False
+        self.label = label
 
     def __lt__(self, other: "_Event") -> bool:
         return (self.when, self.seq) < (other.when, other.seq)
+
+    def __repr__(self) -> str:
+        return f"<event {self.label or '?'} @{self.when:.6f} #{self.seq}>"
 
 
 class EventHandle:
@@ -71,6 +76,10 @@ class EventHandle:
     def when(self) -> float:
         return self._event.when
 
+    @property
+    def label(self) -> str:
+        return self._event.label
+
 
 class EventScheduler:
     """Discrete-event scheduler driving the whole simulation.
@@ -84,6 +93,21 @@ class EventScheduler:
         self._queue: List[_Event] = []
         self._seq = itertools.count()
         self._events_processed = 0
+        #: Schedule-exploration hook (``repro.analysis.explore``).  When
+        #: set, every step offers the *window* of eligible events —
+        #: those within ``choice_horizon`` virtual seconds of the
+        #: earliest pending event, in (when, seq) order — to this
+        #: callable, which returns the one to fire next.  The clock
+        #: only advances to the earliest event's time, so firing a
+        #: later-window event early just means "that delivery beat the
+        #: latency model"; virtual time stays monotonic.
+        self.chooser: Optional[Callable[[List[_Event]], _Event]] = None
+        #: Width of the eligibility window offered to :attr:`chooser`.
+        self.choice_horizon: float = 0.0
+        #: Post-event hook: called with the event just executed (both
+        #: default and chooser-driven steps).  The explorer uses it to
+        #: evaluate invariants after every scheduled step.
+        self.observer: Optional[Callable[[_Event], None]] = None
 
     @property
     def now(self) -> float:
@@ -94,26 +118,33 @@ class EventScheduler:
         """Total number of callbacks executed so far."""
         return self._events_processed
 
-    def call_at(self, when: float, callback: Callable[[], None]) -> EventHandle:
-        """Schedule ``callback`` to run at absolute virtual time ``when``."""
+    def call_at(self, when: float, callback: Callable[[], None],
+                label: str = "") -> EventHandle:
+        """Schedule ``callback`` to run at absolute virtual time ``when``.
+
+        ``label`` is a stable, human-readable identity for the event;
+        the schedule explorer keys its decisions and coverage on it.
+        """
         if when < self.clock.now:
             raise ValueError(
                 f"cannot schedule event in the past: {when} < {self.clock.now}"
             )
-        event = _Event(when, next(self._seq), callback)
+        event = _Event(when, next(self._seq), callback, label=label)
         heapq.heappush(self._queue, event)
         return EventHandle(event)
 
-    def call_later(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+    def call_later(self, delay: float, callback: Callable[[], None],
+                   label: str = "") -> EventHandle:
         """Schedule ``callback`` to run ``delay`` virtual seconds from now."""
         if delay < 0:
             raise ValueError(f"delay must be non-negative, got {delay}")
-        return self.call_at(self.clock.now + delay, callback)
+        return self.call_at(self.clock.now + delay, callback, label=label)
 
-    def call_soon(self, callback: Callable[[], None]) -> EventHandle:
+    def call_soon(self, callback: Callable[[], None],
+                  label: str = "") -> EventHandle:
         """Schedule ``callback`` at the current virtual time (after
         already-queued same-time events)."""
-        return self.call_at(self.clock.now, callback)
+        return self.call_at(self.clock.now, callback, label=label)
 
     def _pop_next(self) -> Optional[_Event]:
         while self._queue:
@@ -123,13 +154,62 @@ class EventScheduler:
         return None
 
     def step(self) -> bool:
-        """Run the next pending event.  Returns False when idle."""
+        """Run the next pending event.  Returns False when idle.
+
+        With a :attr:`chooser` installed the next event is picked from
+        the eligibility window instead of strict (when, seq) order; a
+        chooser may also mark the chosen event cancelled (a modelled
+        message loss), in which case the step is consumed without
+        running the callback.
+        """
+        if self.chooser is not None:
+            return self._step_chosen()
         event = self._pop_next()
         if event is None:
             return False
         self.clock.advance_to(event.when)
         self._events_processed += 1
         event.callback()
+        if self.observer is not None:
+            self.observer(event)
+        return True
+
+    def _eligible_window(self) -> List[_Event]:
+        """Pop every live event within ``choice_horizon`` of the head."""
+        first = self._pop_next()
+        if first is None:
+            return []
+        window = [first]
+        limit = first.when + self.choice_horizon
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if head.when > limit:
+                break
+            window.append(heapq.heappop(self._queue))
+        return window
+
+    def _step_chosen(self) -> bool:
+        window = self._eligible_window()
+        if not window:
+            return False
+        chosen = self.chooser(window) if len(window) > 1 else window[0]
+        if chosen not in window:
+            raise ValueError(f"chooser returned {chosen!r}, not in window")
+        for event in window:
+            if event is not chosen:
+                heapq.heappush(self._queue, event)
+        # Only advance to the *earliest* eligible time: firing a later
+        # event early models a faster-than-modelled delivery without
+        # ever moving virtual time backwards for the events left queued.
+        self.clock.advance_to(window[0].when)
+        self._events_processed += 1
+        if not chosen.cancelled:
+            chosen.callback()
+        if self.observer is not None:
+            self.observer(chosen)
         return True
 
     def run_until_idle(self, max_events: int = 10_000_000) -> int:

@@ -160,7 +160,12 @@ class RpcEndpoint:
         self.transport.send(pending.message)
         deadline = pending.policy.attempt_timeout(pending.attempt)
         pending.timer = self.scheduler.call_later(
-            deadline, lambda: self._on_timeout(pending)
+            deadline, lambda: self._on_timeout(pending),
+            label=(
+                f"rpc-timeout:{pending.message.msg_type.value}"
+                f":{pending.message.src}->{pending.message.dst}"
+                f":r{pending.message.request_id}"
+            ),
         )
 
     def _on_timeout(self, pending: _Pending) -> None:

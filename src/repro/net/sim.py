@@ -181,6 +181,11 @@ class NetworkStats:
         return self.by_type.get(msg_type.value, 0)
 
 
+#: Folded into every per-link RNG seed.  An int tuple hash is stable
+#: across processes (PYTHONHASHSEED only perturbs str/bytes).
+_LINK_SALT = 3
+
+
 class SimNetwork(Transport):
     """The simulated transport connecting all Khazana daemons."""
 
@@ -193,7 +198,12 @@ class SimNetwork(Transport):
         self.scheduler = scheduler
         self.topology = topology if topology is not None else Topology.lan()
         self.stats = NetworkStats()
-        self._rng = random.Random(seed)
+        self._seed = seed
+        # One RNG stream per directed link, seeded from (seed, src,
+        # dst): loss/jitter draws on link A are unaffected by how much
+        # traffic (or schedule reordering) link B sees.
+        self._link_rngs: Dict[Tuple[int, int], random.Random] = {}
+        self._send_counts: Dict[Tuple[str, int, int], int] = {}
         self._handlers: Dict[int, MessageHandler] = {}
         self._crashed: Set[int] = set()
         self._partitions: List[Tuple[Set[int], Set[int]]] = []
@@ -220,12 +230,47 @@ class SimNetwork(Transport):
         if not self._deliverable(message.src, message.dst):
             self.stats.messages_dropped += 1
             return
+        rng = self._link_rng(message.src, message.dst)
         link = self.topology.link(message.src, message.dst)
-        if link.loss_probability > 0 and self._rng.random() < link.loss_probability:
+        if link.loss_probability > 0 and rng.random() < link.loss_probability:
             self.stats.messages_dropped += 1
             return
-        delay = link.delivery_delay(size, self._rng)
-        self.scheduler.call_later(delay, lambda: self._deliver(message))
+        delay = link.delivery_delay(size, rng)
+        self.scheduler.call_later(
+            delay, lambda: self._deliver(message),
+            label=self._delivery_label(message),
+        )
+
+    def _link_rng(self, src: int, dst: int) -> random.Random:
+        rng = self._link_rngs.get((src, dst))
+        if rng is None:
+            # Explicit integer mix — random.Random rejects tuple seeds.
+            rng = random.Random(hash((self._seed, src, dst, _LINK_SALT)))
+            self._link_rngs[(src, dst)] = rng
+        return rng
+
+    def _delivery_label(self, message: Message) -> str:
+        """Stable identity for a delivery event.
+
+        Deterministic across re-runs of one cluster build (request ids
+        are per-endpoint counters; the ``#k`` suffix is this network's
+        own per-(type, link) occurrence counter), so the schedule
+        explorer can key decisions and sleep sets on it.  The global
+        ``Message.msg_id`` is deliberately *not* used: that counter
+        survives across clusters in one process.
+        """
+        key = (message.msg_type.value, message.src, message.dst)
+        count = self._send_counts.get(key, 0)
+        self._send_counts[key] = count + 1
+        label = (
+            f"deliver:{message.msg_type.value}"
+            f":{message.src}->{message.dst}#{count}"
+        )
+        if message.request_id is not None:
+            label += f":r{message.request_id}"
+        elif message.reply_to is not None:
+            label += f":a{message.reply_to}"
+        return label
 
     # --- Fault injection ------------------------------------------------------
 

@@ -12,7 +12,10 @@ executing event-driven under the simulator.
 
 from __future__ import annotations
 
+import logging
 from typing import Any, Callable, Generator, List, Optional
+
+log = logging.getLogger("repro.net.tasks")
 
 ProtocolTask = Generator["Future", Any, Any]
 
@@ -80,9 +83,34 @@ class Future:
             self._callbacks.append(callback)
 
     def _fire(self) -> None:
+        """Run every waiter callback, isolating their failures.
+
+        A raising callback must not abort the remaining ones: each of
+        the others typically resumes a *different* suspended task, and
+        skipping them would strand those waiters forever.  Every
+        callback runs; failures are logged with the waiter they strand
+        and re-raised (aggregated) once all waiters have been resumed.
+        """
         callbacks, self._callbacks = self._callbacks, []
-        for callback in callbacks:
-            callback(self)
+        errors: List[BaseException] = []
+        for index, callback in enumerate(callbacks):
+            try:
+                callback(self)
+            except BaseException as error:  # noqa: BLE001 - isolate waiters
+                errors.append(error)
+                log.error(
+                    "callback on future %r raised %r; its waiter is "
+                    "stranded (%d later callback(s) still run)",
+                    self.label, error, len(callbacks) - index - 1,
+                )
+        if not errors:
+            return
+        if len(errors) == 1:
+            raise errors[0]
+        raise BaseExceptionGroup(
+            f"{len(errors)} callbacks on future {self.label!r} raised",
+            errors,
+        )
 
     def __repr__(self) -> str:
         state = "pending"
@@ -122,6 +150,14 @@ def gather(futures: List[Future], label: str = "gather") -> Future:
     def on_done(index: int, future: Future) -> None:
         nonlocal remaining
         if combined.done:
+            # First failure already won; later exceptions would vanish
+            # silently, so at least leave them in the log.
+            late = future.exception()
+            if late is not None:
+                log.warning(
+                    "gather %r already failed; dropping exception %r "
+                    "from %r", combined.label, late, future.label,
+                )
             return
         exc = future.exception()
         if exc is not None:
@@ -176,6 +212,15 @@ class TaskRunner:
 
     def __init__(self) -> None:
         self._active = 0
+        #: Label of the task whose generator frame is currently being
+        #: resumed — a stable identity for controllers/observers that
+        #: need to know *who* is running ("" between resumptions).
+        self.current_label: str = ""
+        #: Schedule-exploration hook: called with ``(filename, lineno,
+        #: task_label)`` for every generator frame suspended at a yield
+        #: point, each time a task parks on a Future.  Drives the
+        #: yield-point coverage report of ``repro.analysis.explore``.
+        self.yield_observer: Optional[Callable[[str, int, str], None]] = None
 
     @property
     def active(self) -> int:
@@ -188,6 +233,35 @@ class TaskRunner:
         self._step(task, outcome, first=True, value=None, exc=None)
         return outcome
 
+    def _resume(
+        self,
+        task: ProtocolTask,
+        label: str,
+        first: bool,
+        value: Any,
+        exc: Optional[BaseException],
+    ) -> Any:
+        prev, self.current_label = self.current_label, label
+        try:
+            if first:
+                return next(task)
+            if exc is not None:
+                return task.throw(exc)
+            return task.send(value)
+        finally:
+            self.current_label = prev
+
+    def _observe_suspension(self, task: ProtocolTask, label: str) -> None:
+        """Report every frame in the (yield from) chain now suspended."""
+        assert self.yield_observer is not None
+        gen: Any = task
+        while gen is not None:
+            frame = getattr(gen, "gi_frame", None)
+            code = getattr(gen, "gi_code", None)
+            if frame is not None and code is not None:
+                self.yield_observer(code.co_filename, frame.f_lineno, label)
+            gen = getattr(gen, "gi_yieldfrom", None)
+
     def _step(
         self,
         task: ProtocolTask,
@@ -197,12 +271,7 @@ class TaskRunner:
         exc: Optional[BaseException],
     ) -> None:
         try:
-            if first:
-                waited = next(task)
-            elif exc is not None:
-                waited = task.throw(exc)
-            else:
-                waited = task.send(value)
+            waited = self._resume(task, outcome.label, first, value, exc)
         except StopIteration as stop:
             self._active -= 1
             outcome.set_result(stop.value)
@@ -220,6 +289,8 @@ class TaskRunner:
                 )
             )
             return
+        if self.yield_observer is not None:
+            self._observe_suspension(task, outcome.label)
         waited.add_callback(
             lambda f: self._step(
                 task, outcome, first=False,

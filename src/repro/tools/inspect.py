@@ -137,6 +137,45 @@ def engine_report(cluster) -> List[Dict[str, Any]]:
     return rows
 
 
+def schedule_report(schedule: Dict[str, Any]) -> str:
+    """Human-readable rendering of an explorer schedule file.
+
+    ``schedule`` is the JSON dict written by
+    ``repro.analysis.explore`` when a run violates an invariant: the
+    run's configuration, the violation, and the decision trace that
+    reproduces it.
+    """
+    lines = [
+        f"schedule v{schedule.get('version', '?')}: "
+        f"{schedule.get('protocol', '?')}/{schedule.get('scenario', '?')} "
+        f"(seed {schedule.get('seed', '?')}, "
+        f"{schedule.get('num_nodes', '?')} nodes, "
+        f"strategy {schedule.get('strategy', '?')})",
+    ]
+    mutations = schedule.get("mutations") or []
+    if mutations:
+        lines.append("mutations: " + ", ".join(mutations))
+    violation = schedule.get("violation") or {}
+    lines.append(
+        f"violation: {violation.get('rule', '?')}: "
+        f"{violation.get('detail', '')}"
+    )
+    decisions = schedule.get("decisions") or []
+    lines.append(f"decisions ({len(decisions)}):")
+    for decision in decisions:
+        window = decision.get("window") or []
+        chosen = decision.get("label", "?")
+        marker = ""
+        if window and chosen != window[0]:
+            marker = f"  (reordered past {window[0]})"
+        fault = decision.get("fault")
+        if fault:
+            marker += f"  [fault: {fault}]"
+        lines.append(f"  #{decision.get('index', '?')}: "
+                     f"{chosen}{marker}")
+    return "\n".join(lines)
+
+
 def storage_report(cluster) -> List[Dict[str, Any]]:
     """Per-node storage-hierarchy utilisation."""
     rows = []

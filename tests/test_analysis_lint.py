@@ -153,6 +153,36 @@ class TestEngineWire:
         assert findings == []
 
 
+class TestDirectScheduler:
+    def test_flags_raw_timer_calls_in_consistency_code(self):
+        findings = _lint_fixture(
+            "direct_scheduler.py.txt", "src/repro/consistency/fixture.py"
+        )
+        assert [f.rule for f in findings] == ["KHZ008"] * 3
+        messages = " ".join(f.message for f in findings)
+        assert ".call_later" in messages
+        assert ".call_at" in messages
+        assert ".call_soon" in messages
+        assert "schedule explorer" in messages
+        # The suppressed timer (line 17) does not flag.
+        assert 17 not in {f.line for f in findings}
+
+    def test_engine_code_is_also_covered(self):
+        # Unlike KHZ007, the engine package gets no exemption: its
+        # events need labels just as much as policy code's do.
+        findings = _lint_fixture(
+            "direct_scheduler.py.txt",
+            "src/repro/consistency/engine/fixture.py",
+        )
+        assert [f.rule for f in findings] == ["KHZ008"] * 3
+
+    def test_scope_limited_to_consistency_layer(self):
+        findings = _lint_fixture(
+            "direct_scheduler.py.txt", "src/repro/net/fixture.py"
+        )
+        assert findings == []
+
+
 class TestSuppressions:
     def test_empty_reason_is_itself_a_finding(self):
         source = (

@@ -125,3 +125,115 @@ class TestScheduler:
             sched.call_soon(lambda: None)
         sched.run_until_idle()
         assert sched.events_processed == 5
+
+    def test_cancel_after_fire_is_harmless(self):
+        sched = EventScheduler()
+        fired = []
+        handle = sched.call_at(1.0, lambda: fired.append("x"))
+        sched.run_until_idle()
+        handle.cancel()   # late cancel must not unfire or raise
+        assert fired == ["x"]
+        assert handle.cancelled
+
+    def test_same_timestamp_ties_break_by_schedule_order(self):
+        sched = EventScheduler()
+        fired = []
+        # Interleave two logical streams at one timestamp: (when, seq)
+        # ordering must preserve global submission order, not stream.
+        sched.call_at(1.0, lambda: fired.append("a0"))
+        sched.call_at(1.0, lambda: fired.append("b0"))
+        sched.call_at(1.0, lambda: fired.append("a1"))
+        sched.call_at(1.0, lambda: fired.append("b1"))
+        sched.run_until_idle()
+        assert fired == ["a0", "b0", "a1", "b1"]
+
+    def test_run_until_exactly_at_event_time_fires_it(self):
+        sched = EventScheduler()
+        fired = []
+        sched.call_at(2.0, lambda: fired.append(2))
+        sched.call_at(2.0 + 1e-9, lambda: fired.append(3))
+        sched.run_until(2.0)
+        assert fired == [2]      # deadline is inclusive...
+        assert sched.now == 2.0  # ...and the clock parks on it
+
+    def test_max_events_exhaustion_reports_pending_work(self):
+        sched = EventScheduler()
+        for i in range(10):
+            sched.call_at(float(i), lambda: None)
+        with pytest.raises(RuntimeError):
+            sched.run_until_idle(max_events=5)
+        # The guard fired mid-schedule: the tail is still pending.
+        assert sched.pending == 4
+
+    def test_event_labels_exposed_on_handle(self):
+        sched = EventScheduler()
+        handle = sched.call_later(1.0, lambda: None, label="deliver:x")
+        assert handle.label == "deliver:x"
+
+
+class TestSchedulerChooser:
+    """The schedule-exploration hooks (chooser/observer/horizon)."""
+
+    def test_chooser_reorders_within_window(self):
+        sched = EventScheduler()
+        sched.choice_horizon = 1.0
+        fired = []
+        sched.call_at(1.0, lambda: fired.append("a"), label="a")
+        sched.call_at(1.5, lambda: fired.append("b"), label="b")
+        sched.chooser = lambda window: window[-1]
+        sched.run_until_idle()
+        assert fired == ["b", "a"]
+
+    def test_clock_never_regresses_under_reordering(self):
+        sched = EventScheduler()
+        sched.choice_horizon = 1.0
+        times = []
+        sched.call_at(1.0, lambda: times.append(sched.now), label="a")
+        sched.call_at(1.5, lambda: times.append(sched.now), label="b")
+        sched.chooser = lambda window: window[-1]
+        sched.run_until_idle()
+        # The later event fires "early" at the window head's time; the
+        # clock never reaches the chosen event's nominal 1.5.
+        assert times == [1.0, 1.0]
+        assert sched.now == 1.0
+
+    def test_events_outside_horizon_not_offered(self):
+        sched = EventScheduler()
+        sched.choice_horizon = 0.1
+        windows = []
+
+        def chooser(window):
+            windows.append([e.label for e in window])
+            return window[0]
+
+        sched.chooser = chooser
+        sched.call_at(1.0, lambda: None, label="near")
+        sched.call_at(5.0, lambda: None, label="far")
+        sched.run_until_idle()
+        assert windows == []   # singleton windows never reach the hook
+
+    def test_cancelled_choice_consumes_step_without_running(self):
+        sched = EventScheduler()
+        sched.choice_horizon = 1.0
+        fired = []
+        sched.call_at(1.0, lambda: fired.append("a"), label="a")
+        sched.call_at(1.5, lambda: fired.append("b"), label="b")
+
+        def lose_first(window):
+            window[0].cancelled = True   # modelled message loss
+            return window[0]
+
+        sched.chooser = lose_first
+        sched.step()
+        sched.chooser = None
+        sched.run_until_idle()
+        assert fired == ["b"]
+
+    def test_observer_sees_every_executed_event(self):
+        sched = EventScheduler()
+        seen = []
+        sched.observer = lambda event: seen.append(event.label)
+        sched.call_at(1.0, lambda: None, label="x")
+        sched.call_at(2.0, lambda: None, label="y")
+        sched.run_until_idle()
+        assert seen == ["x", "y"]

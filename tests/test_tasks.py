@@ -1,5 +1,7 @@
 """Tests for futures and generator-based protocol tasks."""
 
+import logging
+
 import pytest
 
 from repro.net.tasks import (
@@ -56,6 +58,96 @@ class TestFuture:
     def test_helpers(self):
         assert resolved("x").result() == "x"
         assert isinstance(failed(KeyError("k")).exception(), KeyError)
+
+
+class TestCallbackIsolation:
+    """A raising callback must not strand the other waiters."""
+
+    def test_later_callbacks_still_run_after_a_failure(self, caplog):
+        f = Future("t")
+        seen = []
+
+        def boom(_):
+            raise RuntimeError("boom")
+
+        f.add_callback(lambda _: seen.append("first"))
+        f.add_callback(boom)
+        f.add_callback(lambda _: seen.append("last"))
+        with caplog.at_level(logging.ERROR, logger="repro.net.tasks"):
+            with pytest.raises(RuntimeError, match="boom"):
+                f.set_result(None)
+        assert seen == ["first", "last"]
+        assert "stranded" in caplog.text
+
+    def test_multiple_failures_aggregate_into_a_group(self):
+        f = Future("t")
+
+        def boom_a(_):
+            raise RuntimeError("a")
+
+        def boom_b(_):
+            raise KeyError("b")
+
+        survived = []
+        f.add_callback(boom_a)
+        f.add_callback(survived.append)
+        f.add_callback(boom_b)
+        with pytest.raises(BaseExceptionGroup) as info:
+            f.set_result(None)
+        assert len(info.value.exceptions) == 2
+        assert survived == [f]   # the clean waiter between them ran
+
+    def test_raising_task_resumption_is_isolated(self):
+        # Two tasks park on one gate; the first blows up *while being
+        # resumed*.  The second must still resume and finish.
+        runner = TaskRunner()
+        gate = Future("gate")
+
+        def angry():
+            yield gate
+            raise ValueError("post-resume failure")
+
+        def calm():
+            value = yield gate
+            return value
+
+        class Hostile(BaseException):
+            pass
+
+        angry_outcome = runner.spawn(angry())
+        calm_outcome = runner.spawn(calm())
+        # A third, bare callback raises straight out of _fire; the two
+        # task resumptions queued before it must already have run.
+        gate.add_callback(
+            lambda _: (_ for _ in ()).throw(Hostile())
+        )
+        with pytest.raises(Hostile):
+            gate.set_result(9)
+        assert isinstance(angry_outcome.exception(), ValueError)
+        assert calm_outcome.result() == 9
+        assert runner.active == 0
+
+
+class TestGatherLateFailures:
+    def test_dropped_late_exception_is_logged(self, caplog):
+        futures = [Future("a"), Future("b")]
+        combined = gather(futures, label="fanout")
+        futures[0].set_exception(RuntimeError("first"))
+        assert combined.failed
+        with caplog.at_level(logging.WARNING, logger="repro.net.tasks"):
+            futures[1].set_exception(KeyError("late"))
+        assert "dropping exception" in caplog.text
+        assert "fanout" in caplog.text
+        # The combined future still reports only the first failure.
+        assert isinstance(combined.exception(), RuntimeError)
+
+    def test_late_success_is_silent(self, caplog):
+        futures = [Future("a"), Future("b")]
+        gather(futures)
+        futures[0].set_exception(RuntimeError("first"))
+        with caplog.at_level(logging.WARNING, logger="repro.net.tasks"):
+            futures[1].set_result("fine")
+        assert "dropping exception" not in caplog.text
 
 
 class TestGather:
