@@ -49,13 +49,21 @@ cannot know:
   a labelled engine spawn, so every consistency-layer event carries a
   stable label the schedule explorer (``repro.analysis.explore``) can
   see and reorder.
+- **KHZ009 page-copy** — the data-path hot functions (the
+  read/write/residency path in ``core/dataplane.py`` and the
+  twin/diff machinery in ``consistency/diffs.py``) move pages by
+  reference: stored buffers are frozen, so slices travel as
+  ``memoryview``s and a ``bytes(...)`` call is a whole-page copy
+  until proven otherwise.  Every ``bytes(...)`` call in those
+  functions must carry an ``allow-copy`` suppression naming why the
+  copy is mandatory (e.g. a client-facing return must own its bytes).
 
 Suppression: append ``# khz: allow-<slug>(reason)`` to the flagged
 line.  The reason is mandatory; an empty one is itself an error.
 Slugs: ``blocking-call``, ``unhandled-message``, ``missing-fallback``,
 ``reply-class``, ``broad-except``, ``stale-context``,
 ``foreign-exception``, ``private-daemon-attr``, ``direct-wire``,
-``direct-scheduler``.
+``direct-scheduler``, ``copy``.
 """
 
 from __future__ import annotations
@@ -117,6 +125,19 @@ REPLY_METHODS = ("reply_request", "reply_error")
 #: schedule unlabelled events; use host.sleep / host.with_timeout or a
 #: labelled engine spawn instead.
 SCHEDULER_METHODS = ("call_at", "call_later", "call_soon")
+
+#: KHZ009: zero-copy hot functions, per file (path substring ->
+#: function names).  ``bytes(...)`` inside these needs an
+#: ``allow-copy`` justification.
+COPY_FREE_FUNCS: Dict[str, Tuple[str, ...]] = {
+    "repro/core/dataplane.py": (
+        "op_read", "op_write", "try_read_fast", "try_write_fast",
+        "local_page_bytes", "store_local_page",
+    ),
+    "repro/consistency/diffs.py": (
+        "compute_diff", "apply_diff", "remember", "diff_update",
+    ),
+}
 
 
 @dataclass(frozen=True)
@@ -637,6 +658,37 @@ def check_direct_scheduler(sf: SourceFile, reporter: _Reporter) -> None:
 
 
 # ---------------------------------------------------------------------------
+# KHZ009: no unjustified page copies in the zero-copy hot path
+# ---------------------------------------------------------------------------
+
+def check_page_copies(sf: SourceFile, reporter: _Reporter) -> None:
+    funcs: Tuple[str, ...] = ()
+    for path_part, names in COPY_FREE_FUNCS.items():
+        if path_part in sf.path:
+            funcs = names
+            break
+    if not funcs:
+        return
+    for node in ast.walk(sf.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if node.name not in funcs:
+            continue
+        for call in ast.walk(node):
+            if (isinstance(call, ast.Call)
+                    and isinstance(call.func, ast.Name)
+                    and call.func.id == "bytes"
+                    and call.args):
+                reporter.flag(
+                    sf, call.lineno, "KHZ009", "copy",
+                    f"bytes(...) in zero-copy hot function "
+                    f"{node.name}() copies a page-sized buffer; pass "
+                    "a memoryview through, or justify the copy with "
+                    "allow-copy(reason)",
+                )
+
+
+# ---------------------------------------------------------------------------
 # Driver
 # ---------------------------------------------------------------------------
 
@@ -652,6 +704,7 @@ def lint_files(files: Sequence[SourceFile]) -> List[Finding]:
         check_private_daemon_access(sf, reporter)
         check_direct_wire(sf, reporter)
         check_direct_scheduler(sf, reporter)
+        check_page_copies(sf, reporter)
     check_message_completeness(files, reporter)
     return sorted(reporter.findings, key=lambda f: (f.path, f.line, f.rule))
 

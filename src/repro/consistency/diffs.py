@@ -6,70 +6,116 @@ byte ranges that differ; the home applies those runs to its own copy,
 so non-overlapping concurrent writes both survive.  Kept independent
 of any one protocol so future write-shared or entry-consistency
 policies can reuse it.
+
+Zero-copy invariants (see docs/performance.md): a stored page's buffer
+is frozen — writers *replace* the buffer, never mutate it in place —
+so :meth:`TwinStore.remember` may alias the stored buffer instead of
+copying it, and ``twin is current`` proves a page unchanged without
+scanning a byte.
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
+#: Differing pages are scanned per-byte only inside blocks of this
+#: size; equal blocks are skipped with one C-level compare.
+_SCAN_BLOCK = 64
 
-def compute_diff(twin: bytes, current: bytes) -> List[Tuple[int, bytes]]:
+
+def compute_diff(twin: Any, current: Any) -> List[Tuple[int, bytes]]:
     """Byte ranges of ``current`` that differ from ``twin``.
 
     Returns maximal runs as ``(offset, data)`` pairs — the classic
-    twin/diff mechanism used by write-shared protocols.
+    twin/diff mechanism used by write-shared protocols.  Accepts any
+    bytes-like objects and scans them through ``memoryview`` slices:
+    identical inputs (or an aliased twin, see the module invariants)
+    cost one identity/equality check, and unchanged blocks of a dirty
+    page are skipped without per-byte work.
     """
+    if twin is current:
+        return []
     if len(twin) != len(current):
-        return [(0, current)]
+        return [(0, bytes(current))]  # khz: allow-copy(whole page replaced; the wire item must own its bytes)
+    if twin == current:
+        return []
+    tv, cv = memoryview(twin), memoryview(current)
     runs: List[Tuple[int, bytes]] = []
     start: Optional[int] = None
-    for i in range(len(current)):
-        if twin[i] != current[i]:
-            if start is None:
-                start = i
-        elif start is not None:
-            runs.append((start, current[start:i]))
-            start = None
+    n = len(cv)
+    i = 0
+    while i < n:
+        j = min(i + _SCAN_BLOCK, n)
+        if tv[i:j] == cv[i:j]:
+            if start is not None:
+                runs.append((start, bytes(cv[start:i])))  # khz: allow-copy(diff run becomes a wire item and must outlive the scan)
+                start = None
+            i = j
+            continue
+        for k in range(i, j):
+            if tv[k] != cv[k]:
+                if start is None:
+                    start = k
+            elif start is not None:
+                runs.append((start, bytes(cv[start:k])))  # khz: allow-copy(diff run becomes a wire item and must outlive the scan)
+                start = None
+        i = j
     if start is not None:
-        runs.append((start, current[start:]))
+        runs.append((start, bytes(cv[start:])))  # khz: allow-copy(diff run becomes a wire item and must outlive the scan)
     return runs
 
 
-def apply_diff(base: bytes, diff: List[Tuple[int, bytes]]) -> bytes:
-    """Apply ``(offset, data)`` runs to ``base``."""
+def apply_diff(base: Any, diff: List[Tuple[int, bytes]]) -> bytearray:
+    """Apply ``(offset, data)`` runs to ``base``.
+
+    Returns a fresh patched ``bytearray`` the caller owns outright (it
+    may be stored directly without another copy; ``base`` itself is
+    never mutated).
+    """
     page = bytearray(base)
     for offset, data in diff:
         end = offset + len(data)
         if end > len(page):
             page.extend(b"\x00" * (end - len(page)))
         page[offset:end] = data
-    return bytes(page)
+    return page
 
 
 class TwinStore:
     """Per-(context, page) twins for write-shared lock ranges."""
 
     def __init__(self) -> None:
-        self._twins: Dict[Tuple[int, int], bytes] = {}
+        self._twins: Dict[Tuple[int, int], Any] = {}
 
-    def remember(self, ctx_id: int, page_addr: int, data: bytes) -> None:
+    def remember(self, ctx_id: int, page_addr: int, data: Any) -> None:
+        """Keep ``data`` as the page's pristine twin.
+
+        The buffer is aliased, not copied: stored page buffers are
+        frozen (writers replace them), so the reference *is* a stable
+        snapshot — and ``twin is current`` at release proves the page
+        untouched for free.
+        """
         self._twins[(ctx_id, page_addr)] = data
 
-    def pop(self, ctx_id: int, page_addr: int) -> Optional[bytes]:
+    def pop(self, ctx_id: int, page_addr: int) -> Optional[Any]:
         return self._twins.pop((ctx_id, page_addr), None)
 
     def diff_update(self, storage: Any, ctx_id: int,
                     page_addr: int) -> Optional[Dict[str, Any]]:
         """The update-push item for one write-shared release: pop the
         twin, diff it against the current bytes, or None when nothing
-        changed (or the page vanished)."""
+        changed (or the page vanished).  A page whose buffer was never
+        replaced is a no-op write: no scan, no copy, no push."""
         twin = self.pop(ctx_id, page_addr)
         if twin is None:
             return None
         page = storage.peek(page_addr)
         if page is None:
             return None
-        diff = compute_diff(twin, page.data)
+        current = page.data
+        if current is twin:
+            return None   # buffer never replaced: the page is untouched
+        diff = compute_diff(twin, current)
         if not diff:
             return None
         return {"page": page_addr, "diff": diff, "release_token": False}

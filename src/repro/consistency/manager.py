@@ -144,7 +144,35 @@ class ConsistencyManager(abc.ABC):
         table there, and rolls exactly the noted pages back if the rest
         of the range fails (no page stays pinned after a partial
         failure).
+
+        READ acquisitions of distinct pages are mutually independent,
+        so they run through the engine's request pipeline (bounded by
+        ``config.pipeline_window``) instead of awaiting each reply
+        serially.  Write-intent modes stay strictly serial: write
+        tokens are taken in ascending page order, which is what keeps
+        concurrent multi-page lockers deadlock-free.
         """
+        if (
+            mode is LockMode.READ
+            and len(pages) > 1
+            and self.host.config.pipeline_window > 1
+        ):
+            def acquire_one(page_addr: int) -> ProtocolGen:
+                yield from self.host.wait_local_conflicts(page_addr, mode)
+                yield from self.acquire(desc, page_addr, mode, ctx)
+                # Pin immediately on success: an unpinned-but-acquired
+                # page would be a victimization candidate while its
+                # siblings are still in flight.
+                note_acquired(page_addr)
+
+            settled = yield from self.engine.pipeline(
+                [acquire_one(page_addr) for page_addr in pages],
+                op="acquire-pipeline",
+            )
+            for ok, value in settled:
+                if not ok:
+                    raise value
+            return
         for page_addr in pages:
             yield from self.host.wait_local_conflicts(page_addr, mode)
             yield from self.acquire(desc, page_addr, mode, ctx)
@@ -163,24 +191,47 @@ class ConsistencyManager(abc.ABC):
         override this to coalesce the context's dirty pages into one
         ``UPDATE_PUSH_BATCH`` per home node, falling back to per-page
         retries when a home is unreachable.
+
+        Per-page releases of distinct pages never wait on one another
+        (release only gives things up), so multi-page releases run
+        through the engine's request pipeline; each page's failure
+        handling is unchanged.
         """
+
+        if len(pages) > 1 and self.host.config.pipeline_window > 1:
+            def release_one(page_addr: int) -> ProtocolGen:
+                try:
+                    yield from self.release(desc, page_addr, ctx)
+                except Exception:  # khz: allow-broad-except(logged and queued for background retry in _queue_release_retry)
+                    self._queue_release_retry(desc, page_addr, ctx)
+
+            yield from self.engine.pipeline(
+                [release_one(page_addr) for page_addr in pages],
+                op="release-pipeline",
+            )
+            return
         for page_addr in pages:
             try:
                 yield from self.release(desc, page_addr, ctx)
-            except Exception:
-                # Release-type semantics: never surface, but say what
-                # is being retried so a wedged release is debuggable.
-                logger.warning(
-                    "node %d: release of page %#x failed; queued for "
-                    "background retry",
-                    self.host.node_id, page_addr, exc_info=True,
-                )
-                self.host.retry_queue.enqueue(
-                    lambda page_addr=page_addr: self.release(
-                        desc, page_addr, ctx
-                    ),
-                    label=f"cm-release:{page_addr:#x}",
-                )
+            except Exception:  # khz: allow-broad-except(logged and queued for background retry in _queue_release_retry)
+                self._queue_release_retry(desc, page_addr, ctx)
+
+    def _queue_release_retry(self, desc: RegionDescriptor, page_addr: int,
+                             ctx: LockContext) -> None:
+        """Hand one failed per-page release to the background queue.
+
+        Release-type semantics: never surface, but say what is being
+        retried so a wedged release is debuggable.
+        """
+        logger.warning(
+            "node %d: release of page %#x failed; queued for "
+            "background retry",
+            self.host.node_id, page_addr, exc_info=True,
+        )
+        self.host.retry_queue.enqueue(
+            lambda: self.release(desc, page_addr, ctx),
+            label=f"cm-release:{page_addr:#x}",
+        )
 
     def evict(
         self, desc: RegionDescriptor, page_addr: int, data: bytes, dirty: bool

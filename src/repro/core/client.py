@@ -167,7 +167,15 @@ class KhazanaSession:
         self.driver.wait(self.submit(self.daemon.op_unlock(ctx), "unlock"))
 
     def read(self, ctx: LockContext, address: int, length: int) -> bytes:
-        """Read bytes under a lock context."""
+        """Read bytes under a lock context.
+
+        RAM-resident reads complete synchronously on the daemon's fast
+        path; anything else (cold page, probe active, odd arguments)
+        submits the full protocol task.
+        """
+        fast = self.daemon.read_fast(ctx, address, length)
+        if fast is not None:
+            return fast
         return self.driver.wait(
             self.submit(
                 self.daemon.op_read(ctx, AddressRange(address, length)),
@@ -176,7 +184,14 @@ class KhazanaSession:
         )
 
     def write(self, ctx: LockContext, address: int, data: bytes) -> None:
-        """Write bytes under a lock context."""
+        """Write bytes under a lock context.
+
+        Mirrors :meth:`read`: writes that only touch RAM-resident (or
+        fully overwritten) pages run synchronously, others take the
+        protocol path.
+        """
+        if self.daemon.write_fast(ctx, address, data):
+            return
         self.driver.wait(
             self.submit(
                 self.daemon.op_write(

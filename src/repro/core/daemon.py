@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import logging
 
-from typing import Optional
+from typing import Any, Optional
 
 from repro.core.address_map import SYSTEM_RID
 from repro.core.addressing import AddressRange
@@ -128,6 +128,14 @@ class KhazanaDaemon(NodeKernel):
 
     def op_read(self, ctx: LockContext, target: AddressRange) -> ProtocolGen:
         return self.data.op_read(ctx, target)
+
+    def read_fast(self, ctx: LockContext, address: int, length: int) -> Any:
+        """Synchronous read when every page is RAM-resident, else None."""
+        return self.data.try_read_fast(ctx, address, length)
+
+    def write_fast(self, ctx: LockContext, address: int, data: bytes) -> bool:
+        """Synchronous write fast path; False means submit op_write."""
+        return self.data.try_write_fast(ctx, address, data)
 
     def op_write(self, ctx: LockContext, target: AddressRange,
                  data: bytes) -> ProtocolGen:

@@ -207,8 +207,67 @@ class DataPlane:
                 if not gate.done:
                     gate.set_result(None)
 
+    def try_read_fast(self, ctx: LockContext, address: int,
+                      length: int) -> Any:
+        """Synchronous read fast path: bytes, or None to take the
+        generator path.
+
+        Serves the hot case — every covered page RAM-resident, probes
+        off — without a generator, a Future, or a scheduler step.  Any
+        validation failure returns None so :meth:`op_read` raises the
+        identical error; storage counters are bumped exactly as the
+        slow path would.
+        """
+        kernel = self.kernel
+        if kernel.probe.enabled or length <= 0 or ctx.closed:
+            return None
+        ctx_range = ctx.range
+        if address < ctx_range.start or address + length > ctx_range.end:
+            return None
+        mapping = self._ctx_pages.get(ctx.ctx_id)
+        if mapping is None:
+            return None
+        desc = mapping[0]
+        page_size = desc.page_size
+        first = (address // page_size) * page_size
+        storage = kernel.storage
+        memory = storage.memory
+        end = address + length
+        if end <= first + page_size:
+            # Single-page read: slice straight out of the stored buffer.
+            page = storage.load_resident(first)
+            if page is None:
+                return None
+            data = page.data
+            kernel.stats.bump("read")
+            if length == page_size and type(data) is bytes:
+                return data   # whole page, immutable: no copy at all
+            lo = address - first
+            return bytes(memoryview(data)[lo : lo + length])  # khz: allow-copy(client-facing partial read owns its bytes)
+        # Multi-page: confirm full residency before charging any hit
+        # counters, then assemble through borrowed views (one copy, in
+        # the final join).
+        last = ((end - 1) // page_size) * page_size
+        page_addrs = range(first, last + page_size, page_size)
+        for page_addr in page_addrs:
+            if memory.peek(page_addr) is None:
+                return None
+        chunks: List[Any] = []
+        for page_addr in page_addrs:
+            page = storage.load_resident(page_addr)
+            if page is None:   # pragma: no cover - peeked above
+                return None
+            lo = max(address, page_addr) - page_addr
+            hi = min(end, page_addr + page_size) - page_addr
+            chunks.append(memoryview(page.data)[lo:hi])
+        kernel.stats.bump("read")
+        return b"".join(chunks)
+
     def op_read(self, ctx: LockContext, target: AddressRange) -> ProtocolGen:
         """Read bytes under a lock context."""
+        fast = self.try_read_fast(ctx, target.start, target.length)
+        if fast is not None:
+            return fast
         kernel = self.kernel
         kernel.stats.bump("read")
         ctx.check_covers(target, for_write=False)
@@ -217,7 +276,7 @@ class DataPlane:
             kernel.probe.page_read(kernel.node_id, ctx,
                                    desc.pages_covering(target),
                                    desc.attrs.protocol)
-        chunks: List[bytes] = []
+        chunks: List[Any] = []
         for page_addr in desc.pages_covering(target):
             data = yield from self.local_page_bytes(desc, page_addr)
             if data is None:
@@ -228,14 +287,93 @@ class DataPlane:
             page_range = AddressRange(page_addr, desc.page_size)
             overlap = page_range.intersection(target)
             assert overlap is not None
-            lo = overlap.start - page_addr
-            chunks.append(data[lo : lo + overlap.length])
+            if overlap.length == len(data) and type(data) is bytes:
+                chunks.append(data)   # whole page served without a copy
+            else:
+                lo = overlap.start - page_addr
+                chunks.append(memoryview(data)[lo : lo + overlap.length])
+        if len(chunks) == 1 and type(chunks[0]) is bytes:
+            return chunks[0]
         return b"".join(chunks)
+
+    def try_write_fast(self, ctx: LockContext, address: int,
+                       data: Any) -> bool:
+        """Synchronous write fast path; False means take op_write.
+
+        Covers RAM-resident (or fully overwritten) pages on nodes
+        whose stores do not write through to disk.  Stored buffers are
+        *replaced*, never patched in place, so aliased twins and wire
+        payloads stay stable snapshots (docs/performance.md).
+        """
+        kernel = self.kernel
+        length = len(data)
+        if kernel.probe.enabled or length <= 0 or ctx.closed:
+            return False
+        if not ctx.mode.is_write:
+            return False
+        if type(data) is not bytes:
+            # The full-page branches below alias the source buffer; a
+            # caller-owned mutable buffer must be snapshotted first.
+            data = bytes(data)  # khz: allow-copy(snapshot caller-owned mutable buffer)
+        ctx_range = ctx.range
+        if address < ctx_range.start or address + length > ctx_range.end:
+            return False
+        mapping = self._ctx_pages.get(ctx.ctx_id)
+        if mapping is None:
+            return False
+        desc = mapping[0]
+        is_home = kernel.node_id in desc.home_nodes
+        if is_home and (desc.rid == SYSTEM_RID or kernel.journal is not None):
+            return False   # write-through path charges disk time
+        page_size = desc.page_size
+        storage = kernel.storage
+        memory = storage.memory
+        end = address + length
+        first = (address // page_size) * page_size
+        last = ((end - 1) // page_size) * page_size
+        page_addrs = range(first, last + page_size, page_size)
+        # Validate everything up front: past this loop the write cannot
+        # fall back, or pages would be stored twice.
+        for page_addr in page_addrs:
+            full = address <= page_addr and page_addr + page_size <= end
+            if not full and memory.peek(page_addr) is None:
+                return False
+        src = memoryview(data) if len(page_addrs) > 1 else None
+        for page_addr in page_addrs:
+            lo = max(address, page_addr) - page_addr
+            hi = min(end, page_addr + page_size) - page_addr
+            src_lo = page_addr + lo - address
+            if hi - lo == page_size:
+                # Full-page overwrite: alias the (immutable or caller-
+                # relinquished) source buffer instead of copying it.
+                updated = data if src is None else src[src_lo : src_lo + page_size]
+            else:
+                page = storage.load_resident(page_addr)
+                if page is None:   # pragma: no cover - peeked above
+                    return False
+                updated = bytearray(page.data)   # fresh buffer replaces the frozen one
+                piece = data if src is None else src[src_lo : src_lo + (hi - lo)]
+                updated[lo:hi] = piece
+            if not storage.store_resident(
+                StoredPage(page_addr, updated, dirty=True)
+            ):
+                return False   # RAM full: restart through the evicting path
+            entry = kernel.page_directory.ensure(
+                page_addr, desc.rid, homed=is_home
+            )
+            entry.record_sharer(kernel.node_id)
+            ctx.dirty_pages.add(page_addr)
+        kernel.stats.bump("write")
+        return True
 
     def op_write(self, ctx: LockContext, target: AddressRange,
                  data: bytes) -> ProtocolGen:
         """Write bytes under a lock context."""
         kernel = self.kernel
+        if len(data) == target.length and self.try_write_fast(
+            ctx, target.start, data
+        ):
+            return None
         kernel.stats.bump("write")
         ctx.check_covers(target, for_write=True)
         if len(data) != target.length:
@@ -247,6 +385,11 @@ class DataPlane:
             kernel.probe.page_write(kernel.node_id, ctx,
                                     desc.pages_covering(target),
                                     desc.attrs.protocol)
+        if type(data) is not bytes:
+            # Full-page stores below alias the source buffer; snapshot
+            # mutable caller buffers so stored pages stay frozen.
+            data = bytes(data)  # khz: allow-copy(snapshot caller-owned mutable buffer)
+        src = memoryview(data)
         for page_addr in desc.pages_covering(target):
             page_range = AddressRange(page_addr, desc.page_size)
             overlap = page_range.intersection(target)
@@ -256,17 +399,24 @@ class DataPlane:
             if overlap.length == desc.page_size:
                 # Full-page write: every byte is replaced, so skip the
                 # read-modify-write (which may fetch the stale page
-                # over the network just to discard it).
-                updated = bytes(data[src_lo : src_lo + overlap.length])
+                # over the network just to discard it) and alias the
+                # source instead of copying it.
+                if overlap.length == len(data) and type(data) is bytes:
+                    updated: Any = data
+                else:
+                    updated = src[src_lo : src_lo + overlap.length]
             else:
                 current = yield from self.local_page_bytes(desc, page_addr)
                 if current is None:
                     current = b"\x00" * desc.page_size
-                updated = (
-                    current[:lo]
-                    + data[src_lo : src_lo + overlap.length]
-                    + current[lo + overlap.length :]
+                # Patch a fresh buffer and store it outright: stored
+                # buffers are frozen, so the old one is replaced, not
+                # mutated (twins aliasing it stay pristine).
+                patched = bytearray(current)
+                patched[lo : lo + overlap.length] = (
+                    src[src_lo : src_lo + overlap.length]
                 )
+                updated = patched
             yield from self.store_local_page(desc, page_addr, updated,
                                              dirty=True)
             ctx.dirty_pages.add(page_addr)

@@ -95,6 +95,13 @@ class DaemonConfig:
     #: node (PAGE_FETCH_BATCH / TOKEN_ACQUIRE_BATCH / UPDATE_PUSH_BATCH).
     #: Off forces the per-page protocol path everywhere.
     enable_batching: bool = True
+    #: Max independent per-page requests a daemon keeps in flight when
+    #: a multi-page operation cannot batch (READ acquires, releases).
+    #: 1 restores the fully serial request-reply-request pattern.
+    #: Order-dependent traffic (WRITE-token acquisition, which takes
+    #: tokens in ascending page order to stay deadlock-free) is never
+    #: pipelined regardless of this setting.
+    pipeline_window: int = 8
     #: Region-directory capacity (ablation A1 shrinks this to 1).
     region_directory_capacity: int = 1024
     #: Disable the cluster-manager hint tier (ablation A1).

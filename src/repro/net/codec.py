@@ -1,0 +1,354 @@
+"""Struct-packed binary wire codec for hot message types.
+
+The original size model charged every envelope a rough
+:data:`~repro.net.message.ENVELOPE_BYTES` plus a per-value guess.  The
+data-path messages — page fetch/push, token traffic, and their batch
+variants — dominate simulated bandwidth, so those types now have a
+real binary encoding: a fixed little-endian header plus a tagged,
+varint-delimited payload.  ``Message.size_bytes`` reports the *exact*
+encoded length for registered types (installed as a hook by
+:func:`install`; see :mod:`repro.net.sim`) and falls back to the old
+object estimate for cold control-plane types.
+
+Wire layout (documented for docs/performance.md):
+
+``header``
+    ``<BBiiqqq``: magic ``0xC5``, type id, src, dst, msg_id,
+    request_id, reply_to (``-1`` encodes ``None``).
+
+``payload``
+    varint field count, then per field: varint-length key (UTF-8) and
+    a tagged value.  Tags: ``0`` None, ``1`` False, ``2`` True,
+    ``3`` int (zigzag varint, arbitrary precision — global addresses
+    are 128-bit), ``4`` float (8-byte IEEE double), ``5`` bytes
+    (varint length + raw; ``bytearray``/``memoryview`` payloads encode
+    identically and decode as ``bytes``), ``6`` str (varint length +
+    UTF-8), ``7`` list and ``8`` tuple (varint count + items — the
+    distinction matters: diff runs are tuples, batch items are lists),
+    ``9`` dict (varint count + key/value pairs, string keys only).
+
+Unsupported payload values (arbitrary objects) make ``encode`` and
+``encoded_size`` return None, deferring to the object estimator — the
+codec never guesses.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.net.message import Message, MessageType, set_size_codec
+
+_MAGIC = 0xC5
+
+_HEADER = struct.Struct("<BBiiqqq")
+_DOUBLE = struct.Struct("<d")
+
+#: Stable wire ids for the hot (data-path) message types.  Cold
+#: control-plane types intentionally stay on the object encoding.
+WIRE_IDS: Dict[MessageType, int] = {
+    MessageType.PAGE_FETCH: 1,
+    MessageType.PAGE_DATA: 2,
+    MessageType.LOCK_REQUEST: 3,
+    MessageType.LOCK_REPLY: 4,
+    MessageType.UPDATE_PUSH: 5,
+    MessageType.UPDATE_ACK: 6,
+    MessageType.INVALIDATE: 7,
+    MessageType.INVALIDATE_ACK: 8,
+    MessageType.SHARER_REGISTER: 9,
+    MessageType.SHARER_UNREGISTER: 10,
+    MessageType.PAGE_FETCH_BATCH: 11,
+    MessageType.PAGE_DATA_BATCH: 12,
+    MessageType.TOKEN_ACQUIRE_BATCH: 13,
+    MessageType.TOKEN_GRANT_BATCH: 14,
+    MessageType.UPDATE_PUSH_BATCH: 15,
+    MessageType.UPDATE_ACK_BATCH: 16,
+    MessageType.ERROR: 17,
+}
+
+_TYPE_BY_ID: Dict[int, MessageType] = {
+    wire_id: msg_type for msg_type, wire_id in WIRE_IDS.items()
+}
+
+# Value tags.
+_T_NONE = 0
+_T_FALSE = 1
+_T_TRUE = 2
+_T_INT = 3
+_T_FLOAT = 4
+_T_BYTES = 5
+_T_STR = 6
+_T_LIST = 7
+_T_TUPLE = 8
+_T_DICT = 9
+
+
+class Unencodable(Exception):
+    """Raised internally for payload values the codec does not cover."""
+
+
+# --- varints ---------------------------------------------------------------
+
+def _write_varint(out: bytearray, value: int) -> None:
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _varint_size(value: int) -> int:
+    size = 1
+    value >>= 7
+    while value:
+        size += 1
+        value >>= 7
+    return size
+
+
+def _read_varint(data: memoryview, pos: int) -> Tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+def _zigzag(value: int) -> int:
+    return (value << 1) ^ (value >> (value.bit_length() + 1)) if value < 0 \
+        else value << 1
+
+
+def _unzigzag(value: int) -> int:
+    return (value >> 1) ^ -(value & 1)
+
+
+# --- value encoding --------------------------------------------------------
+
+def _encode_value(out: bytearray, value: Any) -> None:
+    if value is None:
+        out.append(_T_NONE)
+    elif value is False:
+        out.append(_T_FALSE)
+    elif value is True:
+        out.append(_T_TRUE)
+    elif type(value) is int:
+        out.append(_T_INT)
+        _write_varint(out, _zigzag(value))
+    elif type(value) is float:
+        out.append(_T_FLOAT)
+        out += _DOUBLE.pack(value)
+    elif isinstance(value, (bytes, bytearray, memoryview)):
+        out.append(_T_BYTES)
+        _write_varint(out, len(value))
+        out += value
+    elif type(value) is str:
+        raw = value.encode("utf-8")
+        out.append(_T_STR)
+        _write_varint(out, len(raw))
+        out += raw
+    elif type(value) is list:
+        out.append(_T_LIST)
+        _write_varint(out, len(value))
+        for item in value:
+            _encode_value(out, item)
+    elif type(value) is tuple:
+        out.append(_T_TUPLE)
+        _write_varint(out, len(value))
+        for item in value:
+            _encode_value(out, item)
+    elif type(value) is dict:
+        out.append(_T_DICT)
+        _write_varint(out, len(value))
+        for key, item in value.items():
+            if type(key) is not str:
+                raise Unencodable(f"non-str dict key {key!r}")
+            raw = key.encode("utf-8")
+            _write_varint(out, len(raw))
+            out += raw
+            _encode_value(out, item)
+    else:
+        raise Unencodable(f"value of type {type(value).__name__}")
+
+
+def _value_size(value: Any) -> int:
+    """Exact encoded size of one value, without building the bytes.
+
+    Mirrors :func:`_encode_value` case by case; the codec property
+    tests pin ``len(encode(msg)) == encoded_size(msg)``.
+    """
+    if value is None or value is False or value is True:
+        return 1
+    if type(value) is int:
+        return 1 + _varint_size(_zigzag(value))
+    if type(value) is float:
+        return 9
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        n = len(value)
+        return 1 + _varint_size(n) + n
+    if type(value) is str:
+        n = len(value.encode("utf-8"))
+        return 1 + _varint_size(n) + n
+    if type(value) is list or type(value) is tuple:
+        size = 1 + _varint_size(len(value))
+        for item in value:
+            size += _value_size(item)
+        return size
+    if type(value) is dict:
+        size = 1 + _varint_size(len(value))
+        for key, item in value.items():
+            if type(key) is not str:
+                raise Unencodable(f"non-str dict key {key!r}")
+            n = len(key.encode("utf-8"))
+            size += _varint_size(n) + n + _value_size(item)
+        return size
+    raise Unencodable(f"value of type {type(value).__name__}")
+
+
+def _decode_value(data: memoryview, pos: int) -> Tuple[Any, int]:
+    tag = data[pos]
+    pos += 1
+    if tag == _T_NONE:
+        return None, pos
+    if tag == _T_FALSE:
+        return False, pos
+    if tag == _T_TRUE:
+        return True, pos
+    if tag == _T_INT:
+        raw, pos = _read_varint(data, pos)
+        return _unzigzag(raw), pos
+    if tag == _T_FLOAT:
+        return _DOUBLE.unpack_from(data, pos)[0], pos + 8
+    if tag == _T_BYTES:
+        n, pos = _read_varint(data, pos)
+        return bytes(data[pos : pos + n]), pos + n
+    if tag == _T_STR:
+        n, pos = _read_varint(data, pos)
+        return str(data[pos : pos + n], "utf-8"), pos + n
+    if tag == _T_LIST or tag == _T_TUPLE:
+        count, pos = _read_varint(data, pos)
+        items: List[Any] = []
+        for _ in range(count):
+            item, pos = _decode_value(data, pos)
+            items.append(item)
+        return (tuple(items) if tag == _T_TUPLE else items), pos
+    if tag == _T_DICT:
+        count, pos = _read_varint(data, pos)
+        mapping: Dict[str, Any] = {}
+        for _ in range(count):
+            n, pos = _read_varint(data, pos)
+            key = str(data[pos : pos + n], "utf-8")
+            pos += n
+            mapping[key], pos = _decode_value(data, pos)
+        return mapping, pos
+    raise ValueError(f"unknown value tag {tag}")
+
+
+# --- message encoding ------------------------------------------------------
+
+def encode(message: Message) -> Optional[bytes]:
+    """Binary encoding of a hot-type message, or None to fall back.
+
+    None means either the type is not registered or the payload holds
+    a value outside the wire vocabulary (e.g. a descriptor object);
+    such messages keep the object encoding and estimated size.
+    """
+    wire_id = WIRE_IDS.get(message.msg_type)
+    if wire_id is None:
+        return None
+    out = bytearray(
+        _HEADER.pack(
+            _MAGIC,
+            wire_id,
+            message.src,
+            message.dst,
+            message.msg_id,
+            -1 if message.request_id is None else message.request_id,
+            -1 if message.reply_to is None else message.reply_to,
+        )
+    )
+    payload = message.payload
+    _write_varint(out, len(payload))
+    try:
+        for key, value in payload.items():
+            if type(key) is not str:
+                return None
+            raw = key.encode("utf-8")
+            _write_varint(out, len(raw))
+            out += raw
+            _encode_value(out, value)
+    except Unencodable:
+        return None
+    return bytes(out)
+
+
+def decode(data: bytes) -> Message:
+    """Inverse of :func:`encode`; raises ValueError on malformed input."""
+    magic, wire_id, src, dst, msg_id, request_id, reply_to = (
+        _HEADER.unpack_from(data, 0)
+    )
+    if magic != _MAGIC:
+        raise ValueError(f"bad magic byte {magic:#x}")
+    msg_type = _TYPE_BY_ID.get(wire_id)
+    if msg_type is None:
+        raise ValueError(f"unknown wire type id {wire_id}")
+    view = memoryview(data)
+    pos = _HEADER.size
+    count, pos = _read_varint(view, pos)
+    payload: Dict[str, Any] = {}
+    for _ in range(count):
+        n, pos = _read_varint(view, pos)
+        key = str(view[pos : pos + n], "utf-8")
+        pos += n
+        payload[key], pos = _decode_value(view, pos)
+    if pos != len(data):
+        raise ValueError(f"{len(data) - pos} trailing bytes after payload")
+    return Message(
+        msg_type=msg_type,
+        src=src,
+        dst=dst,
+        payload=payload,
+        request_id=None if request_id == -1 else request_id,
+        reply_to=None if reply_to == -1 else reply_to,
+        msg_id=msg_id,
+    )
+
+
+def encoded_size(message: Message) -> Optional[int]:
+    """Exact wire size of a hot-type message without encoding it.
+
+    The simulated network asks for a size on *every* send, so this is
+    arithmetic over the payload rather than a throwaway encode; the
+    property tests hold it bit-for-bit equal to ``len(encode(msg))``.
+    Returns None (object-estimate fallback) exactly when ``encode``
+    would.
+    """
+    if message.msg_type not in WIRE_IDS:
+        return None
+    payload = message.payload
+    size = _HEADER.size + _varint_size(len(payload))
+    try:
+        for key, value in payload.items():
+            if type(key) is not str:
+                return None
+            n = len(key.encode("utf-8"))
+            size += _varint_size(n) + n + _value_size(value)
+    except Unencodable:
+        return None
+    return size
+
+
+def install() -> None:
+    """Register :func:`encoded_size` as the Message size hook.
+
+    Called by :mod:`repro.net.sim` at import; keeps the dependency
+    one-way (codec imports message, never the reverse).
+    """
+    set_size_codec(encoded_size)

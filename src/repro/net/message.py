@@ -110,6 +110,21 @@ REPLY_TYPES = frozenset(
 # bytes.  Roughly a UDP/IP header plus Khazana's own message header.
 ENVELOPE_BYTES = 64
 
+#: Optional exact-size hook installed by :mod:`repro.net.codec` (via
+#: :mod:`repro.net.sim`).  Kept as a late-bound callable so this module
+#: never imports the codec — the dependency stays one-way.
+_size_codec = None
+
+
+def set_size_codec(codec) -> None:
+    """Install ``codec(message) -> Optional[int]`` as the size source.
+
+    The hook returns the exact binary wire size for message types it
+    covers and None for the rest, which keep the estimate below.
+    """
+    global _size_codec
+    _size_codec = codec
+
 
 def _wire_size(value: Any) -> int:
     """Approximate serialized size of one payload value, recursively.
@@ -153,7 +168,16 @@ class Message:
         return self.msg_type in REPLY_TYPES
 
     def size_bytes(self) -> int:
-        """Approximate wire size for bandwidth/latency accounting."""
+        """Wire size for bandwidth/latency accounting.
+
+        Hot data-path types report their exact binary-codec length
+        (see :mod:`repro.net.codec`); everything else keeps the
+        envelope-plus-estimate model.
+        """
+        if _size_codec is not None:
+            exact = _size_codec(self)
+            if exact is not None:
+                return exact
         size = ENVELOPE_BYTES
         for key, value in self.payload.items():
             size += len(key) + _wire_size(value)

@@ -102,6 +102,34 @@ class StorageHierarchy:
         self.stats.misses += 1
         return None, 0.0
 
+    def load_resident(self, address: int) -> Optional[StoredPage]:
+        """RAM-only, zero-cost lookup: the hot-path form of :meth:`load`.
+
+        Counts a RAM hit exactly as :meth:`load` would; a miss is *not*
+        counted here — the caller falls back to :meth:`load`, which
+        classifies it (disk hit or true miss).
+        """
+        page = self.memory.get(address)
+        if page is not None:
+            self.stats.ram_hits += 1
+        return page
+
+    def store_resident(self, page: StoredPage) -> bool:
+        """Store without victimization: True when the page fit in RAM.
+
+        The hot-path form of :meth:`store` — identical bookkeeping when
+        it succeeds, but returns False instead of evicting when RAM is
+        full, so callers can fall back to the cost-charging path.
+        """
+        existing = self.memory.peek(page.address)
+        delta = page.size - (existing.size if existing is not None else 0)
+        if not self.memory.has_room_for(delta):
+            return False
+        # Stale duplicate on disk would shadow the fresh RAM copy later.
+        self.disk.remove(page.address)
+        self.memory.put(page)
+        return True
+
     def contains(self, address: int) -> bool:
         return self.memory.contains(address) or self.disk.contains(address)
 

@@ -24,6 +24,12 @@ class MemoryStore(PageStore):
         self._capacity = capacity_bytes
         self._pages: "OrderedDict[int, StoredPage]" = OrderedDict()
         self._used = 0
+        #: Cached address/LRU snapshots.  The eviction path calls
+        #: :meth:`addresses` / :meth:`lru_candidates` in a loop; building
+        #: a fresh list per call dominated its cost.  Invalidated on any
+        #: mutation (``_lru_view`` also on :meth:`get`, which reorders).
+        self._addr_view: Optional[List[int]] = None
+        self._lru_view: Optional[List[int]] = None
 
     @property
     def capacity_bytes(self) -> int:
@@ -36,6 +42,7 @@ class MemoryStore(PageStore):
         page = self._pages.get(address)
         if page is not None:
             self._pages.move_to_end(address)   # mark most recently used
+            self._lru_view = None
         return page
 
     def peek(self, address: int) -> Optional[StoredPage]:
@@ -53,19 +60,40 @@ class MemoryStore(PageStore):
         self._pages[page.address] = page
         self._pages.move_to_end(page.address)
         self._used += delta
+        self._lru_view = None
+        if existing is None:
+            self._addr_view = None
 
     def remove(self, address: int) -> Optional[StoredPage]:
         page = self._pages.pop(address, None)
         if page is not None:
             self._used -= page.size
+            self._addr_view = None
+            self._lru_view = None
         return page
 
     def contains(self, address: int) -> bool:
         return address in self._pages
 
     def addresses(self) -> List[int]:
-        return list(self._pages.keys())
+        """Resident addresses — a cached view, valid until the next
+        mutation; callers must not modify it."""
+        view = self._addr_view
+        if view is None:
+            view = self._addr_view = list(self._pages.keys())
+        return view
 
     def lru_candidates(self) -> List[int]:
-        """Page addresses from least to most recently used."""
-        return list(self._pages.keys())
+        """Page addresses from least to most recently used — a cached
+        view, valid until the next mutation or LRU touch; callers must
+        not modify it."""
+        view = self._lru_view
+        if view is None:
+            view = self._lru_view = list(self._pages.keys())
+        return view
+
+    def __iter__(self):
+        return iter(self._pages)
+
+    def __len__(self) -> int:
+        return len(self._pages)

@@ -10,7 +10,13 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Optional, Union
+
+#: Page contents may be any bytes-like buffer.  The buffer is *frozen*
+#: by convention: writers replace a stored page's buffer with a fresh
+#: one rather than mutating it in place, so readers (twins, wire
+#: payloads) may alias it without copying (docs/performance.md).
+PageBytes = Union[bytes, bytearray, memoryview]
 
 
 @dataclass
@@ -18,7 +24,7 @@ class StoredPage:
     """One page held by a store level."""
 
     address: int       # global base address of the page
-    data: bytes
+    data: PageBytes
     dirty: bool = False
 
     @property

@@ -183,6 +183,32 @@ class TestDirectScheduler:
         assert findings == []
 
 
+class TestPageCopies:
+    def test_flags_unjustified_bytes_in_hot_function(self):
+        findings = _lint_fixture(
+            "page_copy.py.txt", "src/repro/core/dataplane.py"
+        )
+        assert [f.rule for f in findings] == ["KHZ009"]
+        assert "op_read" in findings[0].message
+        assert findings[0].line == 6
+        # The suppressed copy (line 8) and the arg-less bytes() (line 9)
+        # stay clean, as does compute_diff — not a dataplane hot func.
+
+    def test_hot_functions_are_per_file(self):
+        findings = _lint_fixture(
+            "page_copy.py.txt", "src/repro/consistency/diffs.py"
+        )
+        assert [f.rule for f in findings] == ["KHZ009"]
+        assert "compute_diff" in findings[0].message
+        assert findings[0].line == 14
+
+    def test_scope_limited_to_hot_path_files(self):
+        findings = _lint_fixture(
+            "page_copy.py.txt", "src/repro/consistency/manager.py"
+        )
+        assert findings == []
+
+
 class TestSuppressions:
     def test_empty_reason_is_itself_a_finding(self):
         source = (

@@ -218,10 +218,17 @@ class TestFullPageWriteFastPath:
         try:
             owner.write(ctx, desc.rid, b"f" * PAGE)   # exactly one page
             assert calls == []
+            # A partial write of a *non-resident* page must read the
+            # current contents first (the synchronous fast path only
+            # serves RAM-resident pages, so this takes op_write).
+            data_plane.kernel.storage.drop(desc.rid + PAGE)
             owner.write(ctx, desc.rid + PAGE, b"g" * 10)   # partial page
             assert len(calls) >= 1
         finally:
             data_plane.local_page_bytes = original
+        # A partial write of a resident page merges with what's there,
+        # whichever path served it.
+        owner.write(ctx, desc.rid + PAGE + 10, b"h" * 10)
         owner.unlock(ctx)
         assert owner.read_at(desc.rid, PAGE) == b"f" * PAGE
-        assert owner.read_at(desc.rid + PAGE, 10) == b"g" * 10
+        assert owner.read_at(desc.rid + PAGE, 20) == b"g" * 10 + b"h" * 10

@@ -37,6 +37,23 @@ class TestComputeDiff:
         current = b"grown beyond the twin"
         assert compute_diff(twin, current) == [(0, current)]
 
+    def test_identical_object_short_circuits_without_scanning(self):
+        class Unscannable(bytes):
+            def __eq__(self, other):   # any comparison means we scanned
+                raise AssertionError("aliased twin must not be scanned")
+
+            __hash__ = bytes.__hash__
+
+        page = Unscannable(b"\x00" * PAGE)
+        assert compute_diff(page, page) == []
+
+    def test_accepts_memoryview_inputs(self):
+        twin = bytes(16)
+        current = bytearray(twin)
+        current[4:6] = b"mv"
+        diff = compute_diff(memoryview(twin), memoryview(bytes(current)))
+        assert diff == [(4, b"mv")]
+
 
 class TestApplyDiff:
     def test_empty_diff_is_identity(self):
@@ -62,6 +79,13 @@ class TestApplyDiff:
 
     def test_run_past_end_extends_base(self):
         assert apply_diff(b"abcd", [(6, b"zz")]) == b"abcd\x00\x00zz"
+
+    def test_result_is_a_fresh_bytearray_the_caller_owns(self):
+        base = bytearray(b"\x00" * 8)
+        patched = apply_diff(base, [(0, b"hi")])
+        assert isinstance(patched, bytearray)
+        patched[2:4] = b"!!"   # mutating the result...
+        assert base == b"\x00" * 8   # ...never touches the base
 
 
 class _FakePage:
@@ -117,3 +141,26 @@ class TestTwinStore:
         twins.remember(7, 0x2000, b"same")
         storage = _FakeStorage({0x2000: _FakePage(b"same")})
         assert twins.diff_update(storage, 7, 0x2000) is None
+
+    def test_diff_update_skips_aliased_twin_without_comparing(self):
+        # remember() aliases the stored buffer (frozen-buffer
+        # invariant); if the write cycle never replaced it, the
+        # release proves the page untouched by identity alone.
+        class Unscannable(bytes):
+            def __eq__(self, other):
+                raise AssertionError("aliased twin must not be scanned")
+
+            __hash__ = bytes.__hash__
+
+        buffer = Unscannable(b"\x00" * 4096)
+        twins = TwinStore()
+        twins.remember(7, 0x2000, buffer)
+        storage = _FakeStorage({0x2000: _FakePage(buffer)})
+        assert twins.diff_update(storage, 7, 0x2000) is None
+        assert twins.pop(7, 0x2000) is None   # twin was consumed
+
+    def test_remember_aliases_rather_than_copies(self):
+        twins = TwinStore()
+        buffer = b"z" * 4096
+        twins.remember(1, 0x1000, buffer)
+        assert twins.pop(1, 0x1000) is buffer

@@ -58,6 +58,56 @@ class TestMemoryStore:
             MemoryStore(0)
 
 
+class TestMemoryStoreCachedViews:
+    """addresses()/lru_candidates() return cached snapshots; every
+    mutation (and, for LRU, every reordering get) must invalidate."""
+
+    def make(self):
+        store = MemoryStore(8 * PAGE)
+        for i in range(3):
+            store.put(page(i * PAGE))
+        return store
+
+    def test_views_are_stable_across_reads(self):
+        store = self.make()
+        assert store.addresses() is store.addresses()
+        assert store.lru_candidates() is store.lru_candidates()
+        store.peek(0)   # peek neither reorders nor invalidates
+        assert store.lru_candidates() is store.lru_candidates()
+
+    def test_put_invalidates_both_views(self):
+        store = self.make()
+        addrs, lru = store.addresses(), store.lru_candidates()
+        store.put(page(3 * PAGE))
+        assert store.addresses() == [0, PAGE, 2 * PAGE, 3 * PAGE]
+        assert store.lru_candidates()[-1] == 3 * PAGE
+        assert addrs == [0, PAGE, 2 * PAGE]   # old snapshot untouched
+        assert lru == [0, PAGE, 2 * PAGE]
+
+    def test_replacing_put_keeps_address_view_but_reorders_lru(self):
+        store = self.make()
+        addrs = store.addresses()
+        store.lru_candidates()
+        store.put(page(0, b"y"))   # same address: membership unchanged
+        assert store.addresses() is addrs
+        assert store.lru_candidates() == [PAGE, 2 * PAGE, 0]
+
+    def test_remove_invalidates_both_views(self):
+        store = self.make()
+        store.addresses(), store.lru_candidates()
+        store.remove(PAGE)
+        assert store.addresses() == [0, 2 * PAGE]
+        assert store.lru_candidates() == [0, 2 * PAGE]
+
+    def test_get_invalidates_lru_view_only(self):
+        store = self.make()
+        addrs = store.addresses()
+        store.lru_candidates()
+        store.get(0)
+        assert store.lru_candidates() == [PAGE, 2 * PAGE, 0]
+        assert store.addresses() is addrs
+
+
 class TestDiskStore:
     def test_basic_ops(self):
         store = DiskStore(4 * PAGE)
