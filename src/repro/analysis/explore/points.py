@@ -25,7 +25,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.analysis.lint import SCHEDULER_METHODS, SourceFile, _collect
+from repro.analysis.lint import SCHEDULER_METHODS
+from repro.analysis.sources import SourceFile, collect as _collect
 
 KIND_YIELD = "yield"        # bare ``yield fut`` — a real suspension point
 KIND_DELEGATE = "delegate"  # ``yield from`` — suspends only transitively

@@ -1,0 +1,41 @@
+"""repro.analysis.flow — whole-program static flow analysis.
+
+The third layer of the correctness stack, above the per-file AST
+linter (:mod:`repro.analysis.lint`) and the runtime schedule explorer
+(:mod:`repro.analysis.explore`): a project call graph over the shared
+:mod:`repro.analysis.sources` trees, with three interprocedural
+passes —
+
+* :mod:`repro.analysis.flow.locks`   (KHZ101, slug ``lock-order``)
+* :mod:`repro.analysis.flow.replies` (KHZ102, slug ``reply-path``)
+* :mod:`repro.analysis.flow.awaits`  (KHZ103, slugs
+  ``dropped-future`` / ``undriven-generator``)
+
+Run it as ``python -m repro.analysis.flow src/``.  Findings honor the
+same ``# khz: allow-<slug>(reason)`` suppressions as the linter, and
+``--format json`` emits a SARIF-shaped report for CI artifacts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.analysis.flow.awaits import AwaitDisciplineAnalysis
+from repro.analysis.flow.callgraph import CallGraph
+from repro.analysis.flow.locks import LockOrderAnalysis
+from repro.analysis.flow.replies import ReplyPathAnalysis
+from repro.analysis.lint import Finding, _Reporter
+from repro.analysis.sources import SourceFile
+
+__all__ = ["CallGraph", "analyze", "Finding"]
+
+
+def analyze(files: Sequence[SourceFile]) -> List[Finding]:
+    """Run every flow pass over ``files`` and return the findings."""
+    graph = CallGraph(files)
+    reporter = _Reporter()
+    LockOrderAnalysis(graph, reporter).run()
+    ReplyPathAnalysis(graph, reporter).run()
+    AwaitDisciplineAnalysis(graph, reporter).run()
+    reporter.findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return reporter.findings

@@ -1,0 +1,94 @@
+"""CLI driver: ``python -m repro.analysis.flow [paths...]``.
+
+Exit status 1 when any finding survives suppression — the CI gate.
+
+``--mutate descending-acquire`` seeds a deadlock bug into an
+in-memory copy of ``consistency/engine/wire.py`` (the token-grant
+loop flips to descending page order) before analyzing.  CI runs the
+analyzer twice: once clean, once negated with the mutation — if the
+mutated run does NOT fail, the lock-order pass has gone blind and the
+gate trips.  This mirrors the schedule explorer's seeded-mutation
+check from PR 5.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import sources
+from repro.analysis.flow import analyze
+from repro.analysis.flow.report import render_json, render_text
+from repro.analysis.sources import SourceFile
+
+MUTATIONS = {
+    "descending-acquire": {
+        "file": "consistency/engine/wire.py",
+        "needle": "for page_addr in pages:",
+        "replacement": "for page_addr in sorted(pages, reverse=True):",
+    },
+}
+
+
+def _apply_mutation(files: List[SourceFile], name: str) -> None:
+    spec = MUTATIONS[name]
+    for index, sf in enumerate(files):
+        if not sf.path.endswith(spec["file"]):
+            continue
+        if spec["needle"] not in sf.source:
+            raise SystemExit(
+                f"mutation {name}: needle {spec['needle']!r} not found in "
+                f"{sf.path}; the mutation target moved — update MUTATIONS"
+            )
+        mutated = sf.source.replace(spec["needle"], spec["replacement"], 1)
+        files[index] = SourceFile.parse(sf.path, mutated)
+        return
+    raise SystemExit(
+        f"mutation {name}: no analyzed file ends with {spec['file']!r}"
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.flow",
+        description="whole-program lock-order / reply-path / "
+                    "await-discipline analysis",
+    )
+    parser.add_argument("paths", nargs="*", default=["src/"],
+                        help="files or directories to analyze "
+                             "(default: src/)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", dest="fmt")
+    parser.add_argument("--out", default=None,
+                        help="write the report to a file as well as "
+                             "stdout summary")
+    parser.add_argument("--mutate", choices=sorted(MUTATIONS),
+                        default=None,
+                        help="seed a known bug before analyzing (the "
+                             "negated CI self-check)")
+    args = parser.parse_args(argv)
+
+    files = sources.collect(args.paths or ["src/"])
+    if args.mutate:
+        _apply_mutation(files, args.mutate)
+    findings = analyze(files)
+
+    if args.fmt == "json":
+        report = render_json(findings, len(files))
+    else:
+        report = render_text(findings, len(files))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+        print(
+            f"repro.analysis.flow: {len(files)} file(s), "
+            f"{len(findings)} finding(s) -> {args.out}"
+        )
+    else:
+        print(report)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

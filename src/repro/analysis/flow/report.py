@@ -1,0 +1,90 @@
+"""Report emission for the flow analyzer: text and SARIF-shaped JSON.
+
+The JSON shape follows SARIF 2.1.0 closely enough for code-scanning
+UIs to ingest: one ``run`` with a ``tool.driver`` listing the rules
+and one ``result`` per finding, each carrying ``ruleId``, ``level``,
+``message.text`` and a physical location.  CI uploads it as a build
+artifact; ``docs/analysis.md`` documents how to read it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.analysis.lint import Finding
+
+RULES: Dict[str, Dict[str, str]] = {
+    "KHZ101": {
+        "name": "lock-order",
+        "shortDescription": "write-token acquisition order must be "
+                            "provably ascending-by-page and lock "
+                            "classes must stay cycle-free",
+    },
+    "KHZ102": {
+        "name": "reply-path",
+        "shortDescription": "every path through a request-route "
+                            "handler must reply or nak",
+    },
+    "KHZ103": {
+        "name": "await-discipline",
+        "shortDescription": "futures must be yielded/gathered and "
+                            "generator ops must be driven",
+    },
+}
+
+
+def render_text(findings: List[Finding], file_count: int) -> str:
+    lines = [finding.render() for finding in findings]
+    lines.append(
+        f"repro.analysis.flow: {file_count} file(s), "
+        f"{len(findings)} finding(s)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(findings: List[Finding], file_count: int) -> str:
+    results = [
+        {
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.path},
+                        "region": {"startLine": finding.line},
+                    }
+                }
+            ],
+        }
+        for finding in findings
+    ]
+    document = {
+        "version": "2.1.0",
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.analysis.flow",
+                        "informationUri":
+                            "docs/analysis.md#whole-program-flow-analysis",
+                        "rules": [
+                            {
+                                "id": rule_id,
+                                "name": meta["name"],
+                                "shortDescription": {
+                                    "text": meta["shortDescription"]
+                                },
+                            }
+                            for rule_id, meta in sorted(RULES.items())
+                        ],
+                    }
+                },
+                "properties": {"fileCount": file_count},
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -57,13 +57,24 @@ cannot know:
   until proven otherwise.  Every ``bytes(...)`` call in those
   functions must carry an ``allow-copy`` suppression naming why the
   copy is mandatory (e.g. a client-facing return must own its bytes).
+- **KHZ010 spawn-label** — every task launched via ``.spawn(...)``,
+  ``.spawn_handler(...)``, or ``.pipeline(...)`` must carry a stable,
+  non-empty label (positional or ``label=``/``op=``): the schedule
+  explorer, message tracer, and race detector all key on task labels,
+  and an unlabeled task falls back to an anonymous name that changes
+  between runs.
 
 Suppression: append ``# khz: allow-<slug>(reason)`` to the flagged
 line.  The reason is mandatory; an empty one is itself an error.
 Slugs: ``blocking-call``, ``unhandled-message``, ``missing-fallback``,
 ``reply-class``, ``broad-except``, ``stale-context``,
 ``foreign-exception``, ``private-daemon-attr``, ``direct-wire``,
-``direct-scheduler``, ``copy``.
+``direct-scheduler``, ``copy``, ``spawn-label``.
+
+The whole-program flow analyzer (:mod:`repro.analysis.flow`) layers
+interprocedural checks (KHZ101 lock-order, KHZ102 reply-path, KHZ103
+await-discipline) on the same :class:`SourceFile`/suppression
+machinery; see ``docs/analysis.md``.
 """
 
 from __future__ import annotations
@@ -71,11 +82,14 @@ from __future__ import annotations
 import ast
 import re
 import sys
-from dataclasses import dataclass, field
-from pathlib import Path
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-SUPPRESS_RE = re.compile(r"#\s*khz:\s*allow-([a-z0-9-]+)\(([^)]*)\)")
+from repro.analysis.sources import (   # re-exported for compatibility
+    SUPPRESS_RE,
+    SourceFile,
+    collect as _collect,
+)
 
 #: Dotted-call prefixes that block the simulation thread.
 BLOCKING_PREFIXES = (
@@ -149,31 +163,6 @@ class Finding:
 
     def render(self) -> str:
         return f"{self.path}:{self.line}: {self.rule} {self.message}"
-
-
-@dataclass
-class SourceFile:
-    """One parsed input file plus its suppression comments."""
-
-    path: str          # normalized posix path, as given
-    source: str
-    tree: ast.AST
-    #: line -> list of (slug, reason) suppressions on that line.
-    suppressions: Dict[int, List[Tuple[str, str]]] = field(
-        default_factory=dict
-    )
-
-    @classmethod
-    def parse(cls, path: str, source: str) -> "SourceFile":
-        tree = ast.parse(source, filename=path)
-        suppressions: Dict[int, List[Tuple[str, str]]] = {}
-        for lineno, line in enumerate(source.splitlines(), start=1):
-            for match in SUPPRESS_RE.finditer(line):
-                suppressions.setdefault(lineno, []).append(
-                    (match.group(1), match.group(2))
-                )
-        return cls(path=path, source=source, tree=tree,
-                   suppressions=suppressions)
 
 
 class _Reporter:
@@ -463,6 +452,15 @@ def check_stale_contexts(sf: SourceFile, reporter: _Reporter) -> None:
                     if isinstance(target, ast.Name):
                         events.append((node.lineno, node.col_offset,
                                        "assign", target.id))
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                # ``with dp.op_lock(...) as ctx:`` re-binds ctx just
+                # like an assignment; without this, a fresh context
+                # bound by ``as`` after an unlock of the same name
+                # would be flagged as stale.
+                for item in node.items:
+                    if isinstance(item.optional_vars, ast.Name):
+                        events.append((node.lineno, node.col_offset,
+                                       "assign", item.optional_vars.id))
         unlocked: Set[str] = set()
         for lineno, _col, kind, name in sorted(events):
             if kind == "unlock":
@@ -689,6 +687,57 @@ def check_page_copies(sf: SourceFile, reporter: _Reporter) -> None:
 
 
 # ---------------------------------------------------------------------------
+# KHZ010: every spawned task carries a stable, non-empty label
+# ---------------------------------------------------------------------------
+
+#: Task-launching methods and the argument position of their label:
+#: ``spawn(gen, label)``, ``spawn_handler(msg, gen, label)``,
+#: ``pipeline(gens, op=...)``.  The keyword spelling differs per
+#: surface (``label=`` on the kernel/task layer, ``op=`` on the
+#: engine), so both are accepted.
+_SPAWN_LABEL_POSITION = {"spawn": 2, "spawn_handler": 3, "pipeline": 2}
+_SPAWN_LABEL_KEYWORDS = ("label", "op")
+
+
+def check_spawn_labels(sf: SourceFile, reporter: _Reporter) -> None:
+    if "repro/" not in sf.path:
+        return
+    for node in ast.walk(sf.tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)):
+            continue
+        attr = node.func.attr
+        position = _SPAWN_LABEL_POSITION.get(attr)
+        if position is None:
+            continue
+        label_kw = next(
+            (kw for kw in node.keywords
+             if kw.arg in _SPAWN_LABEL_KEYWORDS),
+            None,
+        )
+        if label_kw is not None:
+            label_value: Optional[ast.expr] = label_kw.value
+        elif len(node.args) >= position:
+            label_value = node.args[position - 1]
+        else:
+            reporter.flag(
+                sf, node.lineno, "KHZ010", "spawn-label",
+                f".{attr}(...) launches a task without a label; the "
+                "schedule explorer and trace tooling key on stable "
+                "task labels",
+            )
+            continue
+        if (isinstance(label_value, ast.Constant)
+                and isinstance(label_value.value, str)
+                and not label_value.value.strip()):
+            reporter.flag(
+                sf, node.lineno, "KHZ010", "spawn-label",
+                f".{attr}(...) task label is empty; give the task a "
+                "stable, non-empty label",
+            )
+
+
+# ---------------------------------------------------------------------------
 # Driver
 # ---------------------------------------------------------------------------
 
@@ -705,6 +754,7 @@ def lint_files(files: Sequence[SourceFile]) -> List[Finding]:
         check_direct_wire(sf, reporter)
         check_direct_scheduler(sf, reporter)
         check_page_copies(sf, reporter)
+        check_spawn_labels(sf, reporter)
     check_message_completeness(files, reporter)
     return sorted(reporter.findings, key=lambda f: (f.path, f.line, f.rule))
 
@@ -720,27 +770,6 @@ def lint_source(source: str, path: str = "src/repro/example.py",
     if extra:
         files.extend(extra)
     return lint_files(files)
-
-
-def _collect(paths: Sequence[str]) -> List[SourceFile]:
-    seen: Set[Path] = set()
-    files: List[SourceFile] = []
-    for raw in paths:
-        root = Path(raw)
-        candidates = (
-            sorted(root.rglob("*.py")) if root.is_dir() else [root]
-        )
-        for candidate in candidates:
-            resolved = candidate.resolve()
-            if resolved in seen:
-                continue
-            seen.add(resolved)
-            source = candidate.read_text(encoding="utf-8")
-            try:
-                files.append(SourceFile.parse(candidate.as_posix(), source))
-            except SyntaxError as error:
-                raise SystemExit(f"{candidate}: cannot parse: {error}")
-    return files
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

@@ -320,6 +320,13 @@ class EventualManager(ConsistencyManager):
         if self.host.node_id == desc.primary_home:
             self._apply_at_home(desc, msg)
             return
+        if msg.request_id is not None:
+            # Same failover hole as the release protocol: a writer's
+            # push that missed the primary must be refused, not
+            # silently absorbed without a reply.
+            self.engine.nak(msg, "not_responsible",
+                            "update push needs the primary home")
+            return
         self._apply_replica_update(desc, msg)
 
     def handle_page_fetch_batch(self, desc: RegionDescriptor,

@@ -381,7 +381,16 @@ class ReleaseManager(ConsistencyManager):
 
             self.engine.spawn_handler(msg, apply(), "apply")
             return
-        # Replica side: a propagated update from the home node.
+        if msg.request_id is not None:
+            # A writer's push landed here through the ordered
+            # request_home failover while this node is not the primary.
+            # Applying it as a replica update would drop the version
+            # and leave the writer hanging for a reply; nak so the
+            # failover moves on (or surfaces the real outage).
+            self.engine.nak(msg, "not_responsible",
+                            "update push needs the primary home")
+            return
+        # Replica side: a propagated (one-way) update from the home.
         self._apply_replica_update(desc, msg)
 
     def handle_update_batch(self, desc: RegionDescriptor,

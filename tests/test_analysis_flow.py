@@ -1,0 +1,180 @@
+"""Tests for the whole-program flow analyzer (repro.analysis.flow).
+
+Each pass is exercised against a fixture under ``tests/fixtures/flow``
+(kept as ``.py.txt`` so linting ``tests/`` does not pick them up);
+fixtures contain flagged constructs, the clean spellings, and a
+suppressed one, so the tests pin down the rule AND the suppression
+syntax.  The tree tests run the real CLI over ``src/`` — once clean
+(the CI gate) and once with the seeded descending-acquire mutation
+(the negated self-check that proves the lock-order pass can see).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis import sources
+from repro.analysis.flow import analyze
+from repro.analysis.flow.__main__ import main
+from repro.analysis.flow.report import render_json
+from repro.analysis.sources import SourceFile
+
+FIXTURES = Path(__file__).parent / "fixtures" / "flow"
+
+
+def _fixture(name: str, fake_path: str) -> SourceFile:
+    source = (FIXTURES / name).read_text(encoding="utf-8")
+    return SourceFile.parse(fake_path, source)
+
+
+def _analyze(name: str, fake_path: str):
+    return analyze([_fixture(name, fake_path)])
+
+
+class TestLockOrderLoops:
+    def test_descending_and_unproven_sweeps_flag(self):
+        findings = _analyze(
+            "lock_order.py.txt", "src/repro/consistency/fixture_locks.py"
+        )
+        assert [f.rule for f in findings] == ["KHZ101"] * 3
+        by_var = {f.message.split("'")[1]: f.message for f in findings}
+        assert set(by_var) == {"dpage", "upage", "wpage"}
+        # reversed(sorted(...)) is a proven-descending deadlock...
+        assert "DESCENDING" in by_var["dpage"]
+        # ...while a bare parameter sweep is merely unprovable.
+        assert "cannot be proven" in by_var["upage"]
+        # The token acquire in write_path is interprocedural: the loop
+        # body only calls acquire_one, whose WRITE arm takes the token.
+        assert "cannot be proven" in by_var["wpage"]
+
+    def test_clean_spellings_do_not_flag(self):
+        # Covered by the exact finding list above: take_sorted (sorted
+        # iteration), take_proved_by_callers (ascending proven through
+        # the pages_of call site), read_path (mode facts kill the
+        # token arm), and take_suppressed never appear.
+        findings = _analyze(
+            "lock_order.py.txt", "src/repro/consistency/fixture_locks.py"
+        )
+        messages = " ".join(f.message for f in findings)
+        for clean_var in ("spage", "cpage", "rpage", "xpage"):
+            assert f"'{clean_var}'" not in messages
+
+
+class TestPipelineWindows:
+    def test_write_acquire_inside_window_flags(self):
+        findings = _analyze(
+            "pipeline.py.txt", "src/repro/consistency/fixture_pipeline.py"
+        )
+        assert [f.rule for f in findings] == ["KHZ101"]
+        assert "'fetch'" in findings[0].message
+        assert "pipeline window" in findings[0].message
+
+    def test_read_window_and_suppressed_window_stay_clean(self):
+        findings = _analyze(
+            "pipeline.py.txt", "src/repro/consistency/fixture_pipeline.py"
+        )
+        # One finding total: good_window's READ facts prove the token
+        # arm dead, waived_window carries a reasoned suppression.
+        assert len(findings) == 1
+
+
+class TestReplyPaths:
+    def test_silent_early_return_on_request_route_flags(self):
+        findings = _analyze(
+            "replies.py.txt", "src/repro/core/fixture_replies.py"
+        )
+        assert [f.rule for f in findings] == ["KHZ102"]
+        assert "handle_ping" in findings[0].message
+        assert "MessageType.PING" in findings[0].message
+        assert "hangs" in findings[0].message
+        # The flagged line is the silent ``return`` itself.
+        source = (FIXTURES / "replies.py.txt").read_text(encoding="utf-8")
+        flagged = source.splitlines()[findings[0].line - 1]
+        assert flagged.strip() == "return"
+
+    def test_discharging_shapes_stay_clean(self):
+        # Exactly one finding proves every other handler discharged:
+        # nak-then-return (handle_fetch), a non-dedup route
+        # (handle_gossip), the request_id-is-None one-way exemption
+        # (handle_evict), a spawned closure generator that replies or
+        # naks (handle_grant), and a suppressed exit (handle_flush).
+        findings = _analyze(
+            "replies.py.txt", "src/repro/core/fixture_replies.py"
+        )
+        assert len(findings) == 1
+
+
+class TestAwaitDiscipline:
+    def test_dropped_and_undriven_shapes_flag(self):
+        findings = _analyze(
+            "awaits.py.txt", "src/repro/consistency/fixture_awaits.py"
+        )
+        assert [f.rule for f in findings] == ["KHZ103"] * 3
+        messages = [f.message for f in findings]
+        assert "neither yielded nor gathered" in messages[0]   # drop_bare
+        assert "'fut'" in messages[1]                          # drop_named
+        assert "never read again" in messages[1]
+        assert "'Client.refresh'" in messages[2]               # undriven
+        assert "generator op" in messages[2]
+
+    def test_waiting_spellings_stay_clean(self):
+        # waits (yielded), gathers (wrapped), drives (yield from) and
+        # the suppressed variant contribute nothing beyond the three.
+        findings = _analyze(
+            "awaits.py.txt", "src/repro/consistency/fixture_awaits.py"
+        )
+        assert len(findings) == 3
+
+
+class TestJsonReport:
+    def test_sarif_shape(self):
+        findings = _analyze(
+            "awaits.py.txt", "src/repro/consistency/fixture_awaits.py"
+        )
+        document = json.loads(render_json(findings, 1))
+        assert document["version"] == "2.1.0"
+        run = document["runs"][0]
+        rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert rule_ids == ["KHZ101", "KHZ102", "KHZ103"]
+        assert run["properties"]["fileCount"] == 1
+        assert len(run["results"]) == len(findings)
+        first = run["results"][0]
+        assert first["ruleId"] == "KHZ103"
+        assert first["level"] == "error"
+        assert first["message"]["text"] == findings[0].message
+        location = first["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == findings[0].path
+        assert location["region"]["startLine"] == findings[0].line
+
+
+class TestSharedParseCache:
+    def test_repeat_collects_hit_the_cache_until_the_file_changes(
+            self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("x = 1\n", encoding="utf-8")
+        sources.clear_cache()
+        sources.collect([str(target)])
+        assert sources.stats == {"parses": 1, "hits": 0}
+        sources.collect([str(target)])
+        assert sources.stats == {"parses": 1, "hits": 1}
+        target.write_text("x = 1234\n", encoding="utf-8")
+        sources.collect([str(target)])
+        assert sources.stats["parses"] == 2
+
+
+class TestTree:
+    def test_shipped_tree_is_clean(self, capsys):
+        # The repo's own source must pass the flow gate — CI runs this.
+        assert main(["src/"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_seeded_descending_mutation_is_caught(self, capsys):
+        # The negated self-check: flip the token-grant loop in an
+        # in-memory copy of engine/wire.py to descending order and the
+        # lock-order pass must fail the run.
+        assert main(["src/", "--mutate", "descending-acquire"]) == 1
+        out = capsys.readouterr().out
+        assert "KHZ101" in out
+        assert "DESCENDING" in out
+        assert "wire.py" in out

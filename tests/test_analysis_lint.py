@@ -68,6 +68,21 @@ class TestStaleContexts:
         assert "'ctx'" in findings[0].message
         assert "bad" in findings[0].message
 
+    def test_try_finally_poisons_only_later_lines(self):
+        findings = _lint_fixture("stale_context_flow.py.txt", "anywhere.py")
+        assert [f.rule for f in findings] == ["KHZ004", "KHZ004"]
+        # The read inside the try body precedes the finally unlock and
+        # is clean; only the read after the whole statement flags.
+        assert "finally_unlock" in findings[0].message
+
+    def test_with_as_rebinding_clears_staleness(self):
+        findings = _lint_fixture("stale_context_flow.py.txt", "anywhere.py")
+        messages = " ".join(f.message for f in findings)
+        # ``with ... as ctx`` re-binds the name, so with_rebinding is
+        # clean — but binding a *different* name leaves ctx stale.
+        assert "with_rebinding" not in messages
+        assert "with_other_binding" in messages
+
 
 class TestErrorTaxonomy:
     def test_flags_foreign_and_unbound_raises(self):
@@ -209,6 +224,23 @@ class TestPageCopies:
         assert findings == []
 
 
+class TestSpawnLabels:
+    def test_flags_unlabeled_and_empty_labels(self):
+        findings = _lint_fixture(
+            "spawn_label.py.txt", "src/repro/consistency/fixture.py"
+        )
+        assert [f.rule for f in findings] == ["KHZ010"] * 5
+        messages = " ".join(f.message for f in findings)
+        assert ".spawn(...)" in messages
+        assert ".spawn_handler(...)" in messages
+        assert ".pipeline(...)" in messages
+        assert "empty" in messages
+
+    def test_scope_limited_to_repro(self):
+        findings = _lint_fixture("spawn_label.py.txt", "elsewhere/fixture.py")
+        assert findings == []
+
+
 class TestSuppressions:
     def test_empty_reason_is_itself_a_finding(self):
         source = (
@@ -226,6 +258,32 @@ class TestSuppressions:
         )
         findings = lint_source(source, path="src/repro/core/x.py")
         assert len(findings) == 1
+        assert "time.sleep" in findings[0].message
+
+    def test_multiple_suppressions_on_one_line_all_parse(self):
+        sf = SourceFile.parse(
+            "x.py",
+            "pass  # khz: allow-copy(left one) # khz: allow-lock-order(right one)\n",
+        )
+        assert sf.suppressions[1] == [
+            ("copy", "left one"), ("lock-order", "right one"),
+        ]
+
+    def test_second_suppression_on_a_line_still_applies(self):
+        source = (
+            "import time\n\n\ndef f():\n"
+            "    time.sleep(1)  # khz: allow-copy(other rule) # khz: allow-blocking-call(timer model)\n"
+        )
+        findings = lint_source(source, path="src/repro/core/x.py")
+        assert findings == []
+
+    def test_unclosed_reason_paren_does_not_suppress(self):
+        source = (
+            "import time\n\n\ndef f():\n"
+            "    time.sleep(1)  # khz: allow-blocking-call(reason unclosed\n"
+        )
+        findings = lint_source(source, path="src/repro/core/x.py")
+        assert [f.rule for f in findings] == ["KHZ001"]
         assert "time.sleep" in findings[0].message
 
 

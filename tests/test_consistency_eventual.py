@@ -5,7 +5,7 @@ import pytest
 
 from repro.consistency.eventual import DEFAULT_STALENESS_BOUND
 from repro.core.attributes import ConsistencyLevel, RegionAttributes
-from repro.net.message import MessageType
+from repro.net.message import Message, MessageType
 
 
 def make_region(cluster, node=1, size=4096, **kwargs):
@@ -113,3 +113,28 @@ class TestAvailability:
         cluster.run(40.0)   # background retry drains
         page = cluster.daemon(1).storage.peek(desc.rid)
         assert page is not None and page.data[:6] == b"during"
+
+
+class TestUpdatePushFailover:
+    def test_secondary_home_naks_misrouted_update_push(self, cluster):
+        """Same failover hole as the release protocol: a writer's
+        push request that misses the primary home must be refused
+        with a nak, never silently absorbed without a reply."""
+        kz1, desc = make_region(cluster)
+        kz1.write_at(desc.rid, b"v1")
+        kz3 = cluster.client(node=3)
+        assert kz3.read_at(desc.rid, 2) == b"v1"   # node 3 replicates
+        assert desc.primary_home != 3
+
+        replies = []
+        cluster.network.attach(2, replies.append)
+        cluster.network.send(Message(
+            MessageType.UPDATE_PUSH, src=2, dst=3, request_id=4242,
+            payload={"rid": desc.rid, "page": desc.rid,
+                     "data": b"Z" * 4096},
+        ))
+        cluster.run(1.0)
+        naks = [m for m in replies if m.reply_to == 4242]
+        assert [m.msg_type for m in naks] == [MessageType.ERROR]
+        assert naks[0].payload["code"] == "not_responsible"
+        assert kz3.read_at(desc.rid, 2) == b"v1"

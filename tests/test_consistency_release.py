@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 from repro.consistency.release import apply_diff, compute_diff
 from repro.core.attributes import ConsistencyLevel, RegionAttributes
 from repro.core.locks import LockMode
+from repro.net.message import Message, MessageType
 
 
 def make_region(cluster, node=1, size=4096, **kwargs):
@@ -132,3 +133,31 @@ class TestReleaseProtocol:
         kz1, desc = make_region(cluster, node=1, min_replicas=2)
         kz1.write_at(desc.rid, b"resilient")
         assert cluster.client(node=3).read_at(desc.rid, 9) == b"resilient"
+
+    def test_secondary_home_naks_misrouted_update_push(self, cluster):
+        """An UPDATE_PUSH *request* that lands on a node other than
+        the primary home — exactly what the ordered request_home
+        failover does when the primary looks dead — must be nak'd,
+        not silently absorbed as a versionless replica update that
+        leaves the writer hanging until its RPC timeout."""
+        kz1, desc = make_region(cluster)
+        kz1.write_at(desc.rid, b"v1")
+        kz3 = cluster.client(node=3)
+        assert kz3.read_at(desc.rid, 2) == b"v1"   # node 3 replicates
+        assert desc.primary_home != 3
+
+        replies = []
+        cluster.network.attach(2, replies.append)
+        cluster.network.send(Message(
+            MessageType.UPDATE_PUSH, src=2, dst=3, request_id=4242,
+            payload={"rid": desc.rid, "page": desc.rid,
+                     "data": b"Z" * 4096, "release_token": False},
+        ))
+        cluster.run(1.0)
+        # The tap also sees unrelated heartbeat traffic to node 2;
+        # pick out the reply to our request.
+        naks = [m for m in replies if m.reply_to == 4242]
+        assert [m.msg_type for m in naks] == [MessageType.ERROR]
+        assert naks[0].payload["code"] == "not_responsible"
+        # The refused push never touched node 3's replica.
+        assert kz3.read_at(desc.rid, 2) == b"v1"
