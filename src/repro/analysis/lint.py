@@ -63,13 +63,21 @@ cannot know:
   explorer, message tracer, and race detector all key on task labels,
   and an unlabeled task falls back to an anonymous name that changes
   between runs.
+- **KHZ011 runtime-dep** — wall-clock, asyncio, and socket calls
+  (``time.time``/``time.monotonic``/``time.perf_counter``/
+  ``time.sleep``, ``asyncio.*``, ``socket.*``, ``selectors.*``) are
+  fenced inside the two runtime-seam modules (``repro/net/aio.py``,
+  ``repro/net/tcp.py``); driver modules (the cluster launcher and
+  the wall-clock benchmarks) may own loops and clocks but still may
+  not open sockets.  Everything else must stay runtime-agnostic so
+  the same protocol code runs over the simulator and over TCP.
 
 Suppression: append ``# khz: allow-<slug>(reason)`` to the flagged
 line.  The reason is mandatory; an empty one is itself an error.
 Slugs: ``blocking-call``, ``unhandled-message``, ``missing-fallback``,
 ``reply-class``, ``broad-except``, ``stale-context``,
 ``foreign-exception``, ``private-daemon-attr``, ``direct-wire``,
-``direct-scheduler``, ``copy``, ``spawn-label``.
+``direct-scheduler``, ``copy``, ``spawn-label``, ``runtime-dep``.
 
 The whole-program flow analyzer (:mod:`repro.analysis.flow`) layers
 interprocedural checks (KHZ101 lock-order, KHZ102 reply-path, KHZ103
@@ -738,6 +746,84 @@ def check_spawn_labels(sf: SourceFile, reporter: _Reporter) -> None:
 
 
 # ---------------------------------------------------------------------------
+# KHZ011: wall-clock, asyncio and socket use stays in the runtime seam
+# ---------------------------------------------------------------------------
+
+#: The only modules allowed to touch the real clock, asyncio, or
+#: sockets directly: they *implement* the Runtime/Transport seam.
+RUNTIME_MODULES = ("repro/net/aio.py", "repro/net/tcp.py")
+
+#: Top-level drivers that own an event loop or measure wall time
+#: (launchers and benchmarks).  They may use ``time.*`` and
+#: ``asyncio.*`` but still must not open sockets themselves — all
+#: wire traffic goes through a Transport.
+DRIVER_MODULES = ("repro/tools/cluster.py", "repro/bench/transport.py",
+                  "repro/bench/hotpath.py")
+
+#: Dotted-call prefixes that bind code to a real runtime (KHZ011).
+RUNTIME_PREFIXES = (
+    "time.time",
+    "time.monotonic",
+    "time.perf_counter",
+    "time.sleep",
+    "asyncio.",
+    "socket.",
+    "selectors.",
+)
+
+#: The subset drivers may not use even though they own a loop.
+SOCKET_PREFIXES = ("socket.", "selectors.")
+
+#: In KHZ001 territory (SIM_SCOPES) the blocking-call rule already
+#: polices sleep/socket/selectors with its own slug; KHZ011 adds only
+#: what KHZ001 cannot see (clock reads and asyncio), so one offence
+#: never needs two suppressions.
+_SIM_ONLY_PREFIXES = tuple(
+    prefix for prefix in RUNTIME_PREFIXES
+    if prefix not in BLOCKING_PREFIXES
+)
+
+
+def check_runtime_deps(sf: SourceFile, reporter: _Reporter) -> None:
+    """KHZ011: protocol and library code must be runtime-agnostic.
+
+    The whole point of the :class:`~repro.net.runtime.Runtime` seam is
+    that NodeKernel, the protocol engine, and every CM policy run
+    unmodified over the simulator *and* the asyncio backend.  A stray
+    ``time.time()`` or ``asyncio.sleep`` outside the seam quietly
+    breaks that: virtual-time runs stop being deterministic, and the
+    sim stops being a correctness oracle for the real deployment.
+    """
+    if "repro/" not in sf.path:
+        return
+    if _in_scope(sf.path, files=RUNTIME_MODULES):
+        return
+    if _in_scope(sf.path, files=DRIVER_MODULES):
+        prefixes = SOCKET_PREFIXES
+    elif _in_scope(sf.path, scopes=SIM_SCOPES):
+        prefixes = _SIM_ONLY_PREFIXES
+    else:
+        prefixes = RUNTIME_PREFIXES
+    origins = _import_map(sf.tree)
+    for node in ast.walk(sf.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted_call_name(node.func, origins)
+        if dotted is None:
+            continue
+        for prefix in prefixes:
+            if dotted == prefix or (prefix.endswith(".")
+                                    and dotted.startswith(prefix)):
+                reporter.flag(
+                    sf, node.lineno, "KHZ011", "runtime-dep",
+                    f"{dotted} binds this module to a real runtime; "
+                    "go through the Runtime seam (repro/net/aio.py, "
+                    "repro/net/tcp.py) or a driver module instead",
+                )
+                break
+
+
+# ---------------------------------------------------------------------------
 # Driver
 # ---------------------------------------------------------------------------
 
@@ -755,6 +841,7 @@ def lint_files(files: Sequence[SourceFile]) -> List[Finding]:
         check_direct_scheduler(sf, reporter)
         check_page_copies(sf, reporter)
         check_spawn_labels(sf, reporter)
+        check_runtime_deps(sf, reporter)
     check_message_completeness(files, reporter)
     return sorted(reporter.findings, key=lambda f: (f.path, f.line, f.rule))
 

@@ -27,6 +27,7 @@ from repro.analysis.races import RaceDetector
 from repro.core.client import KhazanaSession, SyncDriver
 from repro.core.daemon import DaemonConfig, KhazanaDaemon
 from repro.net.clock import EventScheduler
+from repro.net.runtime import SimRuntime
 from repro.net.sim import SimNetwork, Topology
 
 
@@ -59,6 +60,10 @@ class Cluster:
         self.clusters = self._check_clusters(clusters, num_nodes)
         self.topology = self._build_topology(topology, num_nodes)
         self.network = SimNetwork(self.scheduler, self.topology, seed=seed)
+        #: The backend seam every daemon is built over.  A Cluster is
+        #: always the simulated backend; the asyncio backend is built
+        #: by repro.tools.cluster / repro.bench.transport instead.
+        self.runtime = SimRuntime(self.scheduler, self.network)
         self.config = config if config is not None else DaemonConfig()
         self._node_configs = dict(node_configs) if node_configs else {}
         self.driver = SyncDriver(self.scheduler)
@@ -75,7 +80,7 @@ class Cluster:
         self.daemons: Dict[int, KhazanaDaemon] = {}
         for node_id in node_ids:
             self.daemons[node_id] = KhazanaDaemon(
-                node_id, self.network, self.scheduler,
+                node_id, self.runtime,
                 config=self._config_for(node_id),
                 probe=self.race_detector,
             )
@@ -196,7 +201,7 @@ class Cluster:
         if self.clusters is not None:
             self.clusters[0].append(node)
         fresh = KhazanaDaemon(
-            node, self.network, self.scheduler,
+            node, self.runtime,
             config=self._config_for(node),
             probe=self.race_detector,
         )
@@ -235,7 +240,7 @@ class Cluster:
         old.stop()
         self.network.recover(node)
         fresh = KhazanaDaemon(
-            node, self.network, self.scheduler,
+            node, self.runtime,
             config=self._config_for(node),
             probe=self.race_detector,
         )

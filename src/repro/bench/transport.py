@@ -1,0 +1,439 @@
+"""Real-transport benchmarks: ops/sec and RPC RTT over loopback TCP.
+
+Every virtual-time benchmark in ``benchmarks/`` answers "how many
+messages does the protocol need"; this suite answers "what does an
+operation cost on a real wire".  It boots several Khazana daemons *in
+one process* but on separate :class:`~repro.net.tcp.TcpTransport`
+instances sharing one asyncio loop, so every client/home interaction
+crosses a genuine localhost socket (length-prefixed codec frames,
+kernel buffers, loop scheduling) while staying hermetic enough for CI.
+
+Each workload also runs a *sim twin* — the identical operation
+sequence over the simulator backend — and records its RPC count and
+virtual-time cost next to the real numbers.  The pair is the seam
+check in benchmark form: if the protocol engine behaved differently
+over TCP than over the sim, the messages-per-op columns would split.
+
+Results land in ``BENCH_transport.json``; ``--check`` gates CI against
+the committed baseline using calibration-normalized throughput (real
+socket timings are noisy, so the tolerance is deliberately loose) and
+near-exact sim RPC counts (those are deterministic).
+
+Methodology notes are in docs/performance.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import gc
+import json
+import os
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.api import create_cluster
+from repro.bench.hotpath import _calibrate
+from repro.core.addressing import DEFAULT_PAGE_SIZE
+from repro.core.attributes import ConsistencyLevel, RegionAttributes
+from repro.core.client import KhazanaSession, SyncDriver
+from repro.core.daemon import DaemonConfig
+from repro.core.locks import LockMode
+from repro.net.aio import AsyncioDriver, AsyncioRuntime
+from repro.net.message import MessageType
+from repro.net.rpc import RetryPolicy
+from repro.tools.cluster import build_node, node_config, register_control
+
+PAGE = DEFAULT_PAGE_SIZE
+BATCH_PAGES = 4
+
+#: Iterations per benchmark: (full, quick).
+ITERATIONS: Dict[str, Tuple[int, int]] = {
+    "rpc_rtt": (400, 60),
+    "crew_cycle": (120, 20),
+    "release_cycle": (120, 20),
+    "batch_write": (60, 12),
+}
+
+#: Real-socket throughput may drop to this fraction of the committed
+#: baseline (after calibration normalization) before --check fails.
+#: Loose on purpose: loopback TCP timing varies far more across
+#: machines and CI neighbours than the pure-CPU hot path does.
+OPS_TOLERANCE = 0.25
+#: Sim-twin RPC counts are deterministic; allow only rounding slack.
+SIM_MSGS_TOLERANCE = 0.10
+
+_PING_POLICY = RetryPolicy(timeout=0.5, retries=4)
+
+
+# ---------------------------------------------------------------------------
+# Harnesses: the same workload body runs against both backends
+# ---------------------------------------------------------------------------
+
+
+class RealHarness:
+    """N daemons + 1 client on one loop, each on its own TcpTransport.
+
+    Separate transports mean nothing short-circuits through the local
+    loopback fast path: every inter-node frame crosses a real socket.
+    """
+
+    def __init__(self, num_daemons: int = 2) -> None:
+        self.num_daemons = num_daemons
+        book: Dict[int, Tuple[str, int]] = {}
+        self.runtimes: List[AsyncioRuntime] = []
+        self.daemons = []
+        loop_owner: Optional[AsyncioRuntime] = None
+        for node in range(num_daemons + 1):
+            runtime = (AsyncioRuntime() if loop_owner is None
+                       else AsyncioRuntime(loop_owner.loop))
+            loop_owner = loop_owner or runtime
+            runtime, daemon = build_node(node, book, runtime=runtime,
+                                         config=node_config())
+            self.runtimes.append(runtime)
+            self.daemons.append(daemon)
+        peers = list(range(num_daemons + 1))
+        for runtime, daemon in zip(self.runtimes, self.daemons):
+            daemon.bootstrap_system_region(peers=peers)
+            register_control(daemon, runtime)
+        self.client_runtime = self.runtimes[-1]
+        self.client = self.daemons[-1]
+        self.driver = AsyncioDriver(self.client_runtime, timeout=30.0)
+        self.session = KhazanaSession(self.client, self.driver,
+                                      principal="bench-transport")
+
+    @property
+    def client_node(self) -> int:
+        return self.num_daemons
+
+    def messages_sent(self) -> int:
+        return sum(d.network.stats.messages_sent for d in self.daemons)
+
+    def close(self) -> None:
+        loop = self.client_runtime.loop
+        for daemon in self.daemons:
+            daemon.stop()
+        async def shutdown() -> None:
+            for daemon in self.daemons:
+                await daemon.network.aclose()
+
+        loop.run_until_complete(shutdown())
+        loop.close()
+
+
+class SimHarness:
+    """The sim twin: same topology (2 daemons + client node) in virtual
+    time, so RPC counts and virtual latency are directly comparable."""
+
+    def __init__(self, num_daemons: int = 2) -> None:
+        self.cluster = create_cluster(
+            num_nodes=num_daemons + 1,
+            config=DaemonConfig(enable_failure_handling=False),
+        )
+        self.client_node = num_daemons
+        self.session = self.cluster.client(node=self.client_node)
+
+    def messages_sent(self) -> int:
+        return self.cluster.network.stats.messages_sent
+
+    @property
+    def now(self) -> float:
+        return self.cluster.scheduler.now
+
+
+def _make_region(session: KhazanaSession, protocol: str,
+                 home_node: int, pages: int):
+    """Reserve, re-home, then allocate (pages materialise at the home)."""
+    level = {"crew": ConsistencyLevel.STRICT,
+             "release": ConsistencyLevel.RELEASE}[protocol]
+    desc = session.reserve(pages * PAGE, RegionAttributes(
+        consistency_level=level, consistency_protocol=protocol,
+        page_size=PAGE,
+    ))
+    if home_node not in desc.home_nodes:
+        desc = session.migrate(desc.rid, home_node)
+    session.allocate(desc.rid)
+    return desc
+
+
+# ---------------------------------------------------------------------------
+# Measurement
+# ---------------------------------------------------------------------------
+
+
+def _measure_real(harness: RealHarness, op: Callable[[], Any],
+                  iterations: int) -> Dict[str, float]:
+    for _ in range(min(5, iterations)):
+        op()
+    gc.collect()
+    msgs_before = harness.messages_sent()
+    start = time.perf_counter()
+    for _ in range(iterations):
+        op()
+    elapsed = time.perf_counter() - start
+    msgs = harness.messages_sent() - msgs_before
+    return {
+        "ops_per_sec": round(iterations / elapsed, 1) if elapsed else 0.0,
+        "mean_ms_per_op": round(elapsed / iterations * 1000, 4),
+        "msgs_per_op": round(msgs / iterations, 2),
+        "iterations": iterations,
+    }
+
+
+def _measure_sim(harness: SimHarness, op: Callable[[], Any],
+                 iterations: int) -> Dict[str, float]:
+    for _ in range(min(5, iterations)):
+        op()
+    msgs_before = harness.messages_sent()
+    virtual_before = harness.now
+    for _ in range(iterations):
+        op()
+    msgs = harness.messages_sent() - msgs_before
+    virtual = harness.now - virtual_before
+    return {
+        "sim_msgs_per_op": round(msgs / iterations, 2),
+        "sim_virtual_ms_per_op": round(virtual / iterations * 1000, 4),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Workloads (each runs on both backends)
+# ---------------------------------------------------------------------------
+
+
+def bench_rpc_rtt(iterations: int) -> Dict[str, float]:
+    """Round trip of one control ping to daemon 0: the RPC RTT floor."""
+    harness = RealHarness()
+    runtime, rpc = harness.client_runtime, harness.client.rpc
+
+    def op() -> None:
+        runtime.run_future(
+            rpc.request(0, MessageType.APP_REQUEST, {"control": "ping"},
+                        policy=_PING_POLICY),
+            timeout=10.0,
+        )
+
+    try:
+        result = _measure_real(harness, op, iterations)
+    finally:
+        harness.close()
+
+    sim = SimHarness()
+    daemon0 = sim.cluster.daemon(0)
+    daemon0.rpc.on(
+        MessageType.APP_REQUEST,
+        lambda msg: daemon0.rpc.reply(msg, MessageType.APP_REPLY,
+                                      {"node": 0}),
+    )
+    client = sim.cluster.daemon(sim.client_node)
+    sim_driver = SyncDriver(sim.cluster.scheduler)
+
+    def sim_op() -> None:
+        sim_driver.wait(client.rpc.request(
+            0, MessageType.APP_REQUEST, {"control": "ping"},
+            policy=_PING_POLICY,
+        ))
+
+    result.update(_measure_sim(sim, sim_op, iterations))
+    return result
+
+
+def _cycle_bench(protocol: str, iterations: int) -> Dict[str, float]:
+    """Write-lock/write/unlock + read-verify against a remote home."""
+
+    def body(session: KhazanaSession, base: int, i: int) -> None:
+        address = base + (i % BATCH_PAGES) * PAGE
+        value = f"{protocol}:{i}".encode().ljust(64, b".")
+        ctx = session.lock(address, PAGE, LockMode.WRITE)
+        session.write(ctx, address, value)
+        session.unlock(ctx)
+        ctx = session.lock(address, PAGE, LockMode.READ)
+        got = session.read(ctx, address, len(value))
+        session.unlock(ctx)
+        if bytes(got) != value:
+            raise RuntimeError(f"read-your-writes broken in {protocol}")
+
+    harness = RealHarness()
+    desc = _make_region(harness.session, protocol, home_node=0,
+                        pages=BATCH_PAGES)
+    counter = iter(range(10 ** 9))
+
+    def op() -> None:
+        body(harness.session, desc.range.start, next(counter))
+
+    try:
+        result = _measure_real(harness, op, iterations)
+    finally:
+        harness.close()
+
+    sim = SimHarness()
+    sim_desc = _make_region(sim.session, protocol, home_node=0,
+                            pages=BATCH_PAGES)
+    sim_counter = iter(range(10 ** 9))
+
+    def sim_op() -> None:
+        body(sim.session, sim_desc.range.start, next(sim_counter))
+
+    result.update(_measure_sim(sim, sim_op, iterations))
+    return result
+
+
+def bench_crew_cycle(iterations: int) -> Dict[str, float]:
+    return _cycle_bench("crew", iterations)
+
+
+def bench_release_cycle(iterations: int) -> Dict[str, float]:
+    return _cycle_bench("release", iterations)
+
+
+def bench_batch_write(iterations: int) -> Dict[str, float]:
+    """One WRITE lock over 4 pages, 16 KiB write, unlock (bulk frames)."""
+    size = BATCH_PAGES * PAGE
+    blob = b"t" * size
+
+    def body(session: KhazanaSession, base: int) -> None:
+        ctx = session.lock(base, size, LockMode.WRITE)
+        session.write(ctx, base, blob)
+        session.unlock(ctx)
+
+    harness = RealHarness()
+    desc = _make_region(harness.session, "release", home_node=0,
+                        pages=BATCH_PAGES)
+
+    def op() -> None:
+        body(harness.session, desc.range.start)
+
+    try:
+        result = _measure_real(harness, op, iterations)
+    finally:
+        harness.close()
+
+    sim = SimHarness()
+    sim_desc = _make_region(sim.session, "release", home_node=0,
+                            pages=BATCH_PAGES)
+
+    def sim_op() -> None:
+        body(sim.session, sim_desc.range.start)
+
+    result.update(_measure_sim(sim, sim_op, iterations))
+    return result
+
+
+BENCHMARKS: Dict[str, Callable[[int], Dict[str, float]]] = {
+    "rpc_rtt": bench_rpc_rtt,
+    "crew_cycle": bench_crew_cycle,
+    "release_cycle": bench_release_cycle,
+    "batch_write": bench_batch_write,
+}
+
+
+# ---------------------------------------------------------------------------
+# Suite plumbing (mirrors repro.bench.hotpath)
+# ---------------------------------------------------------------------------
+
+
+def run_suite(quick: bool = False,
+              only: Optional[List[str]] = None) -> Dict[str, Any]:
+    """Run the suite; returns the BENCH_transport.json document."""
+    results: Dict[str, Any] = {}
+    for name, bench in BENCHMARKS.items():
+        if only and name not in only:
+            continue
+        full, fast = ITERATIONS[name]
+        results[name] = bench(fast if quick else full)
+    return {
+        "suite": "transport",
+        "quick": quick,
+        "calibration_ops_per_sec": round(_calibrate(), 1),
+        "benchmarks": results,
+    }
+
+
+def check_regressions(baseline: Dict[str, Any],
+                      measured: Dict[str, Any]) -> List[str]:
+    """Failures of ``measured`` against the committed ``baseline``."""
+    failures: List[str] = []
+    base_cal = baseline.get("calibration_ops_per_sec") or 1.0
+    meas_cal = measured.get("calibration_ops_per_sec") or 1.0
+    for name, base in baseline.get("benchmarks", {}).items():
+        got = measured.get("benchmarks", {}).get(name)
+        if got is None:
+            failures.append(f"{name}: missing from measured run")
+            continue
+        base_norm = base["ops_per_sec"] / base_cal
+        got_norm = got["ops_per_sec"] / meas_cal
+        if base_norm > 0 and got_norm < base_norm * OPS_TOLERANCE:
+            failures.append(
+                f"{name}: normalized throughput {got_norm:.6f} fell below "
+                f"{OPS_TOLERANCE:.0%} of baseline {base_norm:.6f}"
+            )
+        base_sim = base.get("sim_msgs_per_op", 0.0)
+        got_sim = got.get("sim_msgs_per_op", 0.0)
+        if base_sim > 0 and abs(got_sim - base_sim) > \
+                base_sim * SIM_MSGS_TOLERANCE:
+            failures.append(
+                f"{name}: sim twin sends {got_sim} msgs/op, baseline "
+                f"{base_sim} (deterministic count moved)"
+            )
+    return failures
+
+
+def render(doc: Dict[str, Any]) -> str:
+    lines = [
+        f"transport suite (quick={doc['quick']}, "
+        f"calibration={doc['calibration_ops_per_sec']:.0f} units/s)",
+        f"{'benchmark':<14} {'ops/sec':>10} {'ms/op':>9} "
+        f"{'msgs/op':>8} {'sim msgs/op':>12} {'sim ms/op':>10}",
+    ]
+    for name, r in doc["benchmarks"].items():
+        lines.append(
+            f"{name:<14} {r['ops_per_sec']:>10.1f} "
+            f"{r['mean_ms_per_op']:>9.3f} {r['msgs_per_op']:>8.2f} "
+            f"{r.get('sim_msgs_per_op', 0.0):>12.2f} "
+            f"{r.get('sim_virtual_ms_per_op', 0.0):>10.3f}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Khazana real-transport benchmarks (loopback TCP)"
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced iteration counts (CI smoke mode)")
+    parser.add_argument("--only", action="append", default=None,
+                        metavar="NAME", choices=sorted(BENCHMARKS),
+                        help="run a subset of benchmarks")
+    parser.add_argument("--output", default=None, metavar="PATH",
+                        help="write results JSON to PATH")
+    parser.add_argument("--check", default=None, metavar="BASELINE",
+                        help="fail (exit 1) on regression vs BASELINE json")
+    args = parser.parse_args(argv)
+
+    baseline = None
+    if args.check:
+        with open(args.check, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+
+    doc = run_suite(quick=args.quick, only=args.only)
+    print(render(doc))
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {os.path.abspath(args.output)}")
+
+    if baseline is not None:
+        failures = check_regressions(baseline, doc)
+        if failures:
+            print("REGRESSIONS vs baseline:")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        print("no regressions vs baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -96,7 +96,7 @@ class EventualManager(ConsistencyManager):
             return
 
         have_copy = self.host.storage.contains(page_addr)
-        age = self.host.scheduler.now - self._refreshed_at.get(
+        age = self.host.now - self._refreshed_at.get(
             page_addr, float("-inf")
         )
         if have_copy and age <= self.staleness_bound:
@@ -117,7 +117,7 @@ class EventualManager(ConsistencyManager):
             desc, page_addr, data, dirty=False
         )
         self._versions[page_addr] = (version, writer)
-        self._refreshed_at[page_addr] = self.host.scheduler.now
+        self._refreshed_at[page_addr] = self.host.now
         self.pages.fire(page_addr, PageEvent.READ_FILL)
         entry = self.host.page_directory.ensure(
             page_addr, desc.rid, homed=False
@@ -156,7 +156,7 @@ class EventualManager(ConsistencyManager):
         version, _writer = self._versions.get(page_addr, (0, 0))
         version += 1
         self._versions[page_addr] = (version, me)
-        self._refreshed_at[page_addr] = self.host.scheduler.now
+        self._refreshed_at[page_addr] = self.host.now
         if me == desc.primary_home:
             self._record_home_write(desc, page_addr, version, me)
             return
@@ -215,7 +215,7 @@ class EventualManager(ConsistencyManager):
         for page_addr in pages:
             yield from self.host.wait_local_conflicts(page_addr, mode)
             self._rids[page_addr] = desc.rid
-        now = self.host.scheduler.now
+        now = self.host.now
         stale = [
             p for p in pages
             if not (self.host.storage.contains(p)
@@ -278,7 +278,7 @@ class EventualManager(ConsistencyManager):
             version, _writer = self._versions.get(page_addr, (0, 0))
             version += 1
             self._versions[page_addr] = (version, me)
-            self._refreshed_at[page_addr] = self.host.scheduler.now
+            self._refreshed_at[page_addr] = self.host.now
             updates.append({
                 "page": page_addr, "data": page.data,
                 "version": version, "writer": me,
@@ -408,7 +408,7 @@ class EventualManager(ConsistencyManager):
 
         def commit() -> None:
             self._versions[page_addr] = incoming
-            self._refreshed_at[page_addr] = self.host.scheduler.now
+            self._refreshed_at[page_addr] = self.host.now
 
         install_replica_update(
             self, desc, page_addr, msg.payload["data"],

@@ -168,7 +168,7 @@ class ClusterManagerRole:
             node_id=msg.src,
             total_free=int(msg.payload.get("total_free", 0)),
             max_contiguous=int(msg.payload.get("max_contiguous", 0)),
-            reported_at=self.daemon.scheduler.now,
+            reported_at=self.daemon.now,
         )
 
     # ------------------------------------------------------------------

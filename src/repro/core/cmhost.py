@@ -23,7 +23,8 @@ only the engine package uses this protocol's messaging rows directly.
 The surface, by concern:
 
 ===================  ======================================================
-identity/config      ``node_id``, ``config``, ``scheduler``, ``probe``
+identity/config      ``node_id``, ``config``, ``runtime``, ``now``,
+                     ``probe``
 messaging            ``rpc``, ``reply_request``, ``reply_error``
 coherence state      ``page_directory``, ``lock_table``, ``storage``
 page residency       ``local_page_bytes``, ``store_local_page``,
@@ -53,7 +54,7 @@ if TYPE_CHECKING:
     from repro.core.page_directory import PageDirectory
     from repro.core.region import RegionDescriptor
     from repro.failure.retry import RetryQueue
-    from repro.net.clock import EventScheduler
+    from repro.net.runtime import Runtime
     from repro.net.message import Message, MessageType
     from repro.net.rpc import RpcEndpoint
     from repro.storage.hierarchy import StorageHierarchy
@@ -68,10 +69,18 @@ class CMHost(Protocol):
     # --- Identity and configuration ------------------------------------
     node_id: int
     config: "DaemonConfig"
-    scheduler: "EventScheduler"
+    #: The backend seam (clock/timers/transport); CM policy code never
+    #: schedules on it directly (KHZ008) — it reads the clock via
+    #: :attr:`now` and sleeps via :meth:`sleep`.
+    runtime: "Runtime"
     #: Race-detector probe (``NULL_PROBE`` when detection is off);
     #: call sites guard on ``probe.enabled``.
     probe: Any
+
+    @property
+    def now(self) -> float:
+        """The node's clock (virtual or wall seconds, per backend)."""
+        ...
 
     # --- Messaging -------------------------------------------------------
     rpc: "RpcEndpoint"

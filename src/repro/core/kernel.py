@@ -53,10 +53,9 @@ from repro.core.space import SpaceService
 from repro.failure.detector import FailureDetector
 from repro.failure.replicas import ReplicaMaintainer
 from repro.failure.retry import RetryQueue
-from repro.net.clock import EventScheduler
 from repro.net.message import Message, MessageType
 from repro.net.rpc import RpcEndpoint
-from repro.net.sim import SimNetwork
+from repro.net.runtime import Runtime
 from repro.net.tasks import Future, TaskRunner
 from repro.storage.hierarchy import StorageHierarchy
 from repro.storage.memory import MemoryStore
@@ -203,14 +202,19 @@ class NodeKernel:
     def __init__(
         self,
         node_id: int,
-        network: SimNetwork,
-        scheduler: EventScheduler,
+        runtime: Runtime,
         config: Optional[DaemonConfig] = None,
         probe: Optional["Any"] = None,
     ) -> None:
         self.node_id = node_id
-        self.network = network
-        self.scheduler = scheduler
+        #: The backend seam: clock + timers + transport.  Everything
+        #: time- or wire-shaped the kernel does goes through it, so
+        #: the same node runs over the simulator or over real sockets.
+        self.runtime = runtime
+        #: The runtime's transport, under its historical name — the
+        #: location service, fsck, and the message trace all address
+        #: the messaging backend as ``kernel.network``.
+        self.network = runtime.transport
         self.config = config if config is not None else DaemonConfig()
 
         from repro.analysis.races import NULL_PROBE, RaceDetector
@@ -223,7 +227,7 @@ class NodeKernel:
         if self.probe.enabled:
             self.probe.attach_daemon(self)
 
-        self.rpc = RpcEndpoint(node_id, network, scheduler)
+        self.rpc = RpcEndpoint(node_id, self.network, runtime)
         self.runner = TaskRunner()
         self.stats = DaemonStats()
 
@@ -263,9 +267,9 @@ class NodeKernel:
         self.location = LocationService(self)
         self.space = SpaceService(self)
         self.address_map = AddressMap(_KernelMapIO(self))
-        self.retry_queue = RetryQueue(scheduler, self.spawn)
+        self.retry_queue = RetryQueue(runtime, self.spawn)
         self.detector = FailureDetector(
-            self.rpc, scheduler, peers=[]
+            self.rpc, runtime, peers=[]
         )
         self.detector.on_death(self._on_peer_death)
         self.replica_maintainer = ReplicaMaintainer(self)
@@ -369,6 +373,24 @@ class NodeKernel:
         return self._alive
 
     @property
+    def now(self) -> float:
+        """This node's clock: virtual seconds on the sim backend,
+        monotonic wall seconds on the asyncio backend."""
+        return self.runtime.now
+
+    @property
+    def scheduler(self):
+        """The runtime's raw timer backend (compatibility alias).
+
+        On the sim backend this is the deployment's
+        :class:`~repro.net.clock.EventScheduler`; on the asyncio
+        backend, the runtime itself (same timer surface).  New code
+        should schedule through :attr:`runtime` and read the clock via
+        :attr:`now`.
+        """
+        return self.runtime.timers
+
+    @property
     def cluster_manager_node(self) -> Optional[int]:
         return self.config.cluster_manager_node
 
@@ -404,16 +426,16 @@ class NodeKernel:
         if seconds <= 0:
             future.set_result(None)
         else:
-            self.scheduler.call_later(seconds,
-                                      lambda: future.set_result(None),
-                                      label=f"n{self.node_id}:sleep")
+            self.runtime.call_later(seconds,
+                                    lambda: future.set_result(None),
+                                    label=f"n{self.node_id}:sleep")
         return future
 
     def with_timeout(self, inner: Future, seconds: float,
                      error: KhazanaError) -> Future:
         """Wrap ``inner`` so it fails with ``error`` after ``seconds``."""
         wrapper = Future(label=f"timeout:{inner.label}")
-        timer = self.scheduler.call_later(
+        timer = self.runtime.call_later(
             seconds,
             lambda: None if wrapper.done else wrapper.set_exception(error),
             label=f"n{self.node_id}:timeout:{inner.label}",
@@ -507,7 +529,7 @@ class NodeKernel:
     def _schedule_housekeeping(self) -> None:
         if not self._alive:
             return
-        self.scheduler.call_later(
+        self.runtime.call_later(
             self.config.housekeeping_period, self._housekeeping,
             label=f"n{self.node_id}:housekeeping",
         )

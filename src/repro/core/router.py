@@ -118,7 +118,7 @@ class LatencyInterceptor(Interceptor):
             router = self.router
             inflight = router.inflight
             inflight[(msg.src, msg.request_id)] = (
-                msg.msg_type.value, router.kernel.scheduler.now
+                msg.msg_type.value, router.kernel.now
             )
             while len(inflight) > INFLIGHT_LIMIT:
                 inflight.popitem(last=False)
@@ -241,7 +241,7 @@ class MessageRouter:
             if timer is not None:
                 op, started = timer
                 self.kernel.stats.note_latency(
-                    op, self.kernel.scheduler.now - started
+                    op, self.kernel.now - started
                 )
         self.kernel.rpc.send(reply)
 

@@ -62,7 +62,7 @@ class ReplicaMaintainer:
     def _schedule(self) -> None:
         if not self._running:
             return
-        self.daemon.scheduler.call_later(
+        self.daemon.runtime.call_later(
             self.period, self._tick,
             label=f"n{self.daemon.node_id}:replica-maintenance",
         )

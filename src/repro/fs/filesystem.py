@@ -98,7 +98,7 @@ class KhazanaFileSystem:
         root_inode_region = session.reserve(INODE_PAGE_SIZE, meta_attrs)
         session.allocate(root_inode_region.rid)
 
-        now = session.daemon.scheduler.now
+        now = session.daemon.now
         root = Inode(
             address=root_inode_region.rid,
             file_type=FileType.DIRECTORY,
@@ -189,7 +189,7 @@ class KhazanaFileSystem:
             ),
         )
         self.session.allocate(region.rid)
-        now = self.session.daemon.scheduler.now
+        now = self.session.daemon.now
         return Inode(
             address=region.rid,
             file_type=file_type,
@@ -291,7 +291,7 @@ class KhazanaFileSystem:
             position += take
             consumed += take
         inode.size = max(inode.size, end)
-        inode.modified_at = self.session.daemon.scheduler.now
+        inode.modified_at = self.session.daemon.now
         self._write_inode(inode)
         return inode
 
@@ -304,7 +304,7 @@ class KhazanaFileSystem:
         doomed = inode.blocks[needed:]
         inode.blocks = inode.blocks[:needed]
         inode.size = size
-        inode.modified_at = self.session.daemon.scheduler.now
+        inode.modified_at = self.session.daemon.now
         self._write_inode(inode)
         for block_addr in doomed:
             self.free_block(block_addr)
@@ -392,7 +392,7 @@ class KhazanaFileSystem:
         finally:
             self.session.unlock(ctx)
         inode.size = max(inode.size, end)
-        inode.modified_at = self.session.daemon.scheduler.now
+        inode.modified_at = self.session.daemon.now
         self._write_inode(inode)
         return inode
 
@@ -421,7 +421,7 @@ class KhazanaFileSystem:
                 self.session.resize(inode.extent, new_capacity)
                 inode.extent_capacity = new_capacity
         inode.size = size
-        inode.modified_at = self.session.daemon.scheduler.now
+        inode.modified_at = self.session.daemon.now
         self._write_inode(inode)
         return inode
 

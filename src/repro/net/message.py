@@ -116,14 +116,19 @@ ENVELOPE_BYTES = 64
 _size_codec = None
 
 
-def set_size_codec(codec) -> None:
+def set_size_codec(codec):
     """Install ``codec(message) -> Optional[int]`` as the size source.
 
     The hook returns the exact binary wire size for message types it
     covers and None for the rest, which keep the estimate below.
+    Returns the previously installed hook (None if there was none) so
+    a caller that swaps the hook temporarily — the TCP transport
+    installs exact frame sizes for its lifetime — can restore it.
     """
     global _size_codec
+    previous = _size_codec
     _size_codec = codec
+    return previous
 
 
 def _wire_size(value: Any) -> int:

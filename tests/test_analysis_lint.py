@@ -42,10 +42,12 @@ class TestBlockingCalls:
         assert "open" in messages
 
     def test_scope_limited_to_sim_code(self):
+        # Outside SIM_SCOPES KHZ001 stays quiet (KHZ011 has its own
+        # view of these calls, with its own scoping and slug).
         findings = _lint_fixture(
             "blocking.py.txt", "src/repro/bench/fixture.py"
         )
-        assert findings == []
+        assert [f for f in findings if f.rule == "KHZ001"] == []
 
 
 class TestBroadExcept:
@@ -239,6 +241,56 @@ class TestSpawnLabels:
     def test_scope_limited_to_repro(self):
         findings = _lint_fixture("spawn_label.py.txt", "elsewhere/fixture.py")
         assert findings == []
+
+
+class TestRuntimeDeps:
+    def test_flags_clock_loop_and_socket_calls(self):
+        findings = _lint_fixture(
+            "runtime_deps.py.txt", "src/repro/fs/fixture.py"
+        )
+        assert [f.rule for f in findings] == ["KHZ011"] * 4
+        messages = " ".join(f.message for f in findings)
+        assert "time.time" in messages
+        assert "time.monotonic" in messages
+        assert "asyncio.get_event_loop" in messages
+        assert "socket.socket" in messages
+        # The suppressed perf_counter (line 25) does not flag.
+        assert 25 not in {f.line for f in findings}
+
+    def test_driver_modules_may_own_clocks_but_not_sockets(self):
+        findings = _lint_fixture(
+            "runtime_deps.py.txt", "src/repro/bench/hotpath.py"
+        )
+        khz011 = [f for f in findings if f.rule == "KHZ011"]
+        assert len(khz011) == 1
+        assert "socket.socket" in khz011[0].message
+
+    def test_runtime_seam_modules_are_exempt(self):
+        findings = _lint_fixture(
+            "runtime_deps.py.txt", "src/repro/net/aio.py"
+        )
+        assert [f for f in findings if f.rule == "KHZ011"] == []
+
+    def test_scope_limited_to_repro(self):
+        findings = _lint_fixture(
+            "runtime_deps.py.txt", "elsewhere/fixture.py"
+        )
+        assert findings == []
+
+    def test_real_runtime_modules_stay_clean(self):
+        # The shipped seam + driver modules must satisfy their own rule.
+        root = Path(__file__).parent.parent / "src"
+        paths = [
+            "repro/net/aio.py", "repro/net/tcp.py",
+            "repro/tools/cluster.py", "repro/bench/transport.py",
+        ]
+        files = [
+            SourceFile.parse(f"src/{p}",
+                             (root / p).read_text(encoding="utf-8"))
+            for p in paths
+        ]
+        findings = lint_files(files)
+        assert [f for f in findings if f.rule == "KHZ011"] == []
 
 
 class TestSuppressions:

@@ -1,0 +1,95 @@
+"""Tests for the cluster launcher plumbing (repro.tools.cluster).
+
+The full multi-process launcher runs in CI's cluster-smoke job; here
+the same building blocks run in-process (daemons on one loop, each on
+its own TcpTransport, so traffic still crosses real sockets) to pin
+down the workload, the control plane, and fsck-over-snapshots without
+subprocess overhead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.client import KhazanaSession
+from repro.net.aio import AsyncioDriver, AsyncioRuntime
+from repro.tools import fsck
+from repro.tools.cluster import (
+    SnapshotCluster,
+    address_book,
+    build_node,
+    node_config,
+    register_control,
+    run_workload,
+    snapshot_node,
+)
+
+
+@pytest.fixture()
+def mini_cluster():
+    """One daemon (node 0) plus a client node (node 1), real sockets."""
+    book = {}
+    runtimes, daemons = [], []
+    shared = None
+    for node in (0, 1):
+        runtime = AsyncioRuntime(shared.loop if shared else None)
+        shared = shared or runtime
+        runtime, daemon = build_node(node, book, runtime=runtime,
+                                     config=node_config())
+        runtimes.append(runtime)
+        daemons.append(daemon)
+    for runtime, daemon in zip(runtimes, daemons):
+        daemon.bootstrap_system_region(peers=[0, 1])
+        register_control(daemon, runtime)
+    client_runtime = runtimes[1]
+    session = KhazanaSession(daemons[1],
+                             AsyncioDriver(client_runtime, timeout=30.0),
+                             principal="test-cluster")
+    try:
+        yield client_runtime, daemons, session
+    finally:
+        for daemon in daemons:
+            daemon.stop()
+
+        async def shutdown():
+            for daemon in daemons:
+                await daemon.network.aclose()
+
+        client_runtime.loop.run_until_complete(shutdown())
+        client_runtime.close()
+
+
+class TestAddressBook:
+    def test_covers_daemons_plus_client(self):
+        book = address_book(3, 21000)
+        assert sorted(book) == [0, 1, 2, 3]
+        assert book[3] == ("127.0.0.1", 21003)
+
+
+class TestWorkloads:
+    @pytest.mark.parametrize("protocol", ["crew", "release"])
+    def test_read_your_writes_over_real_sockets(self, mini_cluster,
+                                                protocol):
+        _runtime, _daemons, session = mini_cluster
+        outcome = run_workload(session, protocol, home_node=0,
+                               pages=2, ops=3)
+        assert outcome["ops"] == 3
+        assert outcome["protocol"] == protocol
+
+
+class TestSnapshotFsck:
+    def test_fsck_is_clean_over_live_snapshots(self, mini_cluster):
+        _runtime, daemons, session = mini_cluster
+        run_workload(session, "crew", home_node=0, pages=2, ops=2)
+        snapshots = [snapshot_node(daemon) for daemon in daemons]
+        report = fsck.check_cluster(SnapshotCluster(snapshots))
+        assert report.ok, report.render()
+
+    def test_snapshot_is_plain_data(self, mini_cluster):
+        _runtime, daemons, _session = mini_cluster
+        import pickle
+
+        snap = snapshot_node(daemons[0])
+        clone = pickle.loads(pickle.dumps(snap))
+        assert clone["node"] == 0
+        assert "regions" in clone and "entries" in clone

@@ -1,0 +1,146 @@
+"""Tests for the runtime seam (repro.net.runtime / repro.net.aio).
+
+The seam's contract is behavioural: code written against the
+:class:`~repro.net.clock.EventScheduler` timer vocabulary must run
+unchanged over a :class:`~repro.net.runtime.Runtime`, and the sim
+backend must be a *pure* delegation shim — same events, same order,
+same labels as scheduling on the raw scheduler.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.aio import AsyncioDriver, AsyncioRuntime
+from repro.net.clock import EventScheduler
+from repro.net.runtime import Runtime, SimRuntime, TimerHandle
+from repro.net.sim import SimNetwork
+from repro.net.tasks import Future
+
+
+def _sim_runtime():
+    scheduler = EventScheduler()
+    return SimRuntime(scheduler, SimNetwork(scheduler)), scheduler
+
+
+class TestSimRuntime:
+    def test_is_a_runtime(self):
+        runtime, _ = _sim_runtime()
+        assert isinstance(runtime, Runtime)
+        assert runtime.name == "sim"
+
+    def test_timers_property_exposes_the_raw_scheduler(self):
+        runtime, scheduler = _sim_runtime()
+        assert runtime.timers is scheduler
+
+    def test_clock_delegates(self):
+        runtime, scheduler = _sim_runtime()
+        assert runtime.now == scheduler.now
+        scheduler.call_later(2.5, lambda: None, label="advance")
+        scheduler.run_until_idle()
+        assert runtime.now == pytest.approx(scheduler.now)
+
+    def test_scheduling_lands_on_the_wrapped_scheduler(self):
+        runtime, scheduler = _sim_runtime()
+        fired = []
+        runtime.call_later(1.0, lambda: fired.append("later"), label="a")
+        runtime.call_at(0.5, lambda: fired.append("at"), label="b")
+        runtime.call_soon(lambda: fired.append("soon"), label="c")
+        scheduler.run_until_idle()
+        assert fired == ["soon", "at", "later"]
+
+    def test_handles_satisfy_the_seam_vocabulary(self):
+        runtime, scheduler = _sim_runtime()
+        handle = runtime.call_later(1.0, lambda: None, label="victim")
+        assert isinstance(handle, TimerHandle)
+        assert handle.label == "victim"
+        assert handle.when == pytest.approx(1.0)
+        handle.cancel()
+        assert handle.cancelled
+        fired = []
+        runtime.call_later(2.0, lambda: fired.append(True), label="live")
+        scheduler.run_until_idle()
+        assert fired == [True]
+
+
+class TestAsyncioRuntime:
+    def test_timer_fires_and_run_future_returns(self):
+        runtime = AsyncioRuntime()
+        try:
+            future = Future(label="t")
+            runtime.call_later(0.01, lambda: future.set_result(42),
+                               label="fire")
+            assert runtime.run_future(future, timeout=5.0) == 42
+        finally:
+            runtime.close()
+
+    def test_cancelled_timer_does_not_fire(self):
+        runtime = AsyncioRuntime()
+        try:
+            fired = []
+            victim = runtime.call_later(0.01, lambda: fired.append(True),
+                                        label="victim")
+            victim.cancel()
+            assert victim.cancelled
+            future = Future(label="t")
+            runtime.call_later(0.05, lambda: future.set_result(None),
+                               label="fence")
+            runtime.run_future(future, timeout=5.0)
+            assert fired == []
+        finally:
+            runtime.close()
+
+    def test_run_future_propagates_exceptions(self):
+        runtime = AsyncioRuntime()
+        try:
+            future = Future(label="t")
+            runtime.call_later(
+                0.01,
+                lambda: future.set_exception(RuntimeError("boom")),
+                label="fire",
+            )
+            with pytest.raises(RuntimeError, match="boom"):
+                runtime.run_future(future, timeout=5.0)
+        finally:
+            runtime.close()
+
+    def test_run_future_times_out_in_wall_time(self):
+        runtime = AsyncioRuntime()
+        try:
+            with pytest.raises(TimeoutError):
+                runtime.run_future(Future(label="never"), timeout=0.05)
+        finally:
+            runtime.close()
+
+    def test_bad_timer_callback_does_not_kill_the_loop(self):
+        runtime = AsyncioRuntime()
+        try:
+            def explode() -> None:
+                raise RuntimeError("poisoned timer")
+
+            runtime.call_later(0.0, explode, label="poison")
+            future = Future(label="t")
+            runtime.call_later(0.02, lambda: future.set_result("alive"),
+                               label="fence")
+            assert runtime.run_future(future, timeout=5.0) == "alive"
+        finally:
+            runtime.close()
+
+    def test_driver_blocks_until_resolution(self):
+        runtime = AsyncioRuntime()
+        try:
+            driver = AsyncioDriver(runtime, timeout=5.0)
+            future = Future(label="t")
+            runtime.call_later(0.01, lambda: future.set_result("done"),
+                               label="fire")
+            assert driver.wait(future) == "done"
+        finally:
+            runtime.close()
+
+    def test_negative_delay_is_rejected(self):
+        runtime = AsyncioRuntime()
+        try:
+            with pytest.raises(ValueError):
+                runtime.call_later(-0.1, lambda: None, label="bad")
+        finally:
+            runtime.close()
