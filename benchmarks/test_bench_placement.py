@@ -1,0 +1,57 @@
+"""Placement benchmarks — ring math cost, churn re-homing, lookup RPCs.
+
+The wall-clock parts (DirectorTable directs/sec, join scan rate) run
+like the hotpath suite; the churn and lookup parts are deterministic
+(balance ratios, virtual-time message counts) and assert the PR's
+actual claims: a membership event re-homes only ~``regions/members``
+regions, and ring lookups cost a flat number of messages per op that
+churn does not bend.  The full run is ``python -m
+repro.bench.placement`` and its output is tracked in
+``BENCH_placement.json``, gated by the CI placement-smoke job.
+"""
+
+from repro.bench.placement import (
+    FAIR_SHARE_CEILING,
+    check_regressions,
+    render,
+    run_suite,
+)
+from repro.bench.metrics import Table
+
+
+def test_placement_suite(once):
+    doc = once(lambda: run_suite(quick=True))
+
+    table = Table(
+        "Placement benchmarks (quick mode)",
+        ["benchmark", "results"],
+    )
+    for name, r in doc["benchmarks"].items():
+        table.add(name, ", ".join(f"{k}={v}" for k, v in r.items()))
+    table.show()
+    print(render(doc))
+
+    results = doc["benchmarks"]
+    assert set(results) == {"ring_rank", "churn_rehome", "lookup_msgs"}
+
+    # Ring lookups are pure table reads: fast enough that location
+    # math can never be the bottleneck of a simulated (or real) op.
+    assert results["ring_rank"]["directs_per_sec"] > 100_000
+    assert results["ring_rank"]["join_buckets_per_sec"] > 10_000
+
+    # Minimal disruption: no single join/leave moved much more than
+    # the fair share, and ownership stays balanced afterwards.
+    churn = results["churn_rehome"]
+    assert churn["max_moved_over_fair"] <= FAIR_SHARE_CEILING
+    assert churn["spread_max_over_mean"] < 1.5
+
+    # Flat location cost: adding a node mid-run does not bend the
+    # ring's msgs/op, and the ring never costs more than the tiered
+    # chain plus change on the same directory-cold workload.
+    msgs = results["lookup_msgs"]
+    assert (msgs["ring_msgs_per_op_after_churn"]
+            <= msgs["ring_msgs_per_op"] * 1.5)
+    assert msgs["ring_msgs_per_op"] <= msgs["tiered_msgs_per_op"] * 1.5
+
+    # A run checked against itself never reports a regression.
+    assert check_regressions(doc, doc) == []

@@ -72,6 +72,7 @@ def _replay(path: str) -> int:
         scenario=schedule["scenario"],
         seed=int(schedule.get("seed", 0)),
         num_nodes=int(schedule.get("num_nodes", 3)),
+        placement=schedule.get("placement", "tiered"),
         horizon=float(schedule.get("horizon", DEFAULT_HORIZON)),
         mutations=tuple(schedule.get("mutations") or ()),
     )
@@ -104,6 +105,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--budget", type=int, default=200,
                         help="max schedules per (protocol, scenario)")
     parser.add_argument("--nodes", type=int, default=3)
+    parser.add_argument("--placement", default="tiered",
+                        choices=["tiered", "ring"],
+                        help="placement backend to explore")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--horizon", type=float, default=DEFAULT_HORIZON)
     parser.add_argument("--mutate", action="append", default=[],
@@ -144,6 +148,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 scenario=scenario,
                 seed=args.seed,
                 num_nodes=args.nodes,
+                placement=args.placement,
                 horizon=args.horizon,
                 faults=faults,
                 mutations=tuple(args.mutate),

@@ -81,6 +81,10 @@ class ExploreConfig:
     scenario: str
     seed: int = 0
     num_nodes: int = 3
+    #: Placement backend under test ("tiered" or "ring"); the ring
+    #: brings its membership/re-homing machinery into the explored
+    #: schedule space.
+    placement: str = "tiered"
     horizon: float = DEFAULT_HORIZON
     faults: FaultBudget = field(default_factory=FaultBudget)
     #: Names from ``repro.consistency.engine.ledger.KNOWN_MUTATIONS``
@@ -118,7 +122,8 @@ class Explorer:
         cluster = create_cluster(
             max(config.num_nodes, self.scenario.min_nodes),
             seed=config.seed,
-            config=DaemonConfig(detect_races=True),
+            config=DaemonConfig(detect_races=True,
+                                placement=config.placement),
             **self.scenario.cluster_kwargs,
         )
         controller = ScheduleController(
@@ -219,6 +224,7 @@ class Explorer:
             "scenario": config.scenario,
             "seed": config.seed,
             "num_nodes": max(config.num_nodes, self.scenario.min_nodes),
+            "placement": config.placement,
             "horizon": config.horizon,
             "mutations": list(config.mutations),
             "strategy": strategy.name,

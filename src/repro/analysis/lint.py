@@ -71,13 +71,19 @@ cannot know:
   the wall-clock benchmarks) may own loops and clocks but still may
   not open sockets.  Everything else must stay runtime-agnostic so
   the same protocol code runs over the simulator and over TCP.
+- **KHZ012 placement-seam** (in :mod:`repro.analysis.lint_placement`)
+  — outside ``repro/core/placement/``, shipped code may not read
+  ``config.cluster_manager_node`` or import/call the rendezvous ring
+  math; placement decisions go through the
+  :class:`~repro.core.placement.PlacementStrategy` seam.
 
 Suppression: append ``# khz: allow-<slug>(reason)`` to the flagged
 line.  The reason is mandatory; an empty one is itself an error.
 Slugs: ``blocking-call``, ``unhandled-message``, ``missing-fallback``,
 ``reply-class``, ``broad-except``, ``stale-context``,
 ``foreign-exception``, ``private-daemon-attr``, ``direct-wire``,
-``direct-scheduler``, ``copy``, ``spawn-label``, ``runtime-dep``.
+``direct-scheduler``, ``copy``, ``spawn-label``, ``runtime-dep``,
+``placement-seam``.
 
 The whole-program flow analyzer (:mod:`repro.analysis.flow`) layers
 interprocedural checks (KHZ101 lock-order, KHZ102 reply-path, KHZ103
@@ -758,7 +764,7 @@ RUNTIME_MODULES = ("repro/net/aio.py", "repro/net/tcp.py")
 #: ``asyncio.*`` but still must not open sockets themselves — all
 #: wire traffic goes through a Transport.
 DRIVER_MODULES = ("repro/tools/cluster.py", "repro/bench/transport.py",
-                  "repro/bench/hotpath.py")
+                  "repro/bench/hotpath.py", "repro/bench/placement.py")
 
 #: Dotted-call prefixes that bind code to a real runtime (KHZ011).
 RUNTIME_PREFIXES = (
@@ -829,6 +835,9 @@ def check_runtime_deps(sf: SourceFile, reporter: _Reporter) -> None:
 
 def lint_files(files: Sequence[SourceFile]) -> List[Finding]:
     """Run every rule over parsed files; returns sorted findings."""
+    # Local import: lint_placement borrows this module's AST helpers.
+    from repro.analysis.lint_placement import check_placement_seam
+
     reporter = _Reporter()
     taxonomy = _taxonomy_names()
     for sf in files:
@@ -842,6 +851,7 @@ def lint_files(files: Sequence[SourceFile]) -> List[Finding]:
         check_page_copies(sf, reporter)
         check_spawn_labels(sf, reporter)
         check_runtime_deps(sf, reporter)
+        check_placement_seam(sf, reporter)
     check_message_completeness(files, reporter)
     return sorted(reporter.findings, key=lambda f: (f.path, f.line, f.rule))
 

@@ -1,0 +1,118 @@
+"""KHZ012 placement-seam: placement decisions have exactly one owner.
+
+PR 9 moved every "where does this region live / who answers this
+lookup" decision behind :class:`repro.core.placement.PlacementStrategy`
+(the tiered chain and the hash ring are interchangeable backends).
+The seam only stays a seam if the rest of the tree cannot quietly grow
+new placement logic, so outside ``repro/core/placement/`` this rule
+flags:
+
+- **config-manager reads** — reading ``.cluster_manager_node`` off a
+  config object (``config.cluster_manager_node``,
+  ``kernel.config.cluster_manager_node``, ...).  Which node plays
+  cluster manager is a *tiered-strategy* concept; under the ring there
+  may be no meaningful manager at all.  Go through
+  ``kernel.cluster_manager_node`` (the kernel property that delegates
+  to the strategy) or ``placement.manager_node`` instead.  Writing the
+  field (dataclass defaults, ``replace(..., cluster_manager_node=...)``
+  keywords) stays legal — deployments still *configure* the role.
+- **ring-math imports/calls** — importing or calling the rendezvous
+  primitives (``mix64``, ``rendezvous_weight``, ``rank_members``,
+  ``director_of``) from :mod:`repro.core.placement.ring`.  Any second
+  call site computing homes can drift from the strategy's answer; ask
+  the strategy (``choose_homes`` / ``home_order``) instead.  The
+  :class:`~repro.core.placement.ring.DirectorTable` abstraction and the
+  ``bucket_of``/``BUCKET_BYTES`` address geometry remain importable —
+  the churn benchmark measures the table itself.
+
+Scope: files under ``repro/`` (the shipped package) only; tests and
+examples exercise internals by design.  Suppress a deliberate
+exception with ``# khz: allow-placement-seam(reason)``.
+
+This rule lives outside :mod:`repro.analysis.lint` purely for size:
+that module sits just under the structure guard's per-module line
+ceiling.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import TYPE_CHECKING
+
+from repro.analysis.sources import SourceFile
+
+if TYPE_CHECKING:   # the reporter duck type lives in lint.py
+    from repro.analysis.lint import _Reporter
+
+#: The only package allowed to make placement decisions.
+PLACEMENT_SCOPE = "repro/core/placement/"
+
+#: KHZ012 applies to the shipped package, not tests/examples.
+PACKAGE_SCOPE = "repro/"
+
+#: Rendezvous primitives fenced inside the placement package.
+RING_MATH = ("mix64", "rendezvous_weight", "rank_members", "director_of")
+
+#: Module whose math is fenced.
+RING_MODULE = "repro.core.placement.ring"
+
+#: Attribute bases that look like a config object.
+CONFIGISH_NAME_RE = re.compile(r"^(?:config|cfg|conf)\w*$")
+
+
+def _configish_base(node: ast.expr) -> bool:
+    """Does this expression look like it holds a DaemonConfig?"""
+    if isinstance(node, ast.Name):
+        return CONFIGISH_NAME_RE.match(node.id) is not None
+    if isinstance(node, ast.Attribute):
+        return CONFIGISH_NAME_RE.match(node.attr) is not None
+    return False
+
+
+def check_placement_seam(sf: SourceFile, reporter: "_Reporter") -> None:
+    """KHZ012: no placement decisions outside repro/core/placement/."""
+    if PACKAGE_SCOPE not in sf.path or PLACEMENT_SCOPE in sf.path:
+        return
+    # Local import: lint.py imports this module from its driver.
+    from repro.analysis.lint import _dotted_call_name, _import_map
+
+    origins = _import_map(sf.tree)
+    for node in ast.walk(sf.tree):
+        if isinstance(node, ast.Call):
+            dotted = _dotted_call_name(node.func, origins)
+            if dotted is not None and any(
+                dotted == f"{RING_MODULE}.{name}" for name in RING_MATH
+            ):
+                reporter.flag(
+                    sf, node.lineno, "KHZ012", "placement-seam",
+                    f"calling ring math ({dotted.rsplit('.', 1)[1]}) "
+                    "outside repro/core/placement/; ask the strategy "
+                    "(choose_homes/home_order) instead of recomputing "
+                    "homes",
+                )
+                continue
+        if isinstance(node, ast.Attribute):
+            if (node.attr == "cluster_manager_node"
+                    and isinstance(node.ctx, ast.Load)
+                    and _configish_base(node.value)):
+                reporter.flag(
+                    sf, node.lineno, "KHZ012", "placement-seam",
+                    "reading config.cluster_manager_node outside "
+                    "repro/core/placement/; go through "
+                    "kernel.cluster_manager_node or "
+                    "placement.manager_node so the strategy owns the "
+                    "answer",
+                )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module != RING_MODULE:
+                continue
+            for alias in node.names:
+                if alias.name in RING_MATH:
+                    reporter.flag(
+                        sf, node.lineno, "KHZ012", "placement-seam",
+                        f"importing ring math ({alias.name}) outside "
+                        "repro/core/placement/; ask the strategy "
+                        "(choose_homes/home_order) instead of "
+                        "recomputing homes",
+                    )

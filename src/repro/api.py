@@ -205,12 +205,20 @@ class Cluster:
             config=self._config_for(node),
             probe=self.race_detector,
         )
-        peers = self.node_ids() + [node]
+        existing = self.node_ids()
+        peers = existing + [node]
         fresh.bootstrap_system_region(peers=peers)
         self.daemons[node] = fresh
         for other in self.daemons.values():
             if other.node_id != node:
                 other.detector.add_peer(node)
+        if fresh.membership is not None and existing:
+            # Ring placement: run the join protocol so every member
+            # learns the newcomer and re-homing starts (the seed peer
+            # gossips the join to the rest of the ring).
+            fresh.spawn(
+                fresh.membership.join(existing[0]), label="member-join"
+            )
         return fresh
 
     def remove_node(self, node: int) -> None:

@@ -37,6 +37,13 @@ BATCH_REQUESTS = frozenset({
     MessageType.UPDATE_PUSH_BATCH,
 })
 
+#: Home NAK codes that mean "this node no longer serves the region" —
+#: after a re-home the stale descriptor's first home answers with one
+#: of these, and the ordered failover must keep trying later
+#: candidates even in ``nak="raise"`` mode instead of surfacing a
+#: denial for what is merely a moved region.
+STALE_HOME_NAKS = frozenset({"not_responsible", "region_not_found"})
+
 #: Wire message kind -> engine operation, for uniform trace grouping.
 WIRE_OPS: Dict[MessageType, str] = {
     MessageType.LOCK_REQUEST: "grant",
@@ -150,17 +157,27 @@ class ProtocolEngine:
         fail: str,
         nak: str = "raise",
     ) -> ProtocolGen:
-        """Ask the region's home nodes (in order) until one answers.
+        """Ask the region's home candidates (in order) until one
+        answers.
 
-        Timeouts always fail over to the next home (paper 3.5).  A NAK
-        either surfaces immediately as its typed denial
-        (``nak="raise"``, the token protocols) or also fails over
-        (``nak="skip"``, availability-first protocols).  ``fail`` is
-        the LockDenied template for total failure, formatted with
-        ``rid`` and ``error``.
+        The candidate order comes from the host's placement strategy
+        (:meth:`~repro.core.kernel.NodeKernel.home_order`): normally
+        the descriptor's own home list, but after a re-home the
+        strategy may promote or append the region's *current* home so
+        in-flight traffic survives a migration the caller has not
+        heard about yet.
+
+        Timeouts always fail over to the next candidate (paper 3.5),
+        and so do the stale-home NAKs in :data:`STALE_HOME_NAKS` — a
+        former home saying "not mine any more" is a redirect, not a
+        denial.  Any other NAK either surfaces immediately as its
+        typed denial (``nak="raise"``, the token protocols) or also
+        fails over (``nak="skip"``, availability-first protocols).
+        ``fail`` is the LockDenied template for total failure,
+        formatted with ``rid`` and ``error``.
         """
         last_error: Optional[Exception] = None
-        for home in desc.home_nodes:
+        for home in self.host.home_order(desc):
             if home == self.host.node_id:
                 continue
             try:
@@ -171,10 +188,14 @@ class ProtocolEngine:
             except RpcTimeout as error:
                 last_error = error   # try the next home (Section 3.5)
             except RemoteError as error:
-                if nak == "skip":
+                if nak == "skip" or error.code in STALE_HOME_NAKS:
                     last_error = error
                     continue
                 raise typed_denial(error) from error
+        if nak != "skip" and isinstance(last_error, RemoteError):
+            # Every candidate redirected us away: surface the typed
+            # denial the pre-failover path would have raised.
+            raise typed_denial(last_error) from last_error
         raise LockDenied(fail.format(rid=desc.rid, error=last_error))
 
     def request_any(

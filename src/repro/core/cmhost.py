@@ -94,6 +94,13 @@ class CMHost(Protocol):
         """NAK a request with a wire-codable error."""
         ...
 
+    # --- Placement -------------------------------------------------------
+    def home_order(self, desc: "RegionDescriptor") -> list:
+        """Candidate order for ordered home failover: the placement
+        strategy's view of where the region's home is (or moved to),
+        starting from the descriptor's own home list."""
+        ...
+
     # --- Coherence state -------------------------------------------------
     page_directory: "PageDirectory"
     lock_table: "LockTable"

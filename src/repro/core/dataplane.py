@@ -514,4 +514,9 @@ class DataPlane:
         )
         kernel.page_directory.drop(page.address)
         cm.page_state.pop(page.address, None)
+        if not kernel.page_directory.entries_for_region(desc.rid):
+            # Last cached page gone: withdraw this node's caching
+            # advertisement, or the manager keeps handing out a hint
+            # that now costs every looker-up one failed RPC.
+            kernel.placement.retract(desc)
         return True

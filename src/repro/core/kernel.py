@@ -42,9 +42,9 @@ from repro.core.attributes import ConsistencyLevel, RegionAttributes
 from repro.core.cluster import ClusterManagerRole
 from repro.core.dataplane import DataPlane
 from repro.core.errors import KhazanaError
-from repro.core.location import LocationService
 from repro.core.locks import LockMode, LockTable
 from repro.core.page_directory import PageDirectory
+from repro.core.placement import create_placement
 from repro.core.region import RegionDescriptor
 from repro.core.region_directory import RegionDirectory
 from repro.core.router import MessageRouter
@@ -117,6 +117,10 @@ class DaemonConfig:
     #: against this daemon.  Within a Cluster all daemons share one
     #: detector so cross-node races are visible.
     detect_races: bool = False
+    #: Placement backend: "tiered" (the paper's four-tier chain) or
+    #: "ring" (rendezvous-hashed location over a live member set).
+    #: See repro/core/placement/.
+    placement: str = "tiered"
 
 
 @dataclass
@@ -144,7 +148,9 @@ class DaemonStats:
 
     ops: Dict[str, int] = field(default_factory=dict)
     #: How each successful region location was resolved:
-    #: "directory" | "cluster" | "map" | "walk".
+    #: "directory" | "cluster" | "intercluster" | "map" | "walk"
+    #: (tiered chain) or "directory" | "ring" | "map" | "walk"
+    #: (hash-ring placement).
     lookup_tiers: Dict[str, int] = field(default_factory=dict)
     lock_waits: int = 0
     lock_timeouts: int = 0
@@ -264,20 +270,29 @@ class NodeKernel:
         self._cms: Dict[str, Any] = {}
         self._alive = True
 
-        self.location = LocationService(self)
-        self.space = SpaceService(self)
-        self.address_map = AddressMap(_KernelMapIO(self))
         self.retry_queue = RetryQueue(runtime, self.spawn)
         self.detector = FailureDetector(
             self.rpc, runtime, peers=[]
         )
         self.detector.on_death(self._on_peer_death)
-        self.replica_maintainer = ReplicaMaintainer(self)
         from repro.core.migration import MigrationAdvisor
 
         self.migration_advisor = MigrationAdvisor(self)
+        #: The placement seam: how this node resolves and places
+        #: regions (repro/core/placement/).  Built after the detector
+        #: and migration advisor — ring placement wires membership
+        #: into the former and re-homing through the latter.
+        self.placement = create_placement(self)
+        #: Historical name for the placement strategy's lookup surface
+        #: (the pre-seam LocationService).
+        self.location = self.placement
+        #: The live-member view (None under tiered placement).
+        self.membership = self.placement.membership
+        self.space = SpaceService(self)
+        self.address_map = AddressMap(_KernelMapIO(self))
+        self.replica_maintainer = ReplicaMaintainer(self)
         self.cluster_role: Optional[ClusterManagerRole] = None
-        if node_id == self.config.cluster_manager_node:
+        if self.placement.hosts_cluster_manager():
             self.cluster_role = ClusterManagerRole(self)
 
         self.router = MessageRouter(self)
@@ -311,6 +326,8 @@ class NodeKernel:
         self.region_directory.pin(desc)
         for peer in peers:
             self.detector.add_peer(peer)
+        if self.membership is not None:
+            self.membership.seed(peers)
         if self.node_id == self.config.bootstrap_node:
             self.homed_regions[SYSTEM_RID] = desc
             if not self.storage.contains(ROOT_PAGE):
@@ -392,7 +409,15 @@ class NodeKernel:
 
     @property
     def cluster_manager_node(self) -> Optional[int]:
-        return self.config.cluster_manager_node
+        return self.placement.manager_node
+
+    def home_order(self, desc: RegionDescriptor) -> List[int]:
+        """Candidate order for ordered home failover (CMHost surface):
+        the placement strategy may reorder or extend the descriptor's
+        own home list (e.g. ring placement tries the current bucket
+        director first, and last-ditch even when the caller's stale
+        descriptor does not name it)."""
+        return self.placement.home_order(desc)
 
     # ------------------------------------------------------------------
     # Task plumbing
@@ -551,7 +576,7 @@ class NodeKernel:
                 Message(
                     msg_type=MessageType.FREE_SPACE_REPORT,
                     src=self.node_id,
-                    dst=self.config.cluster_manager_node,
+                    dst=self.cluster_manager_node,
                     payload={
                         "total_free": self.space_pool.total_free(),
                         "max_contiguous": self.space_pool.max_contiguous(),

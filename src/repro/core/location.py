@@ -1,263 +1,21 @@
-"""LocationService: the region-location chain of paper Section 3.2.
+"""Compatibility shim: region location moved behind the placement seam.
 
-"To locate a region, a Khazana node consults, in order: its local
-region directory, its cluster manager, and the global address map" —
-with the cluster walk of Section 3.1 as the failure fallback.  The
-four tiers are visible in :attr:`DaemonStats.lookup_tiers` as
-``directory`` / ``cluster`` / ``intercluster`` / ``map`` / ``walk``.
-
-The service also owns the *hint advertising* side of the chain: a
-node lazily tells its cluster manager which regions it caches, so
-later lookups from other nodes resolve at tier 2 instead of walking
-the map.
+The four-tier chain of paper Section 3.2 now lives in
+:mod:`repro.core.placement` as
+:class:`~repro.core.placement.tiered.TieredPlacement`, one of the
+pluggable :class:`~repro.core.placement.base.PlacementStrategy`
+backends (``DaemonConfig.placement`` selects it; a rendezvous-hashed
+ring is the other).  ``LocationService`` remains as the historical
+name — the kernel's ``.location`` attribute now points at whichever
+strategy the config selects.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Generator
+from repro.core.placement.base import LOOKUP_POLICY
+from repro.core.placement.tiered import TieredPlacement
 
-from repro.core.address_map import SYSTEM_RID, EntryState
-from repro.core.errors import KhazanaError, RegionNotFound
-from repro.core.region import RegionDescriptor
-from repro.net.message import Message, MessageType
-from repro.net.rpc import RemoteError, RetryPolicy, RpcTimeout
-from repro.net.tasks import Future
+#: Historical alias: the pre-seam LocationService *is* the tiered chain.
+LocationService = TieredPlacement
 
-if TYPE_CHECKING:
-    from repro.core.kernel import NodeKernel
-
-ProtocolGen = Generator[Future, Any, Any]
-
-#: Lookup RPCs fail over to the next tier quickly rather than
-#: retransmitting for long: stale hints are normal (Section 3.2).
-LOOKUP_POLICY = RetryPolicy(timeout=1.0, retries=1, backoff=2.0)
-
-
-class LocationService:
-    """Resolves addresses to region descriptors (Section 3.2)."""
-
-    def __init__(self, kernel: "NodeKernel") -> None:
-        self.kernel = kernel
-        #: Regions this node has already advertised to its manager.
-        self._hinted_rids: set = set()
-
-    # ------------------------------------------------------------------
-    # The four-tier lookup chain
-    # ------------------------------------------------------------------
-
-    def locate_region(self, address: int,
-                      skip_directory: bool = False) -> ProtocolGen:
-        """Resolve the region descriptor covering ``address``.
-
-        Tier 1: the local region directory.  Tier 2: the cluster
-        manager's hint cache.  Tier 3: the address-map tree walk plus a
-        descriptor fetch from a home node.  Tier 4 (failure fallback,
-        Section 3.1): the cluster walk, asking every known peer.
-        """
-        kernel = self.kernel
-        if not skip_directory:
-            cached = kernel.region_directory.find_covering(address)
-            if cached is not None:
-                kernel.stats.tier("directory")
-                return cached
-
-        if kernel.config.use_cluster_hints:
-            found = yield from self._locate_via_cluster_manager(address)
-            if found is not None:
-                desc, via = found
-                kernel.stats.tier(
-                    "intercluster" if via == "intercluster" else "cluster"
-                )
-                kernel.region_directory.insert(desc)
-                return desc
-
-        desc = yield from self._locate_via_address_map(address)
-        if desc is not None:
-            kernel.stats.tier("map")
-            kernel.region_directory.insert(desc)
-            self.advertise_caching(desc)
-            return desc
-
-        desc = yield from self._cluster_walk(address)
-        if desc is not None:
-            kernel.stats.tier("walk")
-            kernel.region_directory.insert(desc)
-            return desc
-
-        raise RegionNotFound(
-            f"no reserved region covers address {address:#x}"
-        )
-
-    def _locate_via_cluster_manager(self, address: int) -> ProtocolGen:
-        """Tiers 2-3: local cluster manager, then peer clusters.
-
-        Returns ``(descriptor, via)`` or None; ``via`` distinguishes a
-        local-cluster hint from an inter-cluster answer for the stats.
-        """
-        kernel = self.kernel
-        if kernel.cluster_role is not None:
-            hint = kernel.cluster_role.lookup_hint(address)
-            if hint is not None:
-                return hint[0], "local"
-            # This node IS the manager: ask peer-cluster managers.
-            for manager in kernel.config.peer_managers:
-                try:
-                    reply = yield kernel.rpc.request(
-                        manager, MessageType.CM_HINT_QUERY,
-                        {"address": address, "no_forward": True},
-                        policy=LOOKUP_POLICY,
-                    )
-                except (RpcTimeout, RemoteError):
-                    continue
-                desc = RegionDescriptor.from_wire(reply.payload["descriptor"])
-                for node in reply.payload.get("nodes", []):
-                    kernel.cluster_role.note_region_cached(desc, int(node))
-                return desc, "intercluster"
-            return None
-        manager = kernel.config.cluster_manager_node
-        try:
-            reply = yield kernel.rpc.request(
-                manager, MessageType.CM_HINT_QUERY, {"address": address},
-                policy=LOOKUP_POLICY,
-            )
-        except (RpcTimeout, RemoteError):
-            return None
-        return (
-            RegionDescriptor.from_wire(reply.payload["descriptor"]),
-            reply.payload.get("via", "local"),
-        )
-
-    def _locate_via_address_map(self, address: int) -> ProtocolGen:
-        kernel = self.kernel
-        try:
-            entry = yield from kernel.address_map.lookup(address)
-        except KhazanaError:
-            return None
-        if entry.state is not EntryState.RESERVED:
-            return None
-        for home in entry.home_nodes:
-            if home == kernel.node_id:
-                desc = kernel.homed_regions.get(entry.range.start)
-                if desc is not None:
-                    return desc
-                continue
-            try:
-                reply = yield kernel.rpc.request(
-                    home, MessageType.DESCRIPTOR_FETCH,
-                    {"rid": entry.range.start},
-                    policy=LOOKUP_POLICY,
-                )
-                return RegionDescriptor.from_wire(reply.payload["descriptor"])
-            except (RpcTimeout, RemoteError):
-                continue
-        return None
-
-    def _cluster_walk(self, address: int) -> ProtocolGen:
-        """Ask every known peer whether it can name the region."""
-        kernel = self.kernel
-        peers = [n for n in kernel.network.node_ids() if n != kernel.node_id]
-        for peer in peers:
-            try:
-                reply = yield kernel.rpc.request(
-                    peer, MessageType.REGION_LOOKUP, {"address": address},
-                    policy=LOOKUP_POLICY,
-                )
-            except (RpcTimeout, RemoteError):
-                continue
-            return RegionDescriptor.from_wire(reply.payload["descriptor"])
-        return None
-
-    def refresh_descriptor(self, desc: RegionDescriptor) -> ProtocolGen:
-        """Fetch the authoritative descriptor from a home node."""
-        kernel = self.kernel
-        for home in desc.home_nodes:
-            if home == kernel.node_id:
-                return kernel.homed_regions.get(desc.rid, desc)
-            try:
-                reply = yield kernel.rpc.request(
-                    home, MessageType.DESCRIPTOR_FETCH, {"rid": desc.rid},
-                    policy=LOOKUP_POLICY,
-                )
-            except (RpcTimeout, RemoteError):
-                continue
-            fresh = RegionDescriptor.from_wire(reply.payload["descriptor"])
-            kernel.adopt_descriptor(fresh)
-            return fresh
-        return desc
-
-    # ------------------------------------------------------------------
-    # Hint advertising (feeding tier 2)
-    # ------------------------------------------------------------------
-
-    def advertise_caching(self, desc: RegionDescriptor) -> None:
-        """Lazily tell the cluster manager we now cache this region."""
-        kernel = self.kernel
-        if not kernel.config.use_cluster_hints:
-            return
-        if desc.rid in self._hinted_rids:
-            return
-        self._hinted_rids.add(desc.rid)
-        if kernel.cluster_role is not None:
-            kernel.cluster_role.note_region_cached(desc, kernel.node_id)
-            return
-        kernel.rpc.send(
-            Message(
-                msg_type=MessageType.CM_HINT_UPDATE,
-                src=kernel.node_id,
-                dst=kernel.config.cluster_manager_node,
-                payload={"descriptor": desc.to_wire()},
-            )
-        )
-
-    def readvertise(self, desc: RegionDescriptor) -> None:
-        """Refresh the manager's hint after the descriptor changed
-        (allocation, resize, migration) so later lookups from other
-        nodes see the new one."""
-        self._hinted_rids.discard(desc.rid)
-        self.advertise_caching(desc)
-
-    def retract(self, desc: RegionDescriptor) -> None:
-        """Withdraw this node's caching hint for a gone region."""
-        kernel = self.kernel
-        if desc.rid not in self._hinted_rids:
-            return
-        self._hinted_rids.discard(desc.rid)
-        if kernel.cluster_role is not None:
-            kernel.cluster_role.note_region_dropped(desc.rid, kernel.node_id)
-        else:
-            kernel.rpc.send(
-                Message(
-                    msg_type=MessageType.CM_HINT_UPDATE,
-                    src=kernel.node_id,
-                    dst=kernel.config.cluster_manager_node,
-                    payload={"descriptor": desc.to_wire(), "dropped": True},
-                )
-            )
-
-    # ------------------------------------------------------------------
-    # Serving the chain for peers
-    # ------------------------------------------------------------------
-
-    def handle_region_lookup(self, msg: Message) -> None:
-        """Answer a tier-4 cluster-walk query from a peer."""
-        kernel = self.kernel
-        address = int(msg.payload["address"])
-        desc = kernel.homed_regions.get(address)
-        if desc is None:
-            for candidate in kernel.homed_regions.values():
-                if candidate.range.contains(address):
-                    desc = candidate
-                    break
-        if desc is None:
-            cached = kernel.region_directory.find_covering(address)
-            if cached is not None and cached.rid != SYSTEM_RID:
-                desc = cached
-        if desc is None:
-            kernel.reply_error(msg, "region_not_found",
-                               f"node {kernel.node_id} cannot resolve "
-                               f"{address:#x}")
-            return
-        kernel.reply_request(
-            msg, MessageType.REGION_LOOKUP_REPLY,
-            {"descriptor": desc.to_wire()},
-        )
+__all__ = ["LOOKUP_POLICY", "LocationService"]

@@ -91,6 +91,38 @@ class MigrationAdvisor:
     def forget_region(self, rid: int) -> None:
         self._traffic.pop(rid, None)
 
+    def propose_rehome(self, desc: Any, target: int) -> bool:
+        """Start a placement-driven migration of ``desc`` to ``target``.
+
+        Ring placement calls this on membership change for regions
+        whose director moved; the same guards as the load-aware policy
+        apply (one migration per region at a time, never to self or a
+        dead node, only from the current primary).  Returns True when
+        a migration task was actually started.
+        """
+        rid = desc.rid
+        if rid in self._migrating or target == self.daemon.node_id:
+            return False
+        if desc.primary_home != self.daemon.node_id:
+            return False
+        if not self.daemon.detector.is_alive(target):
+            return False
+        self._migrating.add(rid)
+        self.migrations_started += 1
+        outcome = self.daemon.spawn(
+            self.daemon.migrate_region_local(desc, target),
+            label=f"rehome:{rid:#x}",
+        )
+
+        def done(future: Future, rid=rid) -> None:
+            self._migrating.discard(rid)
+            self._traffic.pop(rid, None)
+            if future.exception() is None:
+                self.migrations_completed += 1
+
+        outcome.add_callback(done)
+        return True
+
     def tick(self) -> None:
         """Propose migrations for regions with a dominant remote user."""
         for rid, traffic in list(self._traffic.items()):

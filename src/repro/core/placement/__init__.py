@@ -1,0 +1,45 @@
+"""Pluggable region placement (the PlacementStrategy seam).
+
+``DaemonConfig.placement`` selects the backend:
+
+- ``"tiered"`` (default) — the paper's four-tier chain
+  (:class:`~repro.core.placement.tiered.TieredPlacement`),
+- ``"ring"`` — rendezvous-hashed O(1) location with live membership
+  (:class:`~repro.core.placement.ring.HashRingPlacement`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.placement.base import LOOKUP_POLICY, PlacementStrategy
+from repro.core.placement.ring import HashRingPlacement
+from repro.core.placement.tiered import TieredPlacement
+
+if TYPE_CHECKING:
+    from repro.core.kernel import NodeKernel
+
+__all__ = [
+    "LOOKUP_POLICY",
+    "PlacementStrategy",
+    "TieredPlacement",
+    "HashRingPlacement",
+    "create_placement",
+]
+
+_STRATEGIES = {
+    TieredPlacement.name: TieredPlacement,
+    HashRingPlacement.name: HashRingPlacement,
+}
+
+
+def create_placement(kernel: "NodeKernel") -> PlacementStrategy:
+    """Build the placement strategy named by ``kernel.config.placement``."""
+    name = kernel.config.placement
+    strategy = _STRATEGIES.get(name)
+    if strategy is None:
+        raise ValueError(
+            f"unknown placement strategy {name!r}; "
+            f"expected one of {sorted(_STRATEGIES)}"
+        )
+    return strategy(kernel)

@@ -1,0 +1,248 @@
+"""The PlacementStrategy seam: how a node resolves and places regions.
+
+Paper Section 3.2 describes *one* location chain (directory → cluster
+manager → address map → cluster walk).  PR 8 taught this codebase
+that a seam pays for itself: the same protocol code runs over the
+simulator and over TCP because everything time- or wire-shaped goes
+through ``Runtime``.  This package applies the identical pattern to
+*placement*: everything that decides where a region lives or how an
+address resolves to a descriptor goes through a
+:class:`PlacementStrategy`, so the paper's tiered chain
+(:class:`~repro.core.placement.tiered.TieredPlacement`) and the
+hash-partitioned ring
+(:class:`~repro.core.placement.ring.HashRingPlacement`) are
+interchangeable backends behind one surface.
+
+The strategy surface, by concern:
+
+=====================  ==================================================
+lookup                 ``locate_region``, ``refresh_descriptor``,
+                       ``handle_region_lookup``
+hint/metadata publish  ``advertise_caching``, ``readvertise``,
+                       ``retract``, ``note_unreserved``, ``note_migrated``
+home selection         ``choose_homes``, ``home_order``
+cluster-manager role   ``manager_node``, ``hosts_cluster_manager``
+membership             ``membership``, ``on_membership_change``
+wiring/inspection      ``wire_routes``, ``report``
+=====================  ==================================================
+
+Lint rule KHZ012 fences the complement: outside this package no code
+reads ``config.cluster_manager_node`` or computes ring homes directly
+— placement decisions have exactly one owner.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional, Tuple
+
+from repro.core.address_map import SYSTEM_RID, EntryState
+from repro.core.errors import KhazanaError
+from repro.core.region import RegionDescriptor
+from repro.net.message import MessageType
+from repro.net.rpc import RemoteError, RetryPolicy, RpcTimeout
+from repro.net.tasks import Future
+
+if TYPE_CHECKING:
+    from repro.core.addressing import AddressRange
+    from repro.core.kernel import NodeKernel
+    from repro.core.router import MessageRouter
+    from repro.net.message import Message
+
+ProtocolGen = Generator[Future, Any, Any]
+
+#: Lookup RPCs fail over to the next tier quickly rather than
+#: retransmitting for long: stale hints are normal (Section 3.2).
+LOOKUP_POLICY = RetryPolicy(timeout=1.0, retries=1, backoff=2.0)
+
+
+class PlacementStrategy:
+    """Base class of the placement seam.
+
+    Subclasses own the tier between the local region directory and the
+    address map (cluster-manager hints for the tiered chain, bucket
+    directors for the ring); the directory tier, the address-map tree
+    walk, and the tier-4 cluster walk are shared here because every
+    strategy needs the same authoritative fallbacks.
+    """
+
+    #: Config value selecting this strategy (``DaemonConfig.placement``).
+    name = "base"
+
+    def __init__(self, kernel: "NodeKernel") -> None:
+        self.kernel = kernel
+        #: The live-member view driving this strategy (None for
+        #: strategies that don't track membership themselves).
+        self.membership: Optional[Any] = None
+
+    # ------------------------------------------------------------------
+    # Lookup (strategy-specific middle tier; override locate_region)
+    # ------------------------------------------------------------------
+
+    def locate_region(self, address: int,
+                      skip_directory: bool = False) -> ProtocolGen:
+        raise NotImplementedError
+
+    def _locate_via_address_map(self, address: int) -> ProtocolGen:
+        """Tier 3: the authoritative address-map tree walk plus a
+        descriptor fetch from a home node."""
+        kernel = self.kernel
+        try:
+            entry = yield from kernel.address_map.lookup(address)
+        except KhazanaError:
+            return None
+        if entry.state is not EntryState.RESERVED:
+            return None
+        for home in entry.home_nodes:
+            if home == kernel.node_id:
+                desc = kernel.homed_regions.get(entry.range.start)
+                if desc is not None:
+                    return desc
+                continue
+            try:
+                reply = yield kernel.rpc.request(
+                    home, MessageType.DESCRIPTOR_FETCH,
+                    {"rid": entry.range.start},
+                    policy=LOOKUP_POLICY,
+                )
+                return RegionDescriptor.from_wire(reply.payload["descriptor"])
+            except (RpcTimeout, RemoteError):
+                continue
+        return None
+
+    def _cluster_walk(self, address: int) -> ProtocolGen:
+        """Tier 4 (failure fallback, Section 3.1): ask every known
+        peer whether it can name the region."""
+        kernel = self.kernel
+        peers = [n for n in kernel.network.node_ids() if n != kernel.node_id]
+        for peer in peers:
+            try:
+                reply = yield kernel.rpc.request(
+                    peer, MessageType.REGION_LOOKUP, {"address": address},
+                    policy=LOOKUP_POLICY,
+                )
+            except (RpcTimeout, RemoteError):
+                continue
+            return RegionDescriptor.from_wire(reply.payload["descriptor"])
+        return None
+
+    def refresh_descriptor(self, desc: RegionDescriptor) -> ProtocolGen:
+        """Fetch the authoritative descriptor from a home node."""
+        kernel = self.kernel
+        for home in desc.home_nodes:
+            if home == kernel.node_id:
+                return kernel.homed_regions.get(desc.rid, desc)
+            try:
+                reply = yield kernel.rpc.request(
+                    home, MessageType.DESCRIPTOR_FETCH, {"rid": desc.rid},
+                    policy=LOOKUP_POLICY,
+                )
+            except (RpcTimeout, RemoteError):
+                continue
+            fresh = RegionDescriptor.from_wire(reply.payload["descriptor"])
+            kernel.adopt_descriptor(fresh)
+            return fresh
+        return desc
+
+    def handle_region_lookup(self, msg: "Message") -> None:
+        """Answer a tier-4 cluster-walk query from a peer."""
+        kernel = self.kernel
+        address = int(msg.payload["address"])
+        desc = kernel.homed_regions.get(address)
+        if desc is None:
+            for candidate in kernel.homed_regions.values():
+                if candidate.range.contains(address):
+                    desc = candidate
+                    break
+        if desc is None:
+            cached = kernel.region_directory.find_covering(address)
+            if cached is not None and cached.rid != SYSTEM_RID:
+                desc = cached
+        if desc is None:
+            kernel.reply_error(msg, "region_not_found",
+                               f"node {kernel.node_id} cannot resolve "
+                               f"{address:#x}")
+            return
+        kernel.reply_request(
+            msg, MessageType.REGION_LOOKUP_REPLY,
+            {"descriptor": desc.to_wire()},
+        )
+
+    # ------------------------------------------------------------------
+    # Hint / metadata publication
+    # ------------------------------------------------------------------
+
+    def advertise_caching(self, desc: RegionDescriptor) -> None:
+        """This node now caches (or homes) ``desc``; feed the middle
+        lookup tier so later lookups from other nodes resolve there."""
+        raise NotImplementedError
+
+    def readvertise(self, desc: RegionDescriptor) -> None:
+        """Refresh the middle tier after the descriptor changed
+        (allocation, resize, migration)."""
+        raise NotImplementedError
+
+    def retract(self, desc: RegionDescriptor) -> None:
+        """This node no longer caches any page of ``desc`` (eviction
+        of the last page): withdraw its caching advertisement."""
+        raise NotImplementedError
+
+    def note_unreserved(self, desc: RegionDescriptor) -> None:
+        """The region was unreserved: withdraw all placement metadata."""
+        self.retract(desc)
+
+    def note_migrated(self, new_desc: RegionDescriptor) -> None:
+        """The region's home order changed (primary-side migration):
+        republish so later lookups see the new homes."""
+
+    # ------------------------------------------------------------------
+    # Home selection
+    # ------------------------------------------------------------------
+
+    def choose_homes(self, range_: "AddressRange",
+                     min_replicas: int) -> Tuple[int, ...]:
+        """Home nodes for a fresh reservation: this node first, then
+        alive peers (the paper's locality-first default)."""
+        kernel = self.kernel
+        homes: List[int] = [kernel.node_id]
+        for peer in kernel.detector.alive_peers():
+            if len(homes) >= min_replicas:
+                break
+            if peer != kernel.node_id:
+                homes.append(peer)
+        return tuple(homes)
+
+    def home_order(self, desc: RegionDescriptor) -> List[int]:
+        """Candidate order for the engine's ordered home failover
+        (``request_home``).  The default is the descriptor's own home
+        order; strategies may reorder or append likely homes the
+        caller's stale descriptor does not name yet."""
+        return list(desc.home_nodes)
+
+    # ------------------------------------------------------------------
+    # Cluster-manager role
+    # ------------------------------------------------------------------
+
+    @property
+    def manager_node(self) -> Optional[int]:
+        """The node hosting this daemon's cluster-manager role (space
+        delegation always needs one; lookups may not)."""
+        return self.kernel.config.cluster_manager_node
+
+    def hosts_cluster_manager(self) -> bool:
+        """Does *this* node host the cluster-manager role?"""
+        return self.kernel.node_id == self.kernel.config.cluster_manager_node
+
+    # ------------------------------------------------------------------
+    # Membership / wiring / inspection
+    # ------------------------------------------------------------------
+
+    def on_membership_change(self, joined: List[int],
+                             left: List[int]) -> None:
+        """The live member set changed (join/leave/death/recovery)."""
+
+    def wire_routes(self, router: "MessageRouter") -> None:
+        """Register strategy-specific wire routes."""
+
+    def report(self) -> Dict[str, Any]:
+        """Inspection snapshot for ``tools/inspect.py``."""
+        return {"strategy": self.name}

@@ -1,0 +1,208 @@
+"""TieredPlacement: the paper's four-tier location chain (Section 3.2).
+
+"To locate a region, a Khazana node consults, in order: its local
+region directory, its cluster manager, and the global address map" —
+with the cluster walk of Section 3.1 as the failure fallback.  The
+four tiers are visible in :attr:`DaemonStats.lookup_tiers` as
+``directory`` / ``cluster`` / ``intercluster`` / ``map`` / ``walk``.
+
+The strategy also owns the *hint advertising* side of the chain: a
+node lazily tells its cluster manager which regions it caches, so
+later lookups from other nodes resolve at tier 2 instead of walking
+the map.  This is a verbatim move of the pre-seam
+``LocationService`` — bit-identical on the A1/scalability benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict
+
+from repro.core.errors import RegionNotFound
+from repro.core.placement.base import (
+    LOOKUP_POLICY,
+    PlacementStrategy,
+    ProtocolGen,
+)
+from repro.core.region import RegionDescriptor
+from repro.net.message import Message, MessageType
+from repro.net.rpc import RemoteError, RpcTimeout
+
+if TYPE_CHECKING:
+    from repro.core.kernel import NodeKernel
+
+
+class TieredPlacement(PlacementStrategy):
+    """Resolves addresses through the paper's tier chain; places
+    regions locality-first and publishes caching hints to the
+    cluster-manager role."""
+
+    name = "tiered"
+
+    def __init__(self, kernel: "NodeKernel") -> None:
+        super().__init__(kernel)
+        #: Regions this node has already advertised to its manager.
+        self._hinted_rids: set = set()
+
+    # ------------------------------------------------------------------
+    # The four-tier lookup chain
+    # ------------------------------------------------------------------
+
+    def locate_region(self, address: int,
+                      skip_directory: bool = False) -> ProtocolGen:
+        """Resolve the region descriptor covering ``address``.
+
+        Tier 1: the local region directory.  Tier 2: the cluster
+        manager's hint cache.  Tier 3: the address-map tree walk plus a
+        descriptor fetch from a home node.  Tier 4 (failure fallback,
+        Section 3.1): the cluster walk, asking every known peer.
+        """
+        kernel = self.kernel
+        if not skip_directory:
+            cached = kernel.region_directory.find_covering(address)
+            if cached is not None:
+                kernel.stats.tier("directory")
+                return cached
+
+        if kernel.config.use_cluster_hints:
+            found = yield from self._locate_via_cluster_manager(address)
+            if found is not None:
+                desc, via = found
+                kernel.stats.tier(
+                    "intercluster" if via == "intercluster" else "cluster"
+                )
+                kernel.region_directory.insert(desc)
+                return desc
+
+        desc = yield from self._locate_via_address_map(address)
+        if desc is not None:
+            kernel.stats.tier("map")
+            kernel.region_directory.insert(desc)
+            self.advertise_caching(desc)
+            return desc
+
+        desc = yield from self._cluster_walk(address)
+        if desc is not None:
+            kernel.stats.tier("walk")
+            kernel.region_directory.insert(desc)
+            return desc
+
+        raise RegionNotFound(
+            f"no reserved region covers address {address:#x}"
+        )
+
+    def _locate_via_cluster_manager(self, address: int) -> ProtocolGen:
+        """Tiers 2-3: local cluster manager, then peer clusters.
+
+        Returns ``(descriptor, via)`` or None; ``via`` distinguishes a
+        local-cluster hint from an inter-cluster answer for the stats.
+        """
+        kernel = self.kernel
+        if kernel.cluster_role is not None:
+            hint = kernel.cluster_role.lookup_hint(address)
+            if hint is not None:
+                return hint[0], "local"
+            # This node IS the manager: ask peer-cluster managers.
+            for manager in kernel.config.peer_managers:
+                try:
+                    reply = yield kernel.rpc.request(
+                        manager, MessageType.CM_HINT_QUERY,
+                        {"address": address, "no_forward": True},
+                        policy=LOOKUP_POLICY,
+                    )
+                except (RpcTimeout, RemoteError):
+                    continue
+                desc = RegionDescriptor.from_wire(reply.payload["descriptor"])
+                for node in reply.payload.get("nodes", []):
+                    kernel.cluster_role.note_region_cached(desc, int(node))
+                return desc, "intercluster"
+            return None
+        manager = self.manager_node
+        try:
+            reply = yield kernel.rpc.request(
+                manager, MessageType.CM_HINT_QUERY, {"address": address},
+                policy=LOOKUP_POLICY,
+            )
+        except (RpcTimeout, RemoteError):
+            return None
+        return (
+            RegionDescriptor.from_wire(reply.payload["descriptor"]),
+            reply.payload.get("via", "local"),
+        )
+
+    # ------------------------------------------------------------------
+    # Hint advertising (feeding tier 2)
+    # ------------------------------------------------------------------
+
+    def advertise_caching(self, desc: RegionDescriptor) -> None:
+        """Lazily tell the cluster manager we now cache this region."""
+        kernel = self.kernel
+        if not kernel.config.use_cluster_hints:
+            return
+        if desc.rid in self._hinted_rids:
+            return
+        self._hinted_rids.add(desc.rid)
+        if kernel.cluster_role is not None:
+            kernel.cluster_role.note_region_cached(desc, kernel.node_id)
+            return
+        kernel.rpc.send(
+            Message(
+                msg_type=MessageType.CM_HINT_UPDATE,
+                src=kernel.node_id,
+                dst=self.manager_node,
+                payload={"descriptor": desc.to_wire()},
+            )
+        )
+
+    def readvertise(self, desc: RegionDescriptor) -> None:
+        """Refresh the manager's hint after the descriptor changed
+        (allocation, resize, migration) so later lookups from other
+        nodes see the new one."""
+        self._hinted_rids.discard(desc.rid)
+        self.advertise_caching(desc)
+
+    def retract(self, desc: RegionDescriptor) -> None:
+        """Withdraw this node's caching hint for a gone region."""
+        kernel = self.kernel
+        if desc.rid not in self._hinted_rids:
+            return
+        self._hinted_rids.discard(desc.rid)
+        if kernel.cluster_role is not None:
+            kernel.cluster_role.note_region_dropped(desc.rid, kernel.node_id)
+        else:
+            kernel.rpc.send(
+                Message(
+                    msg_type=MessageType.CM_HINT_UPDATE,
+                    src=kernel.node_id,
+                    dst=self.manager_node,
+                    payload={"descriptor": desc.to_wire(), "dropped": True},
+                )
+            )
+
+    def note_migrated(self, new_desc: RegionDescriptor) -> None:
+        """Primary-side migration: point the manager's hint at the new
+        primary so tier-2 lookups chase the region, not the old home."""
+        kernel = self.kernel
+        manager = self.manager_node
+        if manager is not None and manager != kernel.node_id:
+            kernel.rpc.send(
+                Message(
+                    msg_type=MessageType.CM_HINT_UPDATE,
+                    src=kernel.node_id,
+                    dst=manager,
+                    payload={"descriptor": new_desc.to_wire()},
+                )
+            )
+        elif kernel.cluster_role is not None:
+            kernel.cluster_role.note_region_cached(
+                new_desc, new_desc.home_nodes[0]
+            )
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    def report(self) -> Dict[str, Any]:
+        doc = super().report()
+        doc["hinted_regions"] = len(self._hinted_rids)
+        doc["manager_node"] = self.manager_node
+        return doc

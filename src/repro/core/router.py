@@ -324,3 +324,6 @@ class MessageRouter:
                 kernel.cluster_role.handle_hint_update)
             reg(MessageType.FREE_SPACE_REPORT,
                 kernel.cluster_role.handle_free_space_report)
+        # Strategy-specific routes (e.g. ring placement's RING_QUERY /
+        # RING_PUBLISH and the membership join/update protocol).
+        kernel.placement.wire_routes(self)

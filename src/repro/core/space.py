@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import logging
 
-from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional
 
 from repro.core.addressing import AddressRange
 from repro.core.allocator import DEFAULT_CHUNK_SIZE
@@ -26,7 +26,7 @@ from repro.core.errors import (
     RegionInUse,
     error_from_code,
 )
-from repro.core.location import LOOKUP_POLICY
+from repro.core.placement.base import LOOKUP_POLICY
 from repro.core.region import RegionDescriptor
 from repro.core.security import Right, SYSTEM_PRINCIPAL
 from repro.net.message import Message, MessageType
@@ -74,7 +74,7 @@ class SpaceService:
                     "space pool empty immediately after a chunk grant"
                 )
 
-        homes = self._choose_homes(attrs.min_replicas)
+        homes = kernel.placement.choose_homes(carved, attrs.min_replicas)
         desc = RegionDescriptor(
             range=carved, attrs=attrs, home_nodes=homes, allocated=False
         )
@@ -97,7 +97,7 @@ class SpaceService:
     def _refill_pool(self, size: int) -> ProtocolGen:
         """Obtain a chunk of unreserved space (Section 3.1)."""
         kernel = self.kernel
-        manager = kernel.config.cluster_manager_node
+        manager = kernel.cluster_manager_node
         if kernel.cluster_role is not None:
             chunk = yield from kernel.cluster_role.delegate_chunk(
                 kernel.node_id, max(size, DEFAULT_CHUNK_SIZE)
@@ -123,17 +123,6 @@ class SpaceService:
             int(reply.payload["start"]), int(reply.payload["length"])
         )
         kernel.space_pool.add(chunk)
-
-    def _choose_homes(self, min_replicas: int) -> Tuple[int, ...]:
-        """Pick home nodes: this node first, then alive peers."""
-        kernel = self.kernel
-        homes: List[int] = [kernel.node_id]
-        for peer in kernel.detector.alive_peers():
-            if len(homes) >= min_replicas:
-                break
-            if peer != kernel.node_id:
-                homes.append(peer)
-        return tuple(homes)
 
     def op_unreserve(self, rid: int) -> ProtocolGen:
         """Release a region and reclaim its storage (release-type)."""
@@ -168,7 +157,7 @@ class SpaceService:
             )
         kernel.region_directory.invalidate(rid)
         kernel.homed_regions.pop(rid, None)
-        kernel.location.retract(desc)
+        kernel.placement.note_unreserved(desc)
         return None
 
     def _request_once(self, dst: int, msg_type: MessageType,
@@ -265,6 +254,9 @@ class SpaceService:
         for page_addr in desc.pages_covering(subrange):
             kernel.storage.drop(page_addr)
             kernel.page_directory.drop(page_addr)
+        if not kernel.page_directory.entries_for_region(desc.rid):
+            # Freed the region's last local page: stop advertising it.
+            kernel.placement.retract(desc)
 
     def op_resize_region(self, rid: int, new_size: int) -> ProtocolGen:
         """Grow or shrink a region in place.
@@ -408,18 +400,7 @@ class SpaceService:
                     payload={"descriptor": new_desc.to_wire()},
                 )
             )
-        manager = kernel.cluster_manager_node
-        if manager is not None and manager != kernel.node_id:
-            kernel.rpc.send(
-                Message(
-                    msg_type=MessageType.CM_HINT_UPDATE,
-                    src=kernel.node_id,
-                    dst=manager,
-                    payload={"descriptor": new_desc.to_wire()},
-                )
-            )
-        elif kernel.cluster_role is not None:
-            kernel.cluster_role.note_region_cached(new_desc, new_primary)
+        kernel.placement.note_migrated(new_desc)
         kernel.retry_queue.enqueue(
             lambda: kernel.address_map.update_homes(new_desc.range,
                                                     new_homes),

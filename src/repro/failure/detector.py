@@ -54,6 +54,9 @@ class FailureDetector:
             node: PeerHealth(node_id=node) for node in peers
             if node != rpc.node_id
         }
+        #: When set, only these peers are actively pinged (ring-
+        #: successor-style focused liveness); None pings everyone.
+        self._focus: Optional[List[int]] = None
         self._on_death: List[DeathListener] = []
         self._on_recovery: List[RecoveryListener] = []
         self._timer: Optional[EventHandle] = None
@@ -83,6 +86,15 @@ class FailureDetector:
     def remove_peer(self, node_id: int) -> None:
         self._peers.pop(node_id, None)
 
+    def set_focus(self, peers: Optional[List[int]]) -> None:
+        """Restrict active pinging to ``peers`` (ring-successor-style:
+        each member watches only its few ring successors, so liveness
+        traffic stays O(1) per member as the system grows).  Deaths of
+        unfocused peers arrive through :meth:`declare_dead` — e.g.
+        gossiped membership updates.  ``None`` restores all-peer
+        pinging."""
+        self._focus = None if peers is None else list(peers)
+
     def declare_dead(self, node_id: int) -> None:
         """Administratively mark a peer dead (clean departure): death
         listeners fire immediately instead of waiting out the pings."""
@@ -92,6 +104,24 @@ class FailureDetector:
         peer.alive = False
         peer.consecutive_misses = self.miss_threshold
         for listener in self._on_death:
+            listener(node_id)
+
+    def declare_alive(self, node_id: int) -> None:
+        """Administratively mark a peer alive (e.g. a membership join
+        or gossip vouched for it): recovery listeners fire immediately
+        instead of waiting for this node's own pings — which, under
+        focused pinging, may never probe the peer at all."""
+        if node_id == self.rpc.node_id:
+            return
+        peer = self._peers.get(node_id)
+        if peer is None:
+            self.add_peer(node_id)
+            return
+        if peer.alive:
+            return
+        peer.alive = True
+        peer.consecutive_misses = 0
+        for listener in self._on_recovery:
             listener(node_id)
 
     def alive_peers(self) -> List[int]:
@@ -127,7 +157,11 @@ class FailureDetector:
     def _round(self) -> None:
         if not self._running:
             return
-        for peer in list(self._peers.values()):
+        targets = list(self._peers.values())
+        if self._focus is not None:
+            focus = set(self._focus)
+            targets = [peer for peer in targets if peer.node_id in focus]
+        for peer in targets:
             future = self.rpc.request(
                 peer.node_id, MessageType.PING, {}, policy=PING_POLICY
             )

@@ -73,6 +73,14 @@ class MessageType(str, enum.Enum):
     PING = "ping"
     PONG = "pong"
 
+    # --- Hash-ring placement & membership (repro/core/placement) ---
+    RING_QUERY = "ring_query"                # ask a bucket director for a descriptor
+    RING_REPLY = "ring_reply"
+    RING_PUBLISH = "ring_publish"            # home/cacher -> director record
+    MEMBER_JOIN = "member_join"              # newcomer -> any member
+    MEMBER_WELCOME = "member_welcome"        # member list back to the newcomer
+    MEMBER_UPDATE = "member_update"          # gossip a join/leave delta
+
     # --- Application-level veneer traffic (e.g. the Section 4.2
     # object runtime's remote method invocations) ---
     APP_REQUEST = "app_request"
@@ -101,6 +109,8 @@ REPLY_TYPES = frozenset(
         MessageType.UPDATE_ACK_BATCH,
         MessageType.REPLICA_ACK,
         MessageType.PONG,
+        MessageType.RING_REPLY,
+        MessageType.MEMBER_WELCOME,
         MessageType.APP_REPLY,
         MessageType.ERROR,
     }

@@ -11,6 +11,7 @@ from repro.tools.inspect import (
     cluster_summary,
     engine_report,
     latency_report,
+    placement_report,
     region_report,
     storage_report,
 )
@@ -21,6 +22,7 @@ __all__ = [
     "cluster_summary",
     "engine_report",
     "latency_report",
+    "placement_report",
     "region_report",
     "storage_report",
 ]

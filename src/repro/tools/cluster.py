@@ -20,6 +20,11 @@ Modes:
   clean.
 - ``--serve --node I``: host daemon I (used for the spawned children;
   rarely invoked by hand).
+- ``--peers host:port,...``: a multi-machine address book.  Each
+  machine hosting daemon I runs ``--serve --node I --peers <spec>``
+  with the identical spec; the machine running without ``--serve``
+  becomes the client (the spec's final entry) and drives the same
+  workload/fsck pass over the wide-area deployment.
 """
 
 from __future__ import annotations
@@ -65,6 +70,42 @@ def address_book(num_daemons: int, base_port: int) -> Dict[int, Tuple[str, int]]
         node: ("127.0.0.1", base_port + node)
         for node in range(num_daemons + 1)
     }
+
+
+def parse_peers(spec: str) -> Dict[int, Tuple[str, int]]:
+    """Parse ``host:port,host:port,...`` into an address book.
+
+    Entry *i* addresses daemon *i*; the final entry addresses the
+    client node — the multi-machine replacement for the localhost
+    book of :func:`address_book`.  Every participating process must be
+    handed the identical spec.
+    """
+    entries = [entry.strip() for entry in spec.split(",") if entry.strip()]
+    if len(entries) < 2:
+        raise ValueError(
+            "--peers needs at least two host:port entries "
+            "(one daemon plus the client)"
+        )
+    book: Dict[int, Tuple[str, int]] = {}
+    for node, entry in enumerate(entries):
+        host, sep, port = entry.rpartition(":")
+        if not sep or not host:
+            raise ValueError(
+                f"bad --peers entry {entry!r}: want host:port"
+            )
+        try:
+            book[node] = (host, int(port))
+        except ValueError:
+            raise ValueError(f"bad --peers port in {entry!r}") from None
+    return book
+
+
+def resolve_book(args: argparse.Namespace) -> Dict[int, Tuple[str, int]]:
+    """The address book this invocation runs against: ``--peers`` when
+    given, otherwise the localhost book."""
+    if getattr(args, "peers", None):
+        return parse_peers(args.peers)
+    return address_book(args.nodes, args.base_port)
 
 
 def default_base_port() -> int:
@@ -265,9 +306,10 @@ def register_control(daemon: KhazanaDaemon, runtime: AsyncioRuntime) -> None:
 
 
 def serve(args: argparse.Namespace) -> int:
-    book = address_book(args.nodes, args.base_port)
+    book = resolve_book(args)
+    num_daemons = len(book) - 1
     runtime, daemon = build_node(args.node, book)
-    daemon.bootstrap_system_region(peers=list(range(args.nodes + 1)))
+    daemon.bootstrap_system_region(peers=list(range(num_daemons + 1)))
     register_control(daemon, runtime)
     print("READY", flush=True)
     try:
@@ -340,18 +382,19 @@ def run_workload(session: KhazanaSession, protocol: str, home_node: int,
 
 
 def run_client(args: argparse.Namespace) -> int:
-    book = address_book(args.nodes, args.base_port)
-    client_node = args.nodes
+    book = resolve_book(args)
+    num_daemons = len(book) - 1
+    client_node = num_daemons
     runtime, daemon = build_node(client_node, book)
     driver = AsyncioDriver(runtime, timeout=args.op_timeout)
     session = KhazanaSession(daemon, driver, principal="cluster-smoke")
-    daemon.bootstrap_system_region(peers=list(range(args.nodes + 1)))
+    daemon.bootstrap_system_region(peers=list(range(num_daemons + 1)))
 
     failures = 0
     try:
-        for peer in range(args.nodes):
+        for peer in range(num_daemons):
             _control(runtime, daemon, peer, "ping")
-        print(f"cluster: {args.nodes} daemon(s) answering", flush=True)
+        print(f"cluster: {num_daemons} daemon(s) answering", flush=True)
 
         for protocol in args.workload.split(","):
             outcome = run_workload(
@@ -367,7 +410,7 @@ def run_client(args: argparse.Namespace) -> int:
 
         snapshots = [
             _control(runtime, daemon, peer, "snapshot")["snapshot"]
-            for peer in range(args.nodes)
+            for peer in range(num_daemons)
         ]
         snapshots.append(snapshot_node(daemon))
         report = fsck.check_cluster(SnapshotCluster(snapshots))
@@ -385,7 +428,7 @@ def run_client(args: argparse.Namespace) -> int:
         logger.exception("cluster workload failed")
         failures += 1
     finally:
-        for peer in range(args.nodes):
+        for peer in range(num_daemons):
             try:
                 _control(runtime, daemon, peer, "shutdown", timeout=5.0)
             except Exception:
@@ -482,8 +525,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="pages per workload region")
     parser.add_argument("--op-timeout", type=float, default=30.0,
                         help="wall-clock bound per client operation")
+    parser.add_argument("--peers", default=None,
+                        help="comma-separated host:port address book: one "
+                             "entry per daemon plus a final entry for the "
+                             "client.  Replaces the localhost book; each "
+                             "daemon machine runs --serve --node I with the "
+                             "identical spec, and the machine running "
+                             "without --serve drives the workload")
     parser.add_argument("--serve", action="store_true",
-                        help="internal: host one daemon process")
+                        help="host one daemon process (used by the "
+                             "orchestrator's children, or by hand on each "
+                             "machine of a --peers deployment)")
     parser.add_argument("--node", type=int, default=0,
                         help="internal: which daemon to host")
     args = parser.parse_args(argv)
@@ -495,8 +547,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     for protocol in args.workload.split(","):
         if protocol.strip() not in _LEVELS:
             parser.error(f"unknown protocol {protocol!r}")
+    if args.peers:
+        try:
+            parse_peers(args.peers)
+        except ValueError as error:
+            parser.error(str(error))
     if args.serve:
         return serve(args)
+    if args.peers:
+        # Multi-machine mode: the daemons were started elsewhere with
+        # --serve --peers; this process only drives the workload.
+        return run_client(args)
     return orchestrate(args)
 
 

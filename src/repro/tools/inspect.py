@@ -56,15 +56,69 @@ def cluster_summary(cluster) -> Dict[str, Any]:
             agg["max"] = max(agg["max"], lat.max)
     for agg in latency.values():
         agg["mean"] = agg.pop("total") / agg["count"]
+    tiers: Dict[str, int] = {}
+    for node in cluster.node_ids():
+        for tier, count in cluster.daemon(node).stats.lookup_tiers.items():
+            tiers[tier] = tiers.get(tier, 0) + count
+    total_lookups = sum(tiers.values())
     stats = cluster.stats
     return {
         "nodes": len(cluster.node_ids()),
         "virtual_time": cluster.now,
+        "placement": cluster.daemon(cluster.node_ids()[0]).placement.name,
         "regions": sorted(regions.values(), key=lambda r: r["rid"]),
         "messages_sent": stats.messages_sent,
         "bytes_sent": stats.bytes_sent,
         "op_latency": {op: latency[op] for op in sorted(latency)},
+        "lookup_tiers": {t: tiers[t] for t in sorted(tiers)},
+        "tier_hit_rates": {
+            t: tiers[t] / total_lookups for t in sorted(tiers)
+        } if total_lookups else {},
     }
+
+
+#: Buckets sampled when sketching ring ownership balance.  Enough for
+#: the spread to be statistically meaningful at a few hundred members,
+#: small enough that the report stays instant.
+SPREAD_SAMPLE_BUCKETS = 4096
+
+
+def placement_report(cluster) -> Dict[str, Any]:
+    """How the placement strategy is spreading the load.
+
+    Per-node strategy snapshots plus cluster-wide aggregates: how many
+    regions each node primary-homes, and — for the hash ring — the
+    live membership and a sampled ownership spread (how many of
+    :data:`SPREAD_SAMPLE_BUCKETS` synthetic buckets each member would
+    direct, i.e. how balanced the ring is *before* any data lands).
+    """
+    nodes: Dict[int, Dict[str, Any]] = {}
+    primary_homes: Dict[int, int] = {}
+    for node in cluster.node_ids():
+        daemon = cluster.daemon(node)
+        nodes[node] = daemon.placement.report()
+        primary_homes[node] = sum(
+            1 for rid, desc in daemon.homed_regions.items()
+            if rid != SYSTEM_RID and desc.primary_home == node
+        )
+    doc: Dict[str, Any] = {
+        "strategy": next(iter(nodes.values()))["strategy"] if nodes
+        else None,
+        "nodes": nodes,
+        "primary_homes": primary_homes,
+    }
+    alive = sorted(
+        {m for row in nodes.values()
+         for m in row.get("alive_members", [])}
+    )
+    if alive:
+        from repro.core.placement.ring import DirectorTable
+
+        doc["alive_members"] = alive
+        doc["ring_spread"] = DirectorTable(
+            SPREAD_SAMPLE_BUCKETS, alive
+        ).spread()
+    return doc
 
 
 def region_report(cluster, rid: int) -> Dict[str, Any]:

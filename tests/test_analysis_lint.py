@@ -293,6 +293,48 @@ class TestRuntimeDeps:
         assert [f for f in findings if f.rule == "KHZ011"] == []
 
 
+class TestPlacementSeam:
+    def test_flags_manager_reads_and_ring_math(self):
+        findings = _lint_fixture(
+            "placement_seam.py.txt", "src/repro/core/fixture.py"
+        )
+        assert [f.rule for f in findings] == ["KHZ012"] * 4
+        messages = " ".join(f.message for f in findings)
+        assert "mix64" in messages               # import AND call
+        assert "cluster_manager_node" in messages
+        assert "director_of" not in messages     # suppressed import
+        lines = {f.line for f in findings}
+        assert 13 not in lines   # kernel.cluster_manager_node: property
+        assert 14 not in lines   # suppressed read
+        assert 15 not in lines   # Store context: configuring stays legal
+        assert 16 not in lines   # replace(...) keyword: a write, not a read
+
+    def test_placement_package_is_exempt(self):
+        findings = _lint_fixture(
+            "placement_seam.py.txt",
+            "src/repro/core/placement/fixture.py",
+        )
+        assert findings == []
+
+    def test_scope_limited_to_repro(self):
+        findings = _lint_fixture(
+            "placement_seam.py.txt", "elsewhere/fixture.py"
+        )
+        assert findings == []
+
+    def test_table_and_geometry_stay_importable(self):
+        # The churn benchmark measures DirectorTable itself, so the
+        # table and the address geometry are deliberately unfenced.
+        source = (
+            "from repro.core.placement.ring import (\n"
+            "    BUCKET_BYTES, DirectorTable, bucket_of)\n\n"
+            "TABLE = DirectorTable(BUCKET_BYTES // (1 << 20), [1, 2])\n"
+            "BUCKET = bucket_of(0)\n"
+        )
+        findings = lint_source(source, path="src/repro/bench/x.py")
+        assert findings == []
+
+
 class TestSuppressions:
     def test_empty_reason_is_itself_a_finding(self):
         source = (

@@ -9,8 +9,15 @@ subprocess overhead.
 
 from __future__ import annotations
 
+import argparse
+import socket
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
+import repro
 from repro.core.client import KhazanaSession
 from repro.net.aio import AsyncioDriver, AsyncioRuntime
 from repro.tools import fsck
@@ -19,7 +26,10 @@ from repro.tools.cluster import (
     address_book,
     build_node,
     node_config,
+    parse_peers,
     register_control,
+    resolve_book,
+    run_client,
     run_workload,
     snapshot_node,
 )
@@ -64,6 +74,68 @@ class TestAddressBook:
         book = address_book(3, 21000)
         assert sorted(book) == [0, 1, 2, 3]
         assert book[3] == ("127.0.0.1", 21003)
+
+
+class TestPeersBook:
+    def test_parse_multi_machine_spec(self):
+        book = parse_peers("10.0.0.1:7000, 10.0.0.2:7000 ,10.0.0.9:7100")
+        assert book == {
+            0: ("10.0.0.1", 7000),
+            1: ("10.0.0.2", 7000),
+            2: ("10.0.0.9", 7100),
+        }
+
+    def test_single_entry_rejected(self):
+        with pytest.raises(ValueError, match="at least two"):
+            parse_peers("10.0.0.1:7000")
+
+    def test_missing_port_rejected(self):
+        with pytest.raises(ValueError, match="host:port"):
+            parse_peers("10.0.0.1:7000,10.0.0.2")
+
+    def test_garbage_port_rejected(self):
+        with pytest.raises(ValueError, match="port"):
+            parse_peers("10.0.0.1:7000,10.0.0.2:smtp")
+
+    def test_resolve_book_prefers_peers(self):
+        args = argparse.Namespace(peers="h1:1,h2:2", nodes=5,
+                                  base_port=21000)
+        assert resolve_book(args) == {0: ("h1", 1), 1: ("h2", 2)}
+        args.peers = None
+        assert len(resolve_book(args)) == 6
+
+    def test_two_process_smoke_over_peers_book(self):
+        """The multi-machine shape, minimally: daemon 0 in its own
+        process, the client in this one, both handed the same --peers
+        spec instead of a computed localhost book."""
+        ports = []
+        for _ in range(2):
+            probe = socket.socket()
+            probe.bind(("127.0.0.1", 0))
+            ports.append(probe.getsockname()[1])
+            probe.close()
+        spec = f"127.0.0.1:{ports[0]},127.0.0.1:{ports[1]}"
+        src = str(Path(repro.__file__).resolve().parents[1])
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.tools.cluster",
+             "--serve", "--node", "0", "--peers", spec],
+            stdout=subprocess.PIPE, text=True,
+            env={"PYTHONPATH": src, "PATH": "/usr/bin:/bin"},
+        )
+        try:
+            assert proc.stdout is not None
+            assert proc.stdout.readline().strip() == "READY"
+            status = run_client(argparse.Namespace(
+                peers=spec, nodes=1, base_port=0, workload="crew",
+                ops=2, pages=2, op_timeout=30.0,
+            ))
+            assert status == 0
+            assert proc.wait(timeout=10.0) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+            if proc.stdout:
+                proc.stdout.close()
 
 
 class TestWorkloads:

@@ -337,3 +337,58 @@ class TestFaultInjection:
             RandomStrategy(0, loss_prob=0.5), budget=3
         )
         assert result.clean
+
+
+class CrashyStrategy(RandomStrategy):
+    """RandomStrategy plus budgeted crash/partition faults — the
+    shapes the ring's membership machinery exists to absorb."""
+
+    def __init__(self, seed: int, fault_prob: float = 0.15) -> None:
+        super().__init__(seed)
+        self.fault_prob = fault_prob
+
+    def choose(self, step, labels, budget):
+        choice = super().choose(step, labels, budget)
+        if self._run > 0 and choice.fault is None:
+            if budget.allows("crash") \
+                    and self._rng.random() < self.fault_prob:
+                return Choice(choice.index, {"kind": "crash"})
+            if budget.allows("partition") \
+                    and self._rng.random() < self.fault_prob:
+                return Choice(choice.index, {"kind": "partition"})
+        return choice
+
+
+class TestRingExploration:
+    """The ring placement backend under the explorer: reordered
+    schedules and budgeted crash/partition faults stay green."""
+
+    def test_perturbed_ring_schedules_stay_clean(self):
+        explorer = Explorer(
+            ExploreConfig(protocol="crew", scenario="single_page",
+                          num_nodes=2, placement="ring")
+        )
+        result = explorer.explore(RandomStrategy(0), budget=3)
+        assert result.clean
+        assert result.decision_points > 0
+
+    def test_ring_survives_crash_and_partition_budgets(self):
+        explorer = Explorer(
+            ExploreConfig(protocol="release", scenario="single_page",
+                          num_nodes=3, placement="ring",
+                          faults=FaultBudget(crash=1, partition=1))
+        )
+        result = explorer.explore(CrashyStrategy(0), budget=4)
+        assert result.clean
+
+    def test_schedule_dict_records_placement(self):
+        from repro.analysis.races import Violation
+
+        explorer = Explorer(
+            ExploreConfig(protocol="crew", scenario="single_page",
+                          num_nodes=2, placement="ring")
+        )
+        schedule = explorer.schedule_dict(
+            [], Violation(rule="x", detail="y"), RandomStrategy(0)
+        )
+        assert schedule["placement"] == "ring"

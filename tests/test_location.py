@@ -6,7 +6,7 @@ import pytest
 from repro.core.attributes import RegionAttributes
 from repro.core.daemon import DaemonConfig
 from repro.core.errors import RegionNotFound
-from repro.api import create_cluster
+from repro.api import create_cluster, create_hierarchy
 
 
 def reserve_on(cluster, node, size=4096):
@@ -95,6 +95,101 @@ class TestStaleness:
         kz3 = cluster.client(node=3)
         assert kz3.read_at(desc.rid, 4) == b"here"
         assert cluster.daemon(3).stats.lookup_tiers.get("walk", 0) >= 1
+
+
+class TestHintRetraction:
+    """Tier-2 hints must follow the data out: a node that stops
+    caching a region withdraws its hint, so the manager never serves
+    hints that cost every looker-up a wasted redirect."""
+
+    def test_unreserve_withdraws_manager_hint(self, cluster):
+        desc = reserve_on(cluster, node=1)
+        cluster.run(1.0)
+        role = cluster.daemon(0).cluster_role
+        assert role.lookup_hint(desc.rid) is not None
+        cluster.client(node=1).unreserve(desc.rid)
+        cluster.run(1.0)
+        assert role.lookup_hint(desc.rid) is None
+
+    def test_stale_hint_costs_one_fallthrough_not_wrong_answer(
+        self, cluster
+    ):
+        """After an unreserve the hint is gone; a later lookup pays at
+        most one failed hint RPC, then gets the authoritative answer
+        from the map — never a descriptor for a dead region."""
+        desc = reserve_on(cluster, node=1)
+        cluster.run(1.0)
+        cluster.client(node=1).unreserve(desc.rid)
+        cluster.run(1.0)
+        kz3 = cluster.client(node=3)
+        with pytest.raises(RegionNotFound):
+            kz3.read_at(desc.rid, 4)
+        tiers = cluster.daemon(3).stats.lookup_tiers
+        # One orderly fallthrough (hint miss -> map); no walk storm.
+        assert tiers.get("cluster", 0) == 0
+        assert tiers.get("walk", 0) == 0
+
+    def test_evicting_last_cached_page_retracts_hint(self, cluster):
+        desc = reserve_on(cluster, node=1)
+        cluster.run(1.0)
+        role = cluster.daemon(0).cluster_role
+        # Cold hints force node 3 through the map tier, which is the
+        # path that advertises node 3 as a cacher.
+        role._region_hints.clear()
+        kz3 = cluster.client(node=3)
+        kz3.read_at(desc.rid, 4)   # node 3 now caches and hints
+        cluster.run(1.0)
+        _, nodes = role.lookup_hint(desc.rid)
+        assert 3 in nodes
+        d3 = cluster.daemon(3)
+        for entry in list(d3.page_directory.entries_for_region(desc.rid)):
+            page = d3.storage.peek(entry.address)
+            assert page is not None
+            assert d3.data.on_disk_evict(page)
+            d3.data.drop_local_page(entry.address)
+        cluster.run(1.0)   # the dropped-hint update reaches the manager
+        hint = role.lookup_hint(desc.rid)
+        assert hint is None or 3 not in hint[1]
+        # The region itself is still perfectly reachable.
+        assert cluster.client(node=2).read_at(desc.rid, 4) == b"here"
+
+
+class TestClusterWalkFallback:
+    """Tier 4 (Section 3.1's cluster walk) under the two failure
+    shapes that disable the earlier remote tiers."""
+
+    def test_walk_when_manager_and_map_home_both_dead(self):
+        hierarchy = create_hierarchy([2, 2])
+        desc = reserve_on(hierarchy, node=1)
+        hierarchy.run(1.0)
+        # Node 3's cluster manager (node 2) and the map home /
+        # bootstrap (node 0) both die: tiers 2 and 3 are gone.
+        hierarchy.crash(2)
+        hierarchy.crash(0)
+        kz3 = hierarchy.client(node=3)
+        assert kz3.read_at(desc.rid, 4) == b"here"
+        assert hierarchy.daemon(3).stats.lookup_tiers.get("walk", 0) >= 1
+
+    def test_manager_side_lookup_survives_dead_peer_managers(self):
+        """A cluster manager whose peer managers all time out falls
+        through to the map cleanly instead of erroring."""
+        hierarchy = create_hierarchy([2, 2])
+        desc = reserve_on(hierarchy, node=3)
+        hierarchy.run(1.0)
+        hierarchy.crash(2)   # the only peer manager of node 0
+        kz0 = hierarchy.client(node=0)
+        assert kz0.read_at(desc.rid, 4) == b"here"
+        tiers = hierarchy.daemon(0).stats.lookup_tiers
+        assert tiers.get("map", 0) + tiers.get("walk", 0) >= 1
+
+    def test_walk_exhaustion_reports_region_not_found(self):
+        """Even with every remote tier dead, an address nobody has
+        reserved fails with the clean error, not a timeout blowup."""
+        cluster = create_cluster(num_nodes=3)
+        cluster.crash(0)
+        kz2 = cluster.client(node=2)
+        with pytest.raises(RegionNotFound):
+            kz2.read_at(0x7777777770000, 4)
 
 
 class TestSystemRegionBootstrap:

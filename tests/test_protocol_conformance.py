@@ -12,8 +12,10 @@ availability-first protocols do not).
 
 import pytest
 
+from repro.api import create_cluster
 from repro.core.addressing import AddressRange
 from repro.core.attributes import RegionAttributes
+from repro.core.daemon import DaemonConfig
 from repro.core.errors import InvalidLockContext
 from repro.core.locks import LockMode
 
@@ -145,6 +147,107 @@ class TestNodeFailureMidAcquire:
             assert data == b"durable"
         else:
             assert len(data) == 7
+
+
+# --- The same matrix over the hash ring, with mid-scenario churn ------------
+#
+# Every scenario above assumed a fixed member set.  Under the ring
+# placement a node can join mid-scenario: directors move, regions
+# re-home, and the protocols must neither lose writes nor deadlock.
+# Each scenario calls ``churn()`` at its most inconvenient point.
+
+
+def _ring_cluster(num_nodes):
+    return create_cluster(num_nodes=num_nodes,
+                          config=DaemonConfig(placement="ring"))
+
+
+def _scenario_single_page(cluster, protocol, churn):
+    kz, desc = make_region(cluster, protocol)
+    kz.write_at(desc.rid, b"published")
+    churn()   # the write's home may re-home before the remote read
+    cluster.run(2.0)
+    assert cluster.client(node=3).read_at(desc.rid, 9) == b"published"
+
+
+def _scenario_multi_page_batch(cluster, protocol, churn):
+    size = 4 * PAGE
+    kz1, desc = make_region(cluster, protocol, size=size)
+    kz1.write_at(desc.rid, b"a" * size)
+    churn()   # between publish and the remote batch cycle
+    kz3 = cluster.client(node=3)
+    ctx = kz3.lock(desc.rid, size, LockMode.WRITE)
+    assert kz3.read(ctx, desc.rid, size) == b"a" * size
+    kz3.write(ctx, desc.rid, b"b" * size)
+    kz3.unlock(ctx)
+    cluster.run(4.0)
+    assert cluster.client(node=0).read_at(desc.rid, 4) == b"bbbb"
+
+
+def _scenario_conflicting_writers(cluster, protocol, churn):
+    kz1, desc = make_region(cluster, protocol)
+    kz1.write_at(desc.rid, b"base")
+    kz3 = cluster.client(node=3)
+    kz3.read_at(desc.rid, 4)
+    ctx = kz1.lock(desc.rid, PAGE, LockMode.WRITE)
+    future = kz3.submit(locked_write(kz3, desc, b"from-3"), "bg-write")
+    churn()   # membership changes while a writer holds the token
+    cluster.run(2.0)
+    if protocol in SERIALIZED:
+        assert not future.done
+    kz1.write(ctx, desc.rid, b"from-1")
+    kz1.unlock(ctx)
+    cluster.run(30.0)
+    assert future.done and future.exception() is None
+
+
+def _scenario_failure_mid_acquire(cluster, protocol, churn):
+    kz1, desc = make_region(cluster, protocol, min_replicas=2)
+    cluster.client(node=3).write_at(desc.rid, b"durable")
+    cluster.run(2.0)
+    churn()   # re-homing may be mid-flight when the primary dies
+    primary = next(
+        node for node in cluster.node_ids()
+        if (d := cluster.daemon(node).homed_regions.get(desc.rid))
+        is not None and d.primary_home == node
+    )
+    cluster.crash(primary)
+    reader = 5 if primary != 5 else 4
+    assert len(cluster.client(node=reader).read_at(desc.rid, 7)) == 7
+
+
+def _scenario_unlock_after_close(cluster, protocol, churn):
+    kz, desc = make_region(cluster, protocol)
+    ctx = kz.lock(desc.rid, PAGE, LockMode.READ)
+    churn()   # an open context straddles the membership change
+    kz.unlock(ctx)
+    with pytest.raises(InvalidLockContext):
+        kz.unlock(ctx)
+
+
+RING_CHURN_SCENARIOS = {
+    "single_page": (4, _scenario_single_page),
+    "multi_page_batch": (4, _scenario_multi_page_batch),
+    "conflicting_writers": (4, _scenario_conflicting_writers),
+    "failure_mid_acquire": (8, _scenario_failure_mid_acquire),
+    "unlock_after_close": (4, _scenario_unlock_after_close),
+}
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+@pytest.mark.parametrize("scenario", sorted(RING_CHURN_SCENARIOS))
+class TestRingChurnMatrix:
+    def test_scenario_survives_mid_run_join(self, scenario, protocol):
+        num_nodes, run_scenario = RING_CHURN_SCENARIOS[scenario]
+        cluster = _ring_cluster(num_nodes)
+        before = len(cluster.node_ids())
+
+        def churn():
+            cluster.add_node()
+            cluster.run(1.0)   # join gossip in flight, not settled
+
+        run_scenario(cluster, protocol, churn)
+        assert len(cluster.node_ids()) == before + 1
 
 
 @pytest.mark.parametrize("protocol", PROTOCOLS)

@@ -10,6 +10,7 @@ from repro.tools import (
     cluster_summary,
     engine_report,
     latency_report,
+    placement_report,
     region_report,
     storage_report,
 )
@@ -176,6 +177,56 @@ class TestInspect:
             for counters in row["protocols"].values()
         )
         assert total_home > 0
+
+
+class TestPlacementReport:
+    def test_summary_aggregates_tier_hit_rates(self):
+        cluster, _ = exercised_cluster()
+        summary = cluster_summary(cluster)
+        assert summary["placement"] == "tiered"
+        tiers = summary["lookup_tiers"]
+        assert tiers.get("directory", 0) >= 1
+        rates = summary["tier_hit_rates"]
+        assert set(rates) == set(tiers)
+        assert abs(sum(rates.values()) - 1.0) < 1e-9
+        assert all(0.0 < r <= 1.0 for r in rates.values())
+
+    def test_tiered_rows_name_the_manager(self):
+        cluster, _ = exercised_cluster()
+        report = placement_report(cluster)
+        assert report["strategy"] == "tiered"
+        assert set(report["nodes"]) == set(cluster.node_ids())
+        assert report["nodes"][1]["manager_node"] == 0
+        # Node 1 reserved every region, so it primary-homes them all.
+        assert report["primary_homes"][1] >= 1
+        # No ring, no spread.
+        assert "ring_spread" not in report
+
+    def test_ring_rows_show_membership_and_spread(self):
+        from repro.core.daemon import DaemonConfig
+
+        cluster = create_cluster(
+            num_nodes=4, config=DaemonConfig(placement="ring")
+        )
+        kz1 = cluster.client(node=1)
+        desc = kz1.reserve(4096)
+        kz1.allocate(desc.rid)
+        kz1.write_at(desc.rid, b"ring")
+        cluster.client(node=3).read_at(desc.rid, 4)
+        cluster.run(2.0)
+        report = placement_report(cluster)
+        assert report["strategy"] == "ring"
+        assert report["alive_members"] == [0, 1, 2, 3]
+        spread = report["ring_spread"]
+        assert set(spread) == {0, 1, 2, 3}
+        assert sum(spread.values()) > 0
+        mean = sum(spread.values()) / len(spread)
+        assert all(0.5 * mean <= n <= 1.6 * mean
+                   for n in spread.values())
+        # The ring tier shows up in the summary's aggregate rates.
+        summary = cluster_summary(cluster)
+        assert summary["placement"] == "ring"
+        assert summary["lookup_tiers"].get("ring", 0) >= 1
 
 
 class TestTokenLedgerInvariant:
