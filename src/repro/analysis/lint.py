@@ -76,6 +76,11 @@ cannot know:
   ``config.cluster_manager_node`` or import/call the rendezvous ring
   math; placement decisions go through the
   :class:`~repro.core.placement.PlacementStrategy` seam.
+- **KHZ013 static-table** (in :mod:`repro.analysis.lint_protocol`)
+  — ``TRANSITIONS`` tables and ``PageEvent``/``MessageType`` dispatch
+  maps must stay statically extractable: pure literals, no runtime
+  mutation or computed keys, so the Layer 5 protocol verifier
+  (:mod:`repro.analysis.protocol`) always sees the real automaton.
 
 Suppression: append ``# khz: allow-<slug>(reason)`` to the flagged
 line.  The reason is mandatory; an empty one is itself an error.
@@ -83,7 +88,7 @@ Slugs: ``blocking-call``, ``unhandled-message``, ``missing-fallback``,
 ``reply-class``, ``broad-except``, ``stale-context``,
 ``foreign-exception``, ``private-daemon-attr``, ``direct-wire``,
 ``direct-scheduler``, ``copy``, ``spawn-label``, ``runtime-dep``,
-``placement-seam``.
+``placement-seam``, ``static-table``.
 
 The whole-program flow analyzer (:mod:`repro.analysis.flow`) layers
 interprocedural checks (KHZ101 lock-order, KHZ102 reply-path, KHZ103
@@ -837,6 +842,7 @@ def lint_files(files: Sequence[SourceFile]) -> List[Finding]:
     """Run every rule over parsed files; returns sorted findings."""
     # Local import: lint_placement borrows this module's AST helpers.
     from repro.analysis.lint_placement import check_placement_seam
+    from repro.analysis.lint_protocol import check_static_tables
 
     reporter = _Reporter()
     taxonomy = _taxonomy_names()
@@ -852,6 +858,7 @@ def lint_files(files: Sequence[SourceFile]) -> List[Finding]:
         check_spawn_labels(sf, reporter)
         check_runtime_deps(sf, reporter)
         check_placement_seam(sf, reporter)
+        check_static_tables(sf, reporter)
     check_message_completeness(files, reporter)
     return sorted(reporter.findings, key=lambda f: (f.path, f.line, f.rule))
 

@@ -1,0 +1,72 @@
+"""repro.analysis.protocol — static verification of the CM automata.
+
+Layer 5 of the correctness stack: above the per-file AST linter,
+race detector, schedule explorer, and whole-program flow analyzer
+sits a *protocol verifier* that never runs the system at all.  It
+rebuilds each consistency manager's per-page automaton from two
+literal, KHZ013-fenced surfaces — the CM's ``TRANSITIONS`` table and
+``MessageRouter.wire``'s ``cm_dispatch`` registrations — then checks
+the model, not the execution:
+
+* KHZ201 (slugs ``absorb`` / ``undeclared-event`` /
+  ``unreachable-transition`` / ``dynamic-event`` / ``static-table``)
+  — transition completeness: no routed message can be silently
+  dropped, no fired event can be undeclared, no declared transition
+  can be dead.
+* KHZ202 (slug ``unproved-invariant``) — abstract-interpretation
+  proofs of CREW single-writer and write-token conservation, with a
+  human-readable proof trace in the report.
+* KHZ203 (slugs ``undeclared-transition`` / ``token-without-grant``
+  / ``raw-page-state``) — engine-contract conformance for handlers
+  reachable from ``cm_dispatch``.
+* KHZ204 — the automaton edge list the conformance matrix measures
+  its coverage against (``repro.analysis.protocol.coverage``).
+
+Run it as ``python -m repro.analysis.protocol src/``.  Findings
+honor the same ``# khz: allow-<slug>(reason)`` suppressions as the
+linter, and ``--format json`` emits a SARIF-shaped report with the
+proofs and edge lists embedded.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.analysis.flow.callgraph import CallGraph
+from repro.analysis.lint import Finding, _Reporter
+from repro.analysis.protocol.effects import ModelSlice, Summarizer, build_slice
+from repro.analysis.protocol.model import (
+    ProtocolModel,
+    Route,
+    extract_models,
+    extract_routes,
+)
+from repro.analysis.protocol.prove import Proof, prove_invariants
+from repro.analysis.protocol.rules import (
+    check_completeness,
+    check_engine_contract,
+)
+from repro.analysis.sources import SourceFile
+
+__all__ = ["verify", "Finding", "ProtocolModel", "Proof", "Route"]
+
+
+def verify(
+    files: Sequence[SourceFile],
+) -> Tuple[List[Finding], List[ProtocolModel], List[Proof]]:
+    """Extract every CM automaton from ``files`` and verify it."""
+    graph = CallGraph(files)
+    summarizer = Summarizer(graph)
+    models = extract_models(graph)
+    routes = extract_routes(graph)
+    slices: List[ModelSlice] = [
+        build_slice(graph, summarizer, model, routes)
+        for model in models
+    ]
+    reporter = _Reporter()
+    check_completeness(graph, slices, routes, files, reporter)
+    check_engine_contract(graph, slices, routes, files, reporter)
+    proofs = prove_invariants(graph, summarizer, slices, files,
+                              reporter)
+    reporter.findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return reporter.findings, models, proofs

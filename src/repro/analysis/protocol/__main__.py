@@ -1,0 +1,114 @@
+"""CLI driver: ``python -m repro.analysis.protocol [paths...]``.
+
+Exit status 1 when any finding survives suppression or an invariant
+proof fails — the CI gate.
+
+``--mutate drop-transition`` deletes the INVALIDATE entry from
+crew's ``TRANSITIONS`` table in an in-memory copy before verifying:
+the routed invalidation handler still fires the event, so KHZ203
+must flag the now-undeclared state change (and KHZ201 the dead
+route).  CI runs the verifier twice — once clean, once negated with
+the mutation — so a verifier gone blind trips the gate, mirroring
+the flow analyzer's descending-acquire self-check.
+
+``--edges-out`` writes the KHZ204 edge list as JSON for the
+conformance suite (and anything else) to diff coverage against.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.analysis import sources
+from repro.analysis.protocol import verify
+from repro.analysis.protocol.coverage import edge_report
+from repro.analysis.protocol.report import render_json, render_text
+from repro.analysis.sources import SourceFile
+
+MUTATIONS = {
+    "drop-transition": {
+        "file": "consistency/crew.py",
+        "needle": "        PageEvent.INVALIDATE: LocalPageState."
+                  "INVALID,\n",
+        "replacement": "",
+    },
+}
+
+
+def _apply_mutation(files: List[SourceFile], name: str) -> None:
+    spec = MUTATIONS[name]
+    for index, sf in enumerate(files):
+        if not sf.path.endswith(spec["file"]):
+            continue
+        if spec["needle"] not in sf.source:
+            raise SystemExit(
+                f"mutation {name}: needle {spec['needle']!r} not found "
+                f"in {sf.path}; the mutation target moved — update "
+                "MUTATIONS"
+            )
+        mutated = sf.source.replace(spec["needle"], spec["replacement"],
+                                    1)
+        files[index] = SourceFile.parse(sf.path, mutated)
+        return
+    raise SystemExit(
+        f"mutation {name}: no analyzed file ends with {spec['file']!r}"
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.protocol",
+        description="static consistency-automaton verification "
+                    "(KHZ201-KHZ204)",
+    )
+    parser.add_argument("paths", nargs="*", default=["src/"],
+                        help="files or directories to verify "
+                             "(default: src/)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", dest="fmt")
+    parser.add_argument("--out", default=None,
+                        help="write the report to a file as well as "
+                             "stdout summary")
+    parser.add_argument("--edges-out", default=None,
+                        help="write the KHZ204 automaton edge list "
+                             "as JSON")
+    parser.add_argument("--mutate", choices=sorted(MUTATIONS),
+                        default=None,
+                        help="seed a known bug before verifying (the "
+                             "negated CI self-check)")
+    args = parser.parse_args(argv)
+
+    files = sources.collect(args.paths or ["src/"])
+    if args.mutate:
+        _apply_mutation(files, args.mutate)
+    findings, models, proofs = verify(files)
+
+    if args.edges_out:
+        with open(args.edges_out, "w", encoding="utf-8") as handle:
+            json.dump(edge_report(models), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+
+    if args.fmt == "json":
+        report = render_json(findings, models, proofs, len(files))
+    else:
+        report = render_text(findings, models, proofs, len(files))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+        print(
+            f"repro.analysis.protocol: {len(files)} file(s), "
+            f"{len(models)} protocol(s), {len(findings)} finding(s) "
+            f"-> {args.out}"
+        )
+    else:
+        print(report)
+    failed_proofs = any(not proof.holds for proof in proofs)
+    return 1 if (findings or failed_proofs) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,135 @@
+"""KHZ204: model-driven coverage of the conformance matrix.
+
+The static side emits each protocol's automaton edge list — the
+declared ``event -> state`` edges, plus the full product over
+reachable source states for the report.  The dynamic side is a
+:func:`repro.consistency.engine.state.add_trace_hook` observer the
+conformance suite registers; diffing the two answers *which declared
+transitions did the matrix actually exercise?* and
+:func:`scenario_skeleton` turns every uncovered edge into a pytest
+skeleton so closing the gap is a copy-paste away.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Set, Tuple
+
+from repro.analysis.protocol.model import ProtocolModel
+
+#: ``(state_before, event)`` pairs observed at runtime, per protocol.
+Exercised = Mapping[str, Set[Tuple[str, str]]]
+
+
+def event_edges(model: ProtocolModel) -> List[Tuple[str, str]]:
+    """The declared ``(event, target_state)`` edges — the coverage
+    denominator: one edge per table entry."""
+    return [(t.event, t.target) for t in model.transitions]
+
+
+def product_edges(model: ProtocolModel) -> List[Tuple[str, str, str]]:
+    """``(source, event, target)`` over every reachable source state.
+
+    ``fire`` is total per event, so each declared event is an edge
+    out of *every* reachable state; this is the exhaustive list the
+    report renders (informational — many product edges are excluded
+    by guards the automaton abstracts away)."""
+    out = []
+    for state in model.reachable_states:
+        for t in model.transitions:
+            out.append((state, t.event, t.target))
+    return out
+
+
+def edge_report(models: Sequence[ProtocolModel],
+                exercised: Exercised = None) -> Dict[str, dict]:
+    """Per-protocol edge lists, plus coverage when ``exercised``
+    trace data is supplied."""
+    report: Dict[str, dict] = {}
+    for model in models:
+        edges = event_edges(model)
+        doc = {
+            "states": model.reachable_states,
+            "events": sorted(model.declared_events),
+            "event_edges": [list(e) for e in edges],
+            "product_edges": [list(e)
+                              for e in product_edges(model)],
+        }
+        if exercised is not None:
+            seen = exercised.get(model.protocol, set())
+            seen_events = {event for _state, event in seen}
+            covered = [e for e, _t in edges if e in seen_events]
+            missed = [e for e, _t in edges if e not in seen_events]
+            doc["covered_events"] = sorted(covered)
+            doc["uncovered_events"] = sorted(missed)
+            doc["coverage"] = (len(covered) / len(edges)) if edges \
+                else 1.0
+            doc["observed_product_edges"] = sorted(
+                [state, event] for state, event in seen
+            )
+        report[model.protocol] = doc
+    return report
+
+
+def total_coverage(report: Dict[str, dict]) -> float:
+    """Matrix-wide declared-edge coverage across every protocol."""
+    covered = sum(len(doc.get("covered_events", []))
+                  for doc in report.values())
+    declared = sum(len(doc["event_edges"]) for doc in report.values())
+    return covered / declared if declared else 1.0
+
+
+def scenario_skeleton(protocol: str, event: str, target: str) -> str:
+    """A pytest skeleton for one uncovered automaton edge."""
+    return (
+        f"@pytest.mark.parametrize(\"protocol\", [\"{protocol}\"])\n"
+        f"class TestEdge{event.title().replace('_', '')}:\n"
+        f"    def test_{event.lower()}_reaches_{target.lower()}"
+        f"(self, cluster, protocol):\n"
+        f"        # KHZ204: no conformance scenario fires "
+        f"PageEvent.{event}\n"
+        f"        # for {protocol!r}; drive one and assert the page "
+        f"lands {target}.\n"
+        f"        kz, desc = make_region(cluster, protocol)\n"
+        f"        raise NotImplementedError(\n"
+        f"            \"exercise PageEvent.{event} -> "
+        f"LocalPageState.{target}\"\n"
+        f"        )\n"
+    )
+
+
+def uncovered_skeletons(models: Sequence[ProtocolModel],
+                        exercised: Exercised) -> List[str]:
+    out = []
+    report = edge_report(models, exercised)
+    for model in models:
+        doc = report[model.protocol]
+        for event in doc.get("uncovered_events", []):
+            target = model.declared_events[event]
+            out.append(scenario_skeleton(model.protocol, event, target))
+    return out
+
+
+def coverage_table(report: Dict[str, dict]) -> str:
+    """The per-protocol table checked into ``bench_tables.txt``."""
+    lines = [
+        "Automaton edge coverage (conformance matrix vs KHZ204 edge "
+        "list)",
+        "=" * 66,
+        f"{'protocol':<10} {'declared':>8} {'covered':>8} "
+        f"{'coverage':>9}  uncovered",
+    ]
+    for protocol in sorted(report):
+        doc = report[protocol]
+        declared = len(doc["event_edges"])
+        covered = len(doc.get("covered_events", []))
+        pct = f"{100.0 * covered / declared:.0f}%" if declared else "-"
+        missed = ", ".join(doc.get("uncovered_events", [])) or "-"
+        lines.append(
+            f"{protocol:<10} {declared:>8} {covered:>8} {pct:>9}  "
+            f"{missed}"
+        )
+    lines.append(
+        f"total: {100.0 * total_coverage(report):.0f}% of declared "
+        "automaton edges exercised."
+    )
+    return "\n".join(lines)

@@ -1,0 +1,203 @@
+"""Static extraction of each CM's per-page protocol automaton.
+
+Two literal surfaces feed the verifier, both CI-fenced by lint rule
+KHZ013 so they stay statically extractable:
+
+* every :class:`~repro.consistency.manager.ConsistencyManager`
+  subclass declares a literal ``TRANSITIONS`` dict —
+  ``{PageEvent.X: LocalPageState.Y, ...}`` — which *is* the
+  protocol's automaton (states x events);
+* ``MessageRouter.wire`` registers the CM-facing dispatch surface as
+  literal ``reg(MessageType.X, self.cm_dispatch("handle_y"), ...)``
+  calls; ``dedup=True`` marks request-class routes (the sender blocks
+  on a reply), its absence marks one-way notifications.
+
+The product of the two — which message types can reach which handler
+under which declared transitions — is the model every KHZ20x rule
+checks against.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.flow.callgraph import CallGraph, ClassInfo
+
+#: States every automaton starts from: a page nobody fetched yet.
+INITIAL_STATE = "INVALID"
+
+#: The base class whose subclasses are protocol policy modules, and
+#: the router class whose ``wire`` method is the dispatch surface.
+CM_BASE = "ConsistencyManager"
+ROUTER_CLASS = "MessageRouter"
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One declared ``PageEvent -> LocalPageState`` table entry."""
+
+    event: str
+    target: str
+    line: int
+
+
+@dataclass(frozen=True)
+class Route:
+    """One ``reg(MessageType.X, cm_dispatch("handle_y"), ...)`` call."""
+
+    message_type: str
+    handler: str
+    dedup: bool          # request-class: the sender blocks on a reply
+    line: int
+    path: str
+
+
+@dataclass
+class ProtocolModel:
+    """The statically recovered automaton of one consistency manager."""
+
+    class_name: str
+    protocol: str
+    path: str
+    line: int
+    transitions: List[Transition] = field(default_factory=list)
+    #: Extraction problems (non-literal table entries); reported as
+    #: findings by the caller because they break every later rule.
+    extraction_errors: List[Tuple[int, str]] = field(default_factory=list)
+
+    @property
+    def declared_events(self) -> Dict[str, str]:
+        return {t.event: t.target for t in self.transitions}
+
+    @property
+    def reachable_states(self) -> List[str]:
+        """States reachable from INVALID under the declared table.
+
+        ``fire`` consults only the event (the table is total per
+        event), so one declared event reaches its target from *any*
+        state; reachability is INITIAL plus every target.
+        """
+        out = [INITIAL_STATE]
+        for t in self.transitions:
+            if t.target not in out:
+                out.append(t.target)
+        return out
+
+
+def _enum_attr(node: ast.expr, enum_name: str) -> Optional[str]:
+    """``PageEvent.X`` -> ``"X"`` when the value chain names the enum."""
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == enum_name):
+        return node.attr
+    return None
+
+
+def _extract_table(model: ProtocolModel, assign: ast.Assign) -> None:
+    value = assign.value
+    if not isinstance(value, ast.Dict):
+        model.extraction_errors.append(
+            (assign.lineno,
+             "TRANSITIONS must be a literal dict (KHZ013): found "
+             f"{type(value).__name__}")
+        )
+        return
+    for key, val in zip(value.keys, value.values):
+        if key is None:   # ``{**other}`` unpacking
+            model.extraction_errors.append(
+                (value.lineno, "TRANSITIONS must not unpack another "
+                               "mapping (KHZ013)")
+            )
+            continue
+        event = _enum_attr(key, "PageEvent")
+        target = _enum_attr(val, "LocalPageState")
+        if event is None or target is None:
+            model.extraction_errors.append(
+                (key.lineno,
+                 "TRANSITIONS entries must be literal "
+                 "PageEvent.X: LocalPageState.Y pairs (KHZ013)")
+            )
+            continue
+        model.transitions.append(
+            Transition(event=event, target=target, line=key.lineno)
+        )
+
+
+def _literal_protocol_name(ci: ClassInfo) -> Optional[Tuple[str, int]]:
+    for stmt in ci.node.body:
+        if (isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and stmt.targets[0].id == "protocol_name"
+                and isinstance(stmt.value, ast.Constant)
+                and isinstance(stmt.value.value, str)
+                and stmt.value.value):
+            return stmt.value.value, stmt.lineno
+    return None
+
+
+def extract_models(graph: CallGraph) -> List[ProtocolModel]:
+    """One :class:`ProtocolModel` per registered CM subclass."""
+    models: List[ProtocolModel] = []
+    for name in sorted(graph.subclasses(CM_BASE)):
+        for ci in graph.class_infos(name):
+            named = _literal_protocol_name(ci)
+            if named is None:
+                continue   # abstract intermediates never register
+            protocol, line = named
+            model = ProtocolModel(
+                class_name=name, protocol=protocol,
+                path=ci.sf.path, line=ci.node.lineno,
+            )
+            for stmt in ci.node.body:
+                if (isinstance(stmt, ast.Assign)
+                        and len(stmt.targets) == 1
+                        and isinstance(stmt.targets[0], ast.Name)
+                        and stmt.targets[0].id == "TRANSITIONS"):
+                    _extract_table(model, stmt)
+            models.append(model)
+    models.sort(key=lambda m: m.protocol)
+    return models
+
+
+def extract_routes(graph: CallGraph) -> List[Route]:
+    """The CM dispatch surface from ``MessageRouter.wire``."""
+    routes: List[Route] = []
+    for ci in graph.class_infos(ROUTER_CLASS):
+        wire = ci.methods.get("wire")
+        if wire is None:
+            continue
+        for node in ast.walk(wire.node):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "reg"):
+                continue
+            keywords = {kw.arg: kw.value for kw in node.keywords}
+            cm_kw = keywords.get("cm")
+            if not (isinstance(cm_kw, ast.Constant) and cm_kw.value is True):
+                continue
+            if len(node.args) < 2:
+                continue
+            message_type = _enum_attr(node.args[0], "MessageType")
+            handler = None
+            dispatch = node.args[1]
+            if (isinstance(dispatch, ast.Call)
+                    and isinstance(dispatch.func, ast.Attribute)
+                    and dispatch.func.attr == "cm_dispatch"
+                    and dispatch.args
+                    and isinstance(dispatch.args[0], ast.Constant)
+                    and isinstance(dispatch.args[0].value, str)):
+                handler = dispatch.args[0].value
+            if message_type is None or handler is None:
+                continue   # KHZ013 flags non-literal registrations
+            dedup_kw = keywords.get("dedup")
+            dedup = (isinstance(dedup_kw, ast.Constant)
+                     and dedup_kw.value is True)
+            routes.append(Route(
+                message_type=message_type, handler=handler,
+                dedup=dedup, line=node.lineno, path=ci.sf.path,
+            ))
+    routes.sort(key=lambda r: r.line)
+    return routes

@@ -1,0 +1,345 @@
+"""KHZ202: static proofs of the race detector's core invariants.
+
+``races.py`` checks CREW single-writer and write-token conservation
+*dynamically*, schedule by schedule.  This pass proves both over the
+extracted automaton by abstract interpretation of two counters:
+
+* ``n_excl`` — how many nodes hold a page EXCLUSIVE.  The table
+  shows which events increment it (the ones targeting EXCLUSIVE);
+  the proof obliges every code path firing such an event to carry a
+  *serialization guard* — a ledger acquire, a home transaction, or a
+  grant-request round-trip — so the increment only happens after the
+  single serializing authority drove every other holder out.
+* ``n_token`` — outstanding write tokens per page, interpreted over
+  the ledger call sites: every ``grant`` (+1) must sit behind an
+  ``acquire`` (blocks until 0) in the same flow, every acquire flow
+  must restore 0 on failure via ``abort``, and some routed handler
+  must perform the ``release`` (−1) that the holder's write-back
+  triggers.  Together the counter can never exceed 1 and always
+  returns to 0 — conservation.
+
+Obligations that cannot be discharged become KHZ202 findings; the
+discharged ones are rendered as a human-readable proof trace in the
+report (the acceptance artifact).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.flow.callgraph import (
+    CallGraph,
+    FunctionInfo,
+    attribute_chain,
+    body_walk,
+)
+from repro.analysis.lint import _Reporter
+from repro.analysis.protocol.effects import (
+    Guard,
+    ModelSlice,
+    Summarizer,
+    VarFire,
+    fire_event_constants,
+    resolve_fire_events,
+)
+from repro.analysis.sources import SourceFile
+
+
+@dataclass
+class Obligation:
+    title: str
+    discharged: bool
+    evidence: List[str] = field(default_factory=list)
+
+
+@dataclass
+class Proof:
+    protocol: str
+    invariant: str
+    obligations: List[Obligation] = field(default_factory=list)
+
+    @property
+    def holds(self) -> bool:
+        return all(o.discharged for o in self.obligations)
+
+    def render(self) -> List[str]:
+        mark = "proved" if self.holds else "FAILED"
+        lines = [f"KHZ202 {mark}: {self.protocol} — {self.invariant}"]
+        for index, ob in enumerate(self.obligations, 1):
+            status = "ok" if ob.discharged else "FAIL"
+            lines.append(f"  [{index}] {ob.title}  ({status})")
+            lines.extend(f"      {e}" for e in ob.evidence)
+        lines.append(
+            "  ∎" if self.holds else "  => invariant NOT proved"
+        )
+        return lines
+
+
+def _sf_for(files: Sequence[SourceFile], path: str) -> SourceFile:
+    for sf in files:
+        if sf.path == path:
+            return sf
+    raise KeyError(path)
+
+
+def _fire_sites_for_event(
+    graph: CallGraph, summarizer: Summarizer, ms: ModelSlice,
+    event: str,
+) -> List[Tuple[FunctionInfo, int, List[FunctionInfo]]]:
+    """Every slice site that can fire ``event``: (function, line,
+    caller-chain context for the guard search)."""
+    sites: List[Tuple[FunctionInfo, int, List[FunctionInfo]]] = []
+    for key in sorted(ms.keys):
+        fn = graph.functions.get(key)
+        if fn is None:
+            continue
+        for node in body_walk(fn.node):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "fire"
+                    and "pages" in (attribute_chain(node.func) or [])
+                    and len(node.args) >= 2):
+                continue
+            constants = fire_event_constants(node.args[1])
+            if constants is not None:
+                if event in constants:
+                    sites.append((fn, node.lineno, [fn]))
+                continue
+            if not isinstance(node.args[1], ast.Name):
+                continue
+            vf = VarFire(fn_key=fn.key, path=fn.sf.path,
+                         line=node.lineno,
+                         var_name=node.args[1].id)
+            hits = resolve_fire_events(graph, vf, ms.keys) or []
+            for hit_event, chain in hits:
+                if hit_event == event:
+                    sites.append((fn, node.lineno, chain))
+    return sites
+
+
+def _chain_guard(graph: CallGraph, summarizer: Summarizer,
+                 ms: ModelSlice, chain: List[FunctionInfo],
+                 depth: int = 0) -> Optional[Guard]:
+    """A serialization guard covering every path to this fire chain.
+
+    Looks for guard evidence in any chain function's transitive
+    summary; failing that, requires *every* in-slice caller of the
+    outermost chain function to be guarded (one unguarded path is
+    the bug)."""
+    for fn in chain:
+        summary = summarizer.summarize(fn, ms.model.class_name)
+        if summary.guards:
+            return summary.guards[0]
+    if depth >= 4:
+        return None
+    outer = chain[-1]
+    callers = [
+        caller for caller, _call in graph.callers_of(outer)
+        if caller.key in ms.keys and caller.key != outer.key
+    ]
+    if not callers:
+        return None
+    guards = [
+        _chain_guard(graph, summarizer, ms, [caller], depth + 1)
+        for caller in callers
+    ]
+    if all(g is not None for g in guards):
+        return guards[0]
+    return None
+
+
+def _prove_single_writer(graph: CallGraph, summarizer: Summarizer,
+                         ms: ModelSlice) -> Proof:
+    model = ms.model
+    proof = Proof(protocol=model.protocol,
+                  invariant="CREW single-writer (n_excl <= 1)")
+    declared = model.declared_events
+    excl_events = sorted(e for e, s in declared.items()
+                         if s == "EXCLUSIVE")
+    if not excl_events:
+        proof.obligations.append(Obligation(
+            title="no transition targets EXCLUSIVE",
+            discharged=True,
+            evidence=[f"table at {model.path}:{model.line} reaches "
+                      f"only {{{', '.join(model.reachable_states)}}}; "
+                      "n_excl is identically 0 — vacuously single-"
+                      "writer"],
+        ))
+        return proof
+    proof.obligations.append(Obligation(
+        title="EXCLUSIVE is entered only by WRITE_GRANT",
+        discharged=excl_events == ["WRITE_GRANT"],
+        evidence=[f"events targeting EXCLUSIVE: "
+                  f"{', '.join(excl_events)} "
+                  f"(table at {model.path}:{model.line})"],
+    ))
+    sites = _fire_sites_for_event(graph, summarizer, ms, "WRITE_GRANT")
+    site_ob = Obligation(
+        title="every fire(WRITE_GRANT) site increments n_excl only "
+              "under a serialization guard",
+        discharged=bool(sites),
+    )
+    for fn, line, chain in sites:
+        guard = _chain_guard(graph, summarizer, ms, chain)
+        if guard is None:
+            site_ob.discharged = False
+            site_ob.evidence.append(
+                f"{fn.sf.path}:{line} fire(WRITE_GRANT) — NO guard "
+                "on some path"
+            )
+        else:
+            site_ob.evidence.append(
+                f"{fn.sf.path}:{line} fire(WRITE_GRANT) — guarded by "
+                f"{guard.kind} at {guard.path}:{guard.line} "
+                f"({guard.detail})"
+            )
+    proof.obligations.append(site_ob)
+    revoke = Obligation(
+        title="the granting authority drives n_excl to 0 before any "
+              "increment (revocation / token serialization)",
+        discharged=False,
+    )
+    if ms.full.reaches("claim_for_writer"):
+        revoke.discharged = True
+        revoke.evidence.append(
+            "home grant goes through DirectoryCoherence."
+            "claim_for_writer: victims are invalidated and the old "
+            "owner revoked under one home transaction"
+        )
+    if ms.full.reaches("serve_token_grants"):
+        revoke.discharged = True
+        revoke.evidence.append(
+            "write grants go through serve_token_grants: "
+            "ledger.acquire blocks until the previous holder's "
+            "release, so grants are totally ordered"
+        )
+    if not revoke.discharged:
+        revoke.evidence.append(
+            "neither claim_for_writer nor serve_token_grants is "
+            "reachable — nothing demotes the previous EXCLUSIVE "
+            "holder"
+        )
+    proof.obligations.append(revoke)
+    return proof
+
+
+def _functions_with_op(graph: CallGraph, ms: ModelSlice,
+                       op: str) -> List[Tuple[FunctionInfo, int]]:
+    out = []
+    for key in sorted(ms.keys):
+        fn = graph.functions.get(key)
+        if fn is None:
+            continue
+        for node in body_walk(fn.node):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == op
+                    and "ledger" in (attribute_chain(node.func) or [])):
+                out.append((fn, node.lineno))
+                break
+    return out
+
+
+def _prove_token_conservation(graph: CallGraph, summarizer: Summarizer,
+                              ms: ModelSlice) -> Proof:
+    model = ms.model
+    proof = Proof(protocol=model.protocol,
+                  invariant="write-token conservation (n_token "
+                            "returns to 0 on every flow)")
+    ops = ms.full.ledger_ops
+    if not ops:
+        proof.obligations.append(Obligation(
+            title="no write-token traffic",
+            discharged=True,
+            evidence=["the slice performs no ledger operations; "
+                      "n_token is identically 0 — vacuously "
+                      "conserved"],
+        ))
+        return proof
+    grant_fns = _functions_with_op(graph, ms, "grant")
+    ob = Obligation(
+        title="every ledger.grant (+1) sits behind a blocking "
+              "ledger.acquire in the same flow",
+        discharged=True,
+    )
+    for fn, line in grant_fns:
+        has_acquire = any(
+            g_line < line for g_fn, g_line
+            in _functions_with_op(graph, ms, "acquire")
+            if g_fn.key == fn.key
+        )
+        ob.evidence.append(
+            f"{fn.sf.path}:{line} ledger.grant — "
+            + ("preceded by ledger.acquire in "
+               f"{fn.qualname}" if has_acquire
+               else "NO acquire precedes it")
+        )
+        ob.discharged = ob.discharged and has_acquire
+    proof.obligations.append(ob)
+    acquire_fns = _functions_with_op(graph, ms, "acquire")
+    abort_ob = Obligation(
+        title="every acquire flow restores n_token = 0 on failure "
+              "(ledger.abort reachable)",
+        discharged=True,
+    )
+    abort_keys = {fn.key for fn, _ in _functions_with_op(graph, ms,
+                                                         "abort")}
+    for fn, line in acquire_fns:
+        has_abort = fn.key in abort_keys
+        abort_ob.evidence.append(
+            f"{fn.sf.path}:{line} ledger.acquire — "
+            + (f"failure paths abort in {fn.qualname}" if has_abort
+               else "NO abort in the same flow")
+        )
+        abort_ob.discharged = abort_ob.discharged and has_abort
+    proof.obligations.append(abort_ob)
+    release_ob = Obligation(
+        title="a routed handler performs the release (−1) the "
+              "holder's write-back triggers",
+        discharged=False,
+    )
+    for handler_name, (fn, summary) in sorted(ms.handlers.items()):
+        sites = summary.ledger_ops.get("release")
+        if sites:
+            path, line = sites[0]
+            release_ob.discharged = True
+            release_ob.evidence.append(
+                f"{handler_name}() releases the token at "
+                f"{path}:{line}"
+            )
+    if not release_ob.discharged:
+        release_ob.evidence.append(
+            "tokens are granted but no routed handler ever releases "
+            "one — the counter can only grow"
+        )
+    proof.obligations.append(release_ob)
+    return proof
+
+
+def prove_invariants(graph: CallGraph, summarizer: Summarizer,
+                     slices: Sequence[ModelSlice],
+                     files: Sequence[SourceFile],
+                     reporter: _Reporter) -> List[Proof]:
+    """KHZ202 over every model; failed obligations become findings."""
+    proofs: List[Proof] = []
+    for ms in slices:
+        for proof in (
+            _prove_single_writer(graph, summarizer, ms),
+            _prove_token_conservation(graph, summarizer, ms),
+        ):
+            proofs.append(proof)
+            if proof.holds:
+                continue
+            sf = _sf_for(files, ms.model.path)
+            for ob in proof.obligations:
+                if ob.discharged:
+                    continue
+                reporter.flag(
+                    sf, ms.model.line, "KHZ202", "unproved-invariant",
+                    f"{ms.model.protocol}: cannot prove "
+                    f"{proof.invariant}: {ob.title} — "
+                    + "; ".join(ob.evidence),
+                )
+    return proofs

@@ -1,0 +1,135 @@
+"""Report emission for the protocol verifier: text and SARIF JSON.
+
+Same SARIF 2.1.0 shape as the flow analyzer's report so CI uploads
+both as artifacts of the same kind; the verifier additionally embeds
+its KHZ202 proof traces and the KHZ204 edge lists under the run's
+``properties`` (SARIF's extension point), so the proof the
+acceptance criteria ask for ships inside the machine-readable
+artifact too.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.analysis.lint import Finding
+from repro.analysis.protocol.coverage import edge_report
+from repro.analysis.protocol.model import ProtocolModel
+from repro.analysis.protocol.prove import Proof
+
+RULES: Dict[str, Dict[str, str]] = {
+    "KHZ201": {
+        "name": "transition-completeness",
+        "shortDescription": "every routed (protocol, MessageType) "
+                            "pair must transition, nak, or carry an "
+                            "annotated absorb; every fired event "
+                            "must be declared and every declared "
+                            "transition reachable",
+    },
+    "KHZ202": {
+        "name": "invariant-proof",
+        "shortDescription": "CREW single-writer and write-token "
+                            "conservation must be statically "
+                            "provable over the extracted automaton",
+    },
+    "KHZ203": {
+        "name": "engine-contract",
+        "shortDescription": "cm_dispatch handlers may only drive "
+                            "engine primitives consistent with the "
+                            "declared transition table",
+    },
+    "KHZ204": {
+        "name": "model-coverage",
+        "shortDescription": "the conformance matrix must exercise "
+                            "the declared automaton edge list",
+    },
+}
+
+
+def _summary_line(file_count: int, models: Sequence[ProtocolModel],
+                  findings: Sequence[Finding]) -> str:
+    return (
+        f"repro.analysis.protocol: {file_count} file(s), "
+        f"{len(models)} protocol(s), {len(findings)} finding(s)"
+    )
+
+
+def render_text(findings: Sequence[Finding],
+                models: Sequence[ProtocolModel],
+                proofs: Sequence[Proof],
+                file_count: int) -> str:
+    lines: List[str] = [finding.render() for finding in findings]
+    for model in models:
+        events = ", ".join(
+            f"{t.event}->{t.target}" for t in model.transitions
+        )
+        lines.append(
+            f"{model.protocol} ({model.class_name}): states "
+            f"{{{', '.join(model.reachable_states)}}}; {events}"
+        )
+    for proof in proofs:
+        lines.extend(proof.render())
+    lines.append(_summary_line(file_count, models, findings))
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding],
+                models: Sequence[ProtocolModel],
+                proofs: Sequence[Proof],
+                file_count: int) -> str:
+    results = [
+        {
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.path},
+                        "region": {"startLine": finding.line},
+                    }
+                }
+            ],
+        }
+        for finding in findings
+    ]
+    document = {
+        "version": "2.1.0",
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.analysis.protocol",
+                        "informationUri":
+                            "docs/analysis.md#layer-5-protocol-"
+                            "verification",
+                        "rules": [
+                            {
+                                "id": rule_id,
+                                "name": meta["name"],
+                                "shortDescription": {
+                                    "text": meta["shortDescription"]
+                                },
+                            }
+                            for rule_id, meta in sorted(RULES.items())
+                        ],
+                    }
+                },
+                "properties": {
+                    "fileCount": file_count,
+                    "automata": edge_report(models),
+                    "proofs": {
+                        f"{proof.protocol}/{proof.invariant}": {
+                            "holds": proof.holds,
+                            "trace": proof.render(),
+                        }
+                        for proof in proofs
+                    },
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

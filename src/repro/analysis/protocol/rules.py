@@ -1,0 +1,245 @@
+"""KHZ201 transition completeness and KHZ203 engine conformance.
+
+KHZ201 asks the model-level question PR 7 answered the hard way:
+*can this CM receive a routed message and do nothing?*  Every
+(protocol, MessageType) pair must answer a request (reply or nak on
+some path), give one-way traffic an observable effect, fire only
+declared events on the client side, and use every declared
+transition somewhere.  A deliberate absorb must say so:
+``# khz: allow-absorb(reason)`` on the handler's ``def`` line.
+
+KHZ203 extends KHZ007's "no raw wire in policy modules" to "no
+undeclared state change": a handler reachable from ``cm_dispatch``
+may only fire events its own ``TRANSITIONS`` table declares, may not
+move write tokens unless the table has a ``WRITE_GRANT`` state to
+account for them, and may never bypass the state machine by writing
+``page_state`` entries directly.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Sequence, Tuple
+
+from repro.analysis.flow.callgraph import (
+    CallGraph,
+    attribute_chain,
+    body_walk,
+)
+from repro.analysis.lint import _Reporter
+from repro.analysis.protocol.effects import EffectSummary, ModelSlice
+from repro.analysis.protocol.model import CM_BASE, Route
+from repro.analysis.sources import SourceFile
+
+
+def _sf_for(files: Sequence[SourceFile], path: str) -> SourceFile:
+    for sf in files:
+        if sf.path == path:
+            return sf
+    raise KeyError(path)   # every slice function came from ``files``
+
+
+def _nak_only_default(fn, summary: EffectSummary) -> bool:
+    """True for the base class's catch-all handlers: they nak
+    "unhandled" and do nothing else."""
+    if fn.cls is None or fn.cls.name != CM_BASE:
+        return False
+    return bool(summary.naks) and not (
+        summary.replies or summary.mutations
+        or summary.fires or summary.var_fires
+    )
+
+
+def _sent_types(graph: CallGraph, ms: ModelSlice,
+                routed: set) -> Dict[str, Tuple[str, int]]:
+    """Routed MessageTypes this CM's own slice puts on the wire."""
+    out: Dict[str, Tuple[str, int]] = {}
+    for key in sorted(ms.keys):
+        fn = graph.functions.get(key)
+        if fn is None:
+            continue
+        for node in body_walk(fn.node):
+            if (isinstance(node, ast.Attribute)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == "MessageType"
+                    and node.attr in routed):
+                out.setdefault(node.attr, (fn.sf.path, node.lineno))
+    return out
+
+
+def check_completeness(graph: CallGraph, slices: Sequence[ModelSlice],
+                       routes: Sequence[Route],
+                       files: Sequence[SourceFile],
+                       reporter: _Reporter) -> None:
+    """KHZ201 over every (CM, route) pair and the full CM slice."""
+    for ms in slices:
+        model = ms.model
+        sf = _sf_for(files, model.path)
+        declared = model.declared_events
+        for line, message in model.extraction_errors:
+            reporter.flag(sf, line, "KHZ201", "static-table", message)
+
+        handler_events: set = set()
+        flagged_dynamic: set = set()
+        for route in routes:
+            entry = ms.handlers.get(route.handler)
+            if entry is None:
+                reporter.flag(
+                    sf, model.line, "KHZ201", "absorb",
+                    f"{model.protocol}: MessageType.{route.message_type} "
+                    f"routes to {route.handler}() but no definition is "
+                    f"reachable on {model.class_name}",
+                )
+                continue
+            fn, summary = entry
+            fires, unresolved = ms.resolved_fires(graph, summary)
+            handler_events |= set(fires)
+            handler_sf = _sf_for(files, fn.sf.path)
+            for vf in unresolved:
+                if (vf.path, vf.line) in flagged_dynamic:
+                    continue
+                flagged_dynamic.add((vf.path, vf.line))
+                reporter.flag(
+                    _sf_for(files, vf.path), vf.line, "KHZ201",
+                    "dynamic-event",
+                    f"{model.protocol}: cannot statically resolve the "
+                    "event fired here — pass a literal PageEvent so the "
+                    "automaton stays verifiable",
+                )
+            if route.dedup:
+                if not (summary.replies or summary.naks):
+                    reporter.flag(
+                        handler_sf, fn.node.lineno, "KHZ201", "absorb",
+                        f"{model.protocol}: request MessageType."
+                        f"{route.message_type} is absorbed — "
+                        f"{route.handler}() reaches no reply and no nak, "
+                        "so the sender blocks forever (PR 7 class of "
+                        "bug); nak it or annotate allow-absorb",
+                    )
+            else:
+                observable = (
+                    set(fires) & set(declared)
+                    or summary.naks or summary.replies
+                    or summary.mutations
+                )
+                if not observable:
+                    reporter.flag(
+                        handler_sf, fn.node.lineno, "KHZ201", "absorb",
+                        f"{model.protocol}: one-way MessageType."
+                        f"{route.message_type} is silently dropped — "
+                        f"{route.handler}() fires no declared transition "
+                        "and mutates nothing; annotate allow-absorb if "
+                        "that is the design",
+                    )
+
+        # A protocol whose own client path sends a message type its
+        # home side always naks as "unhandled" can never complete
+        # that operation — the nak is explicit, but the pairing is a
+        # defect only the model view can see.
+        sent = _sent_types(graph, ms,
+                           {r.message_type for r in routes})
+        for route in routes:
+            entry = ms.handlers.get(route.handler)
+            if entry is None or route.message_type not in sent:
+                continue
+            fn, summary = entry
+            if _nak_only_default(fn, summary):
+                path, line = sent[route.message_type]
+                reporter.flag(
+                    _sf_for(files, path), line, "KHZ201", "self-nak",
+                    f"{model.protocol}: sends MessageType."
+                    f"{route.message_type} here but its own "
+                    f"{route.handler}() is the base nak-only default "
+                    "— the request can never succeed under this "
+                    "protocol",
+                )
+
+        full_fires, full_unresolved = ms.resolved_fires(graph, ms.full)
+        for vf in full_unresolved:
+            if (vf.path, vf.line) in flagged_dynamic:
+                continue
+            flagged_dynamic.add((vf.path, vf.line))
+            reporter.flag(
+                _sf_for(files, vf.path), vf.line, "KHZ201",
+                "dynamic-event",
+                f"{model.protocol}: cannot statically resolve the event "
+                "fired here — pass a literal PageEvent so the automaton "
+                "stays verifiable",
+            )
+        # Client-side undeclared fires (handlers are KHZ203's half).
+        for event, (path, line) in sorted(full_fires.items()):
+            if event in declared or event in handler_events:
+                continue
+            reporter.flag(
+                _sf_for(files, path), line, "KHZ201", "undeclared-event",
+                f"{model.protocol}: fires PageEvent.{event} which the "
+                "TRANSITIONS table does not declare — the fire would "
+                "KeyError at runtime",
+            )
+        # Declared transitions no code path can exercise.
+        for transition in model.transitions:
+            if transition.event not in full_fires:
+                reporter.flag(
+                    sf, transition.line, "KHZ201",
+                    "unreachable-transition",
+                    f"{model.protocol}: declares PageEvent."
+                    f"{transition.event} but no client or handler path "
+                    "ever fires it — dead table entry or missing logic",
+                )
+
+
+def check_engine_contract(graph: CallGraph,
+                          slices: Sequence[ModelSlice],
+                          routes: Sequence[Route],
+                          files: Sequence[SourceFile],
+                          reporter: _Reporter) -> None:
+    """KHZ203 over every handler reachable from ``cm_dispatch``."""
+    routed: Dict[str, str] = {r.handler: r.message_type for r in routes}
+    for ms in slices:
+        model = ms.model
+        declared = model.declared_events
+        for handler_name, (fn, summary) in sorted(ms.handlers.items()):
+            fires, _unresolved = ms.resolved_fires(graph, summary)
+            for event, (path, line) in sorted(fires.items()):
+                if event in declared:
+                    continue
+                reporter.flag(
+                    _sf_for(files, path), line, "KHZ203",
+                    "undeclared-transition",
+                    f"{model.protocol}: {handler_name}() (MessageType."
+                    f"{routed.get(handler_name, '?')}) can fire "
+                    f"PageEvent.{event}, which the TRANSITIONS table "
+                    "does not declare — undeclared state change",
+                )
+            if summary.ledger_ops and "WRITE_GRANT" not in declared:
+                op, sites = sorted(summary.ledger_ops.items())[0]
+                path, line = sites[0]
+                reporter.flag(
+                    _sf_for(files, path), line, "KHZ203",
+                    "token-without-grant",
+                    f"{model.protocol}: {handler_name}() moves write "
+                    f"tokens (ledger.{op}) but the TRANSITIONS table "
+                    "declares no WRITE_GRANT state to account for them",
+                )
+        # No handler may bypass the machine with a raw state write.
+        for key in sorted(
+                {k for _fn, s in ms.handlers.values() for k in s.reached}):
+            target = graph.functions.get(key)
+            if target is None or target.sf.path.endswith("engine/state.py"):
+                continue
+            for node in body_walk(target.node):
+                if not isinstance(node, ast.Assign):
+                    continue
+                for tgt in node.targets:
+                    if not isinstance(tgt, ast.Subscript):
+                        continue
+                    chain = attribute_chain(tgt.value) or []
+                    if "page_state" in chain:
+                        reporter.flag(
+                            _sf_for(files, target.sf.path),
+                            node.lineno, "KHZ203", "raw-page-state",
+                            f"{model.protocol}: assigns page_state "
+                            "directly instead of going through "
+                            "pages.fire — the automaton cannot see "
+                            "this state change",
+                        )

@@ -11,7 +11,7 @@ fails loudly instead of silently corrupting the state map.
 from __future__ import annotations
 
 import enum
-from typing import Dict, Mapping
+from typing import Callable, Dict, List, Mapping
 
 
 class LocalPageState(enum.Enum):
@@ -40,6 +40,24 @@ class PageEvent(enum.Enum):
     REPLICA_APPLY = "replica_apply"
 
 
+#: Transition observer: ``hook(label, before, event, after)`` where
+#: ``label`` is the owning protocol's name.  The conformance matrix
+#: registers one to measure automaton-edge coverage against the edge
+#: list the static verifier (``repro.analysis.protocol``) emits.
+TraceHook = Callable[[str, LocalPageState, PageEvent, LocalPageState], None]
+
+_trace_hooks: List[TraceHook] = []
+
+
+def add_trace_hook(hook: TraceHook) -> None:
+    """Observe every ``fire`` on every machine (tests/coverage only)."""
+    _trace_hooks.append(hook)
+
+
+def remove_trace_hook(hook: TraceHook) -> None:
+    _trace_hooks.remove(hook)
+
+
 class PageStateMachine:
     """Explicit transition table over a CM's page-state dict.
 
@@ -52,9 +70,11 @@ class PageStateMachine:
         self,
         pages: Dict[int, LocalPageState],
         table: Mapping[PageEvent, LocalPageState],
+        label: str = "",
     ) -> None:
         self.pages = pages
         self.table = dict(table)
+        self.label = label
 
     def state(self, page_addr: int) -> LocalPageState:
         return self.pages.get(page_addr, LocalPageState.INVALID)
@@ -63,6 +83,10 @@ class PageStateMachine:
         # An event missing from the protocol's declared table is a
         # protocol-author bug; the KeyError names the event.
         state = self.table[event]
+        if _trace_hooks:
+            before = self.pages.get(page_addr, LocalPageState.INVALID)
+            for hook in _trace_hooks:
+                hook(self.label, before, event, state)
         self.pages[page_addr] = state
         return state
 

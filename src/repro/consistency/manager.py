@@ -86,7 +86,8 @@ class ConsistencyManager(abc.ABC):
         #: Local validity of cached pages under this protocol.
         self.page_state: Dict[int, LocalPageState] = {}
         #: The explicit transition machine over ``page_state``.
-        self.pages = PageStateMachine(self.page_state, self.TRANSITIONS)
+        self.pages = PageStateMachine(self.page_state, self.TRANSITIONS,
+                                      label=self.protocol_name)
         #: Shared mechanism: wire, home transactions, tokens, batching.
         self.engine = ProtocolEngine(self)
         #: Remote invalidations deferred because a local lock context

@@ -12,6 +12,7 @@ from repro.tools.inspect import (
     engine_report,
     latency_report,
     placement_report,
+    protocol_report,
     region_report,
     storage_report,
 )
@@ -23,6 +24,7 @@ __all__ = [
     "engine_report",
     "latency_report",
     "placement_report",
+    "protocol_report",
     "region_report",
     "storage_report",
 ]

@@ -230,6 +230,51 @@ def schedule_report(schedule: Dict[str, Any]) -> str:
     return "\n".join(lines)
 
 
+def protocol_report(paths=("src/",)) -> Dict[str, Any]:
+    """The statically verified view of every consistency protocol.
+
+    Unlike the other reports this one needs no cluster: it runs the
+    Layer 5 verifier (:mod:`repro.analysis.protocol`) over the source
+    tree and returns, per protocol, the extracted automaton (states
+    and declared edges), which KHZ202 invariants were proved, and any
+    findings — the same facts ``python -m repro.analysis.protocol``
+    prints, as one inspectable dict.
+    """
+    from repro.analysis import sources
+    from repro.analysis.protocol import verify
+    from repro.analysis.protocol.coverage import edge_report
+
+    files = sources.collect(list(paths))
+    findings, models, proofs = verify(files)
+    automata = edge_report(models)
+    protocols: Dict[str, Dict[str, Any]] = {}
+    for model in models:
+        doc = automata[model.protocol]
+        protocols[model.protocol] = {
+            "class": model.class_name,
+            "path": model.path,
+            "states": doc["states"],
+            "event_edges": doc["event_edges"],
+            "invariants": {},
+        }
+    for proof in proofs:
+        entry = protocols.get(proof.protocol)
+        if entry is not None:
+            entry["invariants"][proof.invariant] = {
+                "proved": proof.holds,
+                "trace": proof.render(),
+            }
+    return {
+        "files": len(files),
+        "protocols": protocols,
+        "findings": [
+            {"path": f.path, "line": f.line, "rule": f.rule,
+             "message": f.message}
+            for f in findings
+        ],
+    }
+
+
 def storage_report(cluster) -> List[Dict[str, Any]]:
     """Per-node storage-hierarchy utilisation."""
     rows = []

@@ -381,6 +381,60 @@ class TestSuppressions:
         assert "time.sleep" in findings[0].message
 
 
+class TestStaticTables:
+    """KHZ013: TRANSITIONS tables and dispatch maps stay literal."""
+
+    def _findings(self):
+        return _lint_fixture(
+            "static_table.py.txt", "src/repro/consistency/fixture.py"
+        )
+
+    def test_every_breakage_flags_khz013(self):
+        findings = self._findings()
+        assert findings and all(f.rule == "KHZ013" for f in findings)
+        messages = " ".join(f.message for f in findings)
+        # Table shape: non-dict, computed key, computed value, unpack.
+        assert "literal dict" in messages
+        assert "literal PageEvent members" in messages
+        assert "literal LocalPageState" in messages
+        assert "unpack another mapping" in messages
+        # Runtime mutation: subscript assign, .update, del, rebind.
+        assert "may not be assigned at runtime" in messages
+        assert "TRANSITIONS.update(...)" in messages
+        assert "may not be deleted" in messages
+        assert "declared once" in messages
+        # Dispatch surfaces: mixed-key display, reg, cm_dispatch.
+        assert "key every entry with a literal member" in messages
+        assert "literal MessageType member" in messages
+        assert "literal handler-name string" in messages
+
+    def test_clean_spellings_and_suppression_stay_quiet(self):
+        findings = self._findings()
+        # One finding per seeded defect — the clean table, the clean
+        # dispatch map, the plain dict, and the suppressed rebind in
+        # swap_allowed contribute nothing.
+        assert len(findings) == 11
+        lines = " ".join(f.message for f in findings)
+        assert "swap_allowed" not in lines
+
+    def test_rule_is_scoped_to_the_shipped_package(self):
+        source = "TRANSITIONS = build()\nTRANSITIONS.update({})\n"
+        assert lint_source(source, path="tests/conftest.py") == []
+        flagged = lint_source(source, path="src/repro/consistency/x.py")
+        assert [f.rule for f in flagged] == ["KHZ013"] * 2
+
+    def test_real_transitions_tables_extract_clean(self):
+        # The four shipped CMs must satisfy their own input contract.
+        from repro.analysis import sources
+        from repro.analysis.lint import _Reporter
+        from repro.analysis.lint_protocol import check_static_tables
+
+        reporter = _Reporter()
+        for sf in sources.collect(["src/repro/consistency/"]):
+            check_static_tables(sf, reporter)
+        assert reporter.findings == []
+
+
 class TestTree:
     def test_shipped_tree_is_clean(self):
         # The repo's own source must lint clean — the CI gate.

@@ -1,0 +1,288 @@
+"""Tests for the static protocol verifier (repro.analysis.protocol).
+
+Each KHZ20x rule is exercised against a mini-tree fixture under
+``tests/fixtures/protocol`` (kept as ``.py.txt`` so linting ``tests/``
+does not pick them up); every fixture is a self-contained CM base +
+subclass + router, seeded with exactly the defect the rule must
+catch, alongside the clean spellings.  The tree tests then run the
+real CLI over ``src/`` — once clean (the CI gate) and once with the
+seeded drop-transition mutation (the negated self-check that proves
+the verifier can see) — and pin the KHZ202 proof traces and SARIF
+shape the acceptance criteria ask for.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import sources
+from repro.analysis.protocol import verify
+from repro.analysis.protocol.__main__ import main
+from repro.analysis.protocol.coverage import (
+    coverage_table,
+    edge_report,
+    total_coverage,
+    uncovered_skeletons,
+)
+from repro.analysis.protocol.report import render_json, render_text
+from repro.analysis.sources import SourceFile
+
+FIXTURES = Path(__file__).parent / "fixtures" / "protocol"
+
+
+def _verify_fixture(name: str):
+    source = (FIXTURES / f"{name}.py.txt").read_text(encoding="utf-8")
+    fake = f"src/repro/consistency/fixture_{name}.py"
+    return verify([SourceFile.parse(fake, source)])
+
+
+class TestModelExtraction:
+    def test_clean_fixture_recovers_the_automaton(self):
+        _findings, models, _proofs = _verify_fixture("clean")
+        assert [m.protocol for m in models] == ["good"]
+        model = models[0]
+        assert model.class_name == "GoodManager"
+        assert model.declared_events == {"READ_FILL": "SHARED"}
+        assert model.reachable_states == ["INVALID", "SHARED"]
+        assert model.extraction_errors == []
+
+    def test_clean_fixture_verifies_clean(self):
+        findings, _models, proofs = _verify_fixture("clean")
+        assert findings == []
+        assert all(p.holds for p in proofs)
+        # Both invariants discharge vacuously: no EXCLUSIVE state,
+        # no write-token traffic.
+        trace = "\n".join(line for p in proofs for line in p.render())
+        assert "vacuously single-writer" in trace
+        assert "vacuously conserved" in trace
+
+
+class TestTransitionCompleteness:
+    """KHZ201 over the seeded-defect fixtures."""
+
+    def test_silent_absorbs_flag_but_annotated_one_does_not(self):
+        findings, _models, _proofs = _verify_fixture("absorb")
+        assert [f.rule for f in findings] == ["KHZ201"] * 2
+        request, one_way = sorted(findings, key=lambda f: f.line)
+        # The request handler never answers: sender blocks forever.
+        assert "FETCH_REQUEST is absorbed" in request.message
+        assert "no reply and no nak" in request.message
+        # The one-way handler has no observable effect at all.
+        assert "SHARER_HINT is silently dropped" in one_way.message
+        # handle_quiet is identical but carries allow-absorb: quiet.
+        assert "QUIET_HINT" not in " ".join(f.message for f in findings)
+
+    def test_client_side_undeclared_event_flags(self):
+        findings, _models, _proofs = _verify_fixture("undeclared")
+        undeclared = [f for f in findings if f.rule == "KHZ201"]
+        assert len(undeclared) == 1
+        assert "PageEvent.WRITEBACK_COPY" in undeclared[0].message
+        assert "KeyError at runtime" in undeclared[0].message
+
+    def test_dead_table_entry_flags_unreachable(self):
+        findings, models, _proofs = _verify_fixture("unreachable")
+        assert [f.rule for f in findings] == ["KHZ201"]
+        assert "PageEvent.INVALIDATE" in findings[0].message
+        assert "no client or handler path ever fires" in findings[0].message
+        # The finding anchors to the dead table entry itself.
+        dead = [t for t in models[0].transitions
+                if t.event == "INVALIDATE"]
+        assert findings[0].line == dead[0].line
+
+    def test_sending_a_type_your_own_side_naks_flags(self):
+        findings, _models, _proofs = _verify_fixture("self_nak")
+        assert [f.rule for f in findings] == ["KHZ201"]
+        assert "MessageType.TOKEN_FETCH" in findings[0].message
+        assert "base nak-only default" in findings[0].message
+        assert "never succeed" in findings[0].message
+
+    def test_unresolvable_fire_event_flags_once(self):
+        findings, _models, _proofs = _verify_fixture("dynamic")
+        assert [f.rule for f in findings] == ["KHZ201"]
+        assert "cannot statically resolve" in findings[0].message
+
+
+class TestEngineContract:
+    """KHZ203: handlers may not step outside the declared table."""
+
+    def test_handler_firing_undeclared_event_flags(self):
+        findings, _models, _proofs = _verify_fixture("undeclared")
+        contract = [f for f in findings if f.rule == "KHZ203"]
+        assert len(contract) == 1
+        assert "handle_inval()" in contract[0].message
+        assert "PageEvent.INVALIDATE" in contract[0].message
+        assert "undeclared state change" in contract[0].message
+
+
+class TestInvariantProofs:
+    """KHZ202: discharged obligations render; failures become findings."""
+
+    def test_unguarded_write_grant_fails_the_proof(self):
+        findings, _models, proofs = _verify_fixture("unguarded")
+        single = [p for p in proofs if "single-writer" in p.invariant]
+        assert len(single) == 1 and not single[0].holds
+        trace = "\n".join(single[0].render())
+        assert "KHZ202 FAILED: reckless" in trace
+        assert "NO guard" in trace
+        assert "invariant NOT proved" in trace
+        khz202 = [f for f in findings if f.rule == "KHZ202"]
+        # Two failed obligations: the unguarded site and the missing
+        # revocation path.
+        assert len(khz202) == 2
+        messages = " ".join(f.message for f in khz202)
+        assert "serialization guard" in messages
+        assert "revocation" in messages
+
+    def test_discharged_proof_renders_a_qed(self):
+        _findings, _models, proofs = _verify_fixture("clean")
+        for proof in proofs:
+            lines = proof.render()
+            assert lines[0].startswith("KHZ202 proved:")
+            assert lines[-1] == "  ∎"
+
+
+class TestCoverageModel:
+    """KHZ204 helpers: edge lists, coverage math, skeletons."""
+
+    def _model(self):
+        _findings, models, _proofs = _verify_fixture("unreachable")
+        return models[0]   # hoarder: READ_FILL + INVALIDATE declared
+
+    def test_edge_report_diffs_exercised_traces(self):
+        model = self._model()
+        exercised = {"hoarder": {("INVALID", "READ_FILL")}}
+        report = edge_report([model], exercised)
+        doc = report["hoarder"]
+        assert doc["event_edges"] == [["READ_FILL", "SHARED"],
+                                      ["INVALIDATE", "INVALID"]]
+        assert doc["covered_events"] == ["READ_FILL"]
+        assert doc["uncovered_events"] == ["INVALIDATE"]
+        assert doc["coverage"] == 0.5
+        assert total_coverage(report) == 0.5
+
+    def test_product_edges_cover_every_reachable_source(self):
+        report = edge_report([self._model()])
+        doc = report["hoarder"]
+        # fire() is total per event: 2 reachable states x 2 events.
+        assert len(doc["product_edges"]) == 4
+        assert ["SHARED", "INVALIDATE", "INVALID"] in doc["product_edges"]
+
+    def test_uncovered_edges_become_pytest_skeletons(self):
+        model = self._model()
+        skeletons = uncovered_skeletons(
+            [model], {"hoarder": {("INVALID", "READ_FILL")}}
+        )
+        assert len(skeletons) == 1
+        assert "PageEvent.INVALIDATE" in skeletons[0]
+        assert "NotImplementedError" in skeletons[0]
+        assert "def test_invalidate_reaches_invalid" in skeletons[0]
+
+    def test_coverage_table_shape(self):
+        model = self._model()
+        table = coverage_table(
+            edge_report([model], {"hoarder": {("INVALID", "READ_FILL")}})
+        )
+        assert "Automaton edge coverage" in table
+        assert "hoarder" in table and "50%" in table
+        assert table.splitlines()[-1].startswith("total: 50%")
+
+
+@pytest.fixture(scope="module")
+def tree():
+    files = sources.collect(["src/"])
+    findings, models, proofs = verify(files)
+    return files, findings, models, proofs
+
+
+class TestRealTree:
+    """The shipped four protocols must verify clean — the CI gate."""
+
+    def test_shipped_tree_is_clean(self, tree):
+        _files, findings, _models, _proofs = tree
+        assert findings == []
+
+    def test_all_four_automata_extract(self, tree):
+        _files, _findings, models, _proofs = tree
+        by_name = {m.protocol: m for m in models}
+        assert sorted(by_name) == ["crew", "eventual", "mobile",
+                                   "release"]
+        assert len(by_name["crew"].transitions) == 5
+        assert len(by_name["release"].transitions) == 2
+        assert len(by_name["eventual"].transitions) == 1
+        assert len(by_name["mobile"].transitions) == 2
+        assert by_name["crew"].declared_events["WRITE_GRANT"] == \
+            "EXCLUSIVE"
+
+    def test_every_invariant_is_proved(self, tree):
+        _files, _findings, _models, proofs = tree
+        assert len(proofs) == 8   # 2 invariants x 4 protocols
+        assert all(p.holds for p in proofs)
+        trace = "\n".join(line for p in proofs
+                          for line in p.render())
+        # crew's single-writer proof names its serialization evidence
+        # and the revocation authority.
+        assert "KHZ202 proved: crew — CREW single-writer" in trace
+        assert "claim_for_writer" in trace
+        # release's token conservation walks the ledger counter.
+        assert "ledger.grant" in trace and "ledger.acquire" in trace
+
+    def test_text_report_carries_models_and_summary(self, tree):
+        files, findings, models, proofs = tree
+        text = render_text(findings, models, proofs, len(files))
+        assert "crew (CrewManager): states" in text
+        assert "WRITE_GRANT->EXCLUSIVE" in text
+        assert text.splitlines()[-1].startswith(
+            "repro.analysis.protocol:"
+        )
+
+    def test_sarif_report_shape(self, tree):
+        files, findings, models, proofs = tree
+        doc = json.loads(render_json(findings, models, proofs,
+                                     len(files)))
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        rules = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert rules == ["KHZ201", "KHZ202", "KHZ203", "KHZ204"]
+        assert run["results"] == []
+        automata = run["properties"]["automata"]
+        assert sorted(automata) == ["crew", "eventual", "mobile",
+                                    "release"]
+        assert automata["crew"]["states"][0] == "INVALID"
+        proofs_doc = run["properties"]["proofs"]
+        assert all(entry["holds"] for entry in proofs_doc.values())
+
+
+class TestCli:
+    def test_clean_run_exits_zero(self, tmp_path, capsys):
+        out = tmp_path / "protocol-report.json"
+        edges = tmp_path / "edges.json"
+        code = main(["src/", "--format", "json", "--out", str(out),
+                     "--edges-out", str(edges)])
+        assert code == 0
+        capsys.readouterr()
+        doc = json.loads(out.read_text(encoding="utf-8"))
+        assert doc["runs"][0]["results"] == []
+        edge_doc = json.loads(edges.read_text(encoding="utf-8"))
+        assert sorted(edge_doc) == ["crew", "eventual", "mobile",
+                                    "release"]
+
+    def test_drop_transition_mutation_is_caught(self, capsys):
+        # The negated CI self-check: deleting crew's INVALIDATE entry
+        # must blind nothing — the routed invalidation handlers still
+        # fire the event, so the verifier must fail the run.
+        code = main(["src/", "--mutate", "drop-transition"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "KHZ203" in captured.out
+        assert "undeclared state change" in captured.out
+
+    def test_unknown_mutation_needle_is_fatal(self):
+        from repro.analysis.protocol.__main__ import _apply_mutation
+
+        files = [SourceFile.parse("src/repro/consistency/crew.py",
+                                  "x = 1\n")]
+        with pytest.raises(SystemExit, match="mutation target moved"):
+            _apply_mutation(files, "drop-transition")

@@ -13,6 +13,7 @@ availability-first protocols do not).
 import pytest
 
 from repro.api import create_cluster
+from repro.consistency.engine.state import add_trace_hook, remove_trace_hook
 from repro.core.addressing import AddressRange
 from repro.core.attributes import RegionAttributes
 from repro.core.daemon import DaemonConfig
@@ -20,6 +21,24 @@ from repro.core.errors import InvalidLockContext
 from repro.core.locks import LockMode
 
 PROTOCOLS = ["crew", "release", "eventual", "mobile"]
+
+#: (state_before, event) pairs observed per protocol while the matrix
+#: runs; the KHZ204 coverage gate at the bottom of this file diffs it
+#: against the statically extracted automaton edge lists.
+EXERCISED = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _trace_automata():
+    def hook(label, before, event, after):
+        if label:
+            EXERCISED.setdefault(label, set()).add(
+                (before.name, event.name)
+            )
+
+    add_trace_hook(hook)
+    yield
+    remove_trace_hook(hook)
 
 #: Protocols whose write grant is a globally exclusive token: a second
 #: writer blocks until the first releases.  The availability-first
@@ -266,3 +285,57 @@ class TestUnlockAfterClose:
         kz.unlock(ctx)
         with pytest.raises(InvalidLockContext):
             kz.read(ctx, desc.rid, 2)  # khz: allow-stale-context(conformance: stale handles must raise under every protocol)
+
+
+class TestAutomatonCoverage:
+    """KHZ204 gate: the matrix above must exercise the declared edges.
+
+    Runs last (pytest executes this file in order): by now EXERCISED
+    holds every (state, event) pair the scenarios drove through each
+    protocol's PageStateMachine.  The static side of the diff is the
+    verifier's extracted edge list — the same models
+    ``python -m repro.analysis.protocol`` checks — so a transition
+    added to a TRANSITIONS table without a conformance scenario fails
+    here with a ready-to-paste test skeleton.
+    """
+
+    THRESHOLD = 0.9
+
+    def _models(self):
+        from repro.analysis import sources
+        from repro.analysis.flow.callgraph import CallGraph
+        from repro.analysis.protocol.model import extract_models
+
+        files = sources.collect(["src/repro/consistency/"])
+        return extract_models(CallGraph(files))
+
+    def test_matrix_covers_declared_edges(self):
+        from repro.analysis.protocol.coverage import (
+            edge_report,
+            total_coverage,
+            uncovered_skeletons,
+        )
+
+        models = self._models()
+        assert {m.protocol for m in models} == set(PROTOCOLS)
+        report = edge_report(models, EXERCISED)
+        coverage = total_coverage(report)
+        skeletons = uncovered_skeletons(models, EXERCISED)
+        assert coverage >= self.THRESHOLD, (
+            f"conformance matrix exercises {coverage:.0%} of the "
+            f"declared automaton edges (gate: {self.THRESHOLD:.0%}); "
+            "add scenarios for the uncovered edges:\n\n"
+            + "\n".join(skeletons)
+        )
+
+    def test_observed_edges_stay_inside_the_model(self):
+        # The dynamic trace is the automaton's ground truth: any
+        # (protocol, event) pair the engine fired must be declared.
+        models = {m.protocol: m for m in self._models()}
+        for protocol, seen in sorted(EXERCISED.items()):
+            declared = set(models[protocol].declared_events)
+            fired = {event for _state, event in seen}
+            assert fired <= declared, (
+                f"{protocol} fired undeclared events "
+                f"{sorted(fired - declared)}"
+            )

@@ -245,3 +245,21 @@ class TestTokenLedgerInvariant:
         # fsck --strict surfaces the same corruption.
         report = check_cluster(cluster, strict=True)
         assert any("token" in e for e in report.errors)
+
+
+class TestProtocolReport:
+    def test_static_report_needs_no_cluster(self):
+        from repro.tools import protocol_report
+
+        doc = protocol_report()
+        assert doc["findings"] == []
+        assert sorted(doc["protocols"]) == [
+            "crew", "eventual", "mobile", "release"
+        ]
+        crew = doc["protocols"]["crew"]
+        assert crew["class"] == "CrewManager"
+        assert crew["states"][0] == "INVALID"
+        assert ["WRITE_GRANT", "EXCLUSIVE"] in crew["event_edges"]
+        for invariant in crew["invariants"].values():
+            assert invariant["proved"]
+            assert invariant["trace"][0].startswith("KHZ202 proved")
